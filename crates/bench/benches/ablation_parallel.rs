@@ -1,0 +1,66 @@
+//! Ablation — the §5.4.1 dispatching scheme: epoch proving wall-time as
+//! the prover pool grows. The base-proof layer parallelizes near
+//! linearly; the merge tree's log-depth tail bounds the speedup
+//! (Amdahl), matching the paper's motivation for distributing proof
+//! generation across interested parties.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zendoo_primitives::digest::Digest32;
+use zendoo_primitives::field::Fp;
+use zendoo_primitives::poseidon;
+use zendoo_snark::circuit::Unsatisfied;
+use zendoo_snark::parallel::ParallelProver;
+use zendoo_snark::recursive::{RecursiveSystem, TransitionVerifier};
+
+#[derive(Debug)]
+struct Counter;
+
+#[derive(Clone)]
+struct Step(u64);
+
+fn digest_of(v: u64) -> Fp {
+    poseidon::hash_many(&[Fp::from_u64(v)])
+}
+
+impl TransitionVerifier for Counter {
+    type Witness = Step;
+
+    fn id(&self) -> Digest32 {
+        Digest32::hash_bytes(b"ablation/counter")
+    }
+
+    fn verify_transition(&self, from: &Fp, to: &Fp, w: &Step) -> Result<(), Unsatisfied> {
+        if *from == digest_of(w.0) && *to == digest_of(w.0 + 1) {
+            Ok(())
+        } else {
+            Err(Unsatisfied::new("counter", "bad step"))
+        }
+    }
+}
+
+fn bench_parallel_prover(c: &mut Criterion) {
+    let system = RecursiveSystem::new_deterministic(Counter, b"ablation");
+    let n = 64u64;
+    let states: Vec<Fp> = (0..=n).map(digest_of).collect();
+    let witnesses: Vec<Step> = (0..n).map(Step).collect();
+
+    let mut group = c.benchmark_group("ablation/parallel_prove_64tx");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let prover = ParallelProver::new(&system, workers);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    let (proof, _) = prover.prove_chain(&states, &witnesses).unwrap();
+                    proof
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_prover);
+criterion_main!(benches);

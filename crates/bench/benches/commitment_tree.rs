@@ -1,0 +1,75 @@
+//! E4 — the sidechain-transactions commitment (paper §4.1.3, Figs 4/12):
+//! build cost vs number of sidechains × transfers per block, and the
+//! verification cost of membership (`mproof`) and absence
+//! (`proofOfNoData`) proofs — the operations every SC node performs per
+//! MC block.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zendoo_core::commitment::ScTxsCommitmentBuilder;
+use zendoo_core::ids::{Amount, SidechainId};
+use zendoo_core::transfer::ForwardTransfer;
+
+fn populated_builder(sidechains: usize, fts_per_sc: usize) -> ScTxsCommitmentBuilder {
+    let mut builder = ScTxsCommitmentBuilder::new();
+    for s in 0..sidechains {
+        let sid = SidechainId::from_label(&format!("sc-{s}"));
+        for i in 0..fts_per_sc {
+            builder.add_forward_transfer(ForwardTransfer {
+                sidechain_id: sid,
+                receiver_metadata: vec![i as u8; 64],
+                amount: Amount::from_units(i as u64 + 1),
+            });
+        }
+    }
+    builder
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commitment/build");
+    for (sidechains, fts) in [(1usize, 8usize), (8, 8), (32, 8), (8, 64), (64, 64)] {
+        let builder = populated_builder(sidechains, fts);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sidechains}sc_x_{fts}ft")),
+            &builder,
+            |b, builder| b.iter(|| builder.build().root()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_proofs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commitment/proofs");
+    let commitment = populated_builder(32, 16).build();
+    let root = commitment.root();
+    let present = SidechainId::from_label("sc-7");
+    let absent = SidechainId::from_label("not-registered");
+
+    let membership = commitment.membership_proof(&present).unwrap();
+    group.bench_function("membership_verify", |b| {
+        b.iter(|| assert!(membership.verify(std::hint::black_box(&root))))
+    });
+
+    let fts: Vec<ForwardTransfer> = (0..16)
+        .map(|i| ForwardTransfer {
+            sidechain_id: present,
+            receiver_metadata: vec![i as u8; 64],
+            amount: Amount::from_units(i as u64 + 1),
+        })
+        .collect();
+    group.bench_function("ft_list_verify", |b| {
+        b.iter(|| assert!(membership.verify_forward_transfers(&root, std::hint::black_box(&fts))))
+    });
+
+    let absence = commitment.absence_proof(&absent).unwrap();
+    group.bench_function("absence_verify", |b| {
+        b.iter(|| assert!(absence.verify(std::hint::black_box(&root))))
+    });
+
+    group.bench_function("membership_generate", |b| {
+        b.iter(|| commitment.membership_proof(std::hint::black_box(&present)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_proofs);
+criterion_main!(benches);

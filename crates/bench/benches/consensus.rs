@@ -1,0 +1,68 @@
+//! E7 — consensus costs (paper §5.1): the per-slot leader lottery
+//! (a private VRF evaluation) and the public verification of a
+//! leadership claim, plus stake-snapshot cost over growing states.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zendoo_core::ids::{Address, Amount};
+use zendoo_latus::consensus::{
+    try_lead_slot, verify_leadership, ConsensusParams, StakeDistribution,
+};
+use zendoo_latus::mst::Utxo;
+use zendoo_latus::state::SidechainState;
+use zendoo_primitives::digest::Digest32;
+use zendoo_primitives::schnorr::Keypair;
+
+fn bench_lottery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus/lottery");
+    group.sample_size(30);
+    let params = ConsensusParams::default();
+    let kp = Keypair::from_seed(b"staker");
+    let dist = StakeDistribution::from_entries([
+        (Address::from_public_key(&kp.public), Amount::from_units(400)),
+        (Address::from_label("rest"), Amount::from_units(600)),
+    ]);
+    group.bench_function("try_lead_slot", |b| {
+        let mut slot = 0u64;
+        b.iter(|| {
+            slot += 1;
+            try_lead_slot(&params, &dist, &kp.secret, slot)
+        })
+    });
+
+    // Find a leading slot to benchmark verification.
+    let claim = (0..10_000u64)
+        .find_map(|slot| try_lead_slot(&params, &dist, &kp.secret, slot))
+        .expect("leads some slot");
+    group.bench_function("verify_leadership", |b| {
+        b.iter(|| assert!(verify_leadership(&params, &dist, &kp.public, &claim)))
+    });
+    group.finish();
+}
+
+fn bench_stake_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus/stake_snapshot");
+    group.sample_size(20);
+    for utxos in [100u64, 1_000, 10_000] {
+        let mut state = SidechainState::new(24);
+        let mut inserted = 0u64;
+        let mut i = 0u64;
+        while inserted < utxos {
+            let u = Utxo {
+                address: Address::from_label(&format!("holder-{}", i % 50)),
+                amount: Amount::from_units(i + 1),
+                nonce: Digest32::hash_bytes(&i.to_be_bytes()),
+            };
+            if state.mst_mut().add(&u).is_ok() {
+                inserted += 1;
+            }
+            i += 1;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(utxos), &utxos, |b, _| {
+            b.iter(|| StakeDistribution::snapshot(std::hint::black_box(&state)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lottery, bench_stake_snapshot);
+criterion_main!(benches);

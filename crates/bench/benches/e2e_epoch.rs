@@ -1,0 +1,87 @@
+//! E9 — end-to-end withdrawal-epoch cost: everything a Latus deployment
+//! pays per epoch, as a function of sidechain payment volume — forging,
+//! transition witnessing, the recursive proof fold, certificate circuit
+//! evaluation, and the mainchain's verification on acceptance.
+//!
+//! Shape to reproduce: epoch cost is dominated by proving and grows
+//! linearly in the number of transitions, while the mainchain's share
+//! (certificate verification) stays flat — the decoupling the paper
+//! claims ("does not impose a significant burden for the mainchain").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zendoo_sim::{Action, Schedule, SimConfig, World};
+
+/// Runs one certified epoch with `payments` sidechain payments.
+fn run_epoch_with_payments(payments: u64) -> World {
+    let mut world = World::new(SimConfig::default());
+    let mut schedule = Schedule::new().at(0, Action::ForwardTransfer("alice".into(), 1_000_000));
+    // Spread payments over the epoch's ticks.
+    for i in 0..payments {
+        schedule = schedule.at(
+            2 + (i % 4),
+            Action::ScPay("alice".into(), "bob".into(), 50 + i),
+        );
+    }
+    let config = SimConfig::default();
+    let ticks = config.epoch_len as u64 + 2;
+    schedule.run(&mut world, ticks).expect("epoch runs");
+    world
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e/epoch");
+    group.sample_size(10);
+    for payments in [0u64, 8, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(payments),
+            &payments,
+            |b, &payments| b.iter(|| run_epoch_with_payments(payments)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mc_share(c: &mut Criterion) {
+    // The mainchain's per-certificate work in isolation: accept a block
+    // containing one certificate (verification + registry update).
+    let mut group = c.benchmark_group("e2e/mc_certificate_acceptance");
+    group.sample_size(10);
+    for payments in [0u64, 128] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(payments),
+            &payments,
+            |b, &payments| {
+                b.iter_batched(
+                    || {
+                        // World one tick before certificate acceptance.
+                        let mut world = World::new(SimConfig::default());
+                        let mut schedule = Schedule::new()
+                            .at(0, Action::ForwardTransfer("alice".into(), 1_000_000));
+                        for i in 0..payments {
+                            schedule = schedule.at(
+                                2 + (i % 4),
+                                Action::ScPay("alice".into(), "bob".into(), 50 + i),
+                            );
+                        }
+                        let config = SimConfig::default();
+                        schedule
+                            .run(&mut world, config.epoch_len as u64)
+                            .expect("epoch body");
+                        world
+                    },
+                    |mut world| {
+                        // This step mines the certificate-carrying block:
+                        // the MC verifies the SNARK and updates the registry.
+                        world.step().expect("certificate acceptance");
+                        world
+                    },
+                    criterion::BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch, bench_mc_share);
+criterion_main!(benches);

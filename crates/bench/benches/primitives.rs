@@ -1,0 +1,108 @@
+//! E14 — substrate cost table: throughput of every cryptographic
+//! primitive the protocol stands on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zendoo_primitives::curve::{AffinePoint, JacobianPoint};
+use zendoo_primitives::field::{Fp, Fr};
+use zendoo_primitives::poseidon;
+use zendoo_primitives::schnorr::Keypair;
+use zendoo_primitives::sha256::sha256;
+use zendoo_primitives::vrf;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/sha256");
+    for size in [32usize, 256, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(std::hint::black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_poseidon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/poseidon");
+    let a = Fp::from_u64(0xdead);
+    let b_in = Fp::from_u64(0xbeef);
+    group.bench_function("hash2", |b| {
+        b.iter(|| poseidon::hash2(std::hint::black_box(&a), std::hint::black_box(&b_in)))
+    });
+    for n in [4usize, 16, 64] {
+        let inputs: Vec<Fp> = (0..n as u64).map(Fp::from_u64).collect();
+        group.bench_with_input(BenchmarkId::new("hash_many", n), &inputs, |b, inputs| {
+            b.iter(|| poseidon::hash_many(std::hint::black_box(inputs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_field(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/field");
+    let a = Fp::from_u64(0x1234_5678_9abc_def0);
+    let b_in = Fp::from_u64(0x0fed_cba9_8765_4321);
+    group.bench_function("mul", |b| {
+        b.iter(|| std::hint::black_box(a) * std::hint::black_box(b_in))
+    });
+    group.bench_function("invert", |b| {
+        b.iter(|| std::hint::black_box(a).invert().unwrap())
+    });
+    group.finish();
+}
+
+fn bench_curve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/curve");
+    group.sample_size(40);
+    let g = JacobianPoint::generator();
+    let scalar = Fr::from_u64(0xdead_beef_cafe_f00d);
+    group.bench_function("scalar_mul", |b| {
+        b.iter(|| std::hint::black_box(g) * std::hint::black_box(scalar))
+    });
+    let p = (g * scalar).to_affine();
+    group.bench_function("decompress", |b| {
+        let bytes = p.to_compressed();
+        b.iter(|| AffinePoint::from_compressed(std::hint::black_box(&bytes)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/schnorr");
+    group.sample_size(40);
+    let kp = Keypair::from_seed(b"bench");
+    let msg = [7u8; 32];
+    group.bench_function("sign", |b| {
+        b.iter(|| kp.secret.sign("bench", std::hint::black_box(&msg)))
+    });
+    let sig = kp.secret.sign("bench", &msg);
+    group.bench_function("verify", |b| {
+        b.iter(|| kp.public.verify("bench", std::hint::black_box(&msg), &sig))
+    });
+    group.finish();
+}
+
+fn bench_vrf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/vrf");
+    group.sample_size(30);
+    let kp = Keypair::from_seed(b"bench");
+    let msg = b"epoch-rand/slot-42";
+    group.bench_function("prove", |b| {
+        b.iter(|| vrf::prove(&kp.secret, std::hint::black_box(msg)))
+    });
+    let (_, proof) = vrf::prove(&kp.secret, msg);
+    group.bench_function("verify", |b| {
+        b.iter(|| vrf::verify(&kp.public, std::hint::black_box(msg), &proof).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_poseidon,
+    bench_field,
+    bench_curve,
+    bench_schnorr,
+    bench_vrf
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E2 — recursive composition scaling (paper Def 2.5, Figs 10–11):
+//! epoch-proof generation is linear in the number of transitions (base
+//! proofs) plus a logarithmic-depth merge tree; verification of the
+//! final proof is constant regardless of how many transitions it folds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zendoo_primitives::digest::Digest32;
+use zendoo_primitives::field::Fp;
+use zendoo_primitives::poseidon;
+use zendoo_snark::circuit::Unsatisfied;
+use zendoo_snark::recursive::{RecursiveSystem, TransitionVerifier};
+
+/// A counter state-transition system (the minimal Def 2.4 instance).
+#[derive(Debug)]
+struct Counter;
+
+#[derive(Clone)]
+struct Step {
+    old: u64,
+}
+
+fn digest_of(counter: u64) -> Fp {
+    poseidon::hash_many(&[Fp::from_u64(counter)])
+}
+
+impl TransitionVerifier for Counter {
+    type Witness = Step;
+
+    fn id(&self) -> Digest32 {
+        Digest32::hash_bytes(b"bench/counter")
+    }
+
+    fn verify_transition(&self, from: &Fp, to: &Fp, w: &Step) -> Result<(), Unsatisfied> {
+        if *from != digest_of(w.old) || *to != digest_of(w.old + 1) {
+            return Err(Unsatisfied::new("counter", "digest mismatch"));
+        }
+        Ok(())
+    }
+}
+
+fn bench_recursion(c: &mut Criterion) {
+    let system = RecursiveSystem::new_deterministic(Counter, b"bench");
+
+    let mut prove_group = c.benchmark_group("recursion/prove_chain");
+    prove_group.sample_size(10);
+    for n in [1usize, 4, 16, 64, 256] {
+        let states: Vec<Fp> = (0..=n as u64).map(digest_of).collect();
+        let witnesses: Vec<Step> = (0..n as u64).map(|i| Step { old: i }).collect();
+        prove_group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| system.prove_chain(&states, &witnesses).unwrap())
+        });
+    }
+    prove_group.finish();
+
+    let mut verify_group = c.benchmark_group("recursion/verify_folded");
+    verify_group.sample_size(40);
+    for n in [1usize, 16, 256] {
+        let states: Vec<Fp> = (0..=n as u64).map(digest_of).collect();
+        let witnesses: Vec<Step> = (0..n as u64).map(|i| Step { old: i }).collect();
+        let proof = system.prove_chain(&states, &witnesses).unwrap();
+        verify_group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| assert!(system.verify(&proof)))
+        });
+    }
+    verify_group.finish();
+
+    // A single merge step in isolation (the unit the tree is built of).
+    let mut merge_group = c.benchmark_group("recursion/merge_step");
+    merge_group.sample_size(20);
+    let p1 = system
+        .prove_base(digest_of(0), digest_of(1), &Step { old: 0 })
+        .unwrap();
+    let p2 = system
+        .prove_base(digest_of(1), digest_of(2), &Step { old: 1 })
+        .unwrap();
+    merge_group.bench_function("merge", |b| {
+        b.iter(|| system.merge(&p1, &p2).unwrap())
+    });
+    merge_group.finish();
+}
+
+criterion_group!(benches, bench_recursion);
+criterion_main!(benches);

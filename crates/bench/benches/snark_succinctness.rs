@@ -1,0 +1,87 @@
+//! E1 — the succinctness property (paper Def 2.3.3): as the statement
+//! grows by orders of magnitude, proving time grows with it, but the
+//! proof stays 65 bytes and verification time stays constant — the
+//! property that makes certificate verification cheap for the mainchain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zendoo_primitives::digest::Digest32;
+use zendoo_primitives::field::Fp;
+use zendoo_primitives::poseidon;
+use zendoo_snark::backend::{prove, setup_deterministic, verify, Proof};
+use zendoo_snark::circuit::{gadget_cost, Circuit, Unsatisfied};
+use zendoo_snark::inputs::PublicInputs;
+
+/// A circuit whose statement is a Poseidon hash chain of length `n`:
+/// `public[0] = H(H(…H(w)…))`. Constraint count scales linearly in `n`.
+struct HashChain {
+    n: usize,
+}
+
+impl Circuit for HashChain {
+    type Witness = Fp;
+
+    fn id(&self) -> Digest32 {
+        Digest32::hash_tagged("bench/hash-chain", &[&(self.n as u64).to_be_bytes()])
+    }
+
+    fn check(&self, public: &PublicInputs, w: &Fp) -> Result<(), Unsatisfied> {
+        let mut acc = *w;
+        for _ in 0..self.n {
+            acc = poseidon::hash2(&acc, &acc);
+        }
+        if public.get(0) == Some(acc) {
+            Ok(())
+        } else {
+            Err(Unsatisfied::new("chain", "hash chain mismatch"))
+        }
+    }
+
+    fn constraint_cost(&self, _: &PublicInputs, _: &Fp) -> u64 {
+        self.n as u64 * gadget_cost::POSEIDON_HASH2
+    }
+}
+
+fn chain_output(w: Fp, n: usize) -> Fp {
+    let mut acc = w;
+    for _ in 0..n {
+        acc = poseidon::hash2(&acc, &acc);
+    }
+    acc
+}
+
+fn bench_succinctness(c: &mut Criterion) {
+    let witness = Fp::from_u64(7);
+
+    // Proving grows with the statement…
+    let mut prove_group = c.benchmark_group("snark/prove");
+    prove_group.sample_size(10);
+    for n in [10usize, 100, 1_000, 10_000] {
+        let circuit = HashChain { n };
+        let (pk, _) = setup_deterministic(&circuit, b"bench");
+        let mut public = PublicInputs::new();
+        public.push_fp(chain_output(witness, n));
+        prove_group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| prove(&pk, &circuit, &public, &witness).unwrap())
+        });
+    }
+    prove_group.finish();
+
+    // …verification does not.
+    let mut verify_group = c.benchmark_group("snark/verify");
+    verify_group.sample_size(40);
+    for n in [10usize, 100, 1_000, 10_000] {
+        let circuit = HashChain { n };
+        let (pk, vk) = setup_deterministic(&circuit, b"bench");
+        let mut public = PublicInputs::new();
+        public.push_fp(chain_output(witness, n));
+        let proof = prove(&pk, &circuit, &public, &witness).unwrap();
+        assert_eq!(proof.to_bytes().len(), Proof::SIZE, "constant proof size");
+        verify_group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| assert!(verify(&vk, &public, &proof)))
+        });
+    }
+    verify_group.finish();
+}
+
+criterion_group!(benches, bench_succinctness);
+criterion_main!(benches);

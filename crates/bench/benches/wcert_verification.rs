@@ -1,0 +1,97 @@
+//! E3 — the mainchain's certificate-verification cost, SNARK path vs
+//! the certifier-committee baseline (the authors' earlier design).
+//!
+//! Shape to reproduce: the SNARK path costs one constant proof check
+//! plus `O(|BTList|)` hashing for `MH(BTList)`; the committee path costs
+//! `m` signature verifications plus the same hashing — so the SNARK wins
+//! for every committee size `m > 1`, and its advantage grows with the
+//! committee (the paper's motivation for dropping certifiers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zendoo_bench::{bt_list, snark_certificate, AcceptAll};
+use zendoo_core::certificate::{wcert_public_inputs, WcertSysData};
+use zendoo_core::verifier::verify_certificate;
+use zendoo_core::{SidechainConfigBuilder, SidechainId};
+use zendoo_latus::certifier::{CertifierCommittee, Endorsement};
+use zendoo_primitives::schnorr::Keypair;
+
+fn bench_snark_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wcert/snark_verify");
+    group.sample_size(30);
+    for n_bts in [0usize, 16, 64, 256] {
+        let (cert, vk, _, prev_end, epoch_end) = snark_certificate(n_bts);
+        let config = SidechainConfigBuilder::new(SidechainId::from_label("bench-sc"), vk)
+            .start_block(2)
+            .epoch_len(10)
+            .submit_len(5)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n_bts), &n_bts, |b, _| {
+            b.iter(|| {
+                verify_certificate(&config, &cert, None, prev_end, epoch_end).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_certifier_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wcert/certifier_verify");
+    group.sample_size(30);
+    // Fixed 64-BT certificate; committee size sweeps.
+    let (cert, _, _, prev_end, epoch_end) = snark_certificate(64);
+    let sysdata = WcertSysData::for_certificate(&cert, prev_end, epoch_end);
+    let statement = wcert_public_inputs(&sysdata, &cert.proofdata.merkle_root());
+    for (n, m) in [(5usize, 3usize), (11, 7), (25, 17), (51, 34)] {
+        let keys: Vec<Keypair> = (0..n)
+            .map(|i| Keypair::from_seed(format!("certifier-{i}").as_bytes()))
+            .collect();
+        let committee = CertifierCommittee::new(keys.iter().map(|k| k.public).collect(), m);
+        let endorsements: Vec<Endorsement> = (0..m)
+            .map(|i| committee.endorse(i, &keys[i].secret, &statement))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}-of-{n}")),
+            &m,
+            |b, _| {
+                b.iter(|| {
+                    // What the baseline mainchain must redo per cert:
+                    // rebuild the statement from the posted certificate,
+                    // then check m signatures.
+                    let sysdata = WcertSysData::for_certificate(&cert, prev_end, epoch_end);
+                    let stmt = wcert_public_inputs(&sysdata, &cert.proofdata.merkle_root());
+                    assert!(committee.verify_native(&stmt, &endorsements))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_proving_side(c: &mut Criterion) {
+    // Context: the *prover* pays for the cheap verification. This group
+    // records the certificate-proof production cost (permissive circuit;
+    // the Latus circuit cost is measured in e2e_epoch).
+    let mut group = c.benchmark_group("wcert/prove");
+    group.sample_size(20);
+    for n_bts in [0usize, 64, 256] {
+        let (cert, _, pk, prev_end, epoch_end) = snark_certificate(n_bts);
+        let sysdata = WcertSysData::for_certificate(&cert, prev_end, epoch_end);
+        let inputs = wcert_public_inputs(&sysdata, &cert.proofdata.merkle_root());
+        group.bench_with_input(BenchmarkId::from_parameter(n_bts), &n_bts, |b, _| {
+            b.iter(|| {
+                zendoo_snark::backend::prove(&pk, &AcceptAll("wcert"), &inputs, &()).unwrap()
+            })
+        });
+        let _ = bt_list(1);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snark_path,
+    bench_certifier_baseline,
+    bench_proving_side
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! # zendoo-core
+//!
+//! The **cross-chain transfer protocol** (CCTP) of Zendoo (paper §4) —
+//! the protocol layer both chains speak:
+//!
+//! * [`ids`] — sidechain ids, addresses, amounts, nullifiers;
+//! * [`transfer`] — forward/backward transfers (Defs 4.1, 4.3);
+//! * [`certificate`] — withdrawal certificates and `wcert_sysdata`
+//!   (Def 4.4);
+//! * [`withdrawal`] — mainchain-managed withdrawals: BTR and CSW
+//!   (Defs 4.5, 4.6);
+//! * [`proofdata`] — sidechain-declared typed proof data (§4.2);
+//! * [`commitment`] — the `SCTxsCommitment` tree with membership and
+//!   absence proofs (§4.1.3, Figs 4/12);
+//! * [`epoch`] — withdrawal-epoch schedules and submission windows
+//!   (§4.1.2, Fig 3);
+//! * [`config`] — sidechain creation parameters (§4.2);
+//! * [`verifier`] — the unified SNARK verification interface the
+//!   mainchain applies to every posting.
+//!
+//! The mainchain state machine lives in `zendoo-mainchain`; the Latus
+//! sidechain in `zendoo-latus`. This crate holds everything that is
+//! *protocol*, independent of either chain's consensus.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod certificate;
+pub mod commitment;
+pub mod config;
+pub mod epoch;
+pub mod ids;
+pub mod proofdata;
+pub mod transfer;
+pub mod verifier;
+pub mod withdrawal;
+
+pub use certificate::WithdrawalCertificate;
+pub use commitment::{ScTxsCommitment, ScTxsCommitmentBuilder};
+pub use config::{SidechainConfig, SidechainConfigBuilder};
+pub use epoch::EpochSchedule;
+pub use ids::{Address, Amount, EpochId, Nullifier, Quality, SidechainId};
+pub use transfer::{BackwardTransfer, ForwardTransfer};
+pub use withdrawal::{BackwardTransferRequest, CeasedSidechainWithdrawal};

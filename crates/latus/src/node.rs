@@ -1,0 +1,907 @@
+//! The Latus full node: forging, mainchain synchronization, epoch
+//! management and certificate production (paper §5.1, §5.4, §5.5).
+//!
+//! The node observes the mainchain block-by-block (the parent-child
+//! relationship of §1: "sidechain nodes directly observe the mainchain"),
+//! forges one sidechain block per observed MC block, accumulates the
+//! epoch's transition witnesses, and at each withdrawal-epoch boundary
+//! produces a certificate whose SNARK proof attests the entire epoch
+//! (Fig 11). It also serves user-facing proof requests (BTR/CSW).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use zendoo_core::certificate::{wcert_public_inputs, WcertSysData, WithdrawalCertificate};
+use zendoo_core::config::{SidechainConfig, SidechainConfigBuilder};
+use zendoo_core::epoch::EpochSchedule;
+use zendoo_core::ids::{Address, Amount, EpochId};
+use zendoo_core::withdrawal::{
+    btr_public_inputs, BackwardTransferRequest, BtrSysData, CeasedSidechainWithdrawal,
+};
+use zendoo_primitives::digest::Digest32;
+use zendoo_primitives::schnorr::{Keypair, SecretKey};
+use zendoo_snark::backend::{prove, ProveError, ProvingKey, VerifyingKey};
+
+use crate::block::{McBlockReference, McRefError, ScBlock, ScBlockHeader};
+use crate::cert::{
+    sign_withdrawal, utxo_proofdata, utxo_proofdata_schema, wcert_proofdata,
+    wcert_proofdata_schema, BtrCircuit, CertInclusion, CswCircuit, CswWitness, DeltaLink,
+    OwnershipWitness, WcertCircuit, WcertWitness,
+};
+use crate::consensus::{try_lead_slot, ConsensusParams, LeadershipProof, StakeDistribution};
+use crate::mst::{mst_position, Mst, MstDelta, Utxo};
+use crate::params::LatusParams;
+use crate::proof::{proof_system, EpochProofBuilder, LatusProofSystem};
+use crate::state::SidechainState;
+use crate::tx::{apply_transaction, ScTransaction, TxError};
+
+/// All proving/verifying material of one Latus deployment.
+pub struct LatusKeys {
+    /// The recursive state-transition system (base + merge).
+    pub system: LatusProofSystem,
+    /// Certificate circuit + keys.
+    pub wcert_circuit: WcertCircuit,
+    /// Certificate proving key.
+    pub wcert_pk: ProvingKey,
+    /// Certificate verification key (registered on the MC).
+    pub wcert_vk: VerifyingKey,
+    /// BTR circuit + keys.
+    pub btr_circuit: BtrCircuit,
+    /// BTR proving key.
+    pub btr_pk: ProvingKey,
+    /// BTR verification key.
+    pub btr_vk: VerifyingKey,
+    /// CSW circuit + keys.
+    pub csw_circuit: CswCircuit,
+    /// CSW proving key.
+    pub csw_pk: ProvingKey,
+    /// CSW verification key.
+    pub csw_vk: VerifyingKey,
+}
+
+impl LatusKeys {
+    /// Performs the full trusted setup for a deployment: the recursive
+    /// system plus the three posting circuits (§4.2's `wcert_vk`,
+    /// `btr_vk`, `csw_vk`).
+    pub fn generate(params: LatusParams, schedule: EpochSchedule, seed: &[u8]) -> Self {
+        let system = proof_system(params, seed);
+        let wcert_circuit = WcertCircuit::new(
+            params,
+            schedule,
+            *system.base_vk(),
+            *system.merge_vk(),
+        );
+        let (wcert_pk, wcert_vk) =
+            zendoo_snark::backend::setup_deterministic(&wcert_circuit, seed);
+        let btr_circuit = BtrCircuit::new(params);
+        let (btr_pk, btr_vk) = zendoo_snark::backend::setup_deterministic(&btr_circuit, seed);
+        let csw_circuit = CswCircuit::new(params);
+        let (csw_pk, csw_vk) = zendoo_snark::backend::setup_deterministic(&csw_circuit, seed);
+        LatusKeys {
+            system,
+            wcert_circuit,
+            wcert_pk,
+            wcert_vk,
+            btr_circuit,
+            btr_pk,
+            btr_vk,
+            csw_circuit,
+            csw_pk,
+            csw_vk,
+        }
+    }
+
+    /// Assembles the [`SidechainConfig`] to register on the mainchain.
+    pub fn sidechain_config(
+        &self,
+        params: &LatusParams,
+        schedule: EpochSchedule,
+    ) -> SidechainConfig {
+        SidechainConfigBuilder::new(params.sidechain_id, self.wcert_vk)
+            .start_block(schedule.start_block())
+            .epoch_len(schedule.epoch_len())
+            .submit_len(schedule.submit_len())
+            .btr_vk(self.btr_vk)
+            .csw_vk(self.csw_vk)
+            .wcert_proofdata(wcert_proofdata_schema())
+            .btr_proofdata(utxo_proofdata_schema())
+            .csw_proofdata(utxo_proofdata_schema())
+            .build()
+            .expect("latus configuration is valid by construction")
+    }
+}
+
+impl std::fmt::Debug for LatusKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatusKeys")
+            .field("wcert_vk", &self.wcert_vk)
+            .field("btr_vk", &self.btr_vk)
+            .field("csw_vk", &self.csw_vk)
+            .finish()
+    }
+}
+
+/// Node operation failures.
+#[derive(Clone, Debug)]
+pub enum NodeError {
+    /// Transaction invalid against the current state.
+    Tx(TxError),
+    /// A mainchain block could not be referenced.
+    McRef(McRefError),
+    /// The observed MC block does not extend the last referenced one.
+    NonContiguousMcBlock {
+        /// Expected parent.
+        expected: Digest32,
+        /// Found parent.
+        found: Digest32,
+    },
+    /// Proof generation failed (a bug or inconsistent state).
+    Prove(ProveError),
+    /// Certificate requested before the epoch's last MC block.
+    EpochNotComplete,
+    /// No data available to serve the request.
+    Unavailable(&'static str),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Tx(e) => write!(f, "transaction rejected: {e}"),
+            NodeError::McRef(e) => write!(f, "mainchain reference: {e}"),
+            NodeError::NonContiguousMcBlock { expected, found } => {
+                write!(f, "MC block parent {found}, expected {expected}")
+            }
+            NodeError::Prove(e) => write!(f, "proving failed: {e}"),
+            NodeError::EpochNotComplete => write!(f, "withdrawal epoch not complete"),
+            NodeError::Unavailable(what) => write!(f, "unavailable: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl From<TxError> for NodeError {
+    fn from(e: TxError) -> Self {
+        NodeError::Tx(e)
+    }
+}
+
+impl From<McRefError> for NodeError {
+    fn from(e: McRefError) -> Self {
+        NodeError::McRef(e)
+    }
+}
+
+impl From<ProveError> for NodeError {
+    fn from(e: ProveError) -> Self {
+        NodeError::Prove(e)
+    }
+}
+
+/// Snapshot for mainchain-reorg rollback.
+#[derive(Clone)]
+struct NodeSnapshot {
+    state: SidechainState,
+    epoch_builder: EpochProofBuilder,
+    last_mc_ref: Digest32,
+    epoch_mc_headers: Vec<zendoo_mainchain::BlockHeader>,
+    epoch_sc_headers: Vec<ScBlockHeader>,
+    chain_len: usize,
+    slot: u64,
+}
+
+/// A Latus full node / forger.
+pub struct LatusNode {
+    params: LatusParams,
+    schedule: EpochSchedule,
+    consensus: ConsensusParams,
+    keys: Arc<LatusKeys>,
+    forger: Keypair,
+    state: SidechainState,
+    chain: Vec<ScBlock>,
+    /// Pre-block snapshots keyed by the MC block each SC block
+    /// references (for MC-reorg rollback).
+    snapshots: Vec<NodeSnapshot>,
+    pending: Vec<ScTransaction>,
+    epoch_builder: EpochProofBuilder,
+    current_epoch: EpochId,
+    last_mc_ref: Digest32,
+    epoch_mc_headers: Vec<zendoo_mainchain::BlockHeader>,
+    epoch_sc_headers: Vec<ScBlockHeader>,
+    /// Certificate inclusions observed in MC blocks, per epoch.
+    cert_inclusions: BTreeMap<EpochId, CertInclusion>,
+    /// MST snapshot at each epoch close (serves BTR/CSW proofs).
+    epoch_msts: BTreeMap<EpochId, Mst>,
+    /// Delta committed per closed epoch (serves historical CSW proofs).
+    epoch_deltas: BTreeMap<EpochId, MstDelta>,
+    /// The certificate this node produced per epoch.
+    produced_certs: BTreeMap<EpochId, WithdrawalCertificate>,
+    stake: StakeDistribution,
+    stake_epoch: u64,
+    next_slot: u64,
+}
+
+impl LatusNode {
+    /// Creates a node for a freshly bootstrapped sidechain.
+    ///
+    /// `mc_anchor` is the hash of the MC block at `start_block - 1`
+    /// (the block every reference chain starts from); pass the genesis
+    /// hash when `start_block` is 1.
+    pub fn new(
+        params: LatusParams,
+        schedule: EpochSchedule,
+        consensus: ConsensusParams,
+        keys: Arc<LatusKeys>,
+        forger: Keypair,
+        mc_anchor: Digest32,
+    ) -> Self {
+        let state = SidechainState::new(params.mst_depth);
+        let epoch_builder = EpochProofBuilder::new(state.digest());
+        LatusNode {
+            params,
+            schedule,
+            consensus,
+            keys,
+            forger,
+            state,
+            chain: Vec::new(),
+            snapshots: Vec::new(),
+            pending: Vec::new(),
+            epoch_builder,
+            current_epoch: 0,
+            last_mc_ref: mc_anchor,
+            epoch_mc_headers: Vec::new(),
+            epoch_sc_headers: Vec::new(),
+            cert_inclusions: BTreeMap::new(),
+            epoch_msts: BTreeMap::new(),
+            epoch_deltas: BTreeMap::new(),
+            produced_certs: BTreeMap::new(),
+            stake: StakeDistribution::default(),
+            stake_epoch: 0,
+            next_slot: 0,
+        }
+    }
+
+    /// The node's sidechain state.
+    pub fn state(&self) -> &SidechainState {
+        &self.state
+    }
+
+    /// The deployment parameters.
+    pub fn params(&self) -> &LatusParams {
+        &self.params
+    }
+
+    /// The sidechain blocks forged/accepted so far.
+    pub fn chain(&self) -> &[ScBlock] {
+        &self.chain
+    }
+
+    /// The withdrawal epoch currently being filled.
+    pub fn current_epoch(&self) -> EpochId {
+        self.current_epoch
+    }
+
+    /// The forger's address (stake identity).
+    pub fn forger_address(&self) -> Address {
+        Address::from_public_key(&self.forger.public)
+    }
+
+    /// Queues a user transaction after validating it against the current
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Tx`] when invalid.
+    pub fn submit_transaction(&mut self, tx: ScTransaction) -> Result<(), NodeError> {
+        let mut scratch = self.state.clone();
+        apply_transaction(&self.params, &mut scratch, &tx)?;
+        self.pending.push(tx);
+        Ok(())
+    }
+
+    /// Observes the next mainchain block: forges the sidechain block
+    /// referencing it (with any pending transactions), applies it, and
+    /// tracks withdrawal-epoch boundaries (Fig 6/7).
+    ///
+    /// Returns the forged block.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError`] on non-contiguous MC blocks or malformed data.
+    pub fn sync_mainchain_block(
+        &mut self,
+        mc_block: &zendoo_mainchain::Block,
+    ) -> Result<ScBlock, NodeError> {
+        if mc_block.header.parent != self.last_mc_ref {
+            return Err(NodeError::NonContiguousMcBlock {
+                expected: self.last_mc_ref,
+                found: mc_block.header.parent,
+            });
+        }
+        let reference = McBlockReference::derive(mc_block, &self.params.sidechain_id)?;
+
+        // Record any certificate inclusion observed on the MC.
+        if let Some((cert, proof)) = &reference.wcert {
+            self.cert_inclusions.insert(
+                cert.epoch_id,
+                CertInclusion {
+                    certificate: cert.clone(),
+                    mc_header: mc_block.header,
+                    inclusion: proof.clone(),
+                },
+            );
+        }
+
+        // Refresh the stake snapshot at consensus-epoch boundaries.
+        let slot_epoch = self.consensus.epoch_of_slot(self.next_slot);
+        if slot_epoch != self.stake_epoch || (self.chain.is_empty() && self.stake.is_empty()) {
+            self.stake = StakeDistribution::snapshot(&self.state);
+            self.stake_epoch = slot_epoch;
+        }
+
+        // Find the forging slot (slot leadership lottery, §5.1).
+        let leadership = self.find_leading_slot()?;
+
+        // Snapshot for rollback, then build the block.
+        let snapshot = NodeSnapshot {
+            state: self.state.clone(),
+            epoch_builder: self.epoch_builder.clone(),
+            last_mc_ref: self.last_mc_ref,
+            epoch_mc_headers: self.epoch_mc_headers.clone(),
+            epoch_sc_headers: self.epoch_sc_headers.clone(),
+            chain_len: self.chain.len(),
+            slot: self.next_slot,
+        };
+
+        let transactions = std::mem::take(&mut self.pending);
+        let result = self.forge_and_apply(reference, mc_block, transactions, leadership);
+        match result {
+            Ok(block) => {
+                self.snapshots.push(snapshot);
+                Ok(block)
+            }
+            Err(e) => {
+                // Restore exactly (application mutates state lazily).
+                self.state = snapshot.state;
+                self.epoch_builder = snapshot.epoch_builder;
+                self.last_mc_ref = snapshot.last_mc_ref;
+                self.epoch_mc_headers = snapshot.epoch_mc_headers;
+                self.epoch_sc_headers = snapshot.epoch_sc_headers;
+                self.chain.truncate(snapshot.chain_len);
+                self.next_slot = snapshot.slot;
+                Err(e)
+            }
+        }
+    }
+
+    fn find_leading_slot(&mut self) -> Result<LeadershipProof, NodeError> {
+        // The bootstrap authority (and anyone, while the chain is
+        // entirely unstaked) forges without winning the lottery; the
+        // VRF proof is still produced for auditability.
+        if self.consensus.is_bootstrap_forger(&self.forger.public)
+            || self.stake.total().is_zero()
+        {
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            let (output, proof) =
+                zendoo_primitives::vrf::prove(&self.forger.secret, &slot.to_be_bytes());
+            return Ok(LeadershipProof {
+                slot,
+                output,
+                proof,
+            });
+        }
+        // Staked forgers search forward for a leading slot (expected
+        // 1/φ(α) tries); a forger without stake never leads.
+        for _ in 0..100_000u32 {
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            if let Some(leadership) =
+                try_lead_slot(&self.consensus, &self.stake, &self.forger.secret, slot)
+            {
+                return Ok(leadership);
+            }
+        }
+        Err(NodeError::Unavailable(
+            "forger holds no stake and never wins a slot",
+        ))
+    }
+
+    fn forge_and_apply(
+        &mut self,
+        reference: McBlockReference,
+        mc_block: &zendoo_mainchain::Block,
+        transactions: Vec<ScTransaction>,
+        leadership: LeadershipProof,
+    ) -> Result<ScBlock, NodeError> {
+        let parent = self
+            .chain
+            .last()
+            .map(|b| b.hash())
+            .unwrap_or(Digest32::ZERO);
+        let height = self.chain.len() as u64;
+
+        // The synchronized halves are mandatory; their failure aborts
+        // the block (the MC reference itself is malformed).
+        let mut recorded = Vec::new();
+        let sync_txs = [
+            ScTransaction::ForwardTransfers(reference.forward_transfers.clone()),
+            ScTransaction::BackwardTransferRequests(
+                reference.backward_transfer_requests.clone(),
+            ),
+        ];
+        for tx in &sync_txs {
+            let witness = apply_transaction(&self.params, &mut self.state, tx)?;
+            recorded.push((witness, self.state.digest()));
+        }
+
+        // Pending user transactions: conflicts (e.g. two payments racing
+        // for one UTXO) are dropped, as a production forger would.
+        let mut included = Vec::new();
+        for tx in transactions {
+            match apply_transaction(&self.params, &mut self.state, &tx) {
+                Ok(witness) => {
+                    recorded.push((witness, self.state.digest()));
+                    included.push(tx);
+                }
+                Err(_) => { /* dropped from this block */ }
+            }
+        }
+
+        let mut block = ScBlock {
+            header: ScBlockHeader {
+                parent,
+                height,
+                slot: leadership.slot,
+                forger: self.forger.public,
+                vrf_proof: leadership.proof,
+                tx_root: Digest32::ZERO,
+                mc_ref_hashes: vec![reference.mc_block_hash()],
+                state_digest: self.state.digest(),
+            },
+            mc_references: vec![reference],
+            transactions: included,
+        };
+        block.header.tx_root = block.compute_tx_root();
+
+        for (witness, digest) in recorded {
+            self.epoch_builder.record(witness, digest);
+        }
+        self.last_mc_ref = block.mc_references[0].mc_block_hash();
+        self.epoch_mc_headers.push(mc_block.header);
+        self.epoch_sc_headers.push(block.header.clone());
+        self.chain.push(block.clone());
+        Ok(block)
+    }
+
+    /// Validates and adopts a block forged by *another* node (the
+    /// validator path): checks chain linkage, the 1:1 MC reference
+    /// discipline, VRF slot leadership against the epoch's stake
+    /// snapshot, and full stateful validity — recording the transition
+    /// witnesses so this node can also serve proofs and certificates.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError`] naming the violated rule; the node state is
+    /// unchanged on error.
+    pub fn receive_block(
+        &mut self,
+        block: &ScBlock,
+        mc_block: &zendoo_mainchain::Block,
+    ) -> Result<(), NodeError> {
+        if mc_block.header.parent != self.last_mc_ref {
+            return Err(NodeError::NonContiguousMcBlock {
+                expected: self.last_mc_ref,
+                found: mc_block.header.parent,
+            });
+        }
+        // Header linkage.
+        let expected_parent = self
+            .chain
+            .last()
+            .map(|b| b.hash())
+            .unwrap_or(Digest32::ZERO);
+        if block.header.parent != expected_parent
+            || block.header.height != self.chain.len() as u64
+        {
+            return Err(NodeError::Unavailable("block does not extend our tip"));
+        }
+        if block.header.mc_ref_hashes != vec![mc_block.hash()] {
+            return Err(NodeError::Unavailable(
+                "block must reference exactly the observed MC block",
+            ));
+        }
+        // Refresh the stake snapshot exactly as the forging path does,
+        // then verify the forger's slot leadership (vacuous while the
+        // chain is unstaked — the bootstrap authority window).
+        let slot_epoch = self.consensus.epoch_of_slot(self.next_slot);
+        if slot_epoch != self.stake_epoch || (self.chain.is_empty() && self.stake.is_empty()) {
+            self.stake = StakeDistribution::snapshot(&self.state);
+            self.stake_epoch = slot_epoch;
+        }
+        let leadership_ok = self.consensus.is_bootstrap_forger(&block.header.forger)
+            || self.stake.total().is_zero()
+            || crate::consensus::verify_block_leadership(
+                &self.consensus,
+                &self.stake,
+                &block.header.forger,
+                block.header.slot,
+                &block.header.vrf_proof,
+            );
+        if !leadership_ok {
+            return Err(NodeError::Unavailable("invalid slot leadership"));
+        }
+
+        // Stateful validation on a scratch state, then adopt.
+        let mut scratch = self.state.clone();
+        let witnesses =
+            crate::block::apply_block(&self.params, &mut scratch, block, self.last_mc_ref)
+                .map_err(|_| NodeError::Unavailable("block failed stateful validation"))?;
+
+        let snapshot = NodeSnapshot {
+            state: self.state.clone(),
+            epoch_builder: self.epoch_builder.clone(),
+            last_mc_ref: self.last_mc_ref,
+            epoch_mc_headers: self.epoch_mc_headers.clone(),
+            epoch_sc_headers: self.epoch_sc_headers.clone(),
+            chain_len: self.chain.len(),
+            slot: self.next_slot,
+        };
+        // Re-apply on the live state to obtain per-step digests (the
+        // scratch run already guaranteed success).
+        let mut recorded = Vec::with_capacity(witnesses.len());
+        for tx in block.ordered_transactions() {
+            let witness = apply_transaction(&self.params, &mut self.state, &tx)
+                .expect("validated on scratch state");
+            recorded.push((witness, self.state.digest()));
+        }
+        for (witness, digest) in recorded {
+            self.epoch_builder.record(witness, digest);
+        }
+        // Track certificate inclusions observed in the reference.
+        for reference in &block.mc_references {
+            if let Some((cert, proof)) = &reference.wcert {
+                self.cert_inclusions.insert(
+                    cert.epoch_id,
+                    CertInclusion {
+                        certificate: cert.clone(),
+                        mc_header: mc_block.header,
+                        inclusion: proof.clone(),
+                    },
+                );
+            }
+        }
+        self.last_mc_ref = mc_block.hash();
+        self.epoch_mc_headers.push(mc_block.header);
+        self.epoch_sc_headers.push(block.header.clone());
+        self.chain.push(block.clone());
+        self.next_slot = block.header.slot + 1;
+        self.snapshots.push(snapshot);
+        Ok(())
+    }
+
+    /// Returns `true` if the node has referenced the last MC block of
+    /// the current withdrawal epoch and can produce its certificate.
+    pub fn epoch_complete(&self) -> bool {
+        self.epoch_mc_headers.len() == self.schedule.epoch_len() as usize
+    }
+
+    /// Closes the current withdrawal epoch: generates the recursive
+    /// epoch proof, wraps it in the certificate SNARK, resets the
+    /// transient state, and returns the certificate ready for MC
+    /// submission (§5.5.3.1).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::EpochNotComplete`] before the boundary;
+    /// [`NodeError::Prove`] if any witness is inconsistent.
+    pub fn produce_certificate(&mut self) -> Result<WithdrawalCertificate, NodeError> {
+        if !self.epoch_complete() {
+            return Err(NodeError::EpochNotComplete);
+        }
+        let epoch = self.current_epoch;
+        let last_sc = self
+            .epoch_sc_headers
+            .last()
+            .ok_or(NodeError::Unavailable("no SC blocks this epoch"))?
+            .clone();
+
+        // Previous-epoch anchors.
+        let (prev_mst_root, prev_sc_block) = if epoch == 0 {
+            (Mst::new(self.params.mst_depth).root(), Digest32::ZERO)
+        } else {
+            let prev_cert = self
+                .produced_certs
+                .get(&(epoch - 1))
+                .ok_or(NodeError::Unavailable("previous certificate unknown"))?;
+            let (sc_block, root, _) = crate::cert::parse_wcert_proofdata(&prev_cert.proofdata)
+                .ok_or(NodeError::Unavailable("previous proofdata unparseable"))?;
+            (root, sc_block)
+        };
+
+        // The recursive proof over the epoch (Fig 11).
+        let state_proof = self.epoch_builder.prove(&self.keys.system)?;
+
+        // Close the epoch's transients.
+        let final_mst_root = self.state.mst().root();
+        let (bt_list, delta, touch_sequence) = self.state.end_epoch();
+
+        let proofdata = wcert_proofdata(last_sc.hash(), final_mst_root, &delta);
+        let mut cert = WithdrawalCertificate {
+            sidechain_id: self.params.sidechain_id,
+            epoch_id: epoch,
+            quality: last_sc.height,
+            bt_list: bt_list.clone(),
+            proofdata,
+            proof: zendoo_snark::backend::Proof::from_bytes(&[0u8; 65])
+                .expect("zero proof placeholder"),
+        };
+
+        let prev_mc_end = self.epoch_mc_headers[0].parent;
+        let mc_end = self
+            .epoch_mc_headers
+            .last()
+            .expect("epoch complete")
+            .hash();
+        let sysdata = WcertSysData::for_certificate(&cert, prev_mc_end, mc_end);
+        let public = wcert_public_inputs(&sysdata, &cert.proofdata.merkle_root());
+
+        let witness = WcertWitness {
+            epoch_id: epoch,
+            sc_headers: std::mem::take(&mut self.epoch_sc_headers),
+            prev_sc_block,
+            mc_headers: std::mem::take(&mut self.epoch_mc_headers),
+            state_proof,
+            prev_mst_root,
+            final_mst_root,
+            bt_list,
+            delta: delta.clone(),
+            touch_sequence,
+            prev_cert: if epoch == 0 {
+                None
+            } else {
+                Some(
+                    self.cert_inclusions
+                        .get(&(epoch - 1))
+                        .ok_or(NodeError::Unavailable(
+                            "previous certificate inclusion not observed on MC",
+                        ))?
+                        .clone(),
+                )
+            },
+        };
+        cert.proof = prove(&self.keys.wcert_pk, &self.keys.wcert_circuit, &public, &witness)?;
+
+        // Archive per-epoch material for user proof services.
+        self.epoch_msts.insert(epoch, self.state.mst().clone());
+        self.epoch_deltas.insert(epoch, delta);
+        self.produced_certs.insert(epoch, cert.clone());
+
+        // Open the next epoch; the stake distribution for its slots is
+        // fixed now ("SD is fixed before the epoch begins", §5.1).
+        self.current_epoch += 1;
+        self.epoch_builder = EpochProofBuilder::new(self.state.digest());
+        self.stake = StakeDistribution::snapshot(&self.state);
+        Ok(cert)
+    }
+
+    /// The certificate this node produced for `epoch`, if any.
+    pub fn certificate_for(&self, epoch: EpochId) -> Option<&WithdrawalCertificate> {
+        self.produced_certs.get(&epoch)
+    }
+
+    /// The certificate inclusion observed on the MC for `epoch`.
+    pub fn cert_inclusion_for(&self, epoch: EpochId) -> Option<&CertInclusion> {
+        self.cert_inclusions.get(&epoch)
+    }
+
+    /// Builds a fully proven BTR for a UTXO committed by the certificate
+    /// of `anchor_epoch` (§5.5.3.2). The caller submits it to the MC.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Unavailable`] when the anchor material is missing;
+    /// [`NodeError::Prove`] if the statement does not hold.
+    pub fn create_btr(
+        &self,
+        anchor_epoch: EpochId,
+        utxo: &Utxo,
+        owner: &SecretKey,
+        receiver: Address,
+    ) -> Result<BackwardTransferRequest, NodeError> {
+        let witness = self.ownership_witness("btr", anchor_epoch, utxo, owner, receiver)?;
+        let anchor_block = witness.anchor_cert.mc_header.hash();
+        let btr = BackwardTransferRequest {
+            sidechain_id: self.params.sidechain_id,
+            receiver,
+            amount: utxo.amount,
+            nullifier: utxo.nullifier(),
+            proofdata: utxo_proofdata(utxo),
+            proof: {
+                let sysdata = BtrSysData {
+                    last_cert_block: anchor_block,
+                    nullifier: utxo.nullifier(),
+                    receiver,
+                    amount: utxo.amount,
+                };
+                let public = btr_public_inputs(&sysdata, &utxo_proofdata(utxo).merkle_root());
+                prove(&self.keys.btr_pk, &self.keys.btr_circuit, &public, &witness)?
+            },
+        };
+        Ok(btr)
+    }
+
+    /// Builds a fully proven CSW against the certificate of
+    /// `anchor_epoch` (§5.5.3.3, direct mode).
+    ///
+    /// # Errors
+    ///
+    /// As for [`LatusNode::create_btr`].
+    pub fn create_csw(
+        &self,
+        anchor_epoch: EpochId,
+        utxo: &Utxo,
+        owner: &SecretKey,
+        receiver: Address,
+    ) -> Result<CeasedSidechainWithdrawal, NodeError> {
+        let witness = self.ownership_witness("csw", anchor_epoch, utxo, owner, receiver)?;
+        let anchor_block = witness.anchor_cert.mc_header.hash();
+        self.build_csw(utxo, receiver, anchor_block, CswWitness::Direct(witness))
+    }
+
+    /// Builds a historical CSW: ownership proven at `anchor_epoch`, then
+    /// `mst_delta` links up to `latest_epoch` showing the slot untouched
+    /// (Appendix A — works even if later states were withheld).
+    ///
+    /// # Errors
+    ///
+    /// As for [`LatusNode::create_btr`].
+    pub fn create_historical_csw(
+        &self,
+        anchor_epoch: EpochId,
+        latest_epoch: EpochId,
+        utxo: &Utxo,
+        owner: &SecretKey,
+        receiver: Address,
+        later_deltas: &BTreeMap<EpochId, MstDelta>,
+    ) -> Result<CeasedSidechainWithdrawal, NodeError> {
+        let base = self.ownership_witness("csw", anchor_epoch, utxo, owner, receiver)?;
+        let mut later = Vec::new();
+        for epoch in (anchor_epoch + 1)..=latest_epoch {
+            let cert = self
+                .cert_inclusions
+                .get(&epoch)
+                .ok_or(NodeError::Unavailable("later certificate inclusion"))?
+                .clone();
+            let delta = later_deltas
+                .get(&epoch)
+                .ok_or(NodeError::Unavailable("later delta"))?
+                .clone();
+            later.push(DeltaLink { cert, delta });
+        }
+        let anchor_block = later
+            .last()
+            .map(|l| l.cert.mc_header.hash())
+            .ok_or(NodeError::Unavailable("historical mode needs later epochs"))?;
+        self.build_csw(utxo, receiver, anchor_block, CswWitness::Historical { base, later })
+    }
+
+    fn build_csw(
+        &self,
+        utxo: &Utxo,
+        receiver: Address,
+        anchor_block: Digest32,
+        witness: CswWitness,
+    ) -> Result<CeasedSidechainWithdrawal, NodeError> {
+        let sysdata = BtrSysData {
+            last_cert_block: anchor_block,
+            nullifier: utxo.nullifier(),
+            receiver,
+            amount: utxo.amount,
+        };
+        let public = btr_public_inputs(&sysdata, &utxo_proofdata(utxo).merkle_root());
+        let proof = prove(&self.keys.csw_pk, &self.keys.csw_circuit, &public, &witness)?;
+        Ok(CeasedSidechainWithdrawal {
+            sidechain_id: self.params.sidechain_id,
+            receiver,
+            amount: utxo.amount,
+            nullifier: utxo.nullifier(),
+            proofdata: utxo_proofdata(utxo),
+            proof,
+        })
+    }
+
+    fn ownership_witness(
+        &self,
+        domain: &str,
+        anchor_epoch: EpochId,
+        utxo: &Utxo,
+        owner: &SecretKey,
+        receiver: Address,
+    ) -> Result<OwnershipWitness, NodeError> {
+        let mst = self
+            .epoch_msts
+            .get(&anchor_epoch)
+            .ok_or(NodeError::Unavailable("epoch MST snapshot"))?;
+        let anchor_cert = self
+            .cert_inclusions
+            .get(&anchor_epoch)
+            .ok_or(NodeError::Unavailable("anchor certificate inclusion"))?
+            .clone();
+        let position = mst_position(utxo, self.params.mst_depth);
+        let mst_proof = mst.proof(position);
+        let anchor_block = anchor_cert.mc_header.hash();
+        let authorization = sign_withdrawal(domain, owner, utxo, &receiver, &anchor_block);
+        Ok(OwnershipWitness {
+            utxo: *utxo,
+            owner: owner.public_key(),
+            authorization,
+            mst_proof,
+            anchor_cert,
+        })
+    }
+
+    /// The delta committed for a closed epoch (what an honest node
+    /// publishes; users collect these for historical proofs).
+    pub fn epoch_delta(&self, epoch: EpochId) -> Option<&MstDelta> {
+        self.epoch_deltas.get(&epoch)
+    }
+
+    /// Rolls the node back so that the last referenced MC block is
+    /// `mc_hash` (mainchain fork resolution, §5.1: "SC blocks that refer
+    /// to forked blocks in the MC would also be reverted").
+    ///
+    /// Returns the number of SC blocks reverted.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Unavailable`] when the target was never referenced.
+    pub fn rollback_to_mc(&mut self, mc_hash: &Digest32) -> Result<usize, NodeError> {
+        if self.last_mc_ref == *mc_hash {
+            return Ok(0);
+        }
+        // Find the snapshot whose last_mc_ref matches.
+        let target = self
+            .snapshots
+            .iter()
+            .rposition(|s| s.last_mc_ref == *mc_hash)
+            .ok_or(NodeError::Unavailable("rollback target not in history"))?;
+        let snapshot = self.snapshots[target].clone();
+        let reverted = self.chain.len() - snapshot.chain_len;
+        self.state = snapshot.state;
+        self.epoch_builder = snapshot.epoch_builder;
+        self.last_mc_ref = snapshot.last_mc_ref;
+        self.epoch_mc_headers = snapshot.epoch_mc_headers;
+        self.epoch_sc_headers = snapshot.epoch_sc_headers;
+        self.chain.truncate(snapshot.chain_len);
+        self.next_slot = snapshot.slot;
+        self.snapshots.truncate(target);
+        Ok(reverted)
+    }
+
+    /// Spendable UTXOs of an address in the current state.
+    pub fn utxos_of(&self, address: &Address) -> Vec<Utxo> {
+        self.state
+            .mst()
+            .owned_by(address)
+            .into_iter()
+            .map(|(_, u)| u)
+            .collect()
+    }
+
+    /// Balance of an address in the current state.
+    pub fn balance_of(&self, address: &Address) -> Amount {
+        self.state.balance_of(address)
+    }
+}
+
+impl std::fmt::Debug for LatusNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatusNode")
+            .field("sidechain", &self.params.sidechain_id)
+            .field("height", &self.chain.len())
+            .field("epoch", &self.current_epoch)
+            .field("utxos", &self.state.mst().len())
+            .finish()
+    }
+}

@@ -1,0 +1,650 @@
+//! State-transition proofs (paper §5.4, Figs 10–11).
+//!
+//! [`LatusTransitionVerifier`] is the single-transition relation fed to
+//! the recursive SNARK system (Def 2.5): given the pre/post state digests
+//! and a [`TransitionWitness`], it re-derives the post digest from the
+//! pre digest using only witnessed data — Merkle paths, signatures and
+//! accumulator folds — mirroring what the production base circuit
+//! constrains. [`EpochProofBuilder`] accumulates the per-transaction
+//! witnesses of a withdrawal epoch and folds them into one constant-size
+//! proof via the balanced merge tree of Fig 11.
+
+use zendoo_core::ids::Address;
+use zendoo_core::transfer::BackwardTransfer;
+use zendoo_primitives::digest::Digest32;
+use zendoo_primitives::field::Fp;
+use zendoo_snark::circuit::{gadget_cost, Unsatisfied};
+use zendoo_snark::recursive::{RecursiveSystem, StateProof, TransitionVerifier};
+
+use crate::mst::mst_position;
+use crate::params::LatusParams;
+use crate::state::{
+    fold_backward_transfer, fold_delta_position, fold_sync, state_digest, SyncKind,
+};
+use crate::tx::{
+    btr_claimed_utxo, empty_leaf, ft_output_utxo, BtrStep, FtStep, LeafUpdate, ReceiverMetadata,
+    ScTransaction, SignedInput, TransitionWitness,
+};
+
+/// The Latus single-transition constraint system.
+#[derive(Clone, Copy, Debug)]
+pub struct LatusTransitionVerifier {
+    params: LatusParams,
+}
+
+impl LatusTransitionVerifier {
+    /// Creates the verifier for one Latus deployment.
+    pub fn new(params: LatusParams) -> Self {
+        LatusTransitionVerifier { params }
+    }
+
+    /// The deployment parameters.
+    pub fn params(&self) -> &LatusParams {
+        &self.params
+    }
+}
+
+/// The proving system type for Latus state transitions.
+pub type LatusProofSystem = RecursiveSystem<LatusTransitionVerifier>;
+
+/// Bootstraps the recursive proving system for a deployment
+/// (deterministic so that all nodes of a sidechain share keys).
+pub fn proof_system(params: LatusParams, seed: &[u8]) -> LatusProofSystem {
+    RecursiveSystem::new_deterministic(LatusTransitionVerifier::new(params), seed)
+}
+
+/// Running accumulator tuple during witness replay.
+struct Replay {
+    mst_root: Fp,
+    bt_acc: Fp,
+    delta_acc: Fp,
+    sync_acc: Fp,
+}
+
+impl Replay {
+    fn digest(&self) -> Fp {
+        state_digest(self.mst_root, self.bt_acc, self.delta_acc, self.sync_acc)
+    }
+
+    /// Applies a leaf update, folding the delta accumulator.
+    fn apply_update(&mut self, update: &LeafUpdate) -> Result<(), Unsatisfied> {
+        self.mst_root = update.apply_to_root(&self.mst_root).ok_or_else(|| {
+            Unsatisfied::new("latus/path", "leaf update path does not match running root")
+        })?;
+        self.delta_acc = fold_delta_position(self.delta_acc, update.position());
+        Ok(())
+    }
+
+    fn append_bt(&mut self, receiver: Address, amount: zendoo_core::ids::Amount) {
+        let bt = BackwardTransfer { receiver, amount };
+        self.bt_acc = fold_backward_transfer(self.bt_acc, &bt);
+    }
+}
+
+/// Checks one signed input: ownership, signature and the matching
+/// removal update; advances the replay.
+fn check_spend(
+    replay: &mut Replay,
+    input: &SignedInput,
+    update: &LeafUpdate,
+    sighash: &Digest32,
+    depth: u32,
+    index: usize,
+) -> Result<(), Unsatisfied> {
+    if !input.verify(sighash) {
+        return Err(Unsatisfied::new(
+            "latus/input-auth",
+            format!("input {index} ownership/signature check failed"),
+        ));
+    }
+    let expected_position = mst_position(&input.utxo, depth);
+    if update.position() != expected_position {
+        return Err(Unsatisfied::new(
+            "latus/input-position",
+            format!("input {index} update at wrong MST position"),
+        ));
+    }
+    if update.old_leaf != Some(input.utxo.leaf()) || update.new_leaf.is_some() {
+        return Err(Unsatisfied::new(
+            "latus/input-leaf",
+            format!("input {index} update is not a removal of the spent utxo"),
+        ));
+    }
+    replay.apply_update(update)
+}
+
+impl TransitionVerifier for LatusTransitionVerifier {
+    type Witness = TransitionWitness;
+
+    fn id(&self) -> Digest32 {
+        Digest32::hash_tagged(
+            "zendoo/latus-transition",
+            &[
+                self.params.sidechain_id.0.as_bytes(),
+                &self.params.mst_depth.to_be_bytes(),
+            ],
+        )
+    }
+
+    fn verify_transition(
+        &self,
+        from: &Fp,
+        to: &Fp,
+        w: &TransitionWitness,
+    ) -> Result<(), Unsatisfied> {
+        let depth = self.params.mst_depth;
+        let mut replay = Replay {
+            mst_root: w.pre_mst_root,
+            bt_acc: w.pre_bt_accumulator,
+            delta_acc: w.pre_delta_accumulator,
+            sync_acc: w.pre_sync_accumulator,
+        };
+        if *from != replay.digest() {
+            return Err(Unsatisfied::new(
+                "latus/from-digest",
+                "pre-state digest does not match witnessed components",
+            ));
+        }
+
+        match &w.tx {
+            ScTransaction::Payment(tx) => {
+                let sighash = tx.sighash();
+                check_no_duplicate_inputs(&tx.inputs)?;
+                check_value_balance(&tx.inputs, &tx.outputs, &[])?;
+                if w.updates.len() != tx.inputs.len() + tx.outputs.len() {
+                    return Err(Unsatisfied::new(
+                        "latus/update-arity",
+                        "payment update count mismatch",
+                    ));
+                }
+                for (i, (input, update)) in tx.inputs.iter().zip(&w.updates).enumerate() {
+                    check_spend(&mut replay, input, update, &sighash, depth, i)?;
+                }
+                for (output, update) in tx.outputs.iter().zip(&w.updates[tx.inputs.len()..]) {
+                    if update.position() != mst_position(output, depth)
+                        || update.old_leaf.is_some()
+                        || update.new_leaf != Some(output.leaf())
+                    {
+                        return Err(Unsatisfied::new(
+                            "latus/output-leaf",
+                            "output update is not an insertion into an empty slot",
+                        ));
+                    }
+                    replay.apply_update(update)?;
+                }
+            }
+            ScTransaction::BackwardTransfer(tx) => {
+                let sighash = tx.sighash();
+                check_no_duplicate_inputs(&tx.inputs)?;
+                check_value_balance(&tx.inputs, &[], &tx.backward_transfers)?;
+                if w.updates.len() != tx.inputs.len() {
+                    return Err(Unsatisfied::new(
+                        "latus/update-arity",
+                        "backward-transfer update count mismatch",
+                    ));
+                }
+                for (i, (input, update)) in tx.inputs.iter().zip(&w.updates).enumerate() {
+                    check_spend(&mut replay, input, update, &sighash, depth, i)?;
+                }
+                for bt in &tx.backward_transfers {
+                    replay.append_bt(bt.receiver, bt.amount);
+                }
+            }
+            ScTransaction::ForwardTransfers(tx) => {
+                if !tx.binding.verify_forward_transfers(
+                    &tx.mc_block,
+                    &self.params.sidechain_id,
+                    &tx.transfers,
+                ) {
+                    return Err(Unsatisfied::new(
+                        "latus/ft-binding",
+                        "forward transfers not bound to the MC block commitment",
+                    ));
+                }
+                if w.ft_steps.len() != tx.transfers.len() {
+                    return Err(Unsatisfied::new(
+                        "latus/ft-arity",
+                        "one step required per forward transfer",
+                    ));
+                }
+                for (i, (ft, step)) in tx.transfers.iter().zip(&w.ft_steps).enumerate() {
+                    match (ReceiverMetadata::parse(&ft.receiver_metadata), step) {
+                        (None, FtStep::RejectedMalformed) => {}
+                        (None, _) => {
+                            return Err(Unsatisfied::new(
+                                "latus/ft-malformed",
+                                format!("ft {i}: malformed metadata must be rejected"),
+                            ));
+                        }
+                        (Some(meta), FtStep::Minted(update)) => {
+                            let utxo = ft_output_utxo(&tx.mc_block, i, meta.receiver, ft.amount);
+                            if update.position() != mst_position(&utxo, depth)
+                                || update.old_leaf.is_some()
+                                || update.new_leaf != Some(utxo.leaf())
+                            {
+                                return Err(Unsatisfied::new(
+                                    "latus/ft-mint",
+                                    format!("ft {i}: mint update malformed"),
+                                ));
+                            }
+                            replay.apply_update(update)?;
+                        }
+                        (Some(meta), FtStep::RejectedCollision {
+                            occupied,
+                            occupied_leaf,
+                        }) => {
+                            let utxo = ft_output_utxo(&tx.mc_block, i, meta.receiver, ft.amount);
+                            let position = mst_position(&utxo, depth);
+                            if occupied.index() != position {
+                                return Err(Unsatisfied::new(
+                                    "latus/ft-collision-pos",
+                                    format!("ft {i}: collision proof at wrong position"),
+                                ));
+                            }
+                            if *occupied_leaf == empty_leaf()
+                                || occupied.compute_root(occupied_leaf) != replay.mst_root
+                            {
+                                return Err(Unsatisfied::new(
+                                    "latus/ft-collision",
+                                    format!("ft {i}: slot not provably occupied"),
+                                ));
+                            }
+                            replay.append_bt(meta.payback, ft.amount);
+                        }
+                        (Some(_), FtStep::RejectedMalformed) => {
+                            return Err(Unsatisfied::new(
+                                "latus/ft-skip",
+                                format!("ft {i}: well-formed transfer cannot be skipped"),
+                            ));
+                        }
+                    }
+                }
+                replay.sync_acc =
+                    fold_sync(replay.sync_acc, SyncKind::ForwardTransfers, &tx.mc_block);
+            }
+            ScTransaction::BackwardTransferRequests(tx) => {
+                if !tx.binding.verify_backward_transfer_requests(
+                    &tx.mc_block,
+                    &self.params.sidechain_id,
+                    &tx.requests,
+                ) {
+                    return Err(Unsatisfied::new(
+                        "latus/btr-binding",
+                        "BTRs not bound to the MC block commitment",
+                    ));
+                }
+                if w.btr_steps.len() != tx.requests.len() {
+                    return Err(Unsatisfied::new(
+                        "latus/btr-arity",
+                        "one step required per request",
+                    ));
+                }
+                for (i, (request, step)) in tx.requests.iter().zip(&w.btr_steps).enumerate() {
+                    let claim = btr_claimed_utxo(request).filter(|u| {
+                        u.amount == request.amount && u.nullifier() == request.nullifier
+                    });
+                    match (claim, step) {
+                        (None, BtrStep::RejectedMalformed) => {}
+                        (None, _) => {
+                            return Err(Unsatisfied::new(
+                                "latus/btr-malformed",
+                                format!("btr {i}: malformed request must be rejected"),
+                            ));
+                        }
+                        (Some(utxo), BtrStep::Fulfilled(update)) => {
+                            if update.position() != mst_position(&utxo, depth)
+                                || update.old_leaf != Some(utxo.leaf())
+                                || update.new_leaf.is_some()
+                            {
+                                return Err(Unsatisfied::new(
+                                    "latus/btr-spend",
+                                    format!("btr {i}: fulfilment update malformed"),
+                                ));
+                            }
+                            replay.apply_update(update)?;
+                            replay.append_bt(request.receiver, request.amount);
+                        }
+                        (Some(utxo), BtrStep::RejectedAbsent { path, found_leaf }) => {
+                            let position = mst_position(&utxo, depth);
+                            if path.index() != position {
+                                return Err(Unsatisfied::new(
+                                    "latus/btr-absent-pos",
+                                    format!("btr {i}: absence proof at wrong position"),
+                                ));
+                            }
+                            let found = found_leaf.unwrap_or_else(empty_leaf);
+                            if path.compute_root(&found) != replay.mst_root {
+                                return Err(Unsatisfied::new(
+                                    "latus/btr-absent",
+                                    format!("btr {i}: slot contents not proven"),
+                                ));
+                            }
+                            if found == utxo.leaf() {
+                                return Err(Unsatisfied::new(
+                                    "latus/btr-censor",
+                                    format!("btr {i}: claimed utxo IS present — cannot reject"),
+                                ));
+                            }
+                        }
+                        (Some(_), BtrStep::RejectedMalformed) => {
+                            return Err(Unsatisfied::new(
+                                "latus/btr-skip",
+                                format!("btr {i}: valid request cannot be skipped as malformed"),
+                            ));
+                        }
+                    }
+                }
+                replay.sync_acc = fold_sync(
+                    replay.sync_acc,
+                    SyncKind::BackwardTransferRequests,
+                    &tx.mc_block,
+                );
+            }
+        }
+
+        if *to != replay.digest() {
+            return Err(Unsatisfied::new(
+                "latus/to-digest",
+                "post-state digest does not match replayed transition",
+            ));
+        }
+        Ok(())
+    }
+
+    fn transition_cost(&self, w: &TransitionWitness) -> u64 {
+        let depth = self.params.mst_depth as u64;
+        let per_path = depth * gadget_cost::MERKLE_STEP;
+        let (sigs, paths, folds) = match &w.tx {
+            ScTransaction::Payment(tx) => (
+                tx.inputs.len() as u64,
+                (tx.inputs.len() + tx.outputs.len()) as u64,
+                0u64,
+            ),
+            ScTransaction::BackwardTransfer(tx) => (
+                tx.inputs.len() as u64,
+                tx.inputs.len() as u64,
+                tx.backward_transfers.len() as u64,
+            ),
+            ScTransaction::ForwardTransfers(tx) => (0, tx.transfers.len() as u64, 2),
+            ScTransaction::BackwardTransferRequests(tx) => (0, tx.requests.len() as u64, 2),
+        };
+        sigs * gadget_cost::SCHNORR_VERIFY
+            + paths * per_path
+            + (folds + 4) * gadget_cost::POSEIDON_HASH2
+    }
+}
+
+fn check_no_duplicate_inputs(inputs: &[SignedInput]) -> Result<(), Unsatisfied> {
+    if inputs.is_empty() {
+        return Err(Unsatisfied::new("latus/no-inputs", "spend without inputs"));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for input in inputs {
+        if !seen.insert(input.utxo.digest()) {
+            return Err(Unsatisfied::new(
+                "latus/duplicate-input",
+                "utxo spent twice in one transaction",
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_value_balance(
+    inputs: &[SignedInput],
+    outputs: &[crate::mst::Utxo],
+    withdrawals: &[BackwardTransfer],
+) -> Result<(), Unsatisfied> {
+    let total_in = zendoo_core::ids::Amount::checked_sum(inputs.iter().map(|i| i.utxo.amount))
+        .ok_or_else(|| Unsatisfied::new("latus/overflow", "input overflow"))?;
+    let out = zendoo_core::ids::Amount::checked_sum(outputs.iter().map(|o| o.amount))
+        .ok_or_else(|| Unsatisfied::new("latus/overflow", "output overflow"))?;
+    let wd = zendoo_core::ids::Amount::checked_sum(withdrawals.iter().map(|w| w.amount))
+        .ok_or_else(|| Unsatisfied::new("latus/overflow", "withdrawal overflow"))?;
+    let total_out = out
+        .checked_add(wd)
+        .ok_or_else(|| Unsatisfied::new("latus/overflow", "total output overflow"))?;
+    if total_out > total_in {
+        return Err(Unsatisfied::new(
+            "latus/imbalance",
+            format!("outputs {total_out} exceed inputs {total_in}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Accumulates a withdrawal epoch's transitions and proves them
+/// (Fig 11: block-level and epoch-level composition collapse into one
+/// balanced fold over all transitions of the epoch).
+#[derive(Clone, Debug)]
+pub struct EpochProofBuilder {
+    states: Vec<Fp>,
+    witnesses: Vec<TransitionWitness>,
+}
+
+impl EpochProofBuilder {
+    /// Starts an epoch at `initial_digest` (the post-reset state digest).
+    pub fn new(initial_digest: Fp) -> Self {
+        EpochProofBuilder {
+            states: vec![initial_digest],
+            witnesses: Vec::new(),
+        }
+    }
+
+    /// Records one applied transition and its post-state digest.
+    pub fn record(&mut self, witness: TransitionWitness, post_digest: Fp) {
+        self.states.push(post_digest);
+        self.witnesses.push(witness);
+    }
+
+    /// Number of recorded transitions.
+    pub fn len(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    /// Returns `true` if no transition was recorded (empty epoch).
+    pub fn is_empty(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+
+    /// The initial state digest.
+    pub fn initial_digest(&self) -> Fp {
+        self.states[0]
+    }
+
+    /// The latest state digest.
+    pub fn final_digest(&self) -> Fp {
+        *self.states.last().expect("nonempty by construction")
+    }
+
+    /// Folds all transitions into one proof. Returns `None` for an empty
+    /// epoch (the certificate circuit then checks digest equality
+    /// directly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unsatisfied transitions from the proving system.
+    pub fn prove(
+        &self,
+        system: &LatusProofSystem,
+    ) -> Result<Option<StateProof>, zendoo_snark::backend::ProveError> {
+        if self.witnesses.is_empty() {
+            return Ok(None);
+        }
+        system.prove_chain(&self.states, &self.witnesses).map(Some)
+    }
+
+    /// Parallel variant of [`EpochProofBuilder::prove`] using `workers`
+    /// concurrent lanes (the computational half of §5.4.1; see
+    /// [`crate::prover_pool`] for the dispatch/reward half).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unsatisfied transitions from the proving system.
+    pub fn prove_parallel(
+        &self,
+        system: &LatusProofSystem,
+        workers: usize,
+    ) -> Result<Option<StateProof>, zendoo_snark::backend::ProveError> {
+        if self.witnesses.is_empty() {
+            return Ok(None);
+        }
+        let prover = zendoo_snark::parallel::ParallelProver::new(system, workers);
+        prover
+            .prove_chain(&self.states, &self.witnesses)
+            .map(|(proof, _)| Some(proof))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::SidechainState;
+    use crate::tx::{apply_transaction, PaymentTx};
+    use zendoo_core::ids::{Amount, SidechainId};
+    use zendoo_primitives::schnorr::Keypair;
+
+    fn params() -> LatusParams {
+        LatusParams::new(SidechainId::from_label("sc"), 16)
+    }
+
+    fn system() -> LatusProofSystem {
+        proof_system(params(), b"test")
+    }
+
+    fn funded(owner: &Keypair, amounts: &[u64]) -> (SidechainState, Vec<crate::mst::Utxo>) {
+        let mut state = SidechainState::new(16);
+        let address = Address::from_public_key(&owner.public);
+        let utxos: Vec<crate::mst::Utxo> = amounts
+            .iter()
+            .enumerate()
+            .map(|(i, a)| crate::mst::Utxo {
+                address,
+                amount: Amount::from_units(*a),
+                nonce: Digest32::hash_bytes(&[i as u8]),
+            })
+            .collect();
+        for u in &utxos {
+            state.mst_mut().add(u).unwrap();
+        }
+        (state, utxos)
+    }
+
+    #[test]
+    fn payment_transition_proves_and_verifies() {
+        let alice = Keypair::from_seed(b"alice");
+        let (mut state, utxos) = funded(&alice, &[10]);
+        let sys = system();
+        let from = state.digest();
+        let tx = ScTransaction::Payment(PaymentTx::create(
+            vec![(utxos[0], &alice.secret)],
+            vec![(Address::from_label("bob"), Amount::from_units(10))],
+        ));
+        let witness = apply_transaction(&params(), &mut state, &tx).unwrap();
+        let to = state.digest();
+        let proof = sys.prove_base(from, to, &witness).unwrap();
+        assert!(sys.verify(&proof));
+    }
+
+    #[test]
+    fn wrong_post_digest_rejected() {
+        let alice = Keypair::from_seed(b"alice");
+        let (mut state, utxos) = funded(&alice, &[10]);
+        let sys = system();
+        let from = state.digest();
+        let tx = ScTransaction::Payment(PaymentTx::create(
+            vec![(utxos[0], &alice.secret)],
+            vec![(Address::from_label("bob"), Amount::from_units(10))],
+        ));
+        let witness = apply_transaction(&params(), &mut state, &tx).unwrap();
+        // Claim a different post state.
+        let err = sys
+            .prove_base(from, Fp::from_u64(12345), &witness)
+            .unwrap_err();
+        assert!(format!("{err}").contains("to-digest"));
+    }
+
+    #[test]
+    fn tampered_witness_rejected() {
+        let alice = Keypair::from_seed(b"alice");
+        let mallory = Keypair::from_seed(b"mallory");
+        let (mut state, utxos) = funded(&alice, &[10]);
+        let sys = system();
+        let from = state.digest();
+        let tx = ScTransaction::Payment(PaymentTx::create(
+            vec![(utxos[0], &alice.secret)],
+            vec![(Address::from_label("bob"), Amount::from_units(10))],
+        ));
+        let mut witness = apply_transaction(&params(), &mut state, &tx).unwrap();
+        let to = state.digest();
+        // Swap the signature for Mallory's.
+        if let ScTransaction::Payment(p) = &mut witness.tx {
+            p.inputs[0].signature = mallory.secret.sign("zendoo/sc-sighash-v1", b"junk");
+        }
+        let err = sys.prove_base(from, to, &witness).unwrap_err();
+        assert!(format!("{err}").contains("input-auth"), "{err}");
+    }
+
+    #[test]
+    fn epoch_proof_over_multiple_transitions() {
+        let alice = Keypair::from_seed(b"alice");
+        let bob = Keypair::from_seed(b"bob");
+        let (mut state, utxos) = funded(&alice, &[10, 20]);
+        let sys = system();
+        let mut builder = EpochProofBuilder::new(state.digest());
+
+        // Alice pays Bob, Bob pays Carol.
+        let tx1 = ScTransaction::Payment(PaymentTx::create(
+            vec![(utxos[0], &alice.secret)],
+            vec![(Address::from_public_key(&bob.public), Amount::from_units(10))],
+        ));
+        let w1 = apply_transaction(&params(), &mut state, &tx1).unwrap();
+        builder.record(w1, state.digest());
+
+        let bob_utxo = state
+            .mst()
+            .owned_by(&Address::from_public_key(&bob.public))[0]
+            .1;
+        let tx2 = ScTransaction::Payment(PaymentTx::create(
+            vec![(bob_utxo, &bob.secret)],
+            vec![(Address::from_label("carol"), Amount::from_units(10))],
+        ));
+        let w2 = apply_transaction(&params(), &mut state, &tx2).unwrap();
+        builder.record(w2, state.digest());
+
+        assert_eq!(builder.len(), 2);
+        let proof = builder.prove(&sys).unwrap().expect("nonempty epoch");
+        assert!(sys.verify(&proof));
+        assert_eq!(proof.from_state(), builder.initial_digest());
+        assert_eq!(proof.to_state(), builder.final_digest());
+    }
+
+    #[test]
+    fn empty_epoch_produces_no_proof() {
+        let state = SidechainState::new(16);
+        let builder = EpochProofBuilder::new(state.digest());
+        assert!(builder.prove(&system()).unwrap().is_none());
+        assert_eq!(builder.initial_digest(), builder.final_digest());
+    }
+
+    #[test]
+    fn transition_cost_scales_with_inputs() {
+        let alice = Keypair::from_seed(b"alice");
+        let verifier = LatusTransitionVerifier::new(params());
+        let (mut state, utxos) = funded(&alice, &[10, 20, 30]);
+        let small = ScTransaction::Payment(PaymentTx::create(
+            vec![(utxos[0], &alice.secret)],
+            vec![(Address::from_label("b"), Amount::from_units(10))],
+        ));
+        let w_small = apply_transaction(&params(), &mut state, &small).unwrap();
+        let big = ScTransaction::Payment(PaymentTx::create(
+            vec![(utxos[1], &alice.secret), (utxos[2], &alice.secret)],
+            vec![
+                (Address::from_label("b"), Amount::from_units(25)),
+                (Address::from_label("c"), Amount::from_units(25)),
+            ],
+        ));
+        let w_big = apply_transaction(&params(), &mut state, &big).unwrap();
+        assert!(verifier.transition_cost(&w_big) > verifier.transition_cost(&w_small));
+    }
+}

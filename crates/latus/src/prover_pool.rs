@@ -1,0 +1,260 @@
+//! The proof-dispatching scheme of §5.4.1.
+//!
+//! "One of the possible solutions is to introduce a special dispatching
+//! scheme that assigns generation of proofs randomly to interested
+//! parties who then do these tasks in parallel and submit generated
+//! proofs to the blockchain. An incentive scheme provides a reward for
+//! each valid submission."
+//!
+//! [`ProverPool`] implements exactly that, on top of the parallel fold
+//! of [`zendoo_snark::parallel`]: registered provers are assigned work
+//! pseudo-randomly (seeded by the epoch, so the assignment is publicly
+//! re-derivable), each completed proof credits its prover, and
+//! [`RewardLedger`] accumulates the per-epoch payouts that a production
+//! deployment would settle on-chain.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use zendoo_core::ids::{Address, Amount};
+use zendoo_primitives::digest::Digest32;
+use zendoo_primitives::sha256::Prg;
+use zendoo_snark::backend::ProveError;
+use zendoo_snark::parallel::ParallelProver;
+use zendoo_snark::recursive::StateProof;
+use zendoo_primitives::field::Fp;
+
+use crate::proof::LatusProofSystem;
+use crate::tx::TransitionWitness;
+
+/// A registered prover identity.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProverIdentity {
+    /// Where rewards are paid.
+    pub reward_address: Address,
+    /// Display label.
+    pub label: String,
+}
+
+/// Accumulated rewards per prover address.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RewardLedger {
+    rewards: BTreeMap<Address, Amount>,
+}
+
+impl RewardLedger {
+    /// Credits `amount` to `address`.
+    pub fn credit(&mut self, address: Address, amount: Amount) {
+        let entry = self.rewards.entry(address).or_insert(Amount::ZERO);
+        *entry = entry.checked_add(amount).expect("rewards fit in u64");
+    }
+
+    /// The accumulated reward of one address.
+    pub fn reward_of(&self, address: &Address) -> Amount {
+        self.rewards.get(address).copied().unwrap_or(Amount::ZERO)
+    }
+
+    /// Total rewards outstanding.
+    pub fn total(&self) -> Amount {
+        Amount::checked_sum(self.rewards.values().copied()).expect("rewards fit in u64")
+    }
+
+    /// Iterates `(address, reward)` in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &Amount)> {
+        self.rewards.iter()
+    }
+}
+
+/// The dispatch plan for one epoch: which prover works which lane.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DispatchPlan {
+    /// Prover index per worker lane.
+    pub lane_assignment: Vec<usize>,
+}
+
+/// A pool of provers sharing the epoch proving load (§5.4.1).
+pub struct ProverPool {
+    provers: Vec<ProverIdentity>,
+    /// Reward per completed proof (base or merge).
+    pub reward_per_proof: Amount,
+    ledger: RewardLedger,
+}
+
+impl ProverPool {
+    /// Creates a pool over the given prover identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `provers` is empty.
+    pub fn new(provers: Vec<ProverIdentity>, reward_per_proof: Amount) -> Self {
+        assert!(!provers.is_empty(), "a pool needs at least one prover");
+        ProverPool {
+            provers,
+            reward_per_proof,
+            ledger: RewardLedger::default(),
+        }
+    }
+
+    /// The registered provers.
+    pub fn provers(&self) -> &[ProverIdentity] {
+        &self.provers
+    }
+
+    /// The reward ledger.
+    pub fn ledger(&self) -> &RewardLedger {
+        &self.ledger
+    }
+
+    /// Derives the publicly re-derivable dispatch plan for an epoch:
+    /// worker lanes are assigned to provers by a PRG seeded with the
+    /// epoch anchor ("assigns generation of proofs randomly to
+    /// interested parties").
+    pub fn dispatch(&self, epoch_seed: &Digest32, lanes: usize) -> DispatchPlan {
+        let mut prg = Prg::new(&format!("zendoo/prover-dispatch/{}", epoch_seed.to_hex()));
+        let lane_assignment = (0..lanes)
+            .map(|_| (prg.next_u64() % self.provers.len() as u64) as usize)
+            .collect();
+        DispatchPlan { lane_assignment }
+    }
+
+    /// Proves a whole epoch with the pool: lanes run in parallel, each
+    /// completed proof credits the prover assigned to its lane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates proving failures.
+    pub fn prove_epoch(
+        &mut self,
+        system: &LatusProofSystem,
+        epoch_seed: &Digest32,
+        states: &[Fp],
+        witnesses: &[TransitionWitness],
+    ) -> Result<StateProof, ProveError> {
+        let lanes = self.provers.len().min(witnesses.len().max(1)).max(1);
+        let plan = self.dispatch(epoch_seed, lanes);
+        let prover = ParallelProver::new(system, lanes);
+        let (proof, report) = prover.prove_chain(states, witnesses)?;
+        for (lane, prover_index) in plan.lane_assignment.iter().enumerate() {
+            let proofs = report.total_for(lane);
+            if proofs > 0 {
+                let reward = Amount::from_units(
+                    proofs
+                        .checked_mul(self.reward_per_proof.units())
+                        .expect("reward fits in u64"),
+                );
+                self.ledger
+                    .credit(self.provers[*prover_index].reward_address, reward);
+            }
+        }
+        Ok(proof)
+    }
+}
+
+impl std::fmt::Debug for ProverPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProverPool")
+            .field("provers", &self.provers.len())
+            .field("reward_per_proof", &self.reward_per_proof)
+            .field("total_rewards", &self.ledger.total())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LatusParams;
+    use crate::proof::proof_system;
+    use crate::state::SidechainState;
+    use crate::tx::{apply_transaction, PaymentTx, ScTransaction};
+    use zendoo_core::ids::SidechainId;
+    use zendoo_primitives::schnorr::Keypair;
+
+    fn pool(n: usize) -> ProverPool {
+        let provers = (0..n)
+            .map(|i| ProverIdentity {
+                reward_address: Address::from_label(&format!("prover-{i}")),
+                label: format!("prover-{i}"),
+            })
+            .collect();
+        ProverPool::new(provers, Amount::from_units(10))
+    }
+
+    fn epoch_material() -> (LatusProofSystem, Vec<Fp>, Vec<TransitionWitness>) {
+        let params = LatusParams::new(SidechainId::from_label("pool-test"), 16);
+        let system = proof_system(params, b"pool");
+        let alice = Keypair::from_seed(b"alice");
+        let mut state = SidechainState::new(16);
+        let mut utxos = Vec::new();
+        for i in 0..6u8 {
+            let u = crate::mst::Utxo {
+                address: Address::from_public_key(&alice.public),
+                amount: Amount::from_units(10),
+                nonce: Digest32::hash_bytes(&[i]),
+            };
+            state.mst_mut().add(&u).unwrap();
+            utxos.push(u);
+        }
+        let mut states = vec![state.digest()];
+        let mut witnesses = Vec::new();
+        for u in &utxos {
+            let tx = ScTransaction::Payment(PaymentTx::create(
+                vec![(*u, &alice.secret)],
+                vec![(Address::from_label("bob"), Amount::from_units(10))],
+            ));
+            let w = apply_transaction(&params, &mut state, &tx).unwrap();
+            witnesses.push(w);
+            states.push(state.digest());
+        }
+        (system, states, witnesses)
+    }
+
+    #[test]
+    fn dispatch_is_deterministic_per_seed() {
+        let pool = pool(4);
+        let seed = Digest32::hash_bytes(b"epoch-7");
+        assert_eq!(pool.dispatch(&seed, 8), pool.dispatch(&seed, 8));
+        assert_ne!(
+            pool.dispatch(&seed, 8),
+            pool.dispatch(&Digest32::hash_bytes(b"epoch-8"), 8)
+        );
+    }
+
+    #[test]
+    fn pooled_epoch_proof_verifies_and_pays() {
+        let (system, states, witnesses) = epoch_material();
+        let mut pool = pool(3);
+        let seed = Digest32::hash_bytes(b"epoch-0");
+        let proof = pool
+            .prove_epoch(&system, &seed, &states, &witnesses)
+            .unwrap();
+        assert!(system.verify(&proof));
+        // 6 base + 5 merge proofs at 10 units each.
+        assert_eq!(pool.ledger().total(), Amount::from_units(110));
+        // All rewards accounted to registered provers.
+        let accounted: u64 = pool
+            .ledger()
+            .iter()
+            .map(|(_, amount)| amount.units())
+            .sum();
+        assert_eq!(accounted, 110);
+    }
+
+    #[test]
+    fn single_prover_pool_collects_everything() {
+        let (system, states, witnesses) = epoch_material();
+        let mut pool = pool(1);
+        let seed = Digest32::hash_bytes(b"epoch-0");
+        pool.prove_epoch(&system, &seed, &states, &witnesses)
+            .unwrap();
+        assert_eq!(
+            pool.ledger().reward_of(&Address::from_label("prover-0")),
+            Amount::from_units(110)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prover")]
+    fn empty_pool_panics() {
+        let _ = ProverPool::new(vec![], Amount::from_units(1));
+    }
+}

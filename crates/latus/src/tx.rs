@@ -1,0 +1,1195 @@
+//! The Latus transactional model (paper §5.3): payments, backward
+//! transfers, synchronized forward transfers and synchronized backward
+//! transfer requests — plus their `update` semantics over the sidechain
+//! state and the transition witnesses consumed by the state-transition
+//! circuits (§5.4).
+//!
+//! Application is atomic: every rule is checked on a *plan* before any
+//! mutation happens, then the plan executes. The plan doubles as the
+//! base-proof witness: a sequence of single-leaf MST updates, each
+//! carrying the Merkle path valid at its point in the sequence — exactly
+//! the form a real circuit would witness.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use zendoo_core::ids::{Address, Amount};
+use zendoo_core::transfer::{BackwardTransfer, ForwardTransfer};
+use zendoo_core::withdrawal::BackwardTransferRequest;
+use zendoo_primitives::digest::Digest32;
+use zendoo_primitives::encode::{digest, Encode};
+use zendoo_primitives::field::Fp;
+use zendoo_primitives::merkle::{MerkleHasher, PoseidonHasher};
+use zendoo_primitives::schnorr::{PublicKey, SecretKey, Signature};
+use zendoo_primitives::smt::SmtProof;
+
+use crate::mst::{mst_position, Utxo};
+use crate::state::SidechainState;
+
+/// Signature context for sidechain transactions.
+const SC_SIGHASH_CONTEXT: &str = "zendoo/sc-sighash-v1";
+
+/// The empty-slot leaf constant.
+pub fn empty_leaf() -> Fp {
+    PoseidonHasher::empty()
+}
+
+/// One single-leaf MST mutation with its authentication path.
+///
+/// `path` is valid against the tree root *before* this update; applying
+/// the update replaces `old_leaf` with `new_leaf` at `path`'s position
+/// and yields the next root. `None` denotes the empty slot.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeafUpdate {
+    /// Merkle path (and position) of the touched slot.
+    pub path: SmtProof,
+    /// Leaf before (`None` = empty).
+    pub old_leaf: Option<Fp>,
+    /// Leaf after (`None` = empty).
+    pub new_leaf: Option<Fp>,
+}
+
+impl LeafUpdate {
+    /// The touched position.
+    pub fn position(&self) -> u64 {
+        self.path.index()
+    }
+
+    /// Verifies the pre-image against `root` and returns the post-root.
+    ///
+    /// Returns `None` if the path does not authenticate `old_leaf` under
+    /// `root`.
+    pub fn apply_to_root(&self, root: &Fp) -> Option<Fp> {
+        let old = self.old_leaf.unwrap_or_else(empty_leaf);
+        if self.path.compute_root(&old) != *root {
+            return None;
+        }
+        let new = self.new_leaf.unwrap_or_else(empty_leaf);
+        Some(self.path.compute_root(&new))
+    }
+}
+
+/// A signed transaction input.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignedInput {
+    /// The spent UTXO (full payload; the circuit checks membership).
+    pub utxo: Utxo,
+    /// The owner's public key (its hash must equal `utxo.address`).
+    pub pubkey: PublicKey,
+    /// Schnorr signature over the transaction sighash.
+    pub signature: Signature,
+}
+
+impl SignedInput {
+    /// Verifies ownership and signature for `sighash`.
+    pub fn verify(&self, sighash: &Digest32) -> bool {
+        Address::from_public_key(&self.pubkey) == self.utxo.address
+            && self
+                .pubkey
+                .verify(SC_SIGHASH_CONTEXT, sighash.as_bytes(), &self.signature)
+    }
+}
+
+impl Encode for SignedInput {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.utxo.encode_into(out);
+        self.pubkey.to_bytes().encode_into(out);
+        self.signature.to_bytes().encode_into(out);
+    }
+}
+
+/// A regular multi-input multi-output payment (§5.3.1).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaymentTx {
+    /// Spent UTXOs with authorization.
+    pub inputs: Vec<SignedInput>,
+    /// Created UTXOs.
+    pub outputs: Vec<Utxo>,
+}
+
+impl PaymentTx {
+    /// The message inputs sign: spent UTXOs + created outputs.
+    pub fn sighash(&self) -> Digest32 {
+        let spent: Vec<Utxo> = self.inputs.iter().map(|i| i.utxo).collect();
+        digest("zendoo/sc-payment-sighash", &(spent, self.outputs.clone()))
+    }
+
+    /// Builds and signs a payment. Output nonces are derived from the
+    /// spent inputs, making them unique per transaction.
+    pub fn create(
+        inputs: Vec<(Utxo, &SecretKey)>,
+        recipients: Vec<(Address, Amount)>,
+    ) -> PaymentTx {
+        let spent: Vec<Utxo> = inputs.iter().map(|(u, _)| *u).collect();
+        let outputs = derive_outputs("zendoo/payment-out", &spent, &recipients);
+        let mut tx = PaymentTx {
+            inputs: inputs
+                .iter()
+                .map(|(utxo, sk)| SignedInput {
+                    utxo: *utxo,
+                    pubkey: sk.public_key(),
+                    signature: sk.sign(SC_SIGHASH_CONTEXT, b"placeholder"),
+                })
+                .collect(),
+            outputs,
+        };
+        let sighash = tx.sighash();
+        for (input, (_, sk)) in tx.inputs.iter_mut().zip(&inputs) {
+            input.signature = sk.sign(SC_SIGHASH_CONTEXT, sighash.as_bytes());
+        }
+        tx
+    }
+}
+
+/// A backward-transfer transaction (§5.3.3): spends UTXOs and appends
+/// backward transfers for the next certificate.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackwardTransferTx {
+    /// Spent UTXOs with authorization.
+    pub inputs: Vec<SignedInput>,
+    /// Withdrawals to the mainchain.
+    pub backward_transfers: Vec<BackwardTransfer>,
+}
+
+impl BackwardTransferTx {
+    /// The message inputs sign.
+    pub fn sighash(&self) -> Digest32 {
+        let spent: Vec<Utxo> = self.inputs.iter().map(|i| i.utxo).collect();
+        digest(
+            "zendoo/sc-bt-sighash",
+            &(spent, self.backward_transfers.clone()),
+        )
+    }
+
+    /// Builds and signs a backward-transfer transaction.
+    pub fn create(
+        inputs: Vec<(Utxo, &SecretKey)>,
+        withdrawals: Vec<(Address, Amount)>,
+    ) -> BackwardTransferTx {
+        let mut tx = BackwardTransferTx {
+            inputs: inputs
+                .iter()
+                .map(|(utxo, sk)| SignedInput {
+                    utxo: *utxo,
+                    pubkey: sk.public_key(),
+                    signature: sk.sign(SC_SIGHASH_CONTEXT, b"placeholder"),
+                })
+                .collect(),
+            backward_transfers: withdrawals
+                .into_iter()
+                .map(|(receiver, amount)| BackwardTransfer { receiver, amount })
+                .collect(),
+        };
+        let sighash = tx.sighash();
+        for (input, (_, sk)) in tx.inputs.iter_mut().zip(&inputs) {
+            input.signature = sk.sign(SC_SIGHASH_CONTEXT, sighash.as_bytes());
+        }
+        tx
+    }
+}
+
+/// Latus forward-transfer receiver metadata: 64 bytes —
+/// `receiverAddr (32) ‖ paybackAddr (32)` (§5.3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReceiverMetadata {
+    /// The sidechain address to credit.
+    pub receiver: Address,
+    /// The mainchain address refunded if the transfer fails.
+    pub payback: Address,
+}
+
+impl ReceiverMetadata {
+    /// Serializes to the on-chain 64-byte form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(self.receiver.0.as_bytes());
+        out.extend_from_slice(self.payback.0.as_bytes());
+        out
+    }
+
+    /// Parses metadata; `None` marks the FT malformed (§5.3.2: the
+    /// mainchain never validates metadata semantics).
+    pub fn parse(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 64 {
+            return None;
+        }
+        let mut receiver = [0u8; 32];
+        let mut payback = [0u8; 32];
+        receiver.copy_from_slice(&bytes[..32]);
+        payback.copy_from_slice(&bytes[32..]);
+        Some(ReceiverMetadata {
+            receiver: Address(Digest32(receiver)),
+            payback: Address(Digest32(payback)),
+        })
+    }
+}
+
+/// Evidence that a synchronized transaction carries *exactly* the
+/// referenced MC block's data for this sidechain (§5.5.1: `mproof` /
+/// `proofOfNoData`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum McRefEvidence {
+    /// The block has data for this sidechain: a commitment-subtree
+    /// membership proof.
+    Membership(zendoo_core::commitment::ScMembershipProof),
+    /// The block has no data for this sidechain: an absence proof; the
+    /// carried lists must be empty.
+    NoData(zendoo_core::commitment::ScAbsenceProof),
+}
+
+/// Binding of a synchronized transaction to a mainchain block: the MC
+/// header plus commitment evidence. The base circuit verifies the header
+/// hash and the evidence against `header.sc_txs_commitment`, so forgers
+/// cannot fabricate, drop or reorder synchronized items.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McRefBinding {
+    /// The referenced MC block header.
+    pub header: zendoo_mainchain::BlockHeader,
+    /// Membership or absence evidence.
+    pub evidence: McRefEvidence,
+}
+
+impl McRefBinding {
+    /// Verifies that `fts` is exactly the referenced block's FT list for
+    /// `sidechain_id`.
+    pub fn verify_forward_transfers(
+        &self,
+        mc_block: &Digest32,
+        sidechain_id: &zendoo_core::ids::SidechainId,
+        fts: &[ForwardTransfer],
+    ) -> bool {
+        if self.header.hash() != *mc_block {
+            return false;
+        }
+        let root = self.header.sc_txs_commitment;
+        match &self.evidence {
+            McRefEvidence::Membership(proof) => {
+                proof.sidechain_id == *sidechain_id && proof.verify_forward_transfers(&root, fts)
+            }
+            McRefEvidence::NoData(proof) => {
+                proof.target == *sidechain_id && fts.is_empty() && proof.verify(&root)
+            }
+        }
+    }
+
+    /// Verifies that `btrs` is exactly the referenced block's BTR list
+    /// for `sidechain_id`.
+    pub fn verify_backward_transfer_requests(
+        &self,
+        mc_block: &Digest32,
+        sidechain_id: &zendoo_core::ids::SidechainId,
+        btrs: &[BackwardTransferRequest],
+    ) -> bool {
+        if self.header.hash() != *mc_block {
+            return false;
+        }
+        let root = self.header.sc_txs_commitment;
+        match &self.evidence {
+            McRefEvidence::Membership(proof) => {
+                proof.sidechain_id == *sidechain_id
+                    && proof.verify_backward_transfer_requests(&root, btrs)
+            }
+            McRefEvidence::NoData(proof) => {
+                proof.target == *sidechain_id && btrs.is_empty() && proof.verify(&root)
+            }
+        }
+    }
+}
+
+/// The synchronized forward-transfers transaction (§5.3.2): the
+/// sidechain-side "receiving" half of MC→SC transfers, acting as a
+/// mainchain-authorized coinbase.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForwardTransfersTx {
+    /// Hash of the referenced MC block (`mcid`).
+    pub mc_block: Digest32,
+    /// The forward transfers of that block for this sidechain, in block
+    /// order.
+    pub transfers: Vec<ForwardTransfer>,
+    /// Commitment evidence binding `transfers` to the MC block.
+    pub binding: McRefBinding,
+}
+
+/// The synchronized backward-transfer-requests transaction (§5.3.4).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtrTx {
+    /// Hash of the referenced MC block (`mcid`).
+    pub mc_block: Digest32,
+    /// The BTRs of that block for this sidechain, in block order.
+    pub requests: Vec<BackwardTransferRequest>,
+    /// Commitment evidence binding `requests` to the MC block.
+    pub binding: McRefBinding,
+}
+
+/// Extracts the claimed UTXO from a Latus BTR's proofdata
+/// (`proofdata = {utxo}`, §5.5.3.2 — element 0 is the encoded UTXO).
+pub fn btr_claimed_utxo(btr: &BackwardTransferRequest) -> Option<Utxo> {
+    match btr.proofdata.get(0)? {
+        zendoo_core::proofdata::ProofDataElem::Bytes(bytes) => decode_utxo(bytes),
+        _ => None,
+    }
+}
+
+/// Canonical UTXO byte decoding (inverse of its `Encode` impl).
+pub fn decode_utxo(bytes: &[u8]) -> Option<Utxo> {
+    if bytes.len() != 32 + 8 + 32 {
+        return None;
+    }
+    let mut address = [0u8; 32];
+    address.copy_from_slice(&bytes[..32]);
+    let mut amount = [0u8; 8];
+    amount.copy_from_slice(&bytes[32..40]);
+    let mut nonce = [0u8; 32];
+    nonce.copy_from_slice(&bytes[40..]);
+    Some(Utxo {
+        address: Address(Digest32(address)),
+        amount: Amount::from_units(u64::from_be_bytes(amount)),
+        nonce: Digest32(nonce),
+    })
+}
+
+/// A Latus transaction (§5.3's four logical types).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScTransaction {
+    /// Regular payment.
+    Payment(PaymentTx),
+    /// Withdrawal initiation.
+    BackwardTransfer(BackwardTransferTx),
+    /// Synchronized MC→SC transfers.
+    ForwardTransfers(ForwardTransfersTx),
+    /// Synchronized mainchain-managed withdrawal requests.
+    BackwardTransferRequests(BtrTx),
+}
+
+impl ScTransaction {
+    /// The transaction id.
+    pub fn txid(&self) -> Digest32 {
+        match self {
+            ScTransaction::Payment(tx) => {
+                digest("zendoo/sc-tx-pay", &(tx.sighash(), tx.inputs.clone()))
+            }
+            ScTransaction::BackwardTransfer(tx) => {
+                digest("zendoo/sc-tx-bt", &(tx.sighash(), tx.inputs.clone()))
+            }
+            ScTransaction::ForwardTransfers(tx) => digest(
+                "zendoo/sc-tx-ft",
+                &(tx.mc_block, tx.transfers.clone()),
+            ),
+            ScTransaction::BackwardTransferRequests(tx) => digest(
+                "zendoo/sc-tx-btr",
+                &(tx.mc_block, tx.requests.clone()),
+            ),
+        }
+    }
+}
+
+/// One step of a synchronized-FT application (§5.3.2): each FT either
+/// mints an output or fails into a rejection.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FtStep {
+    /// The transfer minted a UTXO.
+    Minted(LeafUpdate),
+    /// `MST_Position` collided with an occupied slot; coins refunded via
+    /// backward transfer. The proof shows the slot was occupied.
+    RejectedCollision {
+        /// Occupancy proof at the contested slot.
+        occupied: SmtProof,
+        /// The leaf found there.
+        occupied_leaf: Fp,
+    },
+    /// Metadata unparseable; coins refunded if a payback address could
+    /// be salvaged, otherwise burned on the sidechain side.
+    RejectedMalformed,
+}
+
+/// One step of a synchronized-BTR application (§5.3.4).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BtrStep {
+    /// The claimed UTXO existed; it is spent and a BT appended.
+    Fulfilled(LeafUpdate),
+    /// The claimed UTXO was not in the state (double-spent or never
+    /// existed); proof shows the slot empty or differently occupied.
+    RejectedAbsent {
+        /// Path at the claimed position.
+        path: SmtProof,
+        /// What the slot holds (`None` = empty).
+        found_leaf: Option<Fp>,
+    },
+    /// The request's proofdata did not decode to a UTXO, or its fields
+    /// disagreed with the request.
+    RejectedMalformed,
+}
+
+/// The full witness of one state transition: everything the base circuit
+/// needs to re-derive `s_{i+1}` from `s_i` (§5.4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransitionWitness {
+    /// The applied transaction.
+    pub tx: ScTransaction,
+    /// MST root before.
+    pub pre_mst_root: Fp,
+    /// Backward-transfer accumulator before.
+    pub pre_bt_accumulator: Fp,
+    /// Delta accumulator before.
+    pub pre_delta_accumulator: Fp,
+    /// Mainchain-sync accumulator before.
+    pub pre_sync_accumulator: Fp,
+    /// Ordered leaf updates (payments/BTs).
+    pub updates: Vec<LeafUpdate>,
+    /// Per-FT steps (only for `ForwardTransfers`).
+    pub ft_steps: Vec<FtStep>,
+    /// Per-BTR steps (only for `BackwardTransferRequests`).
+    pub btr_steps: Vec<BtrStep>,
+    /// Backward transfers appended by this transition, in order.
+    pub appended_bts: Vec<BackwardTransfer>,
+}
+
+/// Transaction application failures (§5.3 rules).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxError {
+    /// An input signature or ownership check failed.
+    BadAuthorization {
+        /// Index of the offending input.
+        input: usize,
+    },
+    /// An input UTXO is not in the MST.
+    UnknownInput(Digest32),
+    /// The same UTXO is spent twice in one transaction.
+    DuplicateInput(Digest32),
+    /// Outputs (or withdrawals) exceed inputs.
+    ValueImbalance {
+        /// Total input value.
+        input: Amount,
+        /// Total output value.
+        output: Amount,
+    },
+    /// An output's deterministic slot is occupied (payment failure mode).
+    OutputCollision {
+        /// The contested position.
+        position: u64,
+    },
+    /// Two outputs of this transaction map to the same slot.
+    IntraTxCollision {
+        /// The contested position.
+        position: u64,
+    },
+    /// Amount arithmetic overflow.
+    AmountOverflow,
+    /// A transaction of this kind must have at least one input.
+    NoInputs,
+    /// The MC binding of a synchronized transaction failed verification
+    /// (wrong header, wrong sidechain, or list mismatch).
+    BadMcBinding,
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::BadAuthorization { input } => write!(f, "input {input} authorization failed"),
+            TxError::UnknownInput(d) => write!(f, "input utxo {d} not in state"),
+            TxError::DuplicateInput(d) => write!(f, "utxo {d} spent twice"),
+            TxError::ValueImbalance { input, output } => {
+                write!(f, "outputs {output} exceed inputs {input}")
+            }
+            TxError::OutputCollision { position } => {
+                write!(f, "output slot {position} occupied")
+            }
+            TxError::IntraTxCollision { position } => {
+                write!(f, "two outputs map to slot {position}")
+            }
+            TxError::AmountOverflow => write!(f, "amount overflow"),
+            TxError::NoInputs => write!(f, "transaction has no inputs"),
+            TxError::BadMcBinding => write!(f, "mainchain reference binding invalid"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Applies a transaction to the state (the `update` function of §5.3),
+/// returning the transition witness. Application is atomic: on error the
+/// state is unchanged.
+///
+/// # Errors
+///
+/// [`TxError`] per the rules of the transaction's type. Synchronized
+/// transactions (`ForwardTransfers`, `BackwardTransferRequests`) never
+/// fail as a whole — individual items degrade to rejections — except on
+/// arithmetic overflow.
+pub fn apply_transaction(
+    params: &crate::params::LatusParams,
+    state: &mut SidechainState,
+    tx: &ScTransaction,
+) -> Result<TransitionWitness, TxError> {
+    match tx {
+        ScTransaction::Payment(p) => apply_spend(
+            state,
+            tx,
+            &p.inputs,
+            &p.outputs,
+            &[],
+            p.sighash(),
+        ),
+        ScTransaction::BackwardTransfer(bt) => apply_spend(
+            state,
+            tx,
+            &bt.inputs,
+            &[],
+            &bt.backward_transfers,
+            bt.sighash(),
+        ),
+        ScTransaction::ForwardTransfers(ft) => apply_forward_transfers(params, state, tx, ft),
+        ScTransaction::BackwardTransferRequests(btr) => apply_btrs(params, state, tx, btr),
+    }
+}
+
+/// Shared plan/execute path for payments and backward-transfer txs.
+fn apply_spend(
+    state: &mut SidechainState,
+    tx: &ScTransaction,
+    inputs: &[SignedInput],
+    outputs: &[Utxo],
+    withdrawals: &[BackwardTransfer],
+    sighash: Digest32,
+) -> Result<TransitionWitness, TxError> {
+    if inputs.is_empty() {
+        return Err(TxError::NoInputs);
+    }
+    // ---- Plan (no mutation) ----
+    let mut seen = HashSet::new();
+    let mut total_in = Amount::ZERO;
+    for (i, input) in inputs.iter().enumerate() {
+        if !seen.insert(input.utxo.digest()) {
+            return Err(TxError::DuplicateInput(input.utxo.digest()));
+        }
+        if !input.verify(&sighash) {
+            return Err(TxError::BadAuthorization { input: i });
+        }
+        if !state.mst().contains(&input.utxo) {
+            return Err(TxError::UnknownInput(input.utxo.digest()));
+        }
+        total_in = total_in
+            .checked_add(input.utxo.amount)
+            .ok_or(TxError::AmountOverflow)?;
+    }
+    let out_value = Amount::checked_sum(outputs.iter().map(|o| o.amount))
+        .ok_or(TxError::AmountOverflow)?;
+    let wd_value = Amount::checked_sum(withdrawals.iter().map(|w| w.amount))
+        .ok_or(TxError::AmountOverflow)?;
+    let total_out = out_value
+        .checked_add(wd_value)
+        .ok_or(TxError::AmountOverflow)?;
+    if total_out > total_in {
+        return Err(TxError::ValueImbalance {
+            input: total_in,
+            output: total_out,
+        });
+    }
+    // Slot availability after removals.
+    let depth = state.mst().depth();
+    let freed: HashSet<u64> = inputs
+        .iter()
+        .map(|i| mst_position(&i.utxo, depth))
+        .collect();
+    let mut planned: HashSet<u64> = HashSet::new();
+    for output in outputs {
+        let position = mst_position(output, depth);
+        if !planned.insert(position) {
+            return Err(TxError::IntraTxCollision { position });
+        }
+        if state.mst().utxo_at(position).is_some() && !freed.contains(&position) {
+            return Err(TxError::OutputCollision { position });
+        }
+    }
+
+    // ---- Execute, recording the witness ----
+    let pre_mst_root = state.mst().root();
+    let pre_bt_accumulator = state.bt_accumulator();
+    let pre_delta_accumulator = state.delta_accumulator();
+    let pre_sync_accumulator = state.sync_accumulator();
+    let mut updates = Vec::with_capacity(inputs.len() + outputs.len());
+    for input in inputs {
+        let position = state
+            .mst()
+            .position_of(&input.utxo)
+            .expect("planned above");
+        let path = state.mst().proof(position);
+        updates.push(LeafUpdate {
+            path,
+            old_leaf: Some(input.utxo.leaf()),
+            new_leaf: None,
+        });
+        state.remove_utxo(&input.utxo).expect("planned above");
+    }
+    for output in outputs {
+        let position = mst_position(output, depth);
+        let path = state.mst().proof(position);
+        updates.push(LeafUpdate {
+            path,
+            old_leaf: None,
+            new_leaf: Some(output.leaf()),
+        });
+        state.insert_utxo(output).expect("planned above");
+    }
+    for withdrawal in withdrawals {
+        state.append_backward_transfer(*withdrawal);
+    }
+    Ok(TransitionWitness {
+        tx: tx.clone(),
+        pre_mst_root,
+        pre_bt_accumulator,
+        pre_delta_accumulator,
+        pre_sync_accumulator,
+        updates,
+        ft_steps: Vec::new(),
+        btr_steps: Vec::new(),
+        appended_bts: withdrawals.to_vec(),
+    })
+}
+
+/// Deterministic UTXO minted by the `i`-th FT of an FTTx.
+pub fn ft_output_utxo(mc_block: &Digest32, index: usize, receiver: Address, amount: Amount) -> Utxo {
+    Utxo {
+        address: receiver,
+        amount,
+        nonce: Digest32::hash_tagged(
+            "zendoo/ft-nonce",
+            &[mc_block.as_bytes(), &(index as u64).to_be_bytes()],
+        ),
+    }
+}
+
+fn apply_forward_transfers(
+    params: &crate::params::LatusParams,
+    state: &mut SidechainState,
+    tx: &ScTransaction,
+    ft_tx: &ForwardTransfersTx,
+) -> Result<TransitionWitness, TxError> {
+    if !ft_tx.binding.verify_forward_transfers(
+        &ft_tx.mc_block,
+        &params.sidechain_id,
+        &ft_tx.transfers,
+    ) {
+        return Err(TxError::BadMcBinding);
+    }
+    let pre_mst_root = state.mst().root();
+    let pre_bt_accumulator = state.bt_accumulator();
+    let pre_delta_accumulator = state.delta_accumulator();
+    let pre_sync_accumulator = state.sync_accumulator();
+    let depth = state.mst().depth();
+    let mut steps = Vec::with_capacity(ft_tx.transfers.len());
+    let mut appended = Vec::new();
+    for (i, ft) in ft_tx.transfers.iter().enumerate() {
+        match ReceiverMetadata::parse(&ft.receiver_metadata) {
+            None => {
+                // Unparseable: refund impossible — coins remain locked in
+                // the MC-side balance (documented conservation caveat).
+                steps.push(FtStep::RejectedMalformed);
+            }
+            Some(meta) => {
+                let utxo = ft_output_utxo(&ft_tx.mc_block, i, meta.receiver, ft.amount);
+                let position = mst_position(&utxo, depth);
+                if state.mst().utxo_at(position).is_some() {
+                    let occupied = state.mst().proof(position);
+                    let occupied_leaf = state
+                        .mst()
+                        .utxo_at(position)
+                        .expect("checked above")
+                        .leaf();
+                    let refund = BackwardTransfer {
+                        receiver: meta.payback,
+                        amount: ft.amount,
+                    };
+                    state.append_backward_transfer(refund);
+                    appended.push(refund);
+                    steps.push(FtStep::RejectedCollision {
+                        occupied,
+                        occupied_leaf,
+                    });
+                } else {
+                    let path = state.mst().proof(position);
+                    state.insert_utxo(&utxo).expect("slot checked empty");
+                    steps.push(FtStep::Minted(LeafUpdate {
+                        path,
+                        old_leaf: None,
+                        new_leaf: Some(utxo.leaf()),
+                    }));
+                }
+            }
+        }
+    }
+    state.record_sync(crate::state::SyncKind::ForwardTransfers, &ft_tx.mc_block);
+    Ok(TransitionWitness {
+        tx: tx.clone(),
+        pre_mst_root,
+        pre_bt_accumulator,
+        pre_delta_accumulator,
+        pre_sync_accumulator,
+        updates: Vec::new(),
+        ft_steps: steps,
+        btr_steps: Vec::new(),
+        appended_bts: appended,
+    })
+}
+
+fn apply_btrs(
+    params: &crate::params::LatusParams,
+    state: &mut SidechainState,
+    tx: &ScTransaction,
+    btr_tx: &BtrTx,
+) -> Result<TransitionWitness, TxError> {
+    if !btr_tx.binding.verify_backward_transfer_requests(
+        &btr_tx.mc_block,
+        &params.sidechain_id,
+        &btr_tx.requests,
+    ) {
+        return Err(TxError::BadMcBinding);
+    }
+    let pre_mst_root = state.mst().root();
+    let pre_bt_accumulator = state.bt_accumulator();
+    let pre_delta_accumulator = state.delta_accumulator();
+    let pre_sync_accumulator = state.sync_accumulator();
+    let depth = state.mst().depth();
+    let mut steps = Vec::with_capacity(btr_tx.requests.len());
+    let mut appended = Vec::new();
+    for request in &btr_tx.requests {
+        let Some(utxo) = btr_claimed_utxo(request) else {
+            steps.push(BtrStep::RejectedMalformed);
+            continue;
+        };
+        // The request's amount and nullifier must match the claimed UTXO.
+        if utxo.amount != request.amount || utxo.nullifier() != request.nullifier {
+            steps.push(BtrStep::RejectedMalformed);
+            continue;
+        }
+        let position = mst_position(&utxo, depth);
+        if state.mst().contains(&utxo) {
+            let path = state.mst().proof(position);
+            state.remove_utxo(&utxo).expect("present");
+            let bt = BackwardTransfer {
+                receiver: request.receiver,
+                amount: request.amount,
+            };
+            state.append_backward_transfer(bt);
+            appended.push(bt);
+            steps.push(BtrStep::Fulfilled(LeafUpdate {
+                path,
+                old_leaf: Some(utxo.leaf()),
+                new_leaf: None,
+            }));
+        } else {
+            let path = state.mst().proof(position);
+            let found_leaf = state.mst().utxo_at(position).map(|u| u.leaf());
+            steps.push(BtrStep::RejectedAbsent { path, found_leaf });
+        }
+    }
+    state.record_sync(
+        crate::state::SyncKind::BackwardTransferRequests,
+        &btr_tx.mc_block,
+    );
+    Ok(TransitionWitness {
+        tx: tx.clone(),
+        pre_mst_root,
+        pre_bt_accumulator,
+        pre_delta_accumulator,
+        pre_sync_accumulator,
+        updates: Vec::new(),
+        ft_steps: Vec::new(),
+        btr_steps: steps,
+        appended_bts: appended,
+    })
+}
+
+/// Derives output UTXOs with per-transaction-unique nonces.
+fn derive_outputs(domain: &str, spent: &[Utxo], recipients: &[(Address, Amount)]) -> Vec<Utxo> {
+    let spent_digest = digest(domain, &spent.to_vec());
+    recipients
+        .iter()
+        .enumerate()
+        .map(|(i, (address, amount))| Utxo {
+            address: *address,
+            amount: *amount,
+            nonce: Digest32::hash_tagged(
+                domain,
+                &[spent_digest.as_bytes(), &(i as u64).to_be_bytes()],
+            ),
+        })
+        .collect()
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LatusParams;
+    use zendoo_core::commitment::ScTxsCommitmentBuilder;
+    use zendoo_core::ids::SidechainId;
+    use zendoo_core::proofdata::{ProofData, ProofDataElem};
+    use zendoo_mainchain::pow::Target;
+    use zendoo_mainchain::BlockHeader;
+    use zendoo_primitives::schnorr::Keypair;
+
+    fn params() -> LatusParams {
+        LatusParams::new(SidechainId::from_label("sc"), 16)
+    }
+
+    fn funded_state(owner: &Keypair, amounts: &[u64]) -> (SidechainState, Vec<Utxo>) {
+        let mut state = SidechainState::new(16);
+        let address = Address::from_public_key(&owner.public);
+        let utxos: Vec<Utxo> = amounts
+            .iter()
+            .enumerate()
+            .map(|(i, a)| Utxo {
+                address,
+                amount: Amount::from_units(*a),
+                nonce: Digest32::hash_bytes(&[i as u8]),
+            })
+            .collect();
+        for u in &utxos {
+            state.mst_mut().add(u).unwrap();
+        }
+        (state, utxos)
+    }
+
+    /// Builds a fake MC header + binding for a set of FTs/BTRs destined
+    /// to the test sidechain.
+    fn binding_for(
+        fts: &[ForwardTransfer],
+        btrs: &[BackwardTransferRequest],
+    ) -> (Digest32, McRefBinding) {
+        let mut builder = ScTxsCommitmentBuilder::new();
+        for ft in fts {
+            builder.add_forward_transfer(ft.clone());
+        }
+        for btr in btrs {
+            builder.add_backward_transfer_request(btr.clone());
+        }
+        let commitment = builder.build();
+        let header = BlockHeader {
+            parent: Digest32::ZERO,
+            height: 0,
+            time: 0,
+            tx_root: Digest32::ZERO,
+            sc_txs_commitment: commitment.root(),
+            target: Target::EASIEST,
+            nonce: 0,
+        };
+        let sid = params().sidechain_id;
+        let evidence = match commitment.membership_proof(&sid) {
+            Some(proof) => McRefEvidence::Membership(proof),
+            None => McRefEvidence::NoData(commitment.absence_proof(&sid).unwrap()),
+        };
+        (
+            header.hash(),
+            McRefBinding { header, evidence },
+        )
+    }
+
+    fn ft_tx(fts: Vec<ForwardTransfer>) -> (Digest32, ScTransaction) {
+        let (mc_block, binding) = binding_for(&fts, &[]);
+        (
+            mc_block,
+            ScTransaction::ForwardTransfers(ForwardTransfersTx {
+                mc_block,
+                transfers: fts,
+                binding,
+            }),
+        )
+    }
+
+    fn btr_tx(btrs: Vec<BackwardTransferRequest>) -> ScTransaction {
+        let (mc_block, binding) = binding_for(&[], &btrs);
+        ScTransaction::BackwardTransferRequests(BtrTx {
+            mc_block,
+            requests: btrs,
+            binding,
+        })
+    }
+
+    #[test]
+    fn payment_moves_value() {
+        let alice = Keypair::from_seed(b"alice");
+        let bob = Address::from_label("bob");
+        let (mut state, utxos) = funded_state(&alice, &[10, 5]);
+        let tx = ScTransaction::Payment(PaymentTx::create(
+            vec![(utxos[0], &alice.secret)],
+            vec![
+                (bob, Amount::from_units(7)),
+                (
+                    Address::from_public_key(&alice.public),
+                    Amount::from_units(3),
+                ),
+            ],
+        ));
+        let witness = apply_transaction(&params(), &mut state, &tx).unwrap();
+        assert_eq!(witness.updates.len(), 3);
+        assert_eq!(state.balance_of(&bob), Amount::from_units(7));
+        assert_eq!(
+            state.balance_of(&Address::from_public_key(&alice.public)),
+            Amount::from_units(8)
+        );
+    }
+
+    #[test]
+    fn payment_witness_replays_root_transition() {
+        let alice = Keypair::from_seed(b"alice");
+        let (mut state, utxos) = funded_state(&alice, &[10]);
+        let pre_root = state.mst().root();
+        let tx = ScTransaction::Payment(PaymentTx::create(
+            vec![(utxos[0], &alice.secret)],
+            vec![(Address::from_label("bob"), Amount::from_units(10))],
+        ));
+        let witness = apply_transaction(&params(), &mut state, &tx).unwrap();
+        let mut root = pre_root;
+        for update in &witness.updates {
+            root = update.apply_to_root(&root).expect("path valid in sequence");
+        }
+        assert_eq!(root, state.mst().root());
+    }
+
+    #[test]
+    fn payment_rejects_overdraw_unknown_duplicate() {
+        let alice = Keypair::from_seed(b"alice");
+        let (mut state, utxos) = funded_state(&alice, &[10]);
+        let tx = ScTransaction::Payment(PaymentTx::create(
+            vec![(utxos[0], &alice.secret)],
+            vec![(Address::from_label("bob"), Amount::from_units(11))],
+        ));
+        assert!(matches!(
+            apply_transaction(&params(), &mut state, &tx),
+            Err(TxError::ValueImbalance { .. })
+        ));
+        let ghost = Utxo {
+            address: Address::from_public_key(&alice.public),
+            amount: Amount::from_units(1),
+            nonce: Digest32::hash_bytes(b"ghost"),
+        };
+        let tx = ScTransaction::Payment(PaymentTx::create(vec![(ghost, &alice.secret)], vec![]));
+        assert!(matches!(
+            apply_transaction(&params(), &mut state, &tx),
+            Err(TxError::UnknownInput(_))
+        ));
+        let tx = ScTransaction::Payment(PaymentTx::create(
+            vec![(utxos[0], &alice.secret), (utxos[0], &alice.secret)],
+            vec![],
+        ));
+        assert!(matches!(
+            apply_transaction(&params(), &mut state, &tx),
+            Err(TxError::DuplicateInput(_))
+        ));
+    }
+
+    #[test]
+    fn payment_rejects_wrong_signer() {
+        let alice = Keypair::from_seed(b"alice");
+        let mallory = Keypair::from_seed(b"mallory");
+        let (mut state, utxos) = funded_state(&alice, &[10]);
+        let tx = ScTransaction::Payment(PaymentTx::create(
+            vec![(utxos[0], &mallory.secret)],
+            vec![(Address::from_label("m"), Amount::from_units(10))],
+        ));
+        assert!(matches!(
+            apply_transaction(&params(), &mut state, &tx),
+            Err(TxError::BadAuthorization { input: 0 })
+        ));
+    }
+
+    #[test]
+    fn backward_transfer_appends_bts() {
+        let alice = Keypair::from_seed(b"alice");
+        let (mut state, utxos) = funded_state(&alice, &[10]);
+        let mc_addr = Address::from_label("mc-alice");
+        let tx = ScTransaction::BackwardTransfer(BackwardTransferTx::create(
+            vec![(utxos[0], &alice.secret)],
+            vec![(mc_addr, Amount::from_units(10))],
+        ));
+        let witness = apply_transaction(&params(), &mut state, &tx).unwrap();
+        assert_eq!(witness.appended_bts.len(), 1);
+        assert_eq!(state.backward_transfers().len(), 1);
+        assert_eq!(state.total_value(), Amount::ZERO);
+        assert_eq!(
+            state.bt_accumulator(),
+            crate::state::bt_list_accumulator(state.backward_transfers())
+        );
+    }
+
+    #[test]
+    fn forward_transfers_mint_and_reject() {
+        let mut state = SidechainState::new(16);
+        let meta = ReceiverMetadata {
+            receiver: Address::from_label("sc-user"),
+            payback: Address::from_label("mc-user"),
+        };
+        let good = ForwardTransfer {
+            sidechain_id: params().sidechain_id,
+            receiver_metadata: meta.to_bytes(),
+            amount: Amount::from_units(9),
+        };
+        let malformed = ForwardTransfer {
+            sidechain_id: params().sidechain_id,
+            receiver_metadata: vec![1, 2, 3],
+            amount: Amount::from_units(4),
+        };
+        let (_, tx) = ft_tx(vec![good, malformed]);
+        let witness = apply_transaction(&params(), &mut state, &tx).unwrap();
+        assert_eq!(witness.ft_steps.len(), 2);
+        assert!(matches!(witness.ft_steps[0], FtStep::Minted(_)));
+        assert!(matches!(witness.ft_steps[1], FtStep::RejectedMalformed));
+        assert_eq!(
+            state.balance_of(&Address::from_label("sc-user")),
+            Amount::from_units(9)
+        );
+    }
+
+    #[test]
+    fn forward_transfers_with_tampered_list_rejected() {
+        let mut state = SidechainState::new(16);
+        let meta = ReceiverMetadata {
+            receiver: Address::from_label("sc-user"),
+            payback: Address::from_label("mc-user"),
+        };
+        let real = ForwardTransfer {
+            sidechain_id: params().sidechain_id,
+            receiver_metadata: meta.to_bytes(),
+            amount: Amount::from_units(9),
+        };
+        let (mc_block, binding) = binding_for(std::slice::from_ref(&real), &[]);
+        // Forge a doubled amount not present in the MC commitment.
+        let mut forged = real;
+        forged.amount = Amount::from_units(900);
+        let tx = ScTransaction::ForwardTransfers(ForwardTransfersTx {
+            mc_block,
+            transfers: vec![forged],
+            binding,
+        });
+        assert!(matches!(
+            apply_transaction(&params(), &mut state, &tx),
+            Err(TxError::BadMcBinding)
+        ));
+    }
+
+    #[test]
+    fn forward_transfers_empty_block_uses_absence_proof() {
+        let mut state = SidechainState::new(16);
+        let (_, tx) = ft_tx(vec![]);
+        let witness = apply_transaction(&params(), &mut state, &tx).unwrap();
+        assert!(witness.ft_steps.is_empty());
+        // The sync accumulator advanced even with no transfers.
+        assert_ne!(
+            state.sync_accumulator(),
+            crate::state::empty_sync_accumulator()
+        );
+    }
+
+    #[test]
+    fn forward_transfer_collision_refunds_payback() {
+        let mut state = SidechainState::new(16);
+        let meta = ReceiverMetadata {
+            receiver: Address::from_label("sc-user"),
+            payback: Address::from_label("mc-refund"),
+        };
+        let ft = ForwardTransfer {
+            sidechain_id: params().sidechain_id,
+            receiver_metadata: meta.to_bytes(),
+            amount: Amount::from_units(9),
+        };
+        let (mc_block, binding) = binding_for(std::slice::from_ref(&ft), &[]);
+        let would_be = ft_output_utxo(&mc_block, 0, meta.receiver, ft.amount);
+        let position = mst_position(&would_be, 16);
+        // Install a different utxo at that position by brute-forcing a
+        // nonce that maps there.
+        let mut blocker = None;
+        for i in 0u64..2_000_000 {
+            let candidate = Utxo {
+                address: Address::from_label("blocker"),
+                amount: Amount::from_units(1),
+                nonce: Digest32::hash_bytes(&i.to_be_bytes()),
+            };
+            if mst_position(&candidate, 16) == position {
+                blocker = Some(candidate);
+                break;
+            }
+        }
+        let blocker = blocker.expect("a colliding nonce exists in 2M draws");
+        state.mst_mut().add(&blocker).unwrap();
+
+        let tx = ScTransaction::ForwardTransfers(ForwardTransfersTx {
+            mc_block,
+            transfers: vec![ft],
+            binding,
+        });
+        let witness = apply_transaction(&params(), &mut state, &tx).unwrap();
+        assert!(matches!(
+            witness.ft_steps[0],
+            FtStep::RejectedCollision { .. }
+        ));
+        assert_eq!(state.backward_transfers().len(), 1);
+        assert_eq!(
+            state.backward_transfers()[0].receiver,
+            Address::from_label("mc-refund")
+        );
+    }
+
+    fn make_btr(utxo: &Utxo) -> BackwardTransferRequest {
+        BackwardTransferRequest {
+            sidechain_id: params().sidechain_id,
+            receiver: Address::from_label("mc-user"),
+            amount: utxo.amount,
+            nullifier: utxo.nullifier(),
+            proofdata: ProofData(vec![ProofDataElem::Bytes(utxo.encoded())]),
+            proof: zendoo_snark::backend::Proof::from_bytes(&[0u8; 65]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn btr_fulfilled_then_rejected_on_replay() {
+        let alice = Keypair::from_seed(b"alice");
+        let (mut state, utxos) = funded_state(&alice, &[10]);
+        let claimed = utxos[0];
+        let tx = btr_tx(vec![make_btr(&claimed)]);
+        let witness = apply_transaction(&params(), &mut state, &tx).unwrap();
+        assert!(matches!(witness.btr_steps[0], BtrStep::Fulfilled(_)));
+        assert_eq!(state.total_value(), Amount::ZERO);
+        assert_eq!(state.backward_transfers().len(), 1);
+
+        let tx2 = btr_tx(vec![make_btr(&claimed)]);
+        let witness2 = apply_transaction(&params(), &mut state, &tx2).unwrap();
+        assert!(matches!(
+            witness2.btr_steps[0],
+            BtrStep::RejectedAbsent { .. }
+        ));
+        assert_eq!(state.backward_transfers().len(), 1);
+    }
+
+    #[test]
+    fn btr_with_wrong_amount_rejected_as_malformed() {
+        let alice = Keypair::from_seed(b"alice");
+        let (mut state, utxos) = funded_state(&alice, &[10]);
+        let mut request = make_btr(&utxos[0]);
+        request.amount = Amount::from_units(999);
+        let tx = btr_tx(vec![request]);
+        let witness = apply_transaction(&params(), &mut state, &tx).unwrap();
+        assert!(matches!(witness.btr_steps[0], BtrStep::RejectedMalformed));
+        assert!(state.mst().contains(&utxos[0]), "state untouched");
+    }
+
+    #[test]
+    fn utxo_byte_roundtrip() {
+        let utxo = Utxo {
+            address: Address::from_label("x"),
+            amount: Amount::from_units(123),
+            nonce: Digest32::hash_bytes(b"n"),
+        };
+        assert_eq!(decode_utxo(&utxo.encoded()), Some(utxo));
+        assert_eq!(decode_utxo(b"short"), None);
+    }
+
+    #[test]
+    fn metadata_roundtrip() {
+        let meta = ReceiverMetadata {
+            receiver: Address::from_label("r"),
+            payback: Address::from_label("p"),
+        };
+        assert_eq!(ReceiverMetadata::parse(&meta.to_bytes()), Some(meta));
+        assert_eq!(ReceiverMetadata::parse(&[0u8; 63]), None);
+    }
+}

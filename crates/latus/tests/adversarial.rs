@@ -1,0 +1,259 @@
+//! Adversarial tests: every forgery path the protocol must close.
+//!
+//! Each test produces *valid* material through the honest pipeline, then
+//! tampers exactly one thing and asserts the mainchain (or the prover
+//! itself) rejects it — covering the WCert statement rules (§5.5.3.1),
+//! the BTR/CSW statements (§5.5.3.2–3), quality racing, window
+//! discipline and nullifier replay.
+
+mod common;
+
+use common::TwoChains;
+use std::collections::BTreeMap;
+use zendoo_core::ids::{Address, Amount, Nullifier};
+use zendoo_core::proofdata::{ProofData, ProofDataElem};
+use zendoo_core::transfer::BackwardTransfer;
+use zendoo_mainchain::transaction::McTransaction;
+use zendoo_mainchain::BlockError;
+use zendoo_primitives::digest::Digest32;
+use zendoo_primitives::field::Fp;
+
+#[test]
+fn tampered_quality_rejected() {
+    let mut h = TwoChains::new("adv-quality");
+    let mut cert = h.bootstrap_funded(1_000);
+    // Pump the quality after proving: the proof binds quality via the
+    // public input, so verification fails.
+    cert.quality += 10;
+    cert.epoch_id = 1; // aim at the open window
+    while !h.node.epoch_complete() {
+        h.step(vec![]);
+    }
+    let real = h.node.produce_certificate().unwrap();
+    assert!(h
+        .try_submit(McTransaction::Certificate(Box::new(cert)))
+        .is_err());
+    // The honest certificate still goes through.
+    h.try_submit(McTransaction::Certificate(Box::new(real)))
+        .unwrap();
+}
+
+#[test]
+fn injected_backward_transfer_rejected() {
+    let mut h = TwoChains::new("adv-bt");
+    h.bootstrap_funded(1_000);
+    while !h.node.epoch_complete() {
+        h.step(vec![]);
+    }
+    let mut cert = h.node.produce_certificate().unwrap();
+    // Splice a thief payout into the certified BT list.
+    cert.bt_list.push(BackwardTransfer {
+        receiver: Address::from_label("thief"),
+        amount: Amount::from_units(500),
+    });
+    let err = h
+        .try_submit(McTransaction::Certificate(Box::new(cert)))
+        .unwrap_err();
+    assert!(matches!(err, BlockError::Registry(_)), "{err}");
+}
+
+#[test]
+fn swapped_proofdata_rejected() {
+    let mut h = TwoChains::new("adv-proofdata");
+    h.bootstrap_funded(1_000);
+    while !h.node.epoch_complete() {
+        h.step(vec![]);
+    }
+    let mut cert = h.node.produce_certificate().unwrap();
+    // Claim a different final MST root (element 1 of Latus proofdata).
+    cert.proofdata = ProofData(vec![
+        cert.proofdata.0[0].clone(),
+        ProofDataElem::Field(Fp::from_u64(0xbad)),
+        cert.proofdata.0[2].clone(),
+    ]);
+    assert!(h
+        .try_submit(McTransaction::Certificate(Box::new(cert)))
+        .is_err());
+}
+
+#[test]
+fn replayed_certificate_for_wrong_epoch_rejected() {
+    let mut h = TwoChains::new("adv-epoch-replay");
+    let cert0 = h.bootstrap_funded(1_000);
+    // Run epoch 1 honestly.
+    while !h.node.epoch_complete() {
+        h.step(vec![]);
+    }
+    let _cert1 = h.node.produce_certificate().unwrap();
+    // Replaying the epoch-0 certificate in epoch 1's window: the window
+    // check pins certificates to their epoch.
+    let mut replay = cert0;
+    assert!(h
+        .try_submit(McTransaction::Certificate(Box::new(replay.clone())))
+        .is_err());
+    // Even with the epoch id rewritten, the proof no longer verifies.
+    replay.epoch_id = 1;
+    assert!(h
+        .try_submit(McTransaction::Certificate(Box::new(replay)))
+        .is_err());
+}
+
+#[test]
+fn prover_refuses_false_statements() {
+    // The malicious-prover view: with the proving key in hand, the
+    // simulated backend still refuses statements whose witness does not
+    // satisfy the circuit (knowledge soundness in the model).
+    let mut h = TwoChains::new("adv-prover");
+    h.bootstrap_funded(1_000);
+    while !h.node.epoch_complete() {
+        h.step(vec![]);
+    }
+    // Taking the honest public inputs but a botched witness: directly
+    // attempt a base proof with an inconsistent endpoint.
+    let sys = &h.keys.system;
+    let state = h.node.state();
+    let bogus = sys.prove_base(
+        state.digest(),
+        Fp::from_u64(42),
+        &dummy_witness(&h),
+    );
+    assert!(bogus.is_err(), "no proof for a false transition");
+}
+
+fn dummy_witness(h: &TwoChains) -> zendoo_latus::tx::TransitionWitness {
+    // A structurally plausible witness that cannot satisfy any real
+    // transition (empty updates, mismatched accumulators).
+    zendoo_latus::tx::TransitionWitness {
+        tx: zendoo_latus::tx::ScTransaction::Payment(zendoo_latus::tx::PaymentTx {
+            inputs: vec![],
+            outputs: vec![],
+        }),
+        pre_mst_root: h.node.state().mst().root(),
+        pre_bt_accumulator: Fp::from_u64(1),
+        pre_delta_accumulator: Fp::from_u64(2),
+        pre_sync_accumulator: Fp::from_u64(3),
+        updates: vec![],
+        ft_steps: vec![],
+        btr_steps: vec![],
+        appended_bts: vec![],
+    }
+}
+
+#[test]
+fn btr_tampered_fields_rejected() {
+    let mut h = TwoChains::new("adv-btr");
+    h.bootstrap_funded(800);
+    let utxo = h.node.utxos_of(&h.sc_address())[0];
+    let receiver = Address::from_label("legit");
+    let btr = h
+        .node
+        .create_btr(0, &utxo, &h.sc_user.secret, receiver)
+        .unwrap();
+
+    // Raise the amount.
+    let mut greedy = btr.clone();
+    greedy.amount = Amount::from_units(9_999);
+    assert!(h.try_submit(McTransaction::Btr(Box::new(greedy))).is_err());
+
+    // Redirect the receiver.
+    let mut redirect = btr.clone();
+    redirect.receiver = Address::from_label("mallory");
+    assert!(h
+        .try_submit(McTransaction::Btr(Box::new(redirect)))
+        .is_err());
+
+    // Swap the nullifier (double-spend setup).
+    let mut renull = btr.clone();
+    renull.nullifier = Nullifier::from_utxo_digest(&Digest32::hash_bytes(b"other"));
+    assert!(h.try_submit(McTransaction::Btr(Box::new(renull))).is_err());
+
+    // The untampered request is accepted.
+    h.try_submit(McTransaction::Btr(Box::new(btr))).unwrap();
+}
+
+#[test]
+fn btr_by_non_owner_cannot_be_proven() {
+    let mut h = TwoChains::new("adv-btr-owner");
+    h.bootstrap_funded(800);
+    let utxo = h.node.utxos_of(&h.sc_address())[0];
+    let mallory = zendoo_primitives::schnorr::Keypair::from_seed(b"mallory");
+    // Mallory asks the node to prove a withdrawal of alice's utxo with
+    // her own key: the ownership constraint fails at proving time.
+    let result = h
+        .node
+        .create_btr(0, &utxo, &mallory.secret, Address::from_label("mallory"));
+    assert!(result.is_err(), "no proof without the owner's key");
+}
+
+#[test]
+fn historical_csw_on_spent_slot_cannot_be_proven() {
+    // Appendix A's soundness direction: once the slot is touched, the
+    // delta bit flips and the historical chain no longer proves
+    // ownership.
+    let mut h = TwoChains::new("adv-csw-spent");
+    h.bootstrap_funded(600);
+    let utxo = h.node.utxos_of(&h.sc_address())[0];
+
+    // Epoch 1: alice spends her utxo (touching its slot).
+    let pay = zendoo_latus::tx::ScTransaction::Payment(zendoo_latus::tx::PaymentTx::create(
+        vec![(utxo, &h.sc_user.secret)],
+        vec![(Address::from_label("someone-else"), Amount::from_units(600))],
+    ));
+    h.node.submit_transaction(pay).unwrap();
+    let _cert1 = h.run_epoch(vec![]);
+
+    // Cease the sidechain.
+    let ceasing = h.schedule.ceasing_height(2);
+    h.mine_unsynced_to(ceasing);
+
+    // Historical CSW anchored at epoch 0 across epoch 1 must fail: the
+    // epoch-1 delta has the slot's bit set.
+    let mut deltas = BTreeMap::new();
+    deltas.insert(1u32, h.node.epoch_delta(1).unwrap().clone());
+    let result = h.node.create_historical_csw(
+        0,
+        1,
+        &utxo,
+        &h.sc_user.secret,
+        Address::from_label("rescue"),
+        &deltas,
+    );
+    assert!(result.is_err(), "slot was touched — claim must not prove");
+}
+
+#[test]
+fn csw_direct_with_forged_membership_rejected() {
+    let mut h = TwoChains::new("adv-csw-forged");
+    h.bootstrap_funded(600);
+    // Cease without epoch-1 certificate.
+    let ceasing = h.schedule.ceasing_height(1);
+    h.mine_unsynced_to(ceasing);
+
+    // A utxo that never existed on the sidechain.
+    let phantom = zendoo_latus::mst::Utxo {
+        address: h.sc_address(),
+        amount: Amount::from_units(600),
+        nonce: Digest32::hash_bytes(b"phantom"),
+    };
+    let result = h
+        .node
+        .create_csw(0, &phantom, &h.sc_user.secret, Address::from_label("x"));
+    assert!(result.is_err(), "no membership, no proof");
+}
+
+#[test]
+fn mainchain_rejects_cert_outside_window_even_with_valid_proof() {
+    let mut h = TwoChains::new("adv-window");
+    h.bootstrap_funded(1_000);
+    while !h.node.epoch_complete() {
+        h.step(vec![]);
+    }
+    let cert = h.node.produce_certificate().unwrap();
+    // Let the window for epoch 1 close before submitting.
+    let ceasing = h.schedule.ceasing_height(1);
+    h.mine_unsynced_to(ceasing);
+    let err = h
+        .try_submit(McTransaction::Certificate(Box::new(cert)))
+        .unwrap_err();
+    assert!(matches!(err, BlockError::Registry(_)), "{err}");
+}

@@ -1,0 +1,184 @@
+//! Multi-node agreement (paper §5.1's decentralization): a forger and an
+//! independent validator process the same mainchain; the validator
+//! checks every block (linkage, leadership, stateful validity) and ends
+//! with an identical state — and, holding the same witnesses, produces a
+//! byte-identical certificate.
+
+mod common;
+
+use common::TwoChains;
+use std::sync::Arc;
+use zendoo_core::ids::{Address, Amount};
+use zendoo_latus::consensus::ConsensusParams;
+use zendoo_latus::node::LatusNode;
+use zendoo_latus::params::LatusParams;
+use zendoo_latus::tx::{PaymentTx, ReceiverMetadata, ScTransaction};
+use zendoo_mainchain::transaction::McTransaction;
+use zendoo_primitives::schnorr::Keypair;
+
+#[test]
+fn validator_follows_forger_and_agrees() {
+    let mut h = TwoChains::new("two-nodes");
+    let params = LatusParams::new(h.sid, common::MST_DEPTH);
+    let mut validator = LatusNode::new(
+        params,
+        h.schedule,
+        ConsensusParams::with_bootstrap(Keypair::from_seed(b"forger").public),
+        Arc::clone(&h.keys),
+        Keypair::from_seed(b"validator"),
+        h.chain.tip_hash(),
+    );
+
+    // Epoch 0 with an FT; the validator receives each forged block.
+    let meta = ReceiverMetadata {
+        receiver: h.sc_address(),
+        payback: h.mc_wallet.address(),
+    };
+    let ft = h
+        .mc_wallet
+        .forward_transfer(
+            &h.chain,
+            h.sid,
+            meta.to_bytes(),
+            Amount::from_units(2_000),
+            Amount::ZERO,
+        )
+        .unwrap();
+    let mut pending = vec![ft];
+    while !h.node.epoch_complete() {
+        h.time += 1;
+        let mc_block = h
+            .chain
+            .mine_next_block(h.mc_wallet.address(), std::mem::take(&mut pending), h.time)
+            .unwrap();
+        let sc_block = h.node.sync_mainchain_block(&mc_block).unwrap();
+        validator.receive_block(&sc_block, &mc_block).unwrap();
+    }
+
+    // Same state, same digest.
+    assert_eq!(validator.state().digest(), h.node.state().digest());
+    assert_eq!(validator.chain().len(), h.node.chain().len());
+    assert_eq!(
+        validator.balance_of(&h.sc_address()),
+        Amount::from_units(2_000)
+    );
+
+    // Both produce the same certificate — including the proof bytes
+    // (deterministic proving under shared keys).
+    let cert_forger = h.node.produce_certificate().unwrap();
+    let cert_validator = validator.produce_certificate().unwrap();
+    assert_eq!(cert_forger, cert_validator);
+}
+
+#[test]
+fn validator_rejects_tampered_blocks() {
+    let mut h = TwoChains::new("two-nodes-tamper");
+    let params = LatusParams::new(h.sid, common::MST_DEPTH);
+    let mut validator = LatusNode::new(
+        params,
+        h.schedule,
+        ConsensusParams::with_bootstrap(Keypair::from_seed(b"forger").public),
+        Arc::clone(&h.keys),
+        Keypair::from_seed(b"validator"),
+        h.chain.tip_hash(),
+    );
+
+    h.time += 1;
+    let mc_block = h
+        .chain
+        .mine_next_block(h.mc_wallet.address(), vec![], h.time)
+        .unwrap();
+    let sc_block = h.node.sync_mainchain_block(&mc_block).unwrap();
+
+    // Tamper the claimed post-state digest.
+    let mut forged = sc_block.clone();
+    forged.header.state_digest = zendoo_primitives::field::Fp::from_u64(777);
+    assert!(validator.receive_block(&forged, &mc_block).is_err());
+
+    // Tamper the tx root.
+    let mut forged = sc_block.clone();
+    forged.header.tx_root = zendoo_primitives::digest::Digest32::hash_bytes(b"lie");
+    assert!(validator.receive_block(&forged, &mc_block).is_err());
+
+    // Smuggle in an unsigned payment.
+    let mut forged = sc_block.clone();
+    forged.transactions.push(ScTransaction::Payment(PaymentTx {
+        inputs: vec![],
+        outputs: vec![],
+    }));
+    assert!(validator.receive_block(&forged, &mc_block).is_err());
+
+    // The honest block is accepted afterwards (state unchanged by the
+    // failed attempts).
+    validator.receive_block(&sc_block, &mc_block).unwrap();
+    assert_eq!(validator.state().digest(), h.node.state().digest());
+}
+
+#[test]
+fn unstaked_non_authority_forger_cannot_extend_the_chain() {
+    // After the first epoch the chain is staked; a node whose forger is
+    // neither the bootstrap authority nor a stakeholder can follow the
+    // chain as a validator but cannot forge.
+    let mut h = TwoChains::new("two-nodes-leadership");
+    let params = LatusParams::new(h.sid, common::MST_DEPTH);
+    let authority = Keypair::from_seed(b"forger").public;
+    let mut rogue = LatusNode::new(
+        params,
+        h.schedule,
+        ConsensusParams::with_bootstrap(authority),
+        Arc::clone(&h.keys),
+        Keypair::from_seed(b"rogue"),
+        h.chain.tip_hash(),
+    );
+
+    // Epoch 0: fund the SC while the rogue follows as validator.
+    let meta = ReceiverMetadata {
+        receiver: h.sc_address(),
+        payback: h.mc_wallet.address(),
+    };
+    let ft = h
+        .mc_wallet
+        .forward_transfer(
+            &h.chain,
+            h.sid,
+            meta.to_bytes(),
+            Amount::from_units(5_000),
+            Amount::ZERO,
+        )
+        .unwrap();
+    let mut pending = vec![ft];
+    while !h.node.epoch_complete() {
+        h.time += 1;
+        let mc_block = h
+            .chain
+            .mine_next_block(h.mc_wallet.address(), std::mem::take(&mut pending), h.time)
+            .unwrap();
+        let sc_block = h.node.sync_mainchain_block(&mc_block).unwrap();
+        rogue.receive_block(&sc_block, &mc_block).unwrap();
+    }
+    // Both close the epoch; the rogue's stake snapshot refreshes and is
+    // non-empty (the SC user holds all the stake).
+    let cert = h.node.produce_certificate().unwrap();
+    let _ = rogue.produce_certificate().unwrap();
+
+    // The rogue now tries to forge the next block itself: the lottery
+    // never selects an unstaked forger.
+    h.time += 1;
+    let mc_block = h
+        .chain
+        .mine_next_block(
+            h.mc_wallet.address(),
+            vec![McTransaction::Certificate(Box::new(cert))],
+            h.time,
+        )
+        .unwrap();
+    let err = rogue.sync_mainchain_block(&mc_block);
+    assert!(err.is_err(), "unstaked non-authority forger must not forge");
+
+    // And tampering a valid block's forger identity fails validation:
+    let honest_block = h.node.sync_mainchain_block(&mc_block).unwrap();
+    let mut forged = honest_block.clone();
+    forged.header.forger = Keypair::from_seed(b"rogue").public;
+    assert!(rogue.receive_block(&forged, &mc_block).is_err());
+    let _ = Address::from_label("unused");
+}

@@ -1,0 +1,802 @@
+//! The mainchain state machine: block storage, Nakamoto fork choice,
+//! connect/disconnect with full reorg support, and block building.
+//!
+//! Fork choice is by cumulative work (Def 3.1's Bitcoin-backbone model).
+//! Every connected block stores a pre-state snapshot, so reorgs of up to
+//! [`ChainParams::max_reorg_depth`] blocks are exact state rollbacks —
+//! the mechanism exercised by the paper's "mainchain forks resolution"
+//! property (§5.1).
+
+use std::collections::{HashMap, HashSet};
+use zendoo_core::commitment::{ScTxsCommitment, ScTxsCommitmentBuilder};
+use zendoo_core::ids::{Address, Amount};
+use zendoo_primitives::digest::Digest32;
+
+use crate::block::{Block, BlockHeader};
+use crate::pow::{mine, Target};
+use crate::registry::{RegistryError, SidechainRegistry};
+use crate::transaction::{CoinbaseTx, McTransaction, OutPoint, TxOut};
+use crate::utxo::UtxoSet;
+
+/// Consensus parameters.
+#[derive(Clone, Debug)]
+pub struct ChainParams {
+    /// Fixed proof-of-work target.
+    pub target: Target,
+    /// Block subsidy paid to the coinbase.
+    pub block_subsidy: Amount,
+    /// Outputs granted in the genesis coinbase (test/sim premine).
+    pub genesis_outputs: Vec<TxOut>,
+    /// Maximum reorg depth for which undo data is retained.
+    pub max_reorg_depth: usize,
+    /// Mining attempt bound per block.
+    pub max_mine_attempts: u64,
+}
+
+impl Default for ChainParams {
+    fn default() -> Self {
+        ChainParams {
+            target: Target::EASIEST,
+            block_subsidy: Amount::from_units(50_000),
+            genesis_outputs: Vec::new(),
+            max_reorg_depth: 128,
+            max_mine_attempts: 10_000_000,
+        }
+    }
+}
+
+/// The full spendable/locked state at a chain tip.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChainState {
+    /// The UTXO set.
+    pub utxos: UtxoSet,
+    /// The sidechain registry (balances, certificates, nullifiers).
+    pub registry: SidechainRegistry,
+    /// Net coins minted so far (Σ coinbase − Σ fees). Conservation
+    /// invariant: `utxos.total_value() + registry.total_locked() ==
+    /// minted`.
+    pub minted: Amount,
+}
+
+/// Validation failures for submitted blocks/transactions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockError {
+    /// The parent block is unknown.
+    UnknownParent(Digest32),
+    /// The block was already marked invalid (or extends an invalid one).
+    KnownInvalid(Digest32),
+    /// Declared height does not follow the parent.
+    BadHeight {
+        /// Height in the submitted header.
+        claimed: u64,
+        /// Parent height + 1.
+        expected: u64,
+    },
+    /// The header does not meet the required proof-of-work target.
+    BadProofOfWork,
+    /// Wrong target declared (fixed-difficulty chain).
+    WrongTarget,
+    /// `tx_root` does not match the body.
+    TxRootMismatch,
+    /// `scTxsCommitment` does not match the body.
+    CommitmentMismatch,
+    /// Missing or misplaced coinbase.
+    BadCoinbase(&'static str),
+    /// Two transactions in the block share an id.
+    DuplicateTxid(Digest32),
+    /// A transfer spends an unknown or already-spent output.
+    MissingInput(OutPoint),
+    /// A transfer spends the same output twice.
+    DoubleSpendInBlock(OutPoint),
+    /// A transfer input signature/address check failed.
+    BadInputAuthorization {
+        /// Index of the offending input.
+        input: usize,
+    },
+    /// Output value exceeds input value.
+    ValueImbalance,
+    /// A transfer has no inputs.
+    NoInputs,
+    /// Amount arithmetic overflowed.
+    AmountOverflow,
+    /// A sidechain operation was rejected by the registry.
+    Registry(RegistryError),
+    /// Reorg deeper than the retained undo data.
+    ReorgTooDeep,
+    /// Mining exhausted the attempt bound.
+    MiningFailed,
+    /// The block was already submitted.
+    Duplicate(Digest32),
+}
+
+impl std::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockError::UnknownParent(h) => write!(f, "unknown parent {h}"),
+            BlockError::KnownInvalid(h) => write!(f, "block {h} is invalid"),
+            BlockError::BadHeight { claimed, expected } => {
+                write!(f, "height {claimed}, expected {expected}")
+            }
+            BlockError::BadProofOfWork => write!(f, "proof of work not met"),
+            BlockError::WrongTarget => write!(f, "wrong difficulty target"),
+            BlockError::TxRootMismatch => write!(f, "tx merkle root mismatch"),
+            BlockError::CommitmentMismatch => write!(f, "scTxsCommitment mismatch"),
+            BlockError::BadCoinbase(why) => write!(f, "bad coinbase: {why}"),
+            BlockError::DuplicateTxid(id) => write!(f, "duplicate txid {id}"),
+            BlockError::MissingInput(op) => write!(f, "missing input {op:?}"),
+            BlockError::DoubleSpendInBlock(op) => write!(f, "double spend of {op:?}"),
+            BlockError::BadInputAuthorization { input } => {
+                write!(f, "input {input} authorization failed")
+            }
+            BlockError::ValueImbalance => write!(f, "outputs exceed inputs"),
+            BlockError::NoInputs => write!(f, "transfer has no inputs"),
+            BlockError::AmountOverflow => write!(f, "amount overflow"),
+            BlockError::Registry(e) => write!(f, "sidechain registry: {e}"),
+            BlockError::ReorgTooDeep => write!(f, "reorg exceeds retained undo depth"),
+            BlockError::MiningFailed => write!(f, "mining attempt bound exhausted"),
+            BlockError::Duplicate(h) => write!(f, "duplicate block {h}"),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+impl From<RegistryError> for BlockError {
+    fn from(e: RegistryError) -> Self {
+        BlockError::Registry(e)
+    }
+}
+
+/// Outcome of a successful block submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The block extended the active tip.
+    ExtendedActiveChain,
+    /// Stored on a side branch; the active chain is unchanged.
+    StoredOnFork,
+    /// Triggered a reorganization.
+    Reorganized {
+        /// Hashes disconnected from the old branch (tip first).
+        disconnected: Vec<Digest32>,
+        /// Hashes connected on the new branch (fork-point first).
+        connected: Vec<Digest32>,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct StoredBlock {
+    block: Block,
+    cumulative_work: u128,
+}
+
+/// The mainchain: block tree + active-chain state.
+pub struct Blockchain {
+    params: ChainParams,
+    blocks: HashMap<Digest32, StoredBlock>,
+    invalid: HashSet<Digest32>,
+    /// Active chain block hashes, indexed by height.
+    active: Vec<Digest32>,
+    state: ChainState,
+    /// Pre-state snapshot per active block (pruned beyond
+    /// `max_reorg_depth`).
+    undo: HashMap<Digest32, ChainState>,
+    genesis_hash: Digest32,
+}
+
+impl Blockchain {
+    /// Creates a chain with a freshly mined genesis block.
+    pub fn new(params: ChainParams) -> Self {
+        let coinbase = McTransaction::Coinbase(CoinbaseTx {
+            height: 0,
+            outputs: params.genesis_outputs.clone(),
+        });
+        let transactions = vec![coinbase];
+        let commitment = ScTxsCommitmentBuilder::new().build();
+        let mut header = BlockHeader {
+            parent: Digest32::ZERO,
+            height: 0,
+            time: 0,
+            tx_root: Block::compute_tx_root(&transactions),
+            sc_txs_commitment: commitment.root(),
+            target: params.target,
+            nonce: 0,
+        };
+        header.nonce = mine(
+            &params.target,
+            |nonce| {
+                let mut h = header;
+                h.nonce = nonce;
+                h.hash()
+            },
+            params.max_mine_attempts,
+        )
+        .expect("genesis mining must succeed at configured difficulty");
+        let genesis = Block {
+            header,
+            transactions,
+        };
+        let genesis_hash = genesis.hash();
+
+        let mut state = ChainState::default();
+        let genesis_total = Amount::checked_sum(
+            params.genesis_outputs.iter().map(|o| o.amount),
+        )
+        .expect("genesis premine fits in u64");
+        let txid = genesis.transactions[0].txid();
+        for (i, out) in params.genesis_outputs.iter().enumerate() {
+            state.utxos.insert(
+                OutPoint {
+                    txid,
+                    index: i as u32,
+                },
+                *out,
+            );
+        }
+        state.minted = genesis_total;
+
+        let mut blocks = HashMap::new();
+        blocks.insert(
+            genesis_hash,
+            StoredBlock {
+                block: genesis,
+                cumulative_work: params.target.work(),
+            },
+        );
+        Blockchain {
+            params,
+            blocks,
+            invalid: HashSet::new(),
+            active: vec![genesis_hash],
+            state,
+            undo: HashMap::new(),
+            genesis_hash,
+        }
+    }
+
+    /// The chain parameters.
+    pub fn params(&self) -> &ChainParams {
+        &self.params
+    }
+
+    /// The genesis block hash.
+    pub fn genesis_hash(&self) -> Digest32 {
+        self.genesis_hash
+    }
+
+    /// The active tip hash.
+    pub fn tip_hash(&self) -> Digest32 {
+        *self.active.last().expect("genesis always present")
+    }
+
+    /// The active tip height.
+    pub fn height(&self) -> u64 {
+        (self.active.len() - 1) as u64
+    }
+
+    /// The active-chain block hash at `height`.
+    pub fn hash_at_height(&self, height: u64) -> Option<Digest32> {
+        self.active.get(height as usize).copied()
+    }
+
+    /// A stored block by hash (active or fork).
+    pub fn block(&self, hash: &Digest32) -> Option<&Block> {
+        self.blocks.get(hash).map(|s| &s.block)
+    }
+
+    /// The active-chain block at `height`.
+    pub fn block_at_height(&self, height: u64) -> Option<&Block> {
+        self.hash_at_height(height)
+            .and_then(|h| self.block(&h))
+    }
+
+    /// Cumulative work of a stored block.
+    pub fn cumulative_work(&self, hash: &Digest32) -> Option<u128> {
+        self.blocks.get(hash).map(|s| s.cumulative_work)
+    }
+
+    /// The state at the active tip.
+    pub fn state(&self) -> &ChainState {
+        &self.state
+    }
+
+    /// Returns `true` if `hash` lies on the active chain.
+    pub fn is_active(&self, hash: &Digest32) -> bool {
+        self.blocks
+            .get(hash)
+            .map(|s| self.hash_at_height(s.block.header.height) == Some(*hash))
+            .unwrap_or(false)
+    }
+
+    /// Rebuilds the sidechain-transactions commitment of a stored block
+    /// (sidechain nodes use this to extract their slice, §5.5.1).
+    pub fn commitment_for(&self, hash: &Digest32) -> Option<ScTxsCommitment> {
+        self.block(hash).map(|b| Self::build_commitment(&b.transactions))
+    }
+
+    /// Builds the commitment tree for a transaction list (§4.1.3: FTs,
+    /// BTRs and certificates; CSWs are excluded).
+    pub fn build_commitment(transactions: &[McTransaction]) -> ScTxsCommitment {
+        let mut builder = ScTxsCommitmentBuilder::new();
+        for tx in transactions {
+            match tx {
+                McTransaction::Transfer(t) => {
+                    for output in &t.outputs {
+                        if let crate::transaction::Output::Forward(ft) = output {
+                            builder.add_forward_transfer(ft.clone());
+                        }
+                    }
+                }
+                McTransaction::Certificate(cert) => {
+                    // Structural duplicate certs are caught by validation;
+                    // the builder ignores the duplicate here and the
+                    // commitment check fails the block instead.
+                    let _ = builder.add_certificate((**cert).clone());
+                }
+                McTransaction::Btr(btr) => {
+                    builder.add_backward_transfer_request((**btr).clone());
+                }
+                McTransaction::Coinbase(_)
+                | McTransaction::SidechainDeclaration(_)
+                | McTransaction::Csw(_) => {}
+            }
+        }
+        builder.build()
+    }
+
+    /// Submits a block: validates, stores, and reorganizes if it creates
+    /// a heavier chain.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError`] for structural violations immediately; stateful
+    /// violations surface when the block's branch attempts activation.
+    pub fn submit_block(&mut self, block: Block) -> Result<SubmitOutcome, BlockError> {
+        let hash = block.hash();
+        if self.blocks.contains_key(&hash) {
+            return Err(BlockError::Duplicate(hash));
+        }
+        if self.invalid.contains(&hash) || self.invalid.contains(&block.header.parent) {
+            return Err(BlockError::KnownInvalid(hash));
+        }
+        self.check_structure(&block)?;
+        let parent = self
+            .blocks
+            .get(&block.header.parent)
+            .ok_or(BlockError::UnknownParent(block.header.parent))?;
+        let expected_height = parent.block.header.height + 1;
+        if block.header.height != expected_height {
+            return Err(BlockError::BadHeight {
+                claimed: block.header.height,
+                expected: expected_height,
+            });
+        }
+        let cumulative_work = parent.cumulative_work + block.header.target.work();
+        self.blocks.insert(
+            hash,
+            StoredBlock {
+                block,
+                cumulative_work,
+            },
+        );
+        let tip_work = self
+            .cumulative_work(&self.tip_hash())
+            .expect("tip stored");
+        if cumulative_work <= tip_work {
+            return Ok(SubmitOutcome::StoredOnFork);
+        }
+        let (disconnected, connected) = self.activate(hash)?;
+        if disconnected.is_empty() && connected.len() == 1 {
+            Ok(SubmitOutcome::ExtendedActiveChain)
+        } else {
+            Ok(SubmitOutcome::Reorganized {
+                disconnected,
+                connected,
+            })
+        }
+    }
+
+    /// Stateless structural checks.
+    fn check_structure(&self, block: &Block) -> Result<(), BlockError> {
+        if block.header.target != self.params.target {
+            return Err(BlockError::WrongTarget);
+        }
+        if !block.header.meets_target() {
+            return Err(BlockError::BadProofOfWork);
+        }
+        if !block.tx_root_consistent() {
+            return Err(BlockError::TxRootMismatch);
+        }
+        match block.transactions.first() {
+            Some(McTransaction::Coinbase(cb)) if cb.height == block.header.height => {}
+            Some(McTransaction::Coinbase(_)) => {
+                return Err(BlockError::BadCoinbase("coinbase height mismatch"))
+            }
+            _ => return Err(BlockError::BadCoinbase("first transaction must be coinbase")),
+        }
+        if block.transactions[1..]
+            .iter()
+            .any(|tx| matches!(tx, McTransaction::Coinbase(_)))
+        {
+            return Err(BlockError::BadCoinbase("multiple coinbases"));
+        }
+        let mut seen = HashSet::new();
+        for tx in &block.transactions {
+            if !seen.insert(tx.txid()) {
+                return Err(BlockError::DuplicateTxid(tx.txid()));
+            }
+        }
+        let commitment = Self::build_commitment(&block.transactions);
+        if commitment.root() != block.header.sc_txs_commitment {
+            return Err(BlockError::CommitmentMismatch);
+        }
+        Ok(())
+    }
+
+    /// Makes `new_tip` the active tip, disconnecting/connecting as
+    /// needed. On a connect failure, the offending block is marked
+    /// invalid and the previous active chain is restored.
+    fn activate(&mut self, new_tip: Digest32) -> Result<(Vec<Digest32>, Vec<Digest32>), BlockError> {
+        // Path from new_tip down to the first active ancestor.
+        let mut to_connect = Vec::new();
+        let mut cursor = new_tip;
+        while !self.is_active(&cursor) {
+            to_connect.push(cursor);
+            cursor = self
+                .blocks
+                .get(&cursor)
+                .expect("stored during submit")
+                .block
+                .header
+                .parent;
+        }
+        let fork_point = cursor;
+        to_connect.reverse();
+
+        // Disconnect the stale suffix.
+        let mut disconnected = Vec::new();
+        while self.tip_hash() != fork_point {
+            let tip = self.tip_hash();
+            self.disconnect_tip()?;
+            disconnected.push(tip);
+        }
+
+        // Connect the new branch.
+        let mut connected = Vec::new();
+        for hash in &to_connect {
+            match self.connect_block(*hash) {
+                Ok(()) => connected.push(*hash),
+                Err(e) => {
+                    // Invalidate and roll back to the previous chain.
+                    self.invalid.insert(*hash);
+                    self.blocks.remove(hash);
+                    for done in connected.iter().rev() {
+                        self.disconnect_tip()
+                            .expect("undo for just-connected block exists");
+                        let _ = done;
+                    }
+                    for stale in disconnected.iter().rev() {
+                        self.connect_block(*stale)
+                            .expect("previously active block must reconnect");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok((disconnected, connected))
+    }
+
+    /// Disconnects the active tip, restoring the pre-block snapshot.
+    fn disconnect_tip(&mut self) -> Result<(), BlockError> {
+        let tip = self.tip_hash();
+        if tip == self.genesis_hash {
+            return Err(BlockError::ReorgTooDeep);
+        }
+        let snapshot = self.undo.remove(&tip).ok_or(BlockError::ReorgTooDeep)?;
+        self.state = snapshot;
+        self.active.pop();
+        Ok(())
+    }
+
+    /// Connects a stored block on top of the current tip.
+    fn connect_block(&mut self, hash: Digest32) -> Result<(), BlockError> {
+        let stored = self.blocks.get(&hash).expect("stored during submit");
+        let block = stored.block.clone();
+        debug_assert_eq!(block.header.parent, self.tip_hash());
+        let snapshot = self.state.clone();
+        match self.apply_block(&block, hash) {
+            Ok(()) => {
+                self.undo.insert(hash, snapshot);
+                self.active.push(hash);
+                self.prune_undo();
+                Ok(())
+            }
+            Err(e) => {
+                self.state = snapshot;
+                Err(e)
+            }
+        }
+    }
+
+    fn prune_undo(&mut self) {
+        if self.active.len() > self.params.max_reorg_depth {
+            let prune_below = self.active.len() - self.params.max_reorg_depth;
+            for hash in &self.active[..prune_below] {
+                self.undo.remove(hash);
+            }
+        }
+    }
+
+    /// Applies a block's effects to `self.state`. Errors leave the state
+    /// dirty; the caller restores the snapshot.
+    fn apply_block(&mut self, block: &Block, block_hash: Digest32) -> Result<(), BlockError> {
+        let height = block.header.height;
+
+        // Phase 0: epoch bookkeeping — ceasing + certificate maturity.
+        let payouts = self.state.registry.begin_block(height);
+        for payout in payouts {
+            for (i, bt) in payout.transfers.iter().enumerate() {
+                self.state.utxos.insert(
+                    OutPoint {
+                        txid: payout.certificate_digest,
+                        index: i as u32,
+                    },
+                    TxOut {
+                        address: bt.receiver,
+                        amount: bt.amount,
+                    },
+                );
+            }
+        }
+
+        // Phase 1: non-coinbase transactions, accumulating fees.
+        let mut fees = Amount::ZERO;
+        for tx in &block.transactions[1..] {
+            let fee = apply_transaction(
+                &mut self.state,
+                tx,
+                height,
+                block_hash,
+                &self.active,
+            )?;
+            fees = fees.checked_add(fee).ok_or(BlockError::AmountOverflow)?;
+        }
+
+        // Phase 2: coinbase (applied last: its outputs are unspendable
+        // within the creating block).
+        let McTransaction::Coinbase(cb) = &block.transactions[0] else {
+            return Err(BlockError::BadCoinbase("first transaction must be coinbase"));
+        };
+        let cb_total = Amount::checked_sum(cb.outputs.iter().map(|o| o.amount))
+            .ok_or(BlockError::AmountOverflow)?;
+        let allowed = self
+            .params
+            .block_subsidy
+            .checked_add(fees)
+            .ok_or(BlockError::AmountOverflow)?;
+        if cb_total > allowed {
+            return Err(BlockError::BadCoinbase("claims more than subsidy + fees"));
+        }
+        let txid = block.transactions[0].txid();
+        for (i, out) in cb.outputs.iter().enumerate() {
+            self.state.utxos.insert(
+                OutPoint {
+                    txid,
+                    index: i as u32,
+                },
+                *out,
+            );
+        }
+        // Net minted coins: coinbase output minus recycled fees.
+        let net = cb_total.checked_sub(fees).unwrap_or(Amount::ZERO);
+        self.state.minted = self
+            .state
+            .minted
+            .checked_add(net)
+            .ok_or(BlockError::AmountOverflow)?;
+        Ok(())
+    }
+
+    /// Assembles, mines and returns (without submitting) the next block
+    /// on the active tip. Invalid transactions are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transaction validation error, or
+    /// [`BlockError::MiningFailed`].
+    pub fn build_next_block(
+        &self,
+        miner: Address,
+        transactions: Vec<McTransaction>,
+        time: u64,
+    ) -> Result<Block, BlockError> {
+        let height = self.height() + 1;
+        // Dry-run against a state clone to compute fees and validate.
+        let mut scratch = self.state.clone();
+        for payout in scratch.registry.begin_block(height) {
+            for (i, bt) in payout.transfers.iter().enumerate() {
+                scratch.utxos.insert(
+                    OutPoint {
+                        txid: payout.certificate_digest,
+                        index: i as u32,
+                    },
+                    TxOut {
+                        address: bt.receiver,
+                        amount: bt.amount,
+                    },
+                );
+            }
+        }
+        let mut fees = Amount::ZERO;
+        for tx in &transactions {
+            let fee = apply_transaction(&mut scratch, tx, height, Digest32::ZERO, &self.active)?;
+            fees = fees.checked_add(fee).ok_or(BlockError::AmountOverflow)?;
+        }
+        let subsidy = self
+            .params
+            .block_subsidy
+            .checked_add(fees)
+            .ok_or(BlockError::AmountOverflow)?;
+        let coinbase = McTransaction::Coinbase(CoinbaseTx {
+            height,
+            outputs: vec![TxOut {
+                address: miner,
+                amount: subsidy,
+            }],
+        });
+        let mut all = Vec::with_capacity(transactions.len() + 1);
+        all.push(coinbase);
+        all.extend(transactions);
+        let commitment = Self::build_commitment(&all);
+        let mut header = BlockHeader {
+            parent: self.tip_hash(),
+            height,
+            time,
+            tx_root: Block::compute_tx_root(&all),
+            sc_txs_commitment: commitment.root(),
+            target: self.params.target,
+            nonce: 0,
+        };
+        header.nonce = mine(
+            &self.params.target,
+            |nonce| {
+                let mut h = header;
+                h.nonce = nonce;
+                h.hash()
+            },
+            self.params.max_mine_attempts,
+        )
+        .ok_or(BlockError::MiningFailed)?;
+        Ok(Block {
+            header,
+            transactions: all,
+        })
+    }
+
+    /// Convenience: build, mine and submit the next block in one call.
+    ///
+    /// # Errors
+    ///
+    /// See [`Blockchain::build_next_block`] and
+    /// [`Blockchain::submit_block`].
+    pub fn mine_next_block(
+        &mut self,
+        miner: Address,
+        transactions: Vec<McTransaction>,
+        time: u64,
+    ) -> Result<Block, BlockError> {
+        let block = self.build_next_block(miner, transactions, time)?;
+        self.submit_block(block.clone())?;
+        Ok(block)
+    }
+}
+
+/// Applies one non-coinbase transaction, returning its fee.
+fn apply_transaction(
+    state: &mut ChainState,
+    tx: &McTransaction,
+    height: u64,
+    block_hash: Digest32,
+    active: &[Digest32],
+) -> Result<Amount, BlockError> {
+    let boundary = |h: u64| active.get(h as usize).copied();
+    match tx {
+        McTransaction::Coinbase(_) => Err(BlockError::BadCoinbase("coinbase not first")),
+        McTransaction::Transfer(t) => {
+            if t.inputs.is_empty() {
+                return Err(BlockError::NoInputs);
+            }
+            // Uniqueness of spent outpoints within the transaction.
+            let mut outpoints = HashSet::new();
+            for input in &t.inputs {
+                if !outpoints.insert(input.outpoint) {
+                    return Err(BlockError::DoubleSpendInBlock(input.outpoint));
+                }
+            }
+            // Authorization + input total.
+            let mut total_in = Amount::ZERO;
+            for (i, input) in t.inputs.iter().enumerate() {
+                let spent = *state
+                    .utxos
+                    .get(&input.outpoint)
+                    .ok_or(BlockError::MissingInput(input.outpoint))?;
+                if !t.verify_input(i, &spent) {
+                    return Err(BlockError::BadInputAuthorization { input: i });
+                }
+                total_in = total_in
+                    .checked_add(spent.amount)
+                    .ok_or(BlockError::AmountOverflow)?;
+            }
+            let total_out = t.total_output().ok_or(BlockError::AmountOverflow)?;
+            if total_out > total_in {
+                return Err(BlockError::ValueImbalance);
+            }
+            // Apply: spend inputs, create outputs, credit FTs.
+            for input in &t.inputs {
+                state
+                    .utxos
+                    .remove(&input.outpoint)
+                    .expect("checked above");
+            }
+            let txid = tx.txid();
+            for (i, output) in t.outputs.iter().enumerate() {
+                match output {
+                    crate::transaction::Output::Regular(out) => {
+                        state.utxos.insert(
+                            OutPoint {
+                                txid,
+                                index: i as u32,
+                            },
+                            *out,
+                        );
+                    }
+                    crate::transaction::Output::Forward(ft) => {
+                        state
+                            .registry
+                            .credit_forward_transfer(&ft.sidechain_id, ft.amount)?;
+                    }
+                }
+            }
+            Ok(total_in.checked_sub(total_out).expect("checked above"))
+        }
+        McTransaction::SidechainDeclaration(config) => {
+            state.registry.declare((**config).clone(), height)?;
+            Ok(Amount::ZERO)
+        }
+        McTransaction::Certificate(cert) => {
+            state
+                .registry
+                .accept_certificate(cert, height, block_hash, boundary)?;
+            Ok(Amount::ZERO)
+        }
+        McTransaction::Btr(btr) => {
+            state.registry.accept_btr(btr)?;
+            Ok(Amount::ZERO)
+        }
+        McTransaction::Csw(csw) => {
+            let bt = state.registry.accept_csw(csw)?;
+            state.utxos.insert(
+                OutPoint {
+                    txid: tx.txid(),
+                    index: 0,
+                },
+                TxOut {
+                    address: bt.receiver,
+                    amount: bt.amount,
+                },
+            );
+            Ok(Amount::ZERO)
+        }
+    }
+}
+
+impl std::fmt::Debug for Blockchain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Blockchain")
+            .field("height", &self.height())
+            .field("tip", &self.tip_hash())
+            .field("blocks", &self.blocks.len())
+            .field("utxos", &self.state.utxos.len())
+            .field("sidechains", &self.state.registry.len())
+            .finish()
+    }
+}

@@ -1,0 +1,145 @@
+//! A minimal transaction mempool.
+//!
+//! Keeps candidate transactions in arrival order; validity is checked at
+//! block-building time against the then-current state (the builder
+//! rejects transactions invalidated by reorgs or competing spends), so
+//! the pool itself only deduplicates.
+
+use std::collections::{HashSet, VecDeque};
+use zendoo_primitives::digest::Digest32;
+
+use crate::transaction::McTransaction;
+
+/// A FIFO mempool with txid deduplication.
+///
+/// # Examples
+///
+/// ```
+/// use zendoo_mainchain::mempool::Mempool;
+/// use zendoo_mainchain::transaction::{CoinbaseTx, McTransaction};
+///
+/// let mut pool = Mempool::new();
+/// let tx = McTransaction::Coinbase(CoinbaseTx { height: 1, outputs: vec![] });
+/// assert!(pool.insert(tx.clone()));
+/// assert!(!pool.insert(tx), "duplicates rejected");
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Mempool {
+    queue: VecDeque<McTransaction>,
+    known: HashSet<Digest32>,
+}
+
+impl Mempool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a transaction; returns `false` if its id is already present.
+    pub fn insert(&mut self, tx: McTransaction) -> bool {
+        let txid = tx.txid();
+        if !self.known.insert(txid) {
+            return false;
+        }
+        self.queue.push_back(tx);
+        true
+    }
+
+    /// Returns `true` if the pool knows this txid.
+    pub fn contains(&self, txid: &Digest32) -> bool {
+        self.known.contains(txid)
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Removes and returns up to `max` transactions (FIFO).
+    pub fn take(&mut self, max: usize) -> Vec<McTransaction> {
+        let n = max.min(self.queue.len());
+        let taken: Vec<McTransaction> = self.queue.drain(..n).collect();
+        for tx in &taken {
+            self.known.remove(&tx.txid());
+        }
+        taken
+    }
+
+    /// Drops transactions whose ids appear in `confirmed` (called after a
+    /// block connects).
+    pub fn remove_confirmed(&mut self, confirmed: &[Digest32]) {
+        let confirmed: HashSet<&Digest32> = confirmed.iter().collect();
+        self.queue.retain(|tx| !confirmed.contains(&tx.txid()));
+        for txid in confirmed {
+            self.known.remove(txid);
+        }
+    }
+
+    /// Re-queues transactions (e.g. from disconnected blocks after a
+    /// reorg); duplicates are ignored.
+    pub fn reinsert_all<I: IntoIterator<Item = McTransaction>>(&mut self, txs: I) {
+        for tx in txs {
+            self.insert(tx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::CoinbaseTx;
+
+    fn tx(n: u64) -> McTransaction {
+        McTransaction::Coinbase(CoinbaseTx {
+            height: n,
+            outputs: vec![],
+        })
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut pool = Mempool::new();
+        for i in 0..5 {
+            pool.insert(tx(i));
+        }
+        let taken = pool.take(3);
+        assert_eq!(taken.len(), 3);
+        assert_eq!(taken[0], tx(0));
+        assert_eq!(taken[2], tx(2));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn take_more_than_available() {
+        let mut pool = Mempool::new();
+        pool.insert(tx(1));
+        assert_eq!(pool.take(10).len(), 1);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn remove_confirmed_clears_entries() {
+        let mut pool = Mempool::new();
+        pool.insert(tx(1));
+        pool.insert(tx(2));
+        pool.remove_confirmed(&[tx(1).txid()]);
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.contains(&tx(1).txid()));
+        // And the removed tx can re-enter (e.g. after a reorg).
+        assert!(pool.insert(tx(1)));
+    }
+
+    #[test]
+    fn reinsert_ignores_duplicates() {
+        let mut pool = Mempool::new();
+        pool.insert(tx(1));
+        pool.reinsert_all([tx(1), tx(2)]);
+        assert_eq!(pool.len(), 2);
+    }
+}

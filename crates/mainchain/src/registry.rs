@@ -1,0 +1,469 @@
+//! The mainchain's sidechain registry: the CCTP state machine.
+//!
+//! Tracks, per registered sidechain: its immutable configuration (§4.2),
+//! the **safeguard balance** (§4.1.2.2), its liveness status (Def 4.2),
+//! accepted certificates per epoch with quality replacement (§4.1.2), the
+//! consumed nullifier set (§4.1.2.1) and the anchor block for BTR/CSW
+//! proofs (`H(B_w)`).
+//!
+//! Certificate payouts *mature* when the submission window closes: only
+//! the highest-quality certificate of the epoch pays its backward
+//! transfers. This realizes the paper's "the mainchain adopts a
+//! certificate with the highest quality" without ever reverting payouts
+//! of a lower-quality certificate accepted earlier in the same window.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+use zendoo_core::certificate::WithdrawalCertificate;
+use zendoo_core::config::SidechainConfig;
+use zendoo_core::ids::{Amount, EpochId, Nullifier, SidechainId};
+use zendoo_core::transfer::BackwardTransfer;
+use zendoo_core::verifier::{self, VerifyError};
+use zendoo_core::withdrawal::{BackwardTransferRequest, CeasedSidechainWithdrawal};
+use zendoo_primitives::digest::Digest32;
+
+/// Liveness of a registered sidechain (Def 4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SidechainStatus {
+    /// Posting certificates on schedule.
+    Active,
+    /// Missed a submission window; only CSWs may touch its balance.
+    Ceased,
+}
+
+/// A certificate accepted into the registry (best-of-epoch so far).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcceptedCertificate {
+    /// The certificate.
+    pub certificate: WithdrawalCertificate,
+    /// Hash of the MC block that carried it (the BTR anchor `B_w`).
+    pub mc_block: Digest32,
+    /// Whether the payout has matured (window closed).
+    pub matured: bool,
+}
+
+/// Registry state for one sidechain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SidechainEntry {
+    /// Immutable creation-time configuration.
+    pub config: SidechainConfig,
+    /// The safeguard balance: forwarded minus withdrawn.
+    pub balance: Amount,
+    /// Liveness.
+    pub status: SidechainStatus,
+    /// Best accepted certificate per epoch.
+    pub certificates: BTreeMap<EpochId, AcceptedCertificate>,
+    /// MC height at which the sidechain was declared.
+    pub declared_at: u64,
+}
+
+impl SidechainEntry {
+    /// The most recently accepted certificate, if any.
+    pub fn last_certificate(&self) -> Option<&AcceptedCertificate> {
+        self.certificates.values().next_back()
+    }
+
+    /// The BTR/CSW anchor: hash of the block carrying the latest
+    /// certificate, or zero before any certificate exists.
+    pub fn last_certificate_block(&self) -> Digest32 {
+        self.last_certificate()
+            .map(|c| c.mc_block)
+            .unwrap_or(Digest32::ZERO)
+    }
+}
+
+/// A payout released when a certificate matures (or a CSW is accepted):
+/// the chain layer turns these into spendable UTXOs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaturedPayout {
+    /// The paying sidechain.
+    pub sidechain_id: SidechainId,
+    /// Digest of the certificate whose BTs pay out (UTXO txid base).
+    pub certificate_digest: Digest32,
+    /// The backward transfers to credit.
+    pub transfers: Vec<BackwardTransfer>,
+}
+
+/// Why the registry rejected an operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Unknown `ledgerId`.
+    UnknownSidechain(SidechainId),
+    /// The id is already registered (or reserved).
+    IdUnavailable(SidechainId),
+    /// The declared activation height is not in the future.
+    ActivationNotInFuture {
+        /// Declared start height.
+        start_block: u64,
+        /// Height of the declaring block.
+        declared_at: u64,
+    },
+    /// Operation requires an active sidechain.
+    SidechainCeased(SidechainId),
+    /// Operation requires a ceased sidechain.
+    SidechainStillActive(SidechainId),
+    /// Certificate submitted outside its epoch's submission window.
+    OutsideSubmissionWindow {
+        /// The certificate's epoch.
+        epoch: EpochId,
+        /// The submitting block's height.
+        height: u64,
+    },
+    /// The safeguard: withdrawal exceeds the sidechain balance
+    /// (§4.1.2.2).
+    SafeguardViolation {
+        /// Requested amount.
+        requested: Amount,
+        /// Available balance.
+        available: Amount,
+    },
+    /// Nullifier already consumed (double-spend attempt).
+    NullifierReused(Nullifier),
+    /// The posting failed CCTP verification (schema/quality/proof).
+    Verify(VerifyError),
+    /// An epoch-boundary block hash was unavailable (internal error).
+    MissingBoundaryBlock(u64),
+    /// Amount arithmetic overflowed (adversarial input).
+    AmountOverflow,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownSidechain(id) => write!(f, "unknown sidechain {id}"),
+            RegistryError::IdUnavailable(id) => write!(f, "sidechain id {id} unavailable"),
+            RegistryError::ActivationNotInFuture {
+                start_block,
+                declared_at,
+            } => write!(
+                f,
+                "activation height {start_block} not after declaring height {declared_at}"
+            ),
+            RegistryError::SidechainCeased(id) => write!(f, "sidechain {id} is ceased"),
+            RegistryError::SidechainStillActive(id) => {
+                write!(f, "sidechain {id} is still active")
+            }
+            RegistryError::OutsideSubmissionWindow { epoch, height } => write!(
+                f,
+                "certificate for epoch {epoch} not acceptable at height {height}"
+            ),
+            RegistryError::SafeguardViolation {
+                requested,
+                available,
+            } => write!(
+                f,
+                "safeguard: requested {requested} exceeds balance {available}"
+            ),
+            RegistryError::NullifierReused(n) => write!(f, "nullifier {n:?} already spent"),
+            RegistryError::Verify(e) => write!(f, "verification failed: {e}"),
+            RegistryError::MissingBoundaryBlock(h) => {
+                write!(f, "no block hash known at boundary height {h}")
+            }
+            RegistryError::AmountOverflow => write!(f, "amount arithmetic overflow"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<VerifyError> for RegistryError {
+    fn from(e: VerifyError) -> Self {
+        RegistryError::Verify(e)
+    }
+}
+
+/// The registry of all sidechains known to the mainchain.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SidechainRegistry {
+    entries: BTreeMap<SidechainId, SidechainEntry>,
+    nullifiers: HashSet<(SidechainId, Nullifier)>,
+}
+
+impl SidechainRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a sidechain.
+    pub fn get(&self, id: &SidechainId) -> Option<&SidechainEntry> {
+        self.entries.get(id)
+    }
+
+    /// Iterates over all registered sidechains.
+    pub fn iter(&self) -> impl Iterator<Item = (&SidechainId, &SidechainEntry)> {
+        self.entries.iter()
+    }
+
+    /// Number of registered sidechains.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no sidechain is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if a nullifier has been consumed for `id`.
+    pub fn nullifier_spent(&self, id: &SidechainId, nullifier: &Nullifier) -> bool {
+        self.nullifiers.contains(&(*id, *nullifier))
+    }
+
+    /// Registers a new sidechain (§4.2), declared in a block at
+    /// `declared_at`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects reused/reserved ids, invalid configs, and activation
+    /// heights not strictly in the future.
+    pub fn declare(&mut self, config: SidechainConfig, declared_at: u64) -> Result<(), RegistryError> {
+        if config.id.is_reserved() || self.entries.contains_key(&config.id) {
+            return Err(RegistryError::IdUnavailable(config.id));
+        }
+        config
+            .validate()
+            .map_err(|_| RegistryError::IdUnavailable(config.id))?;
+        if config.schedule.start_block() <= declared_at {
+            return Err(RegistryError::ActivationNotInFuture {
+                start_block: config.schedule.start_block(),
+                declared_at,
+            });
+        }
+        let id = config.id;
+        self.entries.insert(
+            id,
+            SidechainEntry {
+                config,
+                balance: Amount::ZERO,
+                status: SidechainStatus::Active,
+                certificates: BTreeMap::new(),
+                declared_at,
+            },
+        );
+        Ok(())
+    }
+
+    /// Block-start processing at `height`: ceases sidechains whose window
+    /// closed empty (Def 4.2) and matures the winning certificate of each
+    /// window that closed — returning the payouts the chain must credit.
+    pub fn begin_block(&mut self, height: u64) -> Vec<MaturedPayout> {
+        let mut payouts = Vec::new();
+        for (id, entry) in self.entries.iter_mut() {
+            if entry.status == SidechainStatus::Ceased {
+                continue;
+            }
+            let schedule = entry.config.schedule;
+            // Find the epoch whose window closes exactly at this height.
+            let Some(current_epoch) = schedule.epoch_of_height(height) else {
+                continue;
+            };
+            if current_epoch == 0 {
+                continue;
+            }
+            let closing_epoch = current_epoch - 1;
+            if schedule.ceasing_height(closing_epoch) != height {
+                continue;
+            }
+            match entry.certificates.get_mut(&closing_epoch) {
+                None => {
+                    entry.status = SidechainStatus::Ceased;
+                }
+                Some(accepted) => {
+                    accepted.matured = true;
+                    let total = accepted
+                        .certificate
+                        .total_withdrawn()
+                        .expect("checked at acceptance");
+                    entry.balance = entry
+                        .balance
+                        .checked_sub(total)
+                        .expect("safeguard checked at acceptance");
+                    if !accepted.certificate.bt_list.is_empty() {
+                        payouts.push(MaturedPayout {
+                            sidechain_id: *id,
+                            certificate_digest: accepted.certificate.digest(),
+                            transfers: accepted.certificate.bt_list.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        payouts
+    }
+
+    /// Credits a forward transfer (the FT side of the safeguard).
+    ///
+    /// # Errors
+    ///
+    /// Unknown or ceased destination sidechains reject the transfer (the
+    /// containing transaction is invalid).
+    pub fn credit_forward_transfer(
+        &mut self,
+        id: &SidechainId,
+        amount: Amount,
+    ) -> Result<(), RegistryError> {
+        let entry = self
+            .entries
+            .get_mut(id)
+            .ok_or(RegistryError::UnknownSidechain(*id))?;
+        if entry.status == SidechainStatus::Ceased {
+            return Err(RegistryError::SidechainCeased(*id));
+        }
+        entry.balance = entry
+            .balance
+            .checked_add(amount)
+            .ok_or(RegistryError::AmountOverflow)?;
+        Ok(())
+    }
+
+    /// Accepts a withdrawal certificate carried by the block at
+    /// `height` / `block_hash` ("WCert Verification", §4.1.2).
+    ///
+    /// `boundary_hash(h)` must return the active-chain block hash at
+    /// height `h` (for the `wcert_sysdata` epoch anchors).
+    ///
+    /// # Errors
+    ///
+    /// All rules of §4.1.2: active sidechain, correct window, increasing
+    /// quality, valid SNARK, safeguard.
+    pub fn accept_certificate<F>(
+        &mut self,
+        cert: &WithdrawalCertificate,
+        height: u64,
+        block_hash: Digest32,
+        boundary_hash: F,
+    ) -> Result<(), RegistryError>
+    where
+        F: Fn(u64) -> Option<Digest32>,
+    {
+        let entry = self
+            .entries
+            .get_mut(&cert.sidechain_id)
+            .ok_or(RegistryError::UnknownSidechain(cert.sidechain_id))?;
+        if entry.status == SidechainStatus::Ceased {
+            return Err(RegistryError::SidechainCeased(cert.sidechain_id));
+        }
+        let schedule = entry.config.schedule;
+        if !schedule.in_submission_window(cert.epoch_id, height) {
+            return Err(RegistryError::OutsideSubmissionWindow {
+                epoch: cert.epoch_id,
+                height,
+            });
+        }
+        // Epoch boundary anchors (H(B^{i-1}_last), H(B^i_last)).
+        let epoch_end = schedule.epoch_last_height(cert.epoch_id);
+        let prev_end = if cert.epoch_id == 0 {
+            if schedule.start_block() == 0 {
+                Digest32::ZERO
+            } else {
+                boundary_hash(schedule.start_block() - 1)
+                    .ok_or(RegistryError::MissingBoundaryBlock(schedule.start_block() - 1))?
+            }
+        } else {
+            boundary_hash(schedule.epoch_last_height(cert.epoch_id - 1)).ok_or(
+                RegistryError::MissingBoundaryBlock(schedule.epoch_last_height(cert.epoch_id - 1)),
+            )?
+        };
+        let epoch_end_hash =
+            boundary_hash(epoch_end).ok_or(RegistryError::MissingBoundaryBlock(epoch_end))?;
+
+        let best_quality = entry
+            .certificates
+            .get(&cert.epoch_id)
+            .map(|c| c.certificate.quality);
+        verifier::verify_certificate(&entry.config, cert, best_quality, prev_end, epoch_end_hash)?;
+
+        // Safeguard (§4.1.2.2): cannot withdraw more than the balance.
+        let total = cert
+            .total_withdrawn()
+            .ok_or(RegistryError::AmountOverflow)?;
+        if total > entry.balance {
+            return Err(RegistryError::SafeguardViolation {
+                requested: total,
+                available: entry.balance,
+            });
+        }
+        entry.certificates.insert(
+            cert.epoch_id,
+            AcceptedCertificate {
+                certificate: cert.clone(),
+                mc_block: block_hash,
+                matured: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Accepts a backward transfer request (§4.1.2.1). Consumes the
+    /// nullifier; moves no coins.
+    ///
+    /// # Errors
+    ///
+    /// Unknown/ceased sidechain, disabled BTRs, reused nullifier, or
+    /// invalid proof.
+    pub fn accept_btr(&mut self, btr: &BackwardTransferRequest) -> Result<(), RegistryError> {
+        let entry = self
+            .entries
+            .get(&btr.sidechain_id)
+            .ok_or(RegistryError::UnknownSidechain(btr.sidechain_id))?;
+        if entry.status == SidechainStatus::Ceased {
+            return Err(RegistryError::SidechainCeased(btr.sidechain_id));
+        }
+        let key = (btr.sidechain_id, btr.nullifier);
+        if self.nullifiers.contains(&key) {
+            return Err(RegistryError::NullifierReused(btr.nullifier));
+        }
+        verifier::verify_btr(&entry.config, btr, entry.last_certificate_block())?;
+        self.nullifiers.insert(key);
+        Ok(())
+    }
+
+    /// Accepts a ceased sidechain withdrawal (§5.5.3.3): consumes the
+    /// nullifier, debits the balance and returns the payout for the chain
+    /// layer to credit.
+    ///
+    /// # Errors
+    ///
+    /// Requires a *ceased* sidechain, an enabled CSW key, a fresh
+    /// nullifier, a valid proof, and the safeguard.
+    pub fn accept_csw(
+        &mut self,
+        csw: &CeasedSidechainWithdrawal,
+    ) -> Result<BackwardTransfer, RegistryError> {
+        let entry = self
+            .entries
+            .get_mut(&csw.sidechain_id)
+            .ok_or(RegistryError::UnknownSidechain(csw.sidechain_id))?;
+        if entry.status != SidechainStatus::Ceased {
+            return Err(RegistryError::SidechainStillActive(csw.sidechain_id));
+        }
+        let key = (csw.sidechain_id, csw.nullifier);
+        if self.nullifiers.contains(&key) {
+            return Err(RegistryError::NullifierReused(csw.nullifier));
+        }
+        let anchor = entry.last_certificate_block();
+        verifier::verify_csw(&entry.config, csw, anchor)?;
+        if csw.amount > entry.balance {
+            return Err(RegistryError::SafeguardViolation {
+                requested: csw.amount,
+                available: entry.balance,
+            });
+        }
+        entry.balance = entry
+            .balance
+            .checked_sub(csw.amount)
+            .expect("checked above");
+        self.nullifiers.insert(key);
+        Ok(BackwardTransfer {
+            receiver: csw.receiver,
+            amount: csw.amount,
+        })
+    }
+
+    /// Sum of every sidechain balance (conservation audits).
+    pub fn total_locked(&self) -> Amount {
+        Amount::checked_sum(self.entries.values().map(|e| e.balance))
+            .expect("total supply fits in u64")
+    }
+}

@@ -1,0 +1,154 @@
+//! The unspent-transaction-output set.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use zendoo_core::ids::{Address, Amount};
+
+use crate::transaction::{OutPoint, TxOut};
+
+/// The mainchain UTXO set.
+///
+/// # Examples
+///
+/// ```
+/// use zendoo_mainchain::utxo::UtxoSet;
+/// use zendoo_mainchain::transaction::{OutPoint, TxOut};
+/// use zendoo_core::ids::{Address, Amount};
+/// use zendoo_primitives::digest::Digest32;
+///
+/// let mut set = UtxoSet::new();
+/// let op = OutPoint { txid: Digest32::hash_bytes(b"tx"), index: 0 };
+/// set.insert(op, TxOut { address: Address::from_label("a"), amount: Amount::from_units(5) });
+/// assert!(set.get(&op).is_some());
+/// assert_eq!(set.remove(&op).unwrap().amount, Amount::from_units(5));
+/// assert!(set.get(&op).is_none());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtxoSet {
+    entries: HashMap<OutPoint, TxOut>,
+}
+
+impl UtxoSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up an unspent output.
+    pub fn get(&self, outpoint: &OutPoint) -> Option<&TxOut> {
+        self.entries.get(outpoint)
+    }
+
+    /// Returns `true` if `outpoint` is unspent.
+    pub fn contains(&self, outpoint: &OutPoint) -> bool {
+        self.entries.contains_key(outpoint)
+    }
+
+    /// Adds a new unspent output. Returns the previous value if the
+    /// outpoint was (erroneously) already present.
+    pub fn insert(&mut self, outpoint: OutPoint, output: TxOut) -> Option<TxOut> {
+        self.entries.insert(outpoint, output)
+    }
+
+    /// Spends an output, returning it.
+    pub fn remove(&mut self, outpoint: &OutPoint) -> Option<TxOut> {
+        self.entries.remove(outpoint)
+    }
+
+    /// Number of unspent outputs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all `(outpoint, output)` entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&OutPoint, &TxOut)> {
+        self.entries.iter()
+    }
+
+    /// Total value held by `address`.
+    pub fn balance_of(&self, address: &Address) -> Amount {
+        Amount::checked_sum(
+            self.entries
+                .values()
+                .filter(|o| o.address == *address)
+                .map(|o| o.amount),
+        )
+        .expect("total supply fits in u64")
+    }
+
+    /// All outpoints owned by `address`, with their outputs.
+    pub fn owned_by(&self, address: &Address) -> Vec<(OutPoint, TxOut)> {
+        let mut owned: Vec<(OutPoint, TxOut)> = self
+            .entries
+            .iter()
+            .filter(|(_, o)| o.address == *address)
+            .map(|(op, o)| (*op, *o))
+            .collect();
+        owned.sort_by_key(|(op, _)| *op);
+        owned
+    }
+
+    /// Total value of every unspent output (supply audit).
+    pub fn total_value(&self) -> Amount {
+        Amount::checked_sum(self.entries.values().map(|o| o.amount))
+            .expect("total supply fits in u64")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zendoo_primitives::digest::Digest32;
+
+    fn op(n: u8, index: u32) -> OutPoint {
+        OutPoint {
+            txid: Digest32::hash_bytes(&[n]),
+            index,
+        }
+    }
+
+    fn out(addr: &str, amount: u64) -> TxOut {
+        TxOut {
+            address: Address::from_label(addr),
+            amount: Amount::from_units(amount),
+        }
+    }
+
+    #[test]
+    fn balance_and_ownership() {
+        let mut set = UtxoSet::new();
+        set.insert(op(1, 0), out("alice", 5));
+        set.insert(op(1, 1), out("alice", 7));
+        set.insert(op(2, 0), out("bob", 11));
+        assert_eq!(
+            set.balance_of(&Address::from_label("alice")),
+            Amount::from_units(12)
+        );
+        assert_eq!(set.owned_by(&Address::from_label("alice")).len(), 2);
+        assert_eq!(set.total_value(), Amount::from_units(23));
+    }
+
+    #[test]
+    fn double_spend_returns_none() {
+        let mut set = UtxoSet::new();
+        set.insert(op(1, 0), out("alice", 5));
+        assert!(set.remove(&op(1, 0)).is_some());
+        assert!(set.remove(&op(1, 0)).is_none());
+    }
+
+    #[test]
+    fn owned_by_is_deterministic() {
+        let mut set = UtxoSet::new();
+        for i in 0..10 {
+            set.insert(op(i, 0), out("a", i as u64 + 1));
+        }
+        let first = set.owned_by(&Address::from_label("a"));
+        let second = set.owned_by(&Address::from_label("a"));
+        assert_eq!(first, second);
+    }
+}

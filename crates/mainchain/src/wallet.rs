@@ -1,0 +1,198 @@
+//! A simple mainchain wallet: key management, coin selection, and
+//! transaction construction (transfers, forward transfers, BTR/CSW
+//! submission helpers).
+
+use zendoo_core::ids::{Address, Amount, SidechainId};
+use zendoo_core::transfer::ForwardTransfer;
+use zendoo_primitives::schnorr::Keypair;
+
+use crate::chain::Blockchain;
+use crate::transaction::{McTransaction, OutPoint, Output, TransferTx, TxOut};
+
+/// Wallet operation failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalletError {
+    /// Spendable funds are below the requested amount + fee.
+    InsufficientFunds {
+        /// Requested total (amount + fee).
+        requested: Amount,
+        /// Spendable balance.
+        available: Amount,
+    },
+}
+
+impl std::fmt::Display for WalletError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalletError::InsufficientFunds {
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient funds: requested {requested}, available {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalletError {}
+
+/// A single-key mainchain wallet.
+///
+/// # Examples
+///
+/// ```
+/// use zendoo_mainchain::wallet::Wallet;
+///
+/// let wallet = Wallet::from_seed(b"alice");
+/// let other = Wallet::from_seed(b"alice");
+/// assert_eq!(wallet.address(), other.address());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Wallet {
+    keypair: Keypair,
+    address: Address,
+}
+
+impl Wallet {
+    /// Creates a wallet from a deterministic seed.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let keypair = Keypair::from_seed(seed);
+        let address = Address::from_public_key(&keypair.public);
+        Wallet { keypair, address }
+    }
+
+    /// Creates a wallet with a random key.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        let keypair = Keypair::random(rng);
+        let address = Address::from_public_key(&keypair.public);
+        Wallet { keypair, address }
+    }
+
+    /// The wallet's receive address.
+    pub fn address(&self) -> Address {
+        self.address
+    }
+
+    /// The wallet keypair (used by sidechain-side proofs).
+    pub fn keypair(&self) -> &Keypair {
+        &self.keypair
+    }
+
+    /// Spendable balance at the chain's active tip.
+    pub fn balance(&self, chain: &Blockchain) -> Amount {
+        chain.state().utxos.balance_of(&self.address)
+    }
+
+    /// Selects outpoints covering at least `target` (largest-first).
+    fn select_coins(
+        &self,
+        chain: &Blockchain,
+        target: Amount,
+    ) -> Result<(Vec<(OutPoint, TxOut)>, Amount), WalletError> {
+        let mut coins = chain.state().utxos.owned_by(&self.address);
+        coins.sort_by(|a, b| b.1.amount.cmp(&a.1.amount));
+        let mut selected = Vec::new();
+        let mut total = Amount::ZERO;
+        for (op, out) in coins {
+            if total >= target {
+                break;
+            }
+            total = total
+                .checked_add(out.amount)
+                .expect("wallet balance fits in u64");
+            selected.push((op, out));
+        }
+        if total < target {
+            return Err(WalletError::InsufficientFunds {
+                requested: target,
+                available: total,
+            });
+        }
+        Ok((selected, total))
+    }
+
+    /// Builds a signed transfer paying `amount` to `recipient`, with
+    /// `fee` left to the miner and change back to this wallet.
+    ///
+    /// # Errors
+    ///
+    /// [`WalletError::InsufficientFunds`].
+    pub fn pay(
+        &self,
+        chain: &Blockchain,
+        recipient: Address,
+        amount: Amount,
+        fee: Amount,
+    ) -> Result<McTransaction, WalletError> {
+        self.build(
+            chain,
+            vec![Output::Regular(TxOut {
+                address: recipient,
+                amount,
+            })],
+            fee,
+        )
+    }
+
+    /// Builds a signed transaction with a forward transfer of `amount`
+    /// to `sidechain_id` (Def 4.1), change back to this wallet.
+    ///
+    /// # Errors
+    ///
+    /// [`WalletError::InsufficientFunds`].
+    pub fn forward_transfer(
+        &self,
+        chain: &Blockchain,
+        sidechain_id: SidechainId,
+        receiver_metadata: Vec<u8>,
+        amount: Amount,
+        fee: Amount,
+    ) -> Result<McTransaction, WalletError> {
+        self.build(
+            chain,
+            vec![Output::Forward(ForwardTransfer {
+                sidechain_id,
+                receiver_metadata,
+                amount,
+            })],
+            fee,
+        )
+    }
+
+    /// Builds a signed transaction with arbitrary outputs plus change.
+    ///
+    /// # Errors
+    ///
+    /// [`WalletError::InsufficientFunds`].
+    pub fn build(
+        &self,
+        chain: &Blockchain,
+        outputs: Vec<Output>,
+        fee: Amount,
+    ) -> Result<McTransaction, WalletError> {
+        let out_total = Amount::checked_sum(outputs.iter().map(|o| o.amount()))
+            .expect("output total fits in u64");
+        let target = out_total
+            .checked_add(fee)
+            .expect("amount + fee fits in u64");
+        let (selected, selected_total) = self.select_coins(chain, target)?;
+        let change = selected_total
+            .checked_sub(target)
+            .expect("selection covers target");
+        let mut outputs = outputs;
+        if !change.is_zero() {
+            outputs.push(Output::Regular(TxOut {
+                address: self.address,
+                amount: change,
+            }));
+        }
+        let spends: Vec<(OutPoint, &zendoo_primitives::schnorr::SecretKey)> = selected
+            .iter()
+            .map(|(op, _)| (*op, &self.keypair.secret))
+            .collect();
+        Ok(McTransaction::Transfer(TransferTx::signed(
+            &spends, outputs,
+        )))
+    }
+}

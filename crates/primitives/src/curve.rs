@@ -1,0 +1,517 @@
+//! secp256k1 group arithmetic (short Weierstrass `y² = x³ + 7`).
+//!
+//! Provides affine and Jacobian point types, scalar multiplication, point
+//! compression and hash-to-curve (try-and-increment). This is the group
+//! underlying Schnorr signatures ([`crate::schnorr`]), the VRF
+//! ([`crate::vrf`]) and the simulated SNARK backend.
+
+use crate::field::{Fp, Fr};
+use crate::sha256::sha256_tagged;
+use rand::Rng;
+use std::fmt;
+use std::ops::{Add, Mul, Neg};
+
+/// The curve constant `b` in `y² = x³ + b`.
+fn curve_b() -> Fp {
+    Fp::from_u64(7)
+}
+
+/// A point on secp256k1 in affine coordinates, or the point at infinity.
+///
+/// # Examples
+///
+/// ```
+/// use zendoo_primitives::curve::AffinePoint;
+/// use zendoo_primitives::field::Fr;
+///
+/// let g = AffinePoint::generator();
+/// let two_g = (g.to_jacobian() + g.to_jacobian()).to_affine();
+/// assert_eq!((g * Fr::from_u64(2)).to_affine(), two_g);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AffinePoint {
+    x: Fp,
+    y: Fp,
+    infinity: bool,
+}
+
+impl AffinePoint {
+    /// The point at infinity (group identity).
+    pub fn identity() -> Self {
+        AffinePoint {
+            x: Fp::ZERO,
+            y: Fp::ZERO,
+            infinity: true,
+        }
+    }
+
+    /// The standard secp256k1 base point `G`.
+    pub fn generator() -> Self {
+        AffinePoint {
+            x: Fp::from_hex("79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798"),
+            y: Fp::from_hex("483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8"),
+            infinity: false,
+        }
+    }
+
+    /// Constructs a point from affine coordinates, checking the curve
+    /// equation.
+    pub fn from_xy(x: Fp, y: Fp) -> Option<Self> {
+        let p = AffinePoint {
+            x,
+            y,
+            infinity: false,
+        };
+        p.is_on_curve().then_some(p)
+    }
+
+    /// Returns `true` for the identity element.
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+
+    /// The affine x-coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the identity.
+    pub fn x(&self) -> Fp {
+        assert!(!self.infinity, "identity has no affine coordinates");
+        self.x
+    }
+
+    /// The affine y-coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the identity.
+    pub fn y(&self) -> Fp {
+        assert!(!self.infinity, "identity has no affine coordinates");
+        self.y
+    }
+
+    /// Checks the curve equation `y² = x³ + 7` (identity is on-curve).
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        self.y.square() == self.x.square() * self.x + curve_b()
+    }
+
+    /// Converts to Jacobian coordinates.
+    pub fn to_jacobian(&self) -> JacobianPoint {
+        if self.infinity {
+            JacobianPoint::identity()
+        } else {
+            JacobianPoint {
+                x: self.x,
+                y: self.y,
+                z: Fp::one(),
+            }
+        }
+    }
+
+    /// SEC1 compressed encoding: 33 bytes, `0x02`/`0x03` prefix.
+    ///
+    /// The identity encodes as 33 zero bytes (non-standard but unambiguous:
+    /// a valid compressed point never has prefix `0x00`).
+    pub fn to_compressed(&self) -> [u8; 33] {
+        let mut out = [0u8; 33];
+        if self.infinity {
+            return out;
+        }
+        out[0] = if self.y.is_odd() { 0x03 } else { 0x02 };
+        out[1..].copy_from_slice(&self.x.to_be_bytes());
+        out
+    }
+
+    /// Decodes a compressed point, recomputing `y` from the curve equation.
+    pub fn from_compressed(bytes: &[u8; 33]) -> Option<Self> {
+        if bytes == &[0u8; 33] {
+            return Some(Self::identity());
+        }
+        let prefix = bytes[0];
+        if prefix != 0x02 && prefix != 0x03 {
+            return None;
+        }
+        let mut x_bytes = [0u8; 32];
+        x_bytes.copy_from_slice(&bytes[1..]);
+        let x = Fp::from_be_bytes_canonical(&x_bytes)?;
+        let y2 = x.square() * x + curve_b();
+        let mut y = y2.sqrt()?;
+        if y.is_odd() != (prefix == 0x03) {
+            y = -y;
+        }
+        Some(AffinePoint {
+            x,
+            y,
+            infinity: false,
+        })
+    }
+
+    /// Point negation.
+    pub fn negate(&self) -> Self {
+        if self.infinity {
+            *self
+        } else {
+            AffinePoint {
+                x: self.x,
+                y: -self.y,
+                infinity: false,
+            }
+        }
+    }
+
+    /// Deterministically maps arbitrary bytes to a curve point
+    /// (try-and-increment over `x = H(domain ‖ msg ‖ ctr)`).
+    ///
+    /// The expected number of iterations is 2; the loop is bounded only by
+    /// the negligible probability of repeated non-residues.
+    pub fn hash_to_curve(domain: &str, msg: &[u8]) -> Self {
+        for ctr in 0u32.. {
+            let digest = sha256_tagged("zendoo/h2c", &[domain.as_bytes(), msg, &ctr.to_be_bytes()]);
+            let x = Fp::from_be_bytes_reduced(&digest);
+            let y2 = x.square() * x + curve_b();
+            if let Some(mut y) = y2.sqrt() {
+                // Canonicalize to the even-y representative.
+                if y.is_odd() {
+                    y = -y;
+                }
+                return AffinePoint {
+                    x,
+                    y,
+                    infinity: false,
+                };
+            }
+        }
+        unreachable!("try-and-increment terminates with overwhelming probability")
+    }
+
+    /// Uniformly random point (random scalar times the generator).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (Self::generator() * Fr::random(rng)).to_affine()
+    }
+}
+
+impl fmt::Debug for AffinePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.infinity {
+            write!(f, "AffinePoint(infinity)")
+        } else {
+            write!(f, "AffinePoint({}, {})", self.x, self.y)
+        }
+    }
+}
+
+impl Default for AffinePoint {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl Mul<Fr> for AffinePoint {
+    type Output = JacobianPoint;
+    fn mul(self, scalar: Fr) -> JacobianPoint {
+        self.to_jacobian() * scalar
+    }
+}
+
+impl serde::Serialize for AffinePoint {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(&self.to_compressed())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for AffinePoint {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let bytes: Vec<u8> = serde::Deserialize::deserialize(deserializer)?;
+        let arr: [u8; 33] = bytes
+            .try_into()
+            .map_err(|_| serde::de::Error::custom("expected 33 bytes"))?;
+        AffinePoint::from_compressed(&arr)
+            .ok_or_else(|| serde::de::Error::custom("invalid curve point"))
+    }
+}
+
+/// A point in Jacobian projective coordinates `(X : Y : Z)` with
+/// `x = X/Z²`, `y = Y/Z³`. The identity is represented by `Z = 0`.
+#[derive(Clone, Copy, Debug)]
+pub struct JacobianPoint {
+    x: Fp,
+    y: Fp,
+    z: Fp,
+}
+
+impl JacobianPoint {
+    /// The group identity.
+    pub fn identity() -> Self {
+        JacobianPoint {
+            x: Fp::one(),
+            y: Fp::one(),
+            z: Fp::ZERO,
+        }
+    }
+
+    /// The base point in Jacobian form.
+    pub fn generator() -> Self {
+        AffinePoint::generator().to_jacobian()
+    }
+
+    /// Returns `true` for the identity.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Normalizes to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> AffinePoint {
+        if self.is_identity() {
+            return AffinePoint::identity();
+        }
+        let z_inv = self.z.invert().expect("nonzero z");
+        let z_inv2 = z_inv.square();
+        AffinePoint {
+            x: self.x * z_inv2,
+            y: self.y * z_inv2 * z_inv,
+            infinity: false,
+        }
+    }
+
+    /// Point doubling (dbl-2007-a formulas for a = 0).
+    pub fn double(&self) -> Self {
+        if self.is_identity() || self.y.is_zero() {
+            return Self::identity();
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let mut d = (self.x + b).square() - a - c;
+        d = d.double();
+        let e = a.double() + a;
+        let f = e.square();
+        let x3 = f - d.double();
+        let c8 = c.double().double().double();
+        let y3 = e * (d - x3) - c8;
+        let z3 = (self.y * self.z).double();
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Mixed/general point addition.
+    pub fn add_point(&self, other: &JacobianPoint) -> Self {
+        if self.is_identity() {
+            return *other;
+        }
+        if other.is_identity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = other.x * z1z1;
+        let s1 = self.y * z2z2 * other.z;
+        let s2 = other.y * z1z1 * self.z;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let h = u2 - u1;
+        let i = h.double().square();
+        let j = h * i;
+        let r = (s2 - s1).double();
+        let v = u1 * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (s1 * j).double();
+        let z3 = ((self.z + other.z).square() - z1z1 - z2z2) * h;
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Scalar multiplication (double-and-add over the canonical scalar
+    /// representation).
+    pub fn mul_scalar(&self, scalar: &Fr) -> Self {
+        let k = scalar.to_u256();
+        let mut acc = Self::identity();
+        for i in (0..k.bits()).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc.add_point(self);
+            }
+        }
+        acc
+    }
+
+    /// Point negation.
+    pub fn negate(&self) -> Self {
+        JacobianPoint {
+            x: self.x,
+            y: -self.y,
+            z: self.z,
+        }
+    }
+}
+
+impl Default for JacobianPoint {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl PartialEq for JacobianPoint {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare in the projective quotient: X1·Z2² == X2·Z1², Y1·Z2³ == Y2·Z1³.
+        match (self.is_identity(), other.is_identity()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            (false, false) => {
+                let z1z1 = self.z.square();
+                let z2z2 = other.z.square();
+                self.x * z2z2 == other.x * z1z1
+                    && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+            }
+        }
+    }
+}
+
+impl Eq for JacobianPoint {}
+
+impl Add for JacobianPoint {
+    type Output = JacobianPoint;
+    fn add(self, rhs: JacobianPoint) -> JacobianPoint {
+        self.add_point(&rhs)
+    }
+}
+
+impl Neg for JacobianPoint {
+    type Output = JacobianPoint;
+    fn neg(self) -> JacobianPoint {
+        self.negate()
+    }
+}
+
+impl Mul<Fr> for JacobianPoint {
+    type Output = JacobianPoint;
+    fn mul(self, scalar: Fr) -> JacobianPoint {
+        self.mul_scalar(&scalar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(AffinePoint::generator().is_on_curve());
+    }
+
+    #[test]
+    fn known_multiple_2g() {
+        // 2G for secp256k1 (public test vector).
+        let two_g = (JacobianPoint::generator() * Fr::from_u64(2)).to_affine();
+        assert_eq!(
+            two_g.x(),
+            Fp::from_hex("C6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5")
+        );
+        assert_eq!(
+            two_g.y(),
+            Fp::from_hex("1AE168FEA63DC339A3C58419466CEAEEF7F632653266D0E1236431A950CFE52A")
+        );
+    }
+
+    #[test]
+    fn known_multiple_3g() {
+        let three_g = (JacobianPoint::generator() * Fr::from_u64(3)).to_affine();
+        assert_eq!(
+            three_g.x(),
+            Fp::from_hex("F9308A019258C31049344F85F89D5229B531C845836F99B08601F113BCE036F9")
+        );
+    }
+
+    #[test]
+    fn group_order_annihilates_generator() {
+        // n * G = identity, via n = 0 in Fr: multiply by (n - 1) then add G.
+        let n_minus_1 = Fr::ZERO - Fr::one();
+        let p = JacobianPoint::generator() * n_minus_1 + JacobianPoint::generator();
+        assert!(p.is_identity());
+    }
+
+    #[test]
+    fn addition_laws() {
+        let mut r = rng();
+        let a = AffinePoint::random(&mut r).to_jacobian();
+        let b = AffinePoint::random(&mut r).to_jacobian();
+        let c = AffinePoint::random(&mut r).to_jacobian();
+        assert_eq!(a + b, b + a);
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!(a + JacobianPoint::identity(), a);
+        assert!((a + (-a)).is_identity());
+        assert_eq!(a + a, a.double());
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let mut r = rng();
+        let s1 = Fr::random(&mut r);
+        let s2 = Fr::random(&mut r);
+        let g = JacobianPoint::generator();
+        assert_eq!(g * s1 + g * s2, g * (s1 + s2));
+        assert_eq!((g * s1) * s2, g * (s1 * s2));
+    }
+
+    #[test]
+    fn compression_roundtrip() {
+        let mut r = rng();
+        for _ in 0..8 {
+            let p = AffinePoint::random(&mut r);
+            let decoded = AffinePoint::from_compressed(&p.to_compressed()).unwrap();
+            assert_eq!(p, decoded);
+        }
+        let id = AffinePoint::identity();
+        assert_eq!(AffinePoint::from_compressed(&id.to_compressed()), Some(id));
+    }
+
+    #[test]
+    fn compression_rejects_garbage() {
+        let mut bytes = [0xffu8; 33];
+        assert!(AffinePoint::from_compressed(&bytes).is_none());
+        bytes[0] = 0x02;
+        // x = 2^256-1 is not canonical.
+        assert!(AffinePoint::from_compressed(&bytes).is_none());
+    }
+
+    #[test]
+    fn hash_to_curve_is_deterministic_and_valid() {
+        let p1 = AffinePoint::hash_to_curve("test", b"hello");
+        let p2 = AffinePoint::hash_to_curve("test", b"hello");
+        let p3 = AffinePoint::hash_to_curve("test", b"world");
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        assert!(p1.is_on_curve());
+        assert!(p3.is_on_curve());
+        assert_ne!(
+            AffinePoint::hash_to_curve("other-domain", b"hello"),
+            p1,
+            "domains must separate"
+        );
+    }
+
+    #[test]
+    fn doubling_edge_cases() {
+        assert!(JacobianPoint::identity().double().is_identity());
+        let g = JacobianPoint::generator();
+        assert_eq!(g.double().double(), g * Fr::from_u64(4));
+    }
+}

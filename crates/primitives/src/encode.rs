@@ -1,0 +1,215 @@
+//! Canonical deterministic binary encoding.
+//!
+//! Every on-chain object is hashed through this encoding, so it must be
+//! injective per type: integers are fixed-width big-endian, sequences are
+//! length-prefixed, options carry a presence byte. [`digest`] combines the
+//! encoding with a tagged SHA-256 to derive ids and commitment leaves.
+
+use crate::curve::AffinePoint;
+use crate::digest::Digest32;
+use crate::field::{FieldParams, Fp256};
+
+/// Types with a canonical binary encoding.
+///
+/// # Examples
+///
+/// ```
+/// use zendoo_primitives::encode::Encode;
+///
+/// let v: Vec<u64> = vec![1, 2, 3];
+/// assert_eq!(v.encoded().len(), 8 + 3 * 8);
+/// ```
+pub trait Encode {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Returns the canonical encoding as a fresh buffer.
+    fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// Computes the tagged digest of a value's canonical encoding.
+pub fn digest<T: Encode + ?Sized>(tag: &str, value: &T) -> Digest32 {
+    Digest32::hash_tagged(tag, &[&value.encoded()])
+}
+
+impl Encode for u8 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+}
+
+impl Encode for u16 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+}
+
+impl Encode for u32 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+}
+
+impl Encode for u64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+}
+
+impl Encode for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+
+impl Encode for [u8; 32] {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+}
+
+impl Encode for [u8; 33] {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+}
+
+impl Encode for [u8; 65] {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+}
+
+impl Encode for str {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode_into(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Encode for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.as_str().encode_into(out);
+    }
+}
+
+impl Encode for Digest32 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl<P: FieldParams> Encode for Fp256<P> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+}
+
+impl Encode for AffinePoint {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_compressed());
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.as_slice().encode_into(out);
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode_into(out);
+        for item in self {
+            item.encode_into(out);
+        }
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+        self.2.encode_into(out);
+    }
+}
+
+impl<T: Encode + ?Sized> Encode for &T {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (*self).encode_into(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Fp;
+
+    #[test]
+    fn integers_are_big_endian_fixed_width() {
+        assert_eq!(1u64.encoded(), vec![0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(0x0102u16.encoded(), vec![1, 2]);
+        assert_eq!(true.encoded(), vec![1]);
+    }
+
+    #[test]
+    fn sequences_are_length_prefixed() {
+        let v: Vec<u8> = vec![9, 9];
+        assert_eq!(v.encoded(), vec![0, 0, 0, 0, 0, 0, 0, 2, 9, 9]);
+        let empty: Vec<u64> = vec![];
+        assert_eq!(empty.encoded().len(), 8);
+    }
+
+    #[test]
+    fn options_carry_presence() {
+        assert_eq!(Option::<u8>::None.encoded(), vec![0]);
+        assert_eq!(Some(5u8).encoded(), vec![1, 5]);
+    }
+
+    #[test]
+    fn digest_depends_on_tag_and_value() {
+        let a = digest("t1", &42u64);
+        let b = digest("t2", &42u64);
+        let c = digest("t1", &43u64);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, digest("t1", &42u64));
+    }
+
+    #[test]
+    fn nested_structures_are_unambiguous() {
+        // ([1], [2,3]) vs ([1,2], [3]) must encode differently.
+        let a = (vec![1u8], vec![2u8, 3u8]).encoded();
+        let b = (vec![1u8, 2u8], vec![3u8]).encoded();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn field_elements_encode_canonically() {
+        let x = Fp::from_u64(0xdead);
+        assert_eq!(x.encoded(), x.to_be_bytes().to_vec());
+    }
+}

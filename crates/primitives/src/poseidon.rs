@@ -1,0 +1,248 @@
+//! Poseidon: the SNARK-friendly algebraic hash over the base field.
+//!
+//! The paper's state-transition proofs require "an efficient hashing
+//! procedure … implemented for a SNARK arithmetic constraint system"
+//! (§5.4). Poseidon is the hash the production Zendoo stack uses; this is
+//! a from-scratch instantiation over the secp256k1 base field with
+//! `t = 3`, `x⁵` S-box (a permutation because `gcd(5, p-1) = 1` for this
+//! `p`), 8 full + 57 partial rounds, a Cauchy MDS matrix, and round
+//! constants derived from a SHA-256 counter PRG.
+//!
+//! Provides the 2-to-1 compression used by Merkle trees ([`hash2`]) and a
+//! variable-length sponge ([`hash_many`]).
+
+use crate::field::Fp;
+use crate::sha256::Prg;
+use std::sync::OnceLock;
+
+/// State width.
+pub const T: usize = 3;
+/// Number of full rounds (split half before, half after partial rounds).
+pub const FULL_ROUNDS: usize = 8;
+/// Number of partial rounds.
+pub const PARTIAL_ROUNDS: usize = 57;
+
+struct Params {
+    round_constants: Vec<[Fp; T]>,
+    mds: [[Fp; T]; T],
+}
+
+fn params() -> &'static Params {
+    static PARAMS: OnceLock<Params> = OnceLock::new();
+    PARAMS.get_or_init(|| {
+        let mut prg = Prg::new("zendoo/poseidon-v1/round-constants");
+        let rounds = FULL_ROUNDS + PARTIAL_ROUNDS;
+        let mut round_constants = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let mut rc = [Fp::ZERO; T];
+            for c in rc.iter_mut() {
+                *c = Fp::from_be_bytes_reduced(&prg.next_bytes32());
+            }
+            round_constants.push(rc);
+        }
+        // Cauchy MDS: m[i][j] = 1 / (x_i + y_j) with distinct x, y rows.
+        let xs = [Fp::from_u64(1), Fp::from_u64(2), Fp::from_u64(3)];
+        let ys = [Fp::from_u64(4), Fp::from_u64(5), Fp::from_u64(6)];
+        let mut mds = [[Fp::ZERO; T]; T];
+        for (i, x) in xs.iter().enumerate() {
+            for (j, y) in ys.iter().enumerate() {
+                mds[i][j] = (*x + *y).invert().expect("x_i + y_j nonzero");
+            }
+        }
+        Params {
+            round_constants,
+            mds,
+        }
+    })
+}
+
+#[inline]
+fn sbox(x: Fp) -> Fp {
+    // x^5
+    let x2 = x.square();
+    x2.square() * x
+}
+
+fn apply_mds(state: &mut [Fp; T], mds: &[[Fp; T]; T]) {
+    let mut out = [Fp::ZERO; T];
+    for (i, row) in mds.iter().enumerate() {
+        let mut acc = Fp::ZERO;
+        for (j, m) in row.iter().enumerate() {
+            acc += *m * state[j];
+        }
+        out[i] = acc;
+    }
+    *state = out;
+}
+
+/// The Poseidon permutation over a width-3 state.
+pub fn permute(state: &mut [Fp; T]) {
+    let p = params();
+    let half_full = FULL_ROUNDS / 2;
+    let mut round = 0;
+    for _ in 0..half_full {
+        for (s, rc) in state.iter_mut().zip(&p.round_constants[round]) {
+            *s += *rc;
+        }
+        for s in state.iter_mut() {
+            *s = sbox(*s);
+        }
+        apply_mds(state, &p.mds);
+        round += 1;
+    }
+    for _ in 0..PARTIAL_ROUNDS {
+        for (s, rc) in state.iter_mut().zip(&p.round_constants[round]) {
+            *s += *rc;
+        }
+        state[0] = sbox(state[0]);
+        apply_mds(state, &p.mds);
+        round += 1;
+    }
+    for _ in 0..half_full {
+        for (s, rc) in state.iter_mut().zip(&p.round_constants[round]) {
+            *s += *rc;
+        }
+        for s in state.iter_mut() {
+            *s = sbox(*s);
+        }
+        apply_mds(state, &p.mds);
+        round += 1;
+    }
+}
+
+/// Two-to-one compression: the Merkle-tree node hash.
+///
+/// # Examples
+///
+/// ```
+/// use zendoo_primitives::{field::Fp, poseidon};
+///
+/// let h = poseidon::hash2(&Fp::from_u64(1), &Fp::from_u64(2));
+/// assert_ne!(h, poseidon::hash2(&Fp::from_u64(2), &Fp::from_u64(1)));
+/// ```
+pub fn hash2(a: &Fp, b: &Fp) -> Fp {
+    // Capacity element carries a domain constant (arity tag).
+    let mut state = [*a, *b, Fp::from_u64(2u64 << 32)];
+    permute(&mut state);
+    state[0]
+}
+
+/// Variable-length sponge hash (rate 2, capacity 1).
+///
+/// The input length is absorbed into the capacity as padding-free domain
+/// separation, so `hash_many(&[a])` and `hash_many(&[a, 0])` differ.
+pub fn hash_many(inputs: &[Fp]) -> Fp {
+    let mut state = [
+        Fp::ZERO,
+        Fp::ZERO,
+        Fp::from_u64(inputs.len() as u64) + Fp::from_u64(1u64 << 40),
+    ];
+    for chunk in inputs.chunks(2) {
+        state[0] += chunk[0];
+        if let Some(second) = chunk.get(1) {
+            state[1] += *second;
+        }
+        permute(&mut state);
+    }
+    if inputs.is_empty() {
+        permute(&mut state);
+    }
+    state[0]
+}
+
+/// Hashes arbitrary bytes into the field by bridging through SHA-256.
+///
+/// Used where byte-level data (e.g. mainchain block hashes) must enter
+/// field-level commitments.
+pub fn hash_bytes(domain: &str, bytes: &[u8]) -> Fp {
+    let digest = crate::sha256::sha256_tagged("zendoo/poseidon-bytes", &[domain.as_bytes(), bytes]);
+    let limb = Fp::from_be_bytes_reduced(&digest);
+    hash_many(&[limb])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigint::U256;
+    use crate::field::{FieldParams, SecpBase};
+
+    #[test]
+    fn sbox_is_permutation_exponent() {
+        // gcd(5, p - 1) must be 1 for x^5 to be a bijection.
+        let p_minus_1 = SecpBase::MODULUS.wrapping_sub(&U256::ONE);
+        // Compute p-1 mod 5 via byte arithmetic.
+        let mut rem: u32 = 0;
+        for byte in p_minus_1.to_be_bytes() {
+            rem = (rem * 256 + byte as u32) % 5;
+        }
+        assert_ne!(rem, 0, "p-1 must not be divisible by 5");
+    }
+
+    #[test]
+    fn permutation_changes_state() {
+        let mut state = [Fp::ZERO, Fp::ZERO, Fp::ZERO];
+        permute(&mut state);
+        assert_ne!(state, [Fp::ZERO, Fp::ZERO, Fp::ZERO]);
+    }
+
+    #[test]
+    fn permutation_is_deterministic() {
+        let mut s1 = [Fp::from_u64(1), Fp::from_u64(2), Fp::from_u64(3)];
+        let mut s2 = s1;
+        permute(&mut s1);
+        permute(&mut s2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn hash2_is_not_commutative() {
+        let a = Fp::from_u64(17);
+        let b = Fp::from_u64(23);
+        assert_ne!(hash2(&a, &b), hash2(&b, &a));
+    }
+
+    #[test]
+    fn hash2_no_trivial_collisions() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..50u64 {
+            for j in 0..4u64 {
+                let h = hash2(&Fp::from_u64(i), &Fp::from_u64(j));
+                assert!(seen.insert(h.to_be_bytes()), "collision at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_many_length_separated() {
+        let a = Fp::from_u64(5);
+        assert_ne!(hash_many(&[a]), hash_many(&[a, Fp::ZERO]));
+        assert_ne!(hash_many(&[]), hash_many(&[Fp::ZERO]));
+    }
+
+    #[test]
+    fn hash_many_matches_expected_arity_behaviour() {
+        let xs: Vec<Fp> = (0..5).map(Fp::from_u64).collect();
+        let h1 = hash_many(&xs);
+        let h2 = hash_many(&xs);
+        assert_eq!(h1, h2);
+        let mut ys = xs.clone();
+        ys[4] = Fp::from_u64(6);
+        assert_ne!(h1, hash_many(&ys));
+    }
+
+    #[test]
+    fn hash_bytes_domain_separated() {
+        assert_ne!(hash_bytes("a", b"data"), hash_bytes("b", b"data"));
+        assert_eq!(hash_bytes("a", b"data"), hash_bytes("a", b"data"));
+    }
+
+    #[test]
+    fn avalanche_on_single_bit() {
+        let a = hash2(&Fp::from_u64(1), &Fp::from_u64(0));
+        let b = hash2(&Fp::from_u64(1), &Fp::from_u64(1));
+        // The outputs must differ in many byte positions.
+        let (ab, bb) = (a.to_be_bytes(), b.to_be_bytes());
+        let differing = ab.iter().zip(bb.iter()).filter(|(x, y)| x != y).count();
+        assert!(differing > 20, "only {differing} differing bytes");
+    }
+}

@@ -1,0 +1,269 @@
+//! Schnorr signatures over secp256k1.
+//!
+//! Authorizes mainchain transaction inputs, sidechain payment/backward
+//! transactions, BTR/CSW spending rights (§5.5.3.2), and serves as the
+//! attestation primitive inside the simulated SNARK backend.
+//!
+//! The scheme is the classic `(R, s)` Schnorr with deterministic
+//! RFC-6979-style nonces: `s = k + e·sk`, `e = H(R ‖ PK ‖ m)`.
+
+use crate::curve::{AffinePoint, JacobianPoint};
+use crate::field::Fr;
+use crate::sha256::sha256_tagged;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Schnorr secret key (a nonzero scalar).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SecretKey(Fr);
+
+impl SecretKey {
+    /// Generates a fresh random secret key.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let sk = Fr::random(rng);
+            if !sk.is_zero() {
+                return SecretKey(sk);
+            }
+        }
+    }
+
+    /// Derives a secret key deterministically from seed bytes
+    /// (for reproducible tests and simulations).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let digest = sha256_tagged("zendoo/sk", &[seed]);
+        let sk = Fr::from_be_bytes_reduced(&digest);
+        if sk.is_zero() {
+            // Probability 2^-256; re-derive for totality.
+            SecretKey::from_seed(&digest)
+        } else {
+            SecretKey(sk)
+        }
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey((JacobianPoint::generator() * self.0).to_affine())
+    }
+
+    /// The underlying scalar (used by the VRF, which shares keys).
+    pub(crate) fn scalar(&self) -> Fr {
+        self.0
+    }
+
+    /// Signs `msg`, domain-separated by `context`.
+    pub fn sign(&self, context: &str, msg: &[u8]) -> Signature {
+        // Deterministic nonce: k = H(sk ‖ ctx ‖ m), rejecting k = 0.
+        let k_bytes = sha256_tagged(
+            "zendoo/schnorr-nonce",
+            &[&self.0.to_be_bytes(), context.as_bytes(), msg],
+        );
+        let mut k = Fr::from_be_bytes_reduced(&k_bytes);
+        if k.is_zero() {
+            k = Fr::one();
+        }
+        let r_point = (JacobianPoint::generator() * k).to_affine();
+        let e = challenge(context, &r_point, &self.public_key(), msg);
+        let s = k + e * self.0;
+        Signature { r: r_point, s }
+    }
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        write!(f, "SecretKey(<redacted>)")
+    }
+}
+
+/// A Schnorr public key (a curve point).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PublicKey(AffinePoint);
+
+impl PublicKey {
+    /// The underlying curve point.
+    pub fn point(&self) -> AffinePoint {
+        self.0
+    }
+
+
+    /// Compressed 33-byte encoding.
+    pub fn to_bytes(&self) -> [u8; 33] {
+        self.0.to_compressed()
+    }
+
+    /// Decodes a compressed public key.
+    pub fn from_bytes(bytes: &[u8; 33]) -> Option<Self> {
+        AffinePoint::from_compressed(bytes).map(PublicKey)
+    }
+
+    /// Verifies `sig` over `msg` under this key: `s·G == R + e·PK`.
+    pub fn verify(&self, context: &str, msg: &[u8], sig: &Signature) -> bool {
+        if self.0.is_identity() || sig.r.is_identity() {
+            return false;
+        }
+        let e = challenge(context, &sig.r, self, msg);
+        let lhs = JacobianPoint::generator() * sig.s;
+        let rhs = sig.r.to_jacobian() + self.0 * e;
+        lhs == rhs
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = self.to_bytes();
+        write!(f, "PublicKey(")?;
+        for b in &bytes[..6] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…)")
+    }
+}
+
+/// A Schnorr signature `(R, s)`; 65 bytes serialized.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Signature {
+    r: AffinePoint,
+    s: Fr,
+}
+
+impl Signature {
+    /// Serializes as `R.compressed ‖ s` (65 bytes).
+    pub fn to_bytes(&self) -> [u8; 65] {
+        let mut out = [0u8; 65];
+        out[..33].copy_from_slice(&self.r.to_compressed());
+        out[33..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses a 65-byte signature.
+    pub fn from_bytes(bytes: &[u8; 65]) -> Option<Self> {
+        let mut r_bytes = [0u8; 33];
+        r_bytes.copy_from_slice(&bytes[..33]);
+        let mut s_bytes = [0u8; 32];
+        s_bytes.copy_from_slice(&bytes[33..]);
+        Some(Signature {
+            r: AffinePoint::from_compressed(&r_bytes)?,
+            s: Fr::from_be_bytes_canonical(&s_bytes)?,
+        })
+    }
+}
+
+/// A keypair convenience bundle.
+#[derive(Clone, Debug)]
+pub struct Keypair {
+    /// The secret half.
+    pub secret: SecretKey,
+    /// The public half.
+    pub public: PublicKey,
+}
+
+impl Keypair {
+    /// Generates a fresh keypair.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let secret = SecretKey::random(rng);
+        Keypair {
+            public: secret.public_key(),
+            secret,
+        }
+    }
+
+    /// Deterministic keypair from a seed (tests/simulations).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let secret = SecretKey::from_seed(seed);
+        Keypair {
+            public: secret.public_key(),
+            secret,
+        }
+    }
+}
+
+/// Fiat–Shamir challenge `e = H(ctx ‖ R ‖ PK ‖ m)` as a scalar.
+fn challenge(context: &str, r: &AffinePoint, pk: &PublicKey, msg: &[u8]) -> Fr {
+    let digest = sha256_tagged(
+        "zendoo/schnorr-challenge",
+        &[
+            context.as_bytes(),
+            &r.to_compressed(),
+            &pk.to_bytes(),
+            msg,
+        ],
+    );
+    Fr::from_be_bytes_reduced(&digest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = Keypair::random(&mut rng());
+        let sig = kp.secret.sign("test", b"message");
+        assert!(kp.public.verify("test", b"message", &sig));
+    }
+
+    #[test]
+    fn verification_rejects_wrong_message() {
+        let kp = Keypair::random(&mut rng());
+        let sig = kp.secret.sign("test", b"message");
+        assert!(!kp.public.verify("test", b"other", &sig));
+    }
+
+    #[test]
+    fn verification_rejects_wrong_context() {
+        let kp = Keypair::random(&mut rng());
+        let sig = kp.secret.sign("ctx-a", b"message");
+        assert!(!kp.public.verify("ctx-b", b"message", &sig));
+    }
+
+    #[test]
+    fn verification_rejects_wrong_key() {
+        let mut r = rng();
+        let kp1 = Keypair::random(&mut r);
+        let kp2 = Keypair::random(&mut r);
+        let sig = kp1.secret.sign("test", b"message");
+        assert!(!kp2.public.verify("test", b"message", &sig));
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let kp = Keypair::random(&mut rng());
+        let sig = kp.secret.sign("test", b"message");
+        let decoded = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(sig, decoded);
+        assert!(kp.public.verify("test", b"message", &decoded));
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let kp = Keypair::random(&mut rng());
+        let sig = kp.secret.sign("test", b"message");
+        let mut bytes = sig.to_bytes();
+        bytes[40] ^= 1;
+        if let Some(bad) = Signature::from_bytes(&bytes) {
+            assert!(!kp.public.verify("test", b"message", &bad));
+        }
+    }
+
+    #[test]
+    fn deterministic_signing() {
+        let kp = Keypair::from_seed(b"seed");
+        let s1 = kp.secret.sign("test", b"m");
+        let s2 = kp.secret.sign("test", b"m");
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn public_key_bytes_roundtrip() {
+        let kp = Keypair::from_seed(b"k");
+        let decoded = PublicKey::from_bytes(&kp.public.to_bytes()).unwrap();
+        assert_eq!(kp.public, decoded);
+    }
+}

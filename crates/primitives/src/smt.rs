@@ -1,0 +1,419 @@
+//! Fixed-depth sparse Merkle tree over Poseidon nodes.
+//!
+//! This is the data structure behind the Latus **Merkle State Tree**
+//! (§5.2, Fig 9): a tree of fixed depth `D` whose `2^D` leaf slots are
+//! either *occupied* (holding the hash of an unspent output) or *empty*
+//! (the `H(Null)` constant). Empty subtrees hash to precomputed constants,
+//! so storage and update cost are proportional to occupancy, not capacity.
+
+use crate::field::Fp;
+use crate::merkle::{MerkleHasher, PoseidonHasher};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Errors from sparse-tree operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SmtError {
+    /// The leaf index is outside `[0, 2^depth)`.
+    IndexOutOfRange {
+        /// Offending index.
+        index: u64,
+        /// Tree depth.
+        depth: u32,
+    },
+    /// Attempted to occupy a slot that already holds a leaf.
+    SlotOccupied(u64),
+    /// Attempted to clear a slot that is already empty.
+    SlotEmpty(u64),
+}
+
+impl std::fmt::Display for SmtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmtError::IndexOutOfRange { index, depth } => {
+                write!(f, "leaf index {index} out of range for depth {depth}")
+            }
+            SmtError::SlotOccupied(i) => write!(f, "slot {i} is already occupied"),
+            SmtError::SlotEmpty(i) => write!(f, "slot {i} is already empty"),
+        }
+    }
+}
+
+impl std::error::Error for SmtError {}
+
+/// A sparse Merkle tree of fixed depth with Poseidon node hashing.
+///
+/// # Examples
+///
+/// ```
+/// use zendoo_primitives::field::Fp;
+/// use zendoo_primitives::smt::SparseMerkleTree;
+///
+/// let mut tree = SparseMerkleTree::new(3);
+/// tree.insert(4, Fp::from_u64(77)).unwrap();
+/// let proof = tree.proof(4);
+/// assert!(proof.verify_occupied(&tree.root(), &Fp::from_u64(77)));
+/// assert!(tree.proof(5).verify_empty(&tree.root()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SparseMerkleTree {
+    depth: u32,
+    /// Occupied leaves only.
+    leaves: BTreeMap<u64, Fp>,
+    /// Interior nodes that differ from the empty-subtree constant,
+    /// keyed by `(level, index)`; level 1..=depth.
+    nodes: HashMap<(u32, u64), Fp>,
+    /// `empty[l]` = hash of an empty subtree of height `l`.
+    empty: Vec<Fp>,
+}
+
+impl SparseMerkleTree {
+    /// Maximum supported depth (indices are `u64`).
+    pub const MAX_DEPTH: u32 = 63;
+
+    /// Creates an empty tree with `2^depth` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0 or exceeds [`Self::MAX_DEPTH`].
+    pub fn new(depth: u32) -> Self {
+        assert!(
+            depth >= 1 && depth <= Self::MAX_DEPTH,
+            "depth must be in 1..={}",
+            Self::MAX_DEPTH
+        );
+        let mut empty = Vec::with_capacity(depth as usize + 1);
+        empty.push(PoseidonHasher::empty());
+        for l in 1..=depth as usize {
+            let child = empty[l - 1];
+            empty.push(PoseidonHasher::combine(&child, &child));
+        }
+        SparseMerkleTree {
+            depth,
+            leaves: BTreeMap::new(),
+            nodes: HashMap::new(),
+            empty,
+        }
+    }
+
+    /// The tree depth.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Total number of leaf slots, `2^depth`.
+    pub fn capacity(&self) -> u64 {
+        1u64 << self.depth
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Returns `true` if no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// The current root.
+    pub fn root(&self) -> Fp {
+        self.node(self.depth, 0)
+    }
+
+    /// The leaf at `index`, if occupied.
+    pub fn get(&self, index: u64) -> Option<Fp> {
+        self.leaves.get(&index).copied()
+    }
+
+    /// Returns `true` if `index` holds a leaf.
+    pub fn is_occupied(&self, index: u64) -> bool {
+        self.leaves.contains_key(&index)
+    }
+
+    /// Iterates over `(index, leaf)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Fp)> + '_ {
+        self.leaves.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Occupies the empty slot at `index` with `leaf`.
+    ///
+    /// # Errors
+    ///
+    /// [`SmtError::SlotOccupied`] if the slot already holds a value
+    /// (the MST collision case of §5.3.2), or
+    /// [`SmtError::IndexOutOfRange`] for indices beyond capacity.
+    pub fn insert(&mut self, index: u64, leaf: Fp) -> Result<(), SmtError> {
+        self.check_range(index)?;
+        if self.leaves.contains_key(&index) {
+            return Err(SmtError::SlotOccupied(index));
+        }
+        self.leaves.insert(index, leaf);
+        self.update_path(index);
+        Ok(())
+    }
+
+    /// Clears the occupied slot at `index`, returning the removed leaf.
+    ///
+    /// # Errors
+    ///
+    /// [`SmtError::SlotEmpty`] if the slot holds no value.
+    pub fn remove(&mut self, index: u64) -> Result<Fp, SmtError> {
+        self.check_range(index)?;
+        let removed = self
+            .leaves
+            .remove(&index)
+            .ok_or(SmtError::SlotEmpty(index))?;
+        self.update_path(index);
+        Ok(removed)
+    }
+
+    /// Produces a (membership or absence) proof for slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range; use [`SparseMerkleTree::capacity`]
+    /// to validate first when handling untrusted input.
+    pub fn proof(&self, index: u64) -> SmtProof {
+        assert!(
+            index < self.capacity(),
+            "index {index} out of range for depth {}",
+            self.depth
+        );
+        let mut siblings = Vec::with_capacity(self.depth as usize);
+        for level in 0..self.depth {
+            let sibling_index = (index >> level) ^ 1;
+            siblings.push(self.node(level, sibling_index));
+        }
+        SmtProof {
+            index,
+            siblings,
+            empty_leaf: self.empty[0],
+        }
+    }
+
+    fn check_range(&self, index: u64) -> Result<(), SmtError> {
+        if index >= self.capacity() {
+            Err(SmtError::IndexOutOfRange {
+                index,
+                depth: self.depth,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Value of the node at `(level, index)`; level 0 = leaves.
+    fn node(&self, level: u32, index: u64) -> Fp {
+        if level == 0 {
+            self.leaves
+                .get(&index)
+                .copied()
+                .unwrap_or(self.empty[0])
+        } else {
+            self.nodes
+                .get(&(level, index))
+                .copied()
+                .unwrap_or(self.empty[level as usize])
+        }
+    }
+
+    /// Recomputes interior nodes along the path from leaf `index` to root.
+    fn update_path(&mut self, index: u64) {
+        for level in 1..=self.depth {
+            let node_index = index >> level;
+            let left = self.node(level - 1, node_index * 2);
+            let right = self.node(level - 1, node_index * 2 + 1);
+            let value = PoseidonHasher::combine(&left, &right);
+            if value == self.empty[level as usize] {
+                self.nodes.remove(&(level, node_index));
+            } else {
+                self.nodes.insert((level, node_index), value);
+            }
+        }
+    }
+}
+
+/// A proof for one slot of a [`SparseMerkleTree`]: proves either the
+/// membership of a specific leaf or the emptiness of the slot.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmtProof {
+    index: u64,
+    siblings: Vec<Fp>,
+    empty_leaf: Fp,
+}
+
+impl SmtProof {
+    /// The slot index the proof speaks about.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The sibling path (leaf level first).
+    pub fn siblings(&self) -> &[Fp] {
+        &self.siblings
+    }
+
+    /// Verifies that slot `index` holds exactly `leaf` under `root`.
+    pub fn verify_occupied(&self, root: &Fp, leaf: &Fp) -> bool {
+        self.compute_root(leaf) == *root
+    }
+
+    /// Verifies that slot `index` is empty under `root`.
+    pub fn verify_empty(&self, root: &Fp) -> bool {
+        let empty = self.empty_leaf;
+        self.compute_root(&empty) == *root
+    }
+
+    /// Root implied by placing `leaf` at the proof's slot.
+    pub fn compute_root(&self, leaf: &Fp) -> Fp {
+        let mut acc = *leaf;
+        for (level, sibling) in self.siblings.iter().enumerate() {
+            let bit = (self.index >> level) & 1;
+            acc = if bit == 0 {
+                PoseidonHasher::combine(&acc, sibling)
+            } else {
+                PoseidonHasher::combine(sibling, &acc)
+            };
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_tree_roots_are_depth_dependent() {
+        let t3 = SparseMerkleTree::new(3);
+        let t4 = SparseMerkleTree::new(4);
+        assert_ne!(t3.root(), t4.root());
+        assert_eq!(SparseMerkleTree::new(3).root(), t3.root());
+    }
+
+    #[test]
+    fn insert_changes_root_and_remove_restores_it() {
+        let mut tree = SparseMerkleTree::new(4);
+        let empty_root = tree.root();
+        tree.insert(5, Fp::from_u64(42)).unwrap();
+        assert_ne!(tree.root(), empty_root);
+        assert_eq!(tree.remove(5).unwrap(), Fp::from_u64(42));
+        assert_eq!(tree.root(), empty_root);
+        assert!(tree.nodes.is_empty(), "node cache must shrink back");
+    }
+
+    #[test]
+    fn double_insert_rejected() {
+        let mut tree = SparseMerkleTree::new(4);
+        tree.insert(3, Fp::from_u64(1)).unwrap();
+        assert_eq!(
+            tree.insert(3, Fp::from_u64(2)),
+            Err(SmtError::SlotOccupied(3))
+        );
+    }
+
+    #[test]
+    fn remove_empty_rejected() {
+        let mut tree = SparseMerkleTree::new(4);
+        assert_eq!(tree.remove(3), Err(SmtError::SlotEmpty(3)));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut tree = SparseMerkleTree::new(3);
+        assert!(matches!(
+            tree.insert(8, Fp::ZERO),
+            Err(SmtError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn membership_and_absence_proofs() {
+        let mut tree = SparseMerkleTree::new(5);
+        tree.insert(7, Fp::from_u64(700)).unwrap();
+        tree.insert(19, Fp::from_u64(1900)).unwrap();
+        let root = tree.root();
+
+        let p7 = tree.proof(7);
+        assert!(p7.verify_occupied(&root, &Fp::from_u64(700)));
+        assert!(!p7.verify_occupied(&root, &Fp::from_u64(701)));
+        assert!(!p7.verify_empty(&root));
+
+        let p8 = tree.proof(8);
+        assert!(p8.verify_empty(&root));
+        assert!(!p8.verify_occupied(&root, &Fp::from_u64(700)));
+    }
+
+    #[test]
+    fn proof_invalidated_by_updates() {
+        let mut tree = SparseMerkleTree::new(4);
+        tree.insert(2, Fp::from_u64(5)).unwrap();
+        let stale = tree.proof(2);
+        let old_root = tree.root();
+        tree.insert(9, Fp::from_u64(6)).unwrap();
+        assert!(!stale.verify_occupied(&tree.root(), &Fp::from_u64(5)));
+        assert!(stale.verify_occupied(&old_root, &Fp::from_u64(5)));
+    }
+
+    #[test]
+    fn matches_paper_figure9_occupancy() {
+        // Fig 9: depth 3, slots 0/4/6 occupied (1-indexed in the figure as
+        // utxo1..3 at leaves 1, 5, 7 of 8 — we use 0-based 0, 4, 6).
+        let mut tree = SparseMerkleTree::new(3);
+        tree.insert(0, Fp::from_u64(1)).unwrap();
+        tree.insert(4, Fp::from_u64(2)).unwrap();
+        tree.insert(6, Fp::from_u64(3)).unwrap();
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.capacity(), 8);
+        for i in [1u64, 2, 3, 5, 7] {
+            assert!(tree.proof(i).verify_empty(&tree.root()));
+        }
+    }
+
+    #[test]
+    fn order_independence_of_root() {
+        let mut a = SparseMerkleTree::new(6);
+        let mut b = SparseMerkleTree::new(6);
+        let entries = [(1u64, 10u64), (33, 20), (7, 30), (62, 40)];
+        for (i, v) in entries {
+            a.insert(i, Fp::from_u64(v)).unwrap();
+        }
+        for (i, v) in entries.iter().rev() {
+            b.insert(*i, Fp::from_u64(*v)).unwrap();
+        }
+        assert_eq!(a.root(), b.root());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_insert_remove_root_consistency(
+            ops in proptest::collection::vec((0u64..64, 1u64..1_000_000), 1..40)
+        ) {
+            let mut tree = SparseMerkleTree::new(6);
+            let mut reference = std::collections::BTreeMap::new();
+            for (idx, val) in ops {
+                if reference.contains_key(&idx) {
+                    tree.remove(idx).unwrap();
+                    reference.remove(&idx);
+                } else {
+                    tree.insert(idx, Fp::from_u64(val)).unwrap();
+                    reference.insert(idx, val);
+                }
+            }
+            // Rebuild from scratch and compare roots.
+            let mut fresh = SparseMerkleTree::new(6);
+            for (idx, val) in &reference {
+                fresh.insert(*idx, Fp::from_u64(*val)).unwrap();
+            }
+            prop_assert_eq!(tree.root(), fresh.root());
+            prop_assert_eq!(tree.len(), reference.len());
+            // All membership proofs verify.
+            for (idx, val) in &reference {
+                prop_assert!(tree.proof(*idx).verify_occupied(&tree.root(), &Fp::from_u64(*val)));
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-cutting algebraic property tests over the primitives: group
+//! laws under random scalars, signature/VRF non-malleability, Poseidon
+//! sponge consistency, and SHA-256 against additional published vectors.
+
+use proptest::prelude::*;
+use zendoo_primitives::curve::{AffinePoint, JacobianPoint};
+use zendoo_primitives::field::{Fp, Fr};
+use zendoo_primitives::poseidon;
+use zendoo_primitives::schnorr::{Keypair, Signature};
+use zendoo_primitives::sha256::sha256;
+use zendoo_primitives::vrf;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn sha256_additional_vectors() {
+    // NIST CAVS / RFC test vectors.
+    assert_eq!(
+        hex(&sha256(b"message digest")),
+        "f7846f55cf23e14eebeab5b4e1550cad5b509e3348fbc4efa3a1413d393cb650"
+    );
+    assert_eq!(
+        hex(&sha256(b"abcdefghijklmnopqrstuvwxyz")),
+        "71c480df93d6ae2f1efad1447c66c9525e316218cf51fc8d9ed832f2daf18b73"
+    );
+    assert_eq!(
+        hex(&sha256(
+            b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+        )),
+        "db4bfcbd4da0cd85a60c3c37d3fbd8805c77f15fc6b1fdfe614ee0a7c8fdb4c0"
+    );
+    assert_eq!(
+        hex(&sha256(
+            b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+        )),
+        "f371bc4a311f2b009eef952dd83ca80e2b60026c8e935592d0f9c308453c813e"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn prop_scalar_mul_is_linear(a in any::<u64>(), b in any::<u64>()) {
+        let g = JacobianPoint::generator();
+        let (sa, sb) = (Fr::from_u64(a), Fr::from_u64(b));
+        prop_assert_eq!(g * sa + g * sb, g * (sa + sb));
+        prop_assert_eq!((g * sa) * sb, (g * sb) * sa);
+    }
+
+    #[test]
+    fn prop_compression_roundtrip_random_points(seed in any::<u64>()) {
+        let p = (JacobianPoint::generator() * Fr::from_u64(seed.max(1))).to_affine();
+        let decoded = AffinePoint::from_compressed(&p.to_compressed()).unwrap();
+        prop_assert_eq!(p, decoded);
+        prop_assert!(decoded.is_on_curve());
+    }
+
+    #[test]
+    fn prop_signatures_not_cross_verifiable(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        prop_assume!(seed_a != seed_b);
+        let kp_a = Keypair::from_seed(&seed_a.to_be_bytes());
+        let kp_b = Keypair::from_seed(&seed_b.to_be_bytes());
+        let sig = kp_a.secret.sign("prop", b"msg");
+        prop_assert!(kp_a.public.verify("prop", b"msg", &sig));
+        prop_assert!(!kp_b.public.verify("prop", b"msg", &sig));
+    }
+
+    #[test]
+    fn prop_signature_roundtrip_bytes(seed in any::<u64>(), msg in any::<[u8; 16]>()) {
+        let kp = Keypair::from_seed(&seed.to_be_bytes());
+        let sig = kp.secret.sign("prop", &msg);
+        let decoded = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        prop_assert!(kp.public.verify("prop", &msg, &decoded));
+    }
+
+    #[test]
+    fn prop_vrf_outputs_unique_per_key_and_message(
+        seed_a in any::<u32>(), seed_b in any::<u32>(), msg in any::<[u8; 8]>()
+    ) {
+        prop_assume!(seed_a != seed_b);
+        let kp_a = Keypair::from_seed(&seed_a.to_be_bytes());
+        let kp_b = Keypair::from_seed(&seed_b.to_be_bytes());
+        let (out_a, proof_a) = vrf::prove(&kp_a.secret, &msg);
+        let (out_b, _) = vrf::prove(&kp_b.secret, &msg);
+        prop_assert_ne!(out_a, out_b);
+        // Proofs bind to the key.
+        prop_assert!(vrf::verify(&kp_b.public, &msg, &proof_a).is_none());
+    }
+
+    #[test]
+    fn prop_poseidon_sponge_is_injective_on_prefixes(
+        xs in proptest::collection::vec(any::<u64>(), 1..8)
+    ) {
+        let elems: Vec<Fp> = xs.iter().map(|x| Fp::from_u64(*x)).collect();
+        let full = poseidon::hash_many(&elems);
+        // Every strict prefix hashes differently (length separation).
+        for k in 0..elems.len() {
+            prop_assert_ne!(full, poseidon::hash_many(&elems[..k]));
+        }
+    }
+
+    #[test]
+    fn prop_field_sqrt_consistency(x in any::<u64>()) {
+        let a = Fp::from_u64(x);
+        let sq = a.square();
+        let root = sq.sqrt().unwrap();
+        prop_assert_eq!(root.square(), sq);
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic discrete-event scheduling for scenarios.
+//!
+//! A [`Schedule`] maps ticks to [`Action`]s; [`Schedule::run`] drives a
+//! [`crate::world::World`] one mainchain block per tick, firing
+//! the tick's actions *before* the block is mined — so scheduled
+//! transactions land in that tick's block.
+
+use std::collections::BTreeMap;
+
+use crate::world::{SimError, World};
+
+/// One scripted action.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// `ForwardTransfer(user, amount)` — queue an MC→SC transfer.
+    ForwardTransfer(String, u64),
+    /// `ScPay(from, to, amount)` — a sidechain payment.
+    ScPay(String, String, u64),
+    /// `ScWithdraw(user, amount)` — initiate an SC→MC withdrawal.
+    ScWithdraw(String, u64),
+    /// Start withholding certificates (liveness fault).
+    WithholdCertificates,
+    /// Resume certificate submission.
+    ResumeCertificates,
+    /// Inject a mainchain fork of the given depth.
+    McFork(u64),
+}
+
+/// A tick-indexed script of actions.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    actions: BTreeMap<u64, Vec<Action>>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an action at `tick` (0-based; tick `t` fires before the
+    /// `t`-th mined block).
+    pub fn at(mut self, tick: u64, action: Action) -> Self {
+        self.actions.entry(tick).or_default().push(action);
+        self
+    }
+
+    /// Number of scheduled ticks.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Runs `ticks` steps of `world`, firing scheduled actions.
+    ///
+    /// Action failures are tolerated and counted in
+    /// `world.metrics.rejections` (fault scenarios schedule actions that
+    /// are *supposed* to fail); step failures abort.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from `World::step`.
+    pub fn run(&self, world: &mut World, ticks: u64) -> Result<(), SimError> {
+        for tick in 0..ticks {
+            if let Some(actions) = self.actions.get(&tick) {
+                for action in actions {
+                    let result = match action {
+                        Action::ForwardTransfer(user, amount) => {
+                            world.queue_forward_transfer(user, *amount)
+                        }
+                        Action::ScPay(from, to, amount) => world.sc_pay(from, to, *amount),
+                        Action::ScWithdraw(user, amount) => world.sc_withdraw(user, *amount),
+                        Action::WithholdCertificates => {
+                            world.withhold_certificates = true;
+                            Ok(())
+                        }
+                        Action::ResumeCertificates => {
+                            world.withhold_certificates = false;
+                            Ok(())
+                        }
+                        Action::McFork(depth) => world.inject_mc_fork(*depth).map(|_| ()),
+                    };
+                    if result.is_err() {
+                        world.metrics.rejections += 1;
+                    }
+                }
+            }
+            world.step()?;
+        }
+        Ok(())
+    }
+}

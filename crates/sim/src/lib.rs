@@ -1,0 +1,31 @@
+//! # zendoo-sim
+//!
+//! A deterministic two-chain scenario simulator for the Zendoo
+//! reproduction: a [`world::World`] wires a real mainchain to a real
+//! Latus node, [`events::Schedule`] scripts tick-indexed actions
+//! (transfers, payments, withdrawals, faults), and [`scenarios`]
+//! provides the canned experiments used by tests and benchmarks —
+//! including the liveness fault (withheld certificates → ceasing) and
+//! mainchain fork injection (§5.1's fork-resolution property).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use zendoo_sim::scenarios;
+//!
+//! let world = scenarios::happy_path(2).unwrap();
+//! println!("{}", world.metrics.report());
+//! assert!(world.conservation_holds());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod events;
+pub mod metrics;
+pub mod scenarios;
+pub mod world;
+
+pub use events::{Action, Schedule};
+pub use metrics::Metrics;
+pub use world::{SimConfig, SimError, World};

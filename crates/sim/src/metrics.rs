@@ -1,0 +1,59 @@
+//! Simulation metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters collected while a scenario runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Mainchain blocks mined.
+    pub mc_blocks: u64,
+    /// Sidechain blocks forged.
+    pub sc_blocks: u64,
+    /// Forward transfers submitted.
+    pub forward_transfers: u64,
+    /// Sidechain payments applied.
+    pub sc_payments: u64,
+    /// Backward transfers initiated on the sidechain.
+    pub backward_transfers: u64,
+    /// Certificates produced by the node.
+    pub certificates_produced: u64,
+    /// Certificates accepted by the mainchain.
+    pub certificates_accepted: u64,
+    /// Certificates the mainchain rejected.
+    pub certificates_rejected: u64,
+    /// Certificates deliberately withheld (fault injection).
+    pub certificates_withheld: u64,
+    /// Mainchain reorganizations observed.
+    pub reorgs: u64,
+    /// Sidechain blocks reverted due to MC reorgs.
+    pub sc_blocks_reverted: u64,
+    /// BTRs accepted by the mainchain.
+    pub btrs_accepted: u64,
+    /// CSWs accepted by the mainchain.
+    pub csws_accepted: u64,
+    /// Transactions rejected anywhere in the pipeline.
+    pub rejections: u64,
+}
+
+impl Metrics {
+    /// Renders a compact human-readable report.
+    pub fn report(&self) -> String {
+        format!(
+            "mc_blocks={} sc_blocks={} fts={} payments={} bts={} certs(produced/accepted/rejected/withheld)={}/{}/{}/{} reorgs={} sc_reverted={} btrs={} csws={} rejections={}",
+            self.mc_blocks,
+            self.sc_blocks,
+            self.forward_transfers,
+            self.sc_payments,
+            self.backward_transfers,
+            self.certificates_produced,
+            self.certificates_accepted,
+            self.certificates_rejected,
+            self.certificates_withheld,
+            self.reorgs,
+            self.sc_blocks_reverted,
+            self.btrs_accepted,
+            self.csws_accepted,
+            self.rejections,
+        )
+    }
+}

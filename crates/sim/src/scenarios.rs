@@ -1,0 +1,124 @@
+//! Canned scenarios used by tests, examples and benchmarks.
+
+use crate::events::{Action, Schedule};
+use crate::world::{SimConfig, SimError, World};
+
+/// Happy path: forward coins, pay on the SC, withdraw back, run the
+/// requested number of certified epochs.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn happy_path(epochs: u32) -> Result<World, SimError> {
+    let mut world = World::new(SimConfig::default());
+    let schedule = Schedule::new()
+        .at(0, Action::ForwardTransfer("alice".into(), 10_000))
+        .at(3, Action::ScPay("alice".into(), "bob".into(), 2_500))
+        .at(5, Action::ScWithdraw("bob".into(), 1_000));
+    // Each epoch is epoch_len blocks; run enough ticks.
+    let config = SimConfig::default();
+    let ticks = (config.epoch_len as u64 + 1) * (epochs as u64 + 1);
+    schedule.run(&mut world, ticks)?;
+    Ok(world)
+}
+
+/// Liveness fault: the sidechain withholds certificates after the first
+/// epoch; the mainchain must mark it ceased.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn withheld_certificates() -> Result<World, SimError> {
+    let mut world = World::new(SimConfig::default());
+    let config = SimConfig::default();
+    let schedule = Schedule::new()
+        .at(0, Action::ForwardTransfer("alice".into(), 5_000))
+        .at(config.epoch_len as u64 + 2, Action::WithholdCertificates);
+    let ticks = (config.epoch_len as u64 + 1) * 4;
+    schedule.run(&mut world, ticks)?;
+    Ok(world)
+}
+
+/// Fork tolerance: a mainchain reorg mid-epoch; the sidechain reverts
+/// and re-syncs, and the following epochs certify normally.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn mc_fork_mid_epoch(depth: u64) -> Result<World, SimError> {
+    let mut world = World::new(SimConfig::default());
+    let config = SimConfig::default();
+    let schedule = Schedule::new()
+        .at(0, Action::ForwardTransfer("alice".into(), 5_000))
+        .at(config.epoch_len as u64 + 3, Action::McFork(depth));
+    let ticks = (config.epoch_len as u64 + 1) * 3;
+    schedule.run(&mut world, ticks)?;
+    Ok(world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zendoo_mainchain::SidechainStatus;
+
+    #[test]
+    fn happy_path_certifies_epochs_and_conserves() {
+        let world = happy_path(2).unwrap();
+        assert!(world.metrics.certificates_accepted >= 2);
+        assert_eq!(world.metrics.certificates_rejected, 0);
+        assert!(world.conservation_holds());
+        assert_eq!(world.sidechain_status(), Some(SidechainStatus::Active));
+        // The withdrawal eventually paid out on the MC.
+        let bob = world.user("bob").unwrap();
+        assert!(
+            !world
+                .chain
+                .state()
+                .utxos
+                .balance_of(&bob.mc_address())
+                .is_zero(),
+        );
+    }
+
+    #[test]
+    fn withheld_certificates_cease_the_sidechain() {
+        let world = withheld_certificates().unwrap();
+        assert_eq!(world.sidechain_status(), Some(SidechainStatus::Ceased));
+        assert!(world.metrics.certificates_withheld > 0);
+        assert!(world.conservation_holds());
+    }
+
+    #[test]
+    fn mc_fork_recovers_and_still_certifies() {
+        let world = mc_fork_mid_epoch(2).unwrap();
+        assert_eq!(world.metrics.reorgs, 1);
+        assert!(world.metrics.sc_blocks_reverted >= 1);
+        assert!(world.metrics.certificates_accepted >= 1);
+        assert!(world.conservation_holds());
+        assert_eq!(world.sidechain_status(), Some(SidechainStatus::Active));
+    }
+}
+
+/// Stress scenario: sustained mixed workload over `epochs` epochs with
+/// payments and withdrawals every block — used by throughput
+/// measurements.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn sustained_load(epochs: u32, payments_per_block: u32) -> Result<World, SimError> {
+    let config = SimConfig::default();
+    let mut world = World::new(config.clone());
+    let mut schedule = Schedule::new().at(0, Action::ForwardTransfer("alice".into(), 800_000));
+    let ticks = (config.epoch_len as u64 + 1) * (epochs as u64 + 1);
+    for tick in 2..ticks {
+        for i in 0..payments_per_block {
+            schedule = schedule.at(
+                tick,
+                Action::ScPay("alice".into(), "bob".into(), 10 + i as u64),
+            );
+        }
+    }
+    schedule.run(&mut world, ticks)?;
+    Ok(world)
+}

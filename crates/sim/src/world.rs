@@ -1,0 +1,496 @@
+//! The two-chain simulation world: one mainchain, one Latus deployment,
+//! named users on both sides, deterministic time, and fault injection.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use zendoo_core::epoch::EpochSchedule;
+use zendoo_core::ids::{Address, Amount, SidechainId};
+use zendoo_latus::consensus::ConsensusParams;
+use zendoo_latus::node::{LatusKeys, LatusNode, NodeError};
+use zendoo_latus::params::LatusParams;
+use zendoo_latus::tx::{BackwardTransferTx, PaymentTx, ReceiverMetadata, ScTransaction};
+use zendoo_mainchain::chain::{Blockchain, ChainParams, SubmitOutcome};
+use zendoo_mainchain::transaction::{McTransaction, TxOut};
+use zendoo_mainchain::wallet::Wallet;
+use zendoo_primitives::schnorr::Keypair;
+
+use crate::metrics::Metrics;
+
+/// Simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Label of the simulated sidechain.
+    pub sidechain_label: String,
+    /// Withdrawal-epoch length in MC blocks.
+    pub epoch_len: u32,
+    /// Certificate submission window.
+    pub submit_len: u32,
+    /// MST depth.
+    pub mst_depth: u32,
+    /// Users funded at MC genesis: `(name, amount)`.
+    pub genesis_users: Vec<(String, u64)>,
+    /// Setup seed (keys are deterministic per seed).
+    pub seed: Vec<u8>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            sidechain_label: "sim-sidechain".into(),
+            epoch_len: 6,
+            submit_len: 2,
+            mst_depth: 16,
+            genesis_users: vec![("alice".into(), 1_000_000), ("bob".into(), 500_000)],
+            seed: b"zendoo-sim".to_vec(),
+        }
+    }
+}
+
+/// A named participant: a mainchain wallet plus a sidechain keypair.
+#[derive(Clone, Debug)]
+pub struct User {
+    /// Mainchain wallet.
+    pub wallet: Wallet,
+    /// Sidechain keypair.
+    pub sc_keys: Keypair,
+}
+
+impl User {
+    /// The user's sidechain address.
+    pub fn sc_address(&self) -> Address {
+        Address::from_public_key(&self.sc_keys.public)
+    }
+
+    /// The user's mainchain address.
+    pub fn mc_address(&self) -> Address {
+        self.wallet.address()
+    }
+}
+
+/// Simulation-level failures.
+#[derive(Debug)]
+pub enum SimError {
+    /// Unknown user name.
+    UnknownUser(String),
+    /// A mainchain operation failed.
+    Chain(zendoo_mainchain::BlockError),
+    /// A wallet operation failed.
+    Wallet(zendoo_mainchain::wallet::WalletError),
+    /// A sidechain node operation failed.
+    Node(NodeError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownUser(name) => write!(f, "unknown user {name}"),
+            SimError::Chain(e) => write!(f, "mainchain: {e}"),
+            SimError::Wallet(e) => write!(f, "wallet: {e}"),
+            SimError::Node(e) => write!(f, "node: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<zendoo_mainchain::BlockError> for SimError {
+    fn from(e: zendoo_mainchain::BlockError) -> Self {
+        SimError::Chain(e)
+    }
+}
+
+impl From<zendoo_mainchain::wallet::WalletError> for SimError {
+    fn from(e: zendoo_mainchain::wallet::WalletError) -> Self {
+        SimError::Wallet(e)
+    }
+}
+
+impl From<NodeError> for SimError {
+    fn from(e: NodeError) -> Self {
+        SimError::Node(e)
+    }
+}
+
+/// The simulation world.
+pub struct World {
+    /// The mainchain.
+    pub chain: Blockchain,
+    /// The Latus node (forger + prover).
+    pub node: LatusNode,
+    /// Shared proving material.
+    pub keys: Arc<LatusKeys>,
+    /// Named users.
+    pub users: HashMap<String, User>,
+    /// Collected metrics.
+    pub metrics: Metrics,
+    /// The sidechain id.
+    pub sidechain_id: SidechainId,
+    /// Queued MC transactions for the next block.
+    mc_mempool: Vec<McTransaction>,
+    /// When `true`, certificates are produced but not submitted
+    /// (the withheld-certificate fault).
+    pub withhold_certificates: bool,
+    miner: Wallet,
+    time: u64,
+}
+
+impl World {
+    /// Bootstraps the world: genesis, sidechain declaration, node.
+    pub fn new(config: SimConfig) -> Self {
+        let miner = Wallet::from_seed(b"sim-miner");
+        let users: HashMap<String, User> = config
+            .genesis_users
+            .iter()
+            .map(|(name, _)| {
+                (
+                    name.clone(),
+                    User {
+                        wallet: Wallet::from_seed(format!("mc-{name}").as_bytes()),
+                        sc_keys: Keypair::from_seed(format!("sc-{name}").as_bytes()),
+                    },
+                )
+            })
+            .collect();
+
+        let mut chain_params = ChainParams::default();
+        chain_params.genesis_outputs = config
+            .genesis_users
+            .iter()
+            .map(|(name, amount)| TxOut {
+                address: users[name].mc_address(),
+                amount: Amount::from_units(*amount),
+            })
+            .collect();
+        let mut chain = Blockchain::new(chain_params);
+
+        let sidechain_id = SidechainId::from_label(&config.sidechain_label);
+        let params = LatusParams::new(sidechain_id, config.mst_depth);
+        let schedule = EpochSchedule::new(2, config.epoch_len, config.submit_len)
+            .expect("simulation schedule valid");
+        let keys = Arc::new(LatusKeys::generate(params, schedule, &config.seed));
+        let sc_config = keys.sidechain_config(&params, schedule);
+        chain
+            .mine_next_block(
+                miner.address(),
+                vec![McTransaction::SidechainDeclaration(Box::new(sc_config))],
+                1,
+            )
+            .expect("declaration block");
+
+        let forger = Keypair::from_seed(b"sim-forger");
+        let node = LatusNode::new(
+            params,
+            schedule,
+            ConsensusParams::with_bootstrap(forger.public),
+            Arc::clone(&keys),
+            forger,
+            chain.tip_hash(),
+        );
+        World {
+            chain,
+            node,
+            keys,
+            users,
+            metrics: Metrics::default(),
+            sidechain_id,
+            mc_mempool: Vec::new(),
+            withhold_certificates: false,
+            miner,
+            time: 1,
+        }
+    }
+
+    /// Looks up a user.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownUser`].
+    pub fn user(&self, name: &str) -> Result<&User, SimError> {
+        self.users
+            .get(name)
+            .ok_or_else(|| SimError::UnknownUser(name.into()))
+    }
+
+    /// Queues a mainchain transaction for the next mined block.
+    pub fn queue_mc_tx(&mut self, tx: McTransaction) {
+        self.mc_mempool.push(tx);
+    }
+
+    /// Queues a forward transfer from a user to their own SC address.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] on unknown users or insufficient funds.
+    pub fn queue_forward_transfer(&mut self, name: &str, amount: u64) -> Result<(), SimError> {
+        let user = self.user(name)?.clone();
+        let meta = ReceiverMetadata {
+            receiver: user.sc_address(),
+            payback: user.mc_address(),
+        };
+        let tx = user.wallet.forward_transfer(
+            &self.chain,
+            self.sidechain_id,
+            meta.to_bytes(),
+            Amount::from_units(amount),
+            Amount::ZERO,
+        )?;
+        self.mc_mempool.push(tx);
+        self.metrics.forward_transfers += 1;
+        Ok(())
+    }
+
+    /// Submits a sidechain payment between users.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] when funds are insufficient.
+    pub fn sc_pay(&mut self, from: &str, to: &str, amount: u64) -> Result<(), SimError> {
+        let sender = self.user(from)?.clone();
+        let receiver = self.user(to)?.sc_address();
+        let amount = Amount::from_units(amount);
+        // Gather enough inputs.
+        let mut selected = Vec::new();
+        let mut total = Amount::ZERO;
+        for utxo in self.node.utxos_of(&sender.sc_address()) {
+            if total >= amount {
+                break;
+            }
+            total = total.checked_add(utxo.amount).expect("fits");
+            selected.push(utxo);
+        }
+        let inputs: Vec<_> = selected
+            .iter()
+            .map(|u| (*u, &sender.sc_keys.secret))
+            .collect();
+        let change = total.checked_sub(amount).ok_or_else(|| {
+            SimError::Node(NodeError::Tx(zendoo_latus::tx::TxError::ValueImbalance {
+                input: total,
+                output: amount,
+            }))
+        })?;
+        let mut outputs = vec![(receiver, amount)];
+        if !change.is_zero() {
+            outputs.push((sender.sc_address(), change));
+        }
+        let tx = ScTransaction::Payment(PaymentTx::create(inputs, outputs));
+        self.node.submit_transaction(tx)?;
+        self.metrics.sc_payments += 1;
+        Ok(())
+    }
+
+    /// Initiates a sidechain→mainchain withdrawal for a user.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] when funds are insufficient.
+    pub fn sc_withdraw(&mut self, name: &str, amount: u64) -> Result<(), SimError> {
+        let user = self.user(name)?.clone();
+        let amount = Amount::from_units(amount);
+        let mut selected = Vec::new();
+        let mut total = Amount::ZERO;
+        for utxo in self.node.utxos_of(&user.sc_address()) {
+            if total >= amount {
+                break;
+            }
+            total = total.checked_add(utxo.amount).expect("fits");
+            selected.push(utxo);
+        }
+        let inputs: Vec<_> = selected
+            .iter()
+            .map(|u| (*u, &user.sc_keys.secret))
+            .collect();
+        let mut withdrawals = vec![(user.mc_address(), amount)];
+        let change = total.checked_sub(amount).ok_or_else(|| {
+            SimError::Node(NodeError::Tx(zendoo_latus::tx::TxError::ValueImbalance {
+                input: total,
+                output: amount,
+            }))
+        })?;
+        // Change stays on the SC as a payment output… but a BT tx has no
+        // outputs; route change back via a separate payment-to-self when
+        // needed. Simplest correct form: withdraw whole UTXOs and refund
+        // the change as a second withdrawal to the user's MC address.
+        if !change.is_zero() {
+            withdrawals.push((user.mc_address(), change));
+        }
+        let tx = ScTransaction::BackwardTransfer(BackwardTransferTx::create(inputs, withdrawals));
+        self.node.submit_transaction(tx)?;
+        self.metrics.backward_transfers += 1;
+        Ok(())
+    }
+
+    /// Advances the world by one mainchain block: mines the queued
+    /// transactions, syncs the node, and — at epoch boundaries —
+    /// produces and (unless withheld) submits the certificate.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] on chain/node failures.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.time += 1;
+        let queued = std::mem::take(&mut self.mc_mempool);
+        // Filter out transactions the chain rejects (e.g. deliberately
+        // invalid certificates in fault scenarios), counting rejections.
+        let mut accepted = Vec::new();
+        for tx in queued {
+            let mut candidate = accepted.clone();
+            candidate.push(tx.clone());
+            match self
+                .chain
+                .build_next_block(self.miner.address(), candidate, self.time)
+            {
+                Ok(_) => accepted.push(tx),
+                Err(_) => {
+                    self.metrics.rejections += 1;
+                    if matches!(tx, McTransaction::Certificate(_)) {
+                        self.metrics.certificates_rejected += 1;
+                    }
+                }
+            }
+        }
+        self.metrics.certificates_accepted += accepted
+            .iter()
+            .filter(|tx| matches!(tx, McTransaction::Certificate(_)))
+            .count() as u64;
+        let block = self
+            .chain
+            .mine_next_block(self.miner.address(), accepted, self.time)?;
+        self.metrics.mc_blocks += 1;
+        self.node.sync_mainchain_block(&block)?;
+        self.metrics.sc_blocks += 1;
+
+        if self.node.epoch_complete() {
+            if self.withhold_certificates {
+                // The sidechain stops certifying entirely: a node that
+                // never published its certificate cannot prove later
+                // epochs either (the proof chain is broken) — exactly
+                // the liveness fault Def 4.2 punishes with ceasing.
+                self.metrics.certificates_withheld += 1;
+            } else {
+                let cert = self.node.produce_certificate()?;
+                self.metrics.certificates_produced += 1;
+                self.mc_mempool
+                    .push(McTransaction::Certificate(Box::new(cert)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `n` steps.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing step.
+    pub fn run(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Runs until `epochs` withdrawal epochs have been certified (or the
+    /// step budget runs out).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] on failures.
+    pub fn run_epochs(&mut self, epochs: u32) -> Result<(), SimError> {
+        let target = self.node.current_epoch() + epochs;
+        let mut budget = 10_000u32;
+        while self.node.current_epoch() < target && budget > 0 {
+            self.step()?;
+            budget -= 1;
+        }
+        Ok(())
+    }
+
+    /// Injects a mainchain fork: builds `depth + 1` empty blocks on the
+    /// branch point `depth` blocks below the tip, triggering a reorg,
+    /// then re-syncs the node onto the new branch.
+    ///
+    /// Returns the number of SC blocks reverted.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] if the reorg cannot be performed.
+    pub fn inject_mc_fork(&mut self, depth: u64) -> Result<usize, SimError> {
+        let fork_height = self.chain.height().saturating_sub(depth);
+        let fork_base = self
+            .chain
+            .hash_at_height(fork_height)
+            .expect("fork base exists");
+
+        // Build the competing branch on a replay chain.
+        let mut alt = Blockchain::new(self.chain.params().clone());
+        for h in 1..=fork_height {
+            alt.submit_block(self.chain.block_at_height(h).unwrap().clone())?;
+        }
+        let mut branch = Vec::new();
+        for i in 0..=depth {
+            let block = alt.mine_next_block(self.miner.address(), vec![], 900_000 + i)?;
+            branch.push(block);
+        }
+        let mut reorged = false;
+        for block in &branch {
+            if matches!(
+                self.chain.submit_block(block.clone())?,
+                SubmitOutcome::Reorganized { .. }
+            ) {
+                reorged = true;
+            }
+        }
+        if reorged {
+            self.metrics.reorgs += 1;
+        }
+        // Roll the node back to the fork base and replay the new branch.
+        let reverted = self.node.rollback_to_mc(&fork_base)?;
+        self.metrics.sc_blocks_reverted += reverted as u64;
+        for block in &branch {
+            self.node.sync_mainchain_block(block)?;
+            self.metrics.sc_blocks += 1;
+        }
+        self.time = self.time.max(900_000 + depth + 1);
+        Ok(reverted)
+    }
+
+    /// The sidechain's balance held on the mainchain (safeguard).
+    pub fn sidechain_balance(&self) -> Amount {
+        self.chain
+            .state()
+            .registry
+            .get(&self.sidechain_id)
+            .map(|e| e.balance)
+            .unwrap_or(Amount::ZERO)
+    }
+
+    /// The registry status of the sidechain.
+    pub fn sidechain_status(&self) -> Option<zendoo_mainchain::SidechainStatus> {
+        self.chain
+            .state()
+            .registry
+            .get(&self.sidechain_id)
+            .map(|e| e.status)
+    }
+
+    /// Audits the global conservation invariant: MC UTXO value plus all
+    /// locked sidechain balances equals net minted coins.
+    pub fn conservation_holds(&self) -> bool {
+        let state = self.chain.state();
+        state
+            .utxos
+            .total_value()
+            .checked_add(state.registry.total_locked())
+            == Some(state.minted)
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("mc_height", &self.chain.height())
+            .field("sc_height", &self.node.chain().len())
+            .field("epoch", &self.node.current_epoch())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}

@@ -1,0 +1,249 @@
+//! Parallel recursive proving (paper §5.4.1).
+//!
+//! "Generating a SNARK proof for each basic transition and then merging
+//! them together requires a significant amount of computation. This task
+//! cannot be solely levied upon forgers … one of the possible solutions
+//! is to introduce a special dispatching scheme that assigns generation
+//! of proofs randomly to interested parties who then do these tasks in
+//! parallel."
+//!
+//! [`ParallelProver`] realizes the computational half of that scheme:
+//! base proofs and each merge layer of the Fig 10/11 tree are computed
+//! concurrently by a bounded worker pool, preserving the exact proof
+//! shape of the sequential [`RecursiveSystem::prove_chain`]. The
+//! dispatch/reward bookkeeping lives in `zendoo-latus::prover_pool`.
+
+use crossbeam::thread;
+use zendoo_primitives::field::Fp;
+
+use crate::backend::ProveError;
+use crate::recursive::{RecursiveSystem, StateProof, TransitionVerifier};
+
+/// Per-run statistics: which worker produced how many proofs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkReport {
+    /// Base proofs per worker index.
+    pub base_proofs: Vec<u64>,
+    /// Merge proofs per worker index.
+    pub merge_proofs: Vec<u64>,
+}
+
+impl WorkReport {
+    fn new(workers: usize) -> Self {
+        WorkReport {
+            base_proofs: vec![0; workers],
+            merge_proofs: vec![0; workers],
+        }
+    }
+
+    /// Total proofs produced by `worker`.
+    pub fn total_for(&self, worker: usize) -> u64 {
+        self.base_proofs.get(worker).copied().unwrap_or(0)
+            + self.merge_proofs.get(worker).copied().unwrap_or(0)
+    }
+}
+
+/// A bounded-parallelism prover over a [`RecursiveSystem`].
+pub struct ParallelProver<'a, V: TransitionVerifier> {
+    system: &'a RecursiveSystem<V>,
+    workers: usize,
+}
+
+impl<'a, V> ParallelProver<'a, V>
+where
+    V: TransitionVerifier + Sync,
+    V::Witness: Sync,
+{
+    /// Creates a prover with `workers` concurrent lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(system: &'a RecursiveSystem<V>, workers: usize) -> Self {
+        assert!(workers >= 1, "at least one worker required");
+        ParallelProver { system, workers }
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Folds a transition sequence into one proof, computing each tree
+    /// layer in parallel. Produces the same endpoints as the sequential
+    /// fold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first unsatisfied transition or merge.
+    pub fn prove_chain(
+        &self,
+        states: &[Fp],
+        witnesses: &[V::Witness],
+    ) -> Result<(StateProof, WorkReport), ProveError> {
+        if witnesses.is_empty() || states.len() != witnesses.len() + 1 {
+            return Err(ProveError::Unsatisfied(crate::circuit::Unsatisfied::new(
+                "parallel/arity",
+                format!(
+                    "need n>=1 transitions and n+1 states, got {} states / {} witnesses",
+                    states.len(),
+                    witnesses.len()
+                ),
+            )));
+        }
+        let mut report = WorkReport::new(self.workers);
+
+        // Layer 0: base proofs, strided across workers.
+        let jobs: Vec<(usize, Fp, Fp, &V::Witness)> = witnesses
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i, states[i], states[i + 1], w))
+            .collect();
+        let mut layer = self.run_layer(&jobs, |(_, from, to, witness)| {
+            self.system.prove_base(*from, *to, witness)
+        })?;
+        for (i, _) in jobs.iter().enumerate() {
+            report.base_proofs[i % self.workers] += 1;
+        }
+
+        // Merge layers: pair adjacent proofs until one remains.
+        while layer.len() > 1 {
+            let pairs: Vec<(usize, StateProof, Option<StateProof>)> = layer
+                .chunks(2)
+                .enumerate()
+                .map(|(i, pair)| (i, pair[0], pair.get(1).copied()))
+                .collect();
+            layer = self.run_layer(&pairs, |(_, left, right)| match right {
+                Some(right) => self.system.merge(left, right),
+                None => Ok(*left),
+            })?;
+            for (i, _, right) in &pairs {
+                if right.is_some() {
+                    report.merge_proofs[i % self.workers] += 1;
+                }
+            }
+        }
+        Ok((layer.remove(0), report))
+    }
+
+    /// Runs one tree layer: `jobs[i]` is processed by worker
+    /// `i % workers`; results are returned in job order.
+    fn run_layer<J, F>(&self, jobs: &[J], f: F) -> Result<Vec<StateProof>, ProveError>
+    where
+        J: Sync,
+        F: Fn(&J) -> Result<StateProof, ProveError> + Sync,
+    {
+        if self.workers == 1 || jobs.len() == 1 {
+            return jobs.iter().map(&f).collect();
+        }
+        let results = thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.workers);
+            for worker in 0..self.workers {
+                let f = &f;
+                handles.push(scope.spawn(move |_| {
+                    jobs.iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % self.workers == worker)
+                        .map(|(i, job)| (i, f(job)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            let mut indexed: Vec<(usize, Result<StateProof, ProveError>)> = Vec::new();
+            for handle in handles {
+                indexed.extend(handle.join().expect("worker thread panicked"));
+            }
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed
+        })
+        .expect("thread scope");
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Unsatisfied;
+    use zendoo_primitives::digest::Digest32;
+    use zendoo_primitives::poseidon;
+
+    #[derive(Debug)]
+    struct Counter;
+
+    #[derive(Clone)]
+    struct Step(u64);
+
+    fn digest_of(v: u64) -> Fp {
+        poseidon::hash_many(&[Fp::from_u64(v)])
+    }
+
+    impl TransitionVerifier for Counter {
+        type Witness = Step;
+
+        fn id(&self) -> Digest32 {
+            Digest32::hash_bytes(b"parallel/counter")
+        }
+
+        fn verify_transition(&self, from: &Fp, to: &Fp, w: &Step) -> Result<(), Unsatisfied> {
+            if *from == digest_of(w.0) && *to == digest_of(w.0 + 1) {
+                Ok(())
+            } else {
+                Err(Unsatisfied::new("counter", "bad step"))
+            }
+        }
+    }
+
+    fn chain_inputs(n: u64) -> (Vec<Fp>, Vec<Step>) {
+        let states = (0..=n).map(digest_of).collect();
+        let witnesses = (0..n).map(Step).collect();
+        (states, witnesses)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_endpoints() {
+        let system = RecursiveSystem::new_deterministic(Counter, b"par");
+        let (states, witnesses) = chain_inputs(13);
+        let sequential = system.prove_chain(&states, &witnesses).unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            let prover = ParallelProver::new(&system, workers);
+            let (proof, report) = prover.prove_chain(&states, &witnesses).unwrap();
+            assert!(system.verify(&proof), "workers={workers}");
+            assert_eq!(proof.from_state(), sequential.from_state());
+            assert_eq!(proof.to_state(), sequential.to_state());
+            assert_eq!(report.base_proofs.iter().sum::<u64>(), 13);
+        }
+    }
+
+    #[test]
+    fn work_is_distributed() {
+        let system = RecursiveSystem::new_deterministic(Counter, b"par");
+        let (states, witnesses) = chain_inputs(16);
+        let prover = ParallelProver::new(&system, 4);
+        let (_, report) = prover.prove_chain(&states, &witnesses).unwrap();
+        assert_eq!(report.base_proofs, vec![4, 4, 4, 4]);
+        assert!(report.merge_proofs.iter().sum::<u64>() >= 15 - 8);
+    }
+
+    #[test]
+    fn bad_witness_fails_in_parallel_too() {
+        let system = RecursiveSystem::new_deterministic(Counter, b"par");
+        let (states, mut witnesses) = chain_inputs(8);
+        witnesses[5] = Step(999);
+        let prover = ParallelProver::new(&system, 4);
+        assert!(prover.prove_chain(&states, &witnesses).is_err());
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let system = RecursiveSystem::new_deterministic(Counter, b"par");
+        let prover = ParallelProver::new(&system, 2);
+        assert!(prover.prove_chain(&[digest_of(0)], &[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let system = RecursiveSystem::new_deterministic(Counter, b"par");
+        let _ = ParallelProver::new(&system, 0);
+    }
+}

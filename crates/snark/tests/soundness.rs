@@ -1,0 +1,155 @@
+//! Property-based soundness tests for the proving system: across random
+//! statements and random tampering, (1) honest proofs always verify,
+//! (2) any single-bit change to proof or public inputs breaks
+//! verification, (3) unsatisfied witnesses never acquire proofs, and
+//! (4) recursion preserves these properties through arbitrary fold
+//! shapes.
+
+use proptest::prelude::*;
+use zendoo_primitives::digest::Digest32;
+use zendoo_primitives::field::Fp;
+use zendoo_primitives::poseidon;
+use zendoo_snark::backend::{prove, setup_deterministic, verify, Proof};
+use zendoo_snark::circuit::{Circuit, Unsatisfied};
+use zendoo_snark::inputs::PublicInputs;
+use zendoo_snark::recursive::{RecursiveSystem, TransitionVerifier};
+
+/// Statement: `public[0] = w0 + w1` and `public[1] = w0 * w1`.
+struct SumProduct;
+
+impl Circuit for SumProduct {
+    type Witness = (Fp, Fp);
+
+    fn id(&self) -> Digest32 {
+        Digest32::hash_bytes(b"prop/sum-product")
+    }
+
+    fn check(&self, public: &PublicInputs, w: &(Fp, Fp)) -> Result<(), Unsatisfied> {
+        if public.get(0) == Some(w.0 + w.1) && public.get(1) == Some(w.0 * w.1) {
+            Ok(())
+        } else {
+            Err(Unsatisfied::new("sum-product", "mismatch"))
+        }
+    }
+}
+
+fn inputs_for(w0: u64, w1: u64) -> PublicInputs {
+    let (a, b) = (Fp::from_u64(w0), Fp::from_u64(w1));
+    let mut p = PublicInputs::new();
+    p.push_fp(a + b).push_fp(a * b);
+    p
+}
+
+proptest! {
+    #[test]
+    fn prop_completeness(w0 in any::<u32>(), w1 in any::<u32>()) {
+        let (pk, vk) = setup_deterministic(&SumProduct, b"prop");
+        let public = inputs_for(w0 as u64, w1 as u64);
+        let witness = (Fp::from_u64(w0 as u64), Fp::from_u64(w1 as u64));
+        let proof = prove(&pk, &SumProduct, &public, &witness).unwrap();
+        prop_assert!(verify(&vk, &public, &proof));
+    }
+
+    #[test]
+    fn prop_bitflip_breaks_proof(w0 in any::<u32>(), w1 in any::<u32>(), byte in 0usize..65, bit in 0u8..8) {
+        let (pk, vk) = setup_deterministic(&SumProduct, b"prop");
+        let public = inputs_for(w0 as u64, w1 as u64);
+        let witness = (Fp::from_u64(w0 as u64), Fp::from_u64(w1 as u64));
+        let proof = prove(&pk, &SumProduct, &public, &witness).unwrap();
+        let mut bytes = proof.to_bytes();
+        bytes[byte] ^= 1 << bit;
+        if bytes != proof.to_bytes() {
+            if let Some(tampered) = Proof::from_bytes(&bytes) {
+                prop_assert!(!verify(&vk, &public, &tampered), "flipped bit must not verify");
+            }
+        }
+    }
+
+    #[test]
+    fn prop_wrong_public_inputs_fail(
+        w0 in any::<u32>(), w1 in any::<u32>(), delta in 1u64..1000
+    ) {
+        let (pk, vk) = setup_deterministic(&SumProduct, b"prop");
+        let public = inputs_for(w0 as u64, w1 as u64);
+        let witness = (Fp::from_u64(w0 as u64), Fp::from_u64(w1 as u64));
+        let proof = prove(&pk, &SumProduct, &public, &witness).unwrap();
+        // Shift the claimed sum.
+        let mut forged = PublicInputs::new();
+        forged
+            .push_fp(public.get(0).unwrap() + Fp::from_u64(delta))
+            .push_fp(public.get(1).unwrap());
+        prop_assert!(!verify(&vk, &forged, &proof));
+    }
+
+    #[test]
+    fn prop_unsatisfied_never_proves(w0 in any::<u32>(), w1 in any::<u32>(), delta in 1u64..1000) {
+        let (pk, _) = setup_deterministic(&SumProduct, b"prop");
+        let mut public = inputs_for(w0 as u64, w1 as u64);
+        // Corrupt the product claim.
+        let bad_product = public.get(1).unwrap() + Fp::from_u64(delta);
+        public = {
+            let mut p = PublicInputs::new();
+            p.push_fp(public.get(0).unwrap()).push_fp(bad_product);
+            p
+        };
+        let witness = (Fp::from_u64(w0 as u64), Fp::from_u64(w1 as u64));
+        prop_assert!(prove(&pk, &SumProduct, &public, &witness).is_err());
+    }
+}
+
+/// Counter transition system for recursion properties.
+#[derive(Debug)]
+struct Counter;
+
+#[derive(Clone)]
+struct Step(u64);
+
+fn digest_of(v: u64) -> Fp {
+    poseidon::hash_many(&[Fp::from_u64(v)])
+}
+
+impl TransitionVerifier for Counter {
+    type Witness = Step;
+
+    fn id(&self) -> Digest32 {
+        Digest32::hash_bytes(b"prop/counter")
+    }
+
+    fn verify_transition(&self, from: &Fp, to: &Fp, w: &Step) -> Result<(), Unsatisfied> {
+        if *from == digest_of(w.0) && *to == digest_of(w.0 + 1) {
+            Ok(())
+        } else {
+            Err(Unsatisfied::new("counter", "bad step"))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn prop_chain_proofs_verify_for_any_length(start in 0u64..1000, len in 1usize..24) {
+        let system = RecursiveSystem::new_deterministic(Counter, b"prop");
+        let states: Vec<Fp> = (0..=len as u64).map(|i| digest_of(start + i)).collect();
+        let witnesses: Vec<Step> = (0..len as u64).map(|i| Step(start + i)).collect();
+        let proof = system.prove_chain(&states, &witnesses).unwrap();
+        prop_assert!(system.verify(&proof));
+        prop_assert_eq!(proof.from_state(), digest_of(start));
+        prop_assert_eq!(proof.to_state(), digest_of(start + len as u64));
+    }
+
+    #[test]
+    fn prop_merging_disjoint_chains_fails(start in 0u64..100, gap in 2u64..50) {
+        let system = RecursiveSystem::new_deterministic(Counter, b"prop");
+        let p1 = system
+            .prove_base(digest_of(start), digest_of(start + 1), &Step(start))
+            .unwrap();
+        let p2 = system
+            .prove_base(
+                digest_of(start + gap),
+                digest_of(start + gap + 1),
+                &Step(start + gap),
+            )
+            .unwrap();
+        prop_assert!(system.merge(&p1, &p2).is_err(), "non-adjacent merge must fail");
+    }
+}

@@ -1,0 +1,108 @@
+//! E11 — the Appendix-A worked example, reproduced operation for
+//! operation: a depth-3 MST holding `utxo1..3` at leaves 0, 4, 6
+//! (Fig 15); transactions `tx1` (spend utxo1 → utxo4@1, utxo5@2) and
+//! `tx2` (spend utxo4 → utxo6@7) produce MST1 (Fig 16); the epoch's
+//! `mst_delta` must be exactly `11100001`.
+//!
+//! `MST_Position` is a hash in this implementation, so the fixture
+//! brute-forces nonces landing each UTXO on the appendix's slots — the
+//! positions themselves are then identical to the paper's.
+
+use zendoo::core::ids::{Address, Amount};
+use zendoo::latus::mst::{mst_position, Mst, MstDelta, Utxo};
+use zendoo::primitives::digest::Digest32;
+
+const DEPTH: u32 = 3;
+
+/// Finds a UTXO with the requested owner/value landing on `slot`.
+fn utxo_at_slot(owner: &str, value: u64, slot: u64) -> Utxo {
+    for i in 0u64..100_000 {
+        let candidate = Utxo {
+            address: Address::from_label(owner),
+            amount: Amount::from_units(value),
+            nonce: Digest32::hash_tagged("appendix-a", &[&i.to_be_bytes(), owner.as_bytes()]),
+        };
+        if mst_position(&candidate, DEPTH) == slot {
+            return candidate;
+        }
+    }
+    panic!("no nonce found for slot {slot} in 100k draws (8 slots)");
+}
+
+#[test]
+fn appendix_a_delta_is_11100001() {
+    // --- Fig 15: MST0 with utxo1(val=5)@0, utxo2(val=3)@4, utxo3(val=1)@6.
+    let utxo1 = utxo_at_slot("appendix-owner", 5, 0);
+    let utxo2 = utxo_at_slot("appendix-owner", 3, 4);
+    let utxo3 = utxo_at_slot("appendix-owner", 1, 6);
+    let mut mst = Mst::new(DEPTH);
+    assert_eq!(mst.add(&utxo1).unwrap(), 0);
+    assert_eq!(mst.add(&utxo2).unwrap(), 4);
+    assert_eq!(mst.add(&utxo3).unwrap(), 6);
+    assert_eq!(mst.len(), 3);
+    let mst0_root = mst.root();
+
+    let mut delta = MstDelta::new(DEPTH);
+
+    // --- tx1: inputs {utxo1}, outputs {utxo4(val=2)@1, utxo5(val=3)@2}.
+    let utxo4 = utxo_at_slot("appendix-owner", 2, 1);
+    let utxo5 = utxo_at_slot("appendix-owner", 3, 2);
+    delta.touch(mst.remove(&utxo1).unwrap());
+    delta.touch(mst.add(&utxo4).unwrap());
+    delta.touch(mst.add(&utxo5).unwrap());
+
+    // --- tx2: inputs {utxo4}, outputs {utxo6(val=2)@7}.
+    let utxo6 = utxo_at_slot("appendix-owner", 2, 7);
+    delta.touch(mst.remove(&utxo4).unwrap());
+    delta.touch(mst.add(&utxo6).unwrap());
+
+    // --- Fig 16: MST1 holds utxo5@2, utxo2@4, utxo3@6, utxo6@7.
+    assert_eq!(mst.len(), 4);
+    assert!(mst.contains(&utxo5));
+    assert!(mst.contains(&utxo2));
+    assert!(mst.contains(&utxo3));
+    assert!(mst.contains(&utxo6));
+    assert!(!mst.contains(&utxo1));
+    assert!(!mst.contains(&utxo4));
+    assert_ne!(mst.root(), mst0_root);
+
+    // --- "mst_delta = (11100001)".
+    assert_eq!(delta.to_bit_string(), "11100001");
+    assert_eq!(delta.count(), 4);
+
+    // --- The appendix's usage: utxo2@4 can prove non-spending across
+    // the epoch: included in MST0 and its bit is 0 in the delta.
+    let position = mst_position(&utxo2, DEPTH);
+    assert_eq!(position, 4);
+    assert!(!delta.bit(position), "slot 4 untouched through tx1, tx2");
+    // While utxo1's slot cannot make that claim:
+    assert!(delta.bit(0));
+}
+
+#[test]
+fn appendix_a_membership_proofs_across_states() {
+    // The mechanism behind mainchain-managed withdrawals: a proof of
+    // utxo2 in MST0 plus the zero delta bit substitutes for a proof in
+    // MST1 (which a withholding adversary never reveals).
+    let utxo2 = utxo_at_slot("appendix-owner", 3, 4);
+    let mut mst = Mst::new(DEPTH);
+    mst.add(&utxo_at_slot("appendix-owner", 5, 0)).unwrap();
+    mst.add(&utxo2).unwrap();
+    mst.add(&utxo_at_slot("appendix-owner", 1, 6)).unwrap();
+    let mst0_root = mst.root();
+    let old_proof = mst.proof(4);
+
+    // The epoch's changes (tx1 + tx2) never touch slot 4.
+    let utxo1 = utxo_at_slot("appendix-owner", 5, 0);
+    let _ = utxo1;
+    mst.remove(&utxo_at_slot("appendix-owner", 5, 0)).unwrap();
+    mst.add(&utxo_at_slot("appendix-owner", 2, 1)).unwrap();
+    mst.add(&utxo_at_slot("appendix-owner", 3, 2)).unwrap();
+
+    // The old proof verifies against the old root…
+    assert!(old_proof.verify_occupied(&mst0_root, &utxo2.leaf()));
+    // …and the new tree still contains the utxo (delta bit 0 ⇒ same
+    // leaf), even though the old path no longer matches the new root.
+    assert!(mst.contains(&utxo2));
+    assert!(!old_proof.verify_occupied(&mst.root(), &utxo2.leaf()));
+}

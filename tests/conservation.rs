@@ -1,0 +1,68 @@
+//! E10 — property-based conservation and safeguard auditing: under
+//! random interleavings of forward transfers, sidechain payments,
+//! withdrawals and epoch boundaries, (1) no coins are created or
+//! destroyed across the two chains, and (2) no sidechain ever withdraws
+//! more than was forwarded to it.
+
+use proptest::prelude::*;
+use zendoo::sim::{Action, Schedule, SimConfig, World};
+
+/// One randomly generated scripted action.
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u64..5_000).prop_map(|amount| Action::ForwardTransfer("alice".into(), amount)),
+        (1u64..5_000).prop_map(|amount| Action::ForwardTransfer("bob".into(), amount)),
+        (1u64..3_000).prop_map(|amount| Action::ScPay("alice".into(), "bob".into(), amount)),
+        (1u64..3_000).prop_map(|amount| Action::ScPay("bob".into(), "alice".into(), amount)),
+        (1u64..2_000).prop_map(|amount| Action::ScWithdraw("alice".into(), amount)),
+        (1u64..2_000).prop_map(|amount| Action::ScWithdraw("bob".into(), amount)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn conservation_under_random_interleavings(
+        actions in proptest::collection::vec((0u64..20, action_strategy()), 0..12)
+    ) {
+        let mut schedule = Schedule::new();
+        for (tick, action) in actions {
+            schedule = schedule.at(tick, action);
+        }
+        let mut world = World::new(SimConfig::default());
+        // 22 ticks ≈ 3 withdrawal epochs; action failures (overdrafts
+        // etc.) are tolerated and counted as rejections.
+        schedule.run(&mut world, 22).unwrap();
+
+        // (1) Conservation across both chains.
+        prop_assert!(world.conservation_holds(), "conservation violated");
+
+        // (2) Safeguard: the sidechain balance tracked by the MC equals
+        // SC-side value plus not-yet-matured withdrawals.
+        let mc_view = world.sidechain_balance();
+        let sc_value = world.node.state().total_value();
+        prop_assert!(
+            sc_value <= mc_view,
+            "sidechain holds more value ({sc_value}) than the MC safeguard ({mc_view})"
+        );
+    }
+}
+
+#[test]
+fn long_run_conservation() {
+    // A longer deterministic mixed workload across 6 epochs.
+    let schedule = Schedule::new()
+        .at(0, Action::ForwardTransfer("alice".into(), 50_000))
+        .at(2, Action::ScPay("alice".into(), "bob".into(), 10_000))
+        .at(4, Action::ScWithdraw("bob".into(), 5_000))
+        .at(8, Action::ForwardTransfer("bob".into(), 20_000))
+        .at(10, Action::ScPay("bob".into(), "alice".into(), 7_000))
+        .at(12, Action::ScWithdraw("alice".into(), 30_000))
+        .at(15, Action::ForwardTransfer("alice".into(), 1))
+        .at(18, Action::ScWithdraw("alice".into(), 100));
+    let mut world = World::new(SimConfig::default());
+    schedule.run(&mut world, 45).unwrap();
+    assert!(world.conservation_holds());
+    assert!(world.metrics.certificates_accepted >= 5);
+    assert_eq!(world.metrics.certificates_rejected, 0);
+}
