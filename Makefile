@@ -1,0 +1,22 @@
+# Zendoo reproduction — make mirror of the justfile (the container may
+# not have `just` installed).
+
+.PHONY: ci fmt-check clippy test bench demo
+
+ci: fmt-check clippy test
+
+fmt-check:
+	cargo fmt --check
+
+clippy:
+	cargo clippy -p zendoo-crosschain -p zendoo-sim --all-targets --no-deps -- -D warnings
+
+test:
+	cargo build --release
+	cargo test -q
+
+bench:
+	cargo bench -p zendoo-bench
+
+demo:
+	cargo run --release --example cross_sidechain_swap

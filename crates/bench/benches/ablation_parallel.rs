@@ -48,16 +48,12 @@ fn bench_parallel_prover(c: &mut Criterion) {
     group.sample_size(10);
     for workers in [1usize, 2, 4, 8] {
         let prover = ParallelProver::new(&system, workers);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, _| {
-                b.iter(|| {
-                    let (proof, _) = prover.prove_chain(&states, &witnesses).unwrap();
-                    proof
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                let (proof, _) = prover.prove_chain(&states, &witnesses).unwrap();
+                proof
+            })
+        });
     }
     group.finish();
 }

@@ -66,7 +66,11 @@ fn bench_proofs(c: &mut Criterion) {
     });
 
     group.bench_function("membership_generate", |b| {
-        b.iter(|| commitment.membership_proof(std::hint::black_box(&present)).unwrap())
+        b.iter(|| {
+            commitment
+                .membership_proof(std::hint::black_box(&present))
+                .unwrap()
+        })
     });
     group.finish();
 }

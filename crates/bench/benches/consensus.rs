@@ -18,7 +18,10 @@ fn bench_lottery(c: &mut Criterion) {
     let params = ConsensusParams::default();
     let kp = Keypair::from_seed(b"staker");
     let dist = StakeDistribution::from_entries([
-        (Address::from_public_key(&kp.public), Amount::from_units(400)),
+        (
+            Address::from_public_key(&kp.public),
+            Amount::from_units(400),
+        ),
         (Address::from_label("rest"), Amount::from_units(600)),
     ]);
     group.bench_function("try_lead_slot", |b| {

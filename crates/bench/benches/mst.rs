@@ -95,5 +95,10 @@ fn bench_position(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_insert_by_depth, bench_ops_by_occupancy, bench_position);
+criterion_group!(
+    benches,
+    bench_insert_by_depth,
+    bench_ops_by_occupancy,
+    bench_position
+);
 criterion_main!(benches);

@@ -73,9 +73,7 @@ fn bench_recursion(c: &mut Criterion) {
     let p2 = system
         .prove_base(digest_of(1), digest_of(2), &Step { old: 1 })
         .unwrap();
-    merge_group.bench_function("merge", |b| {
-        b.iter(|| system.merge(&p1, &p2).unwrap())
-    });
+    merge_group.bench_function("merge", |b| b.iter(|| system.merge(&p1, &p2).unwrap()));
     merge_group.finish();
 }
 

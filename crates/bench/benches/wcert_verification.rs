@@ -27,9 +27,7 @@ fn bench_snark_path(c: &mut Criterion) {
             .build()
             .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n_bts), &n_bts, |b, _| {
-            b.iter(|| {
-                verify_certificate(&config, &cert, None, prev_end, epoch_end).unwrap()
-            })
+            b.iter(|| verify_certificate(&config, &cert, None, prev_end, epoch_end).unwrap())
         });
     }
     group.finish();
@@ -79,9 +77,7 @@ fn bench_proving_side(c: &mut Criterion) {
         let sysdata = WcertSysData::for_certificate(&cert, prev_end, epoch_end);
         let inputs = wcert_public_inputs(&sysdata, &cert.proofdata.merkle_root());
         group.bench_with_input(BenchmarkId::from_parameter(n_bts), &n_bts, |b, _| {
-            b.iter(|| {
-                zendoo_snark::backend::prove(&pk, &AcceptAll("wcert"), &inputs, &()).unwrap()
-            })
+            b.iter(|| zendoo_snark::backend::prove(&pk, &AcceptAll("wcert"), &inputs, &()).unwrap())
         });
         let _ = bt_list(1);
     }

@@ -54,7 +54,11 @@ impl ScBlockData {
 
     /// `FTHash`: root over forward-transfer leaves.
     pub fn ft_root(&self) -> Digest32 {
-        let leaves: Vec<[u8; 32]> = self.forward_transfers.iter().map(|ft| ft.digest().0).collect();
+        let leaves: Vec<[u8; 32]> = self
+            .forward_transfers
+            .iter()
+            .map(|ft| ft.digest().0)
+            .collect();
         Digest32(MerkleTree::<Sha256Hasher>::from_leaves(leaves).root())
     }
 
@@ -140,7 +144,11 @@ pub struct DuplicateCertificate(pub SidechainId);
 
 impl std::fmt::Display for DuplicateCertificate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "block already contains a certificate for sidechain {}", self.0)
+        write!(
+            f,
+            "block already contains a certificate for sidechain {}",
+            self.0
+        )
     }
 }
 
@@ -506,7 +514,9 @@ mod tests {
         assert!(commitment
             .absence_proof(&SidechainId::from_label("a"))
             .is_none());
-        assert!(commitment.absence_proof(&SidechainId::MIN_SENTINEL).is_none());
+        assert!(commitment
+            .absence_proof(&SidechainId::MIN_SENTINEL)
+            .is_none());
     }
 
     #[test]
@@ -569,9 +579,7 @@ mod tests {
         let mut builder = ScTxsCommitmentBuilder::new();
         builder.add_forward_transfer(ft("a", 99));
         let c2 = builder.build();
-        let proof = c1
-            .membership_proof(&SidechainId::from_label("a"))
-            .unwrap();
+        let proof = c1.membership_proof(&SidechainId::from_label("a")).unwrap();
         assert!(!proof.verify(&c2.root()));
     }
 }

@@ -7,20 +7,24 @@ use zendoo_primitives::encode::Encode;
 
 /// A unique identifier of a registered sidechain (`ledgerId` in the
 /// paper). Derived from the hash of the sidechain-creation transaction.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct SidechainId(pub Digest32);
 
 impl SidechainId {
     /// Derives the id from the creating transaction's digest.
     pub fn from_creation_tx(txid: &Digest32) -> Self {
-        SidechainId(Digest32::hash_tagged("zendoo/sidechain-id", &[txid.as_bytes()]))
+        SidechainId(Digest32::hash_tagged(
+            "zendoo/sidechain-id",
+            &[txid.as_bytes()],
+        ))
     }
 
     /// Deterministic id from a label — for tests and examples.
     pub fn from_label(label: &str) -> Self {
-        SidechainId(Digest32::hash_tagged("zendoo/sidechain-label", &[label.as_bytes()]))
+        SidechainId(Digest32::hash_tagged(
+            "zendoo/sidechain-label",
+            &[label.as_bytes()],
+        ))
     }
 
     /// The low sentinel id used internally by the commitment tree.
@@ -62,9 +66,7 @@ pub type EpochId = u32;
 pub type Quality = u64;
 
 /// A mainchain address: the hash of a Schnorr public key.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct Address(pub Digest32);
 
 impl Address {
@@ -75,7 +77,10 @@ impl Address {
 
     /// Deterministic address from a label — tests and examples.
     pub fn from_label(label: &str) -> Self {
-        Address(Digest32::hash_tagged("zendoo/address-label", &[label.as_bytes()]))
+        Address(Digest32::hash_tagged(
+            "zendoo/address-label",
+            &[label.as_bytes()],
+        ))
     }
 }
 
@@ -106,7 +111,10 @@ pub struct Nullifier(pub Digest32);
 impl Nullifier {
     /// Derives the nullifier of a sidechain UTXO from its digest.
     pub fn from_utxo_digest(utxo: &Digest32) -> Self {
-        Nullifier(Digest32::hash_tagged("zendoo/nullifier", &[utxo.as_bytes()]))
+        Nullifier(Digest32::hash_tagged(
+            "zendoo/nullifier",
+            &[utxo.as_bytes()],
+        ))
     }
 }
 

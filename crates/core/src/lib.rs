@@ -28,6 +28,7 @@
 pub mod certificate;
 pub mod commitment;
 pub mod config;
+pub mod crosschain;
 pub mod epoch;
 pub mod ids;
 pub mod proofdata;
@@ -38,6 +39,7 @@ pub mod withdrawal;
 pub use certificate::WithdrawalCertificate;
 pub use commitment::{ScTxsCommitment, ScTxsCommitmentBuilder};
 pub use config::{SidechainConfig, SidechainConfigBuilder};
+pub use crosschain::{CrossChainReceipt, CrossChainTransfer};
 pub use epoch::EpochSchedule;
 pub use ids::{Address, Amount, EpochId, Nullifier, Quality, SidechainId};
 pub use transfer::{BackwardTransfer, ForwardTransfer};

@@ -193,7 +193,10 @@ impl std::fmt::Display for SchemaViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SchemaViolation::Arity { expected, actual } => {
-                write!(f, "proofdata has {actual} elements, schema declares {expected}")
+                write!(
+                    f,
+                    "proofdata has {actual} elements, schema declares {expected}"
+                )
             }
             SchemaViolation::Type {
                 index,
@@ -240,7 +243,10 @@ mod tests {
         data.0.pop();
         assert!(matches!(
             schema().validate(&data),
-            Err(SchemaViolation::Arity { expected: 3, actual: 2 })
+            Err(SchemaViolation::Arity {
+                expected: 3,
+                actual: 2
+            })
         ));
     }
 
@@ -273,7 +279,9 @@ mod tests {
 
     #[test]
     fn empty_schema_and_payload() {
-        assert!(ProofDataSchema::empty().validate(&ProofData::empty()).is_ok());
+        assert!(ProofDataSchema::empty()
+            .validate(&ProofData::empty())
+            .is_ok());
         assert!(ProofDataSchema::empty().validate(&sample()).is_err());
     }
 }

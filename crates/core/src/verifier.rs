@@ -14,7 +14,9 @@ use crate::certificate::{wcert_public_inputs, WcertSysData, WithdrawalCertificat
 use crate::config::SidechainConfig;
 use crate::ids::Quality;
 use crate::proofdata::SchemaViolation;
-use crate::withdrawal::{btr_public_inputs, BackwardTransferRequest, BtrSysData, CeasedSidechainWithdrawal};
+use crate::withdrawal::{
+    btr_public_inputs, BackwardTransferRequest, BtrSysData, CeasedSidechainWithdrawal,
+};
 
 /// Rejection reasons for sidechain postings.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -1,0 +1,39 @@
+//! # zendoo-crosschain
+//!
+//! Sidechain→sidechain transfers routed through the Zendoo mainchain.
+//!
+//! The protocol (after "Trustless Cross-chain Communication for Zendoo
+//! Sidechains", arXiv:2209.03907) reuses the certificate machinery of
+//! the base paper end to end:
+//!
+//! 1. **Declare** — the source sidechain's withdrawal certificate
+//!    carries a [`CrossChainTransfer`] list committed in its proofdata
+//!    (covered by the certificate SNARK) and escrow-paired: each
+//!    declared transfer is matched by a backward transfer of equal
+//!    amount paying the escrow address, so declared value necessarily
+//!    leaves the source sidechain's safeguard balance.
+//! 2. **Mature** — the mainchain registry validates the declaration at
+//!    certificate acceptance (escrow pairing, nullifier freshness) and,
+//!    when the submission window closes, pays the escrow backward
+//!    transfers of the winning certificate like any other payout.
+//! 3. **Deliver** — the [`CrossChainRouter`] observes accepted
+//!    certificates, tracks quality replacement within the window,
+//!    dedupes by nullifier, and at maturity spends each escrow UTXO
+//!    into a forward transfer to the destination sidechain — or, when
+//!    the destination is unknown or ceased, into a refund payment to
+//!    the sender's payback address.
+//!
+//! The message/receipt types and verifier hooks live in
+//! [`zendoo_core::crosschain`] (both chains and the mainchain registry
+//! need them); this crate owns the mainchain-side routing state
+//! machine.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod router;
+
+pub use router::CrossChainRouter;
+pub use zendoo_core::crosschain::{
+    escrow_address, CrossChainReceipt, CrossChainTransfer, DeliveryStatus, RefundReason, XctError,
+};

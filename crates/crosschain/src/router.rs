@@ -1,0 +1,328 @@
+//! The mainchain-side cross-chain transfer router.
+
+use std::collections::{BTreeMap, HashSet};
+use zendoo_core::crosschain::{
+    escrow_address, escrow_keypair, validate_declarations, CrossChainReceipt, CrossChainTransfer,
+    DeliveryStatus, RefundReason,
+};
+use zendoo_core::ids::{EpochId, Nullifier, Quality, SidechainId};
+use zendoo_mainchain::registry::SidechainStatus;
+use zendoo_mainchain::transaction::{McTransaction, OutPoint, Output, TransferTx, TxOut};
+use zendoo_mainchain::{Block, Blockchain};
+use zendoo_primitives::digest::Digest32;
+use zendoo_primitives::schnorr::Keypair;
+
+/// One transfer waiting for its source certificate to mature, plus the
+/// index of its escrow backward transfer inside that certificate's
+/// `BTList` (which determines the escrow UTXO's outpoint).
+#[derive(Clone, Debug)]
+struct PendingItem {
+    bt_index: u32,
+    transfer: CrossChainTransfer,
+}
+
+/// The best-so-far certificate of one `(source, epoch)` window and the
+/// transfers it declares.
+#[derive(Clone, Debug)]
+struct PendingEpoch {
+    cert_digest: Digest32,
+    quality: Quality,
+    mature_at: u64,
+    items: Vec<PendingItem>,
+}
+
+/// Routes declared cross-chain transfers from source-certificate
+/// acceptance to destination delivery (or refund).
+///
+/// The router mirrors the mainchain registry's view block by block:
+/// feed every connected block to [`CrossChainRouter::observe_block`],
+/// then drain [`CrossChainRouter::collect_deliveries`] into the next
+/// block's transaction list.
+///
+/// Escrowed value is held by the escrow authority key between maturity
+/// and delivery; see [`zendoo_core::crosschain::escrow_keypair`] for
+/// why this reproduction models the escrow as a well-known key.
+pub struct CrossChainRouter {
+    escrow: Keypair,
+    /// Nullifiers of transfers already delivered or refunded.
+    consumed: HashSet<Nullifier>,
+    /// Nullifiers queued in `pending` (released on quality replacement).
+    reserved: HashSet<Nullifier>,
+    pending: BTreeMap<(SidechainId, EpochId), PendingEpoch>,
+    receipts: Vec<CrossChainReceipt>,
+}
+
+impl Default for CrossChainRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CrossChainRouter {
+    /// A fresh router.
+    pub fn new() -> Self {
+        CrossChainRouter {
+            escrow: escrow_keypair(),
+            consumed: HashSet::new(),
+            reserved: HashSet::new(),
+            pending: BTreeMap::new(),
+            receipts: Vec::new(),
+        }
+    }
+
+    /// Per-transfer outcome records, in observation order.
+    pub fn receipts(&self) -> &[CrossChainReceipt] {
+        &self.receipts
+    }
+
+    /// The latest receipt recorded for `nullifier`, if any.
+    pub fn receipt_for(&self, nullifier: &Nullifier) -> Option<&CrossChainReceipt> {
+        self.receipts
+            .iter()
+            .rev()
+            .find(|r| r.transfer.nullifier == *nullifier)
+    }
+
+    /// Number of transfers awaiting maturity.
+    pub fn pending_count(&self) -> usize {
+        self.pending.values().map(|e| e.items.len()).sum()
+    }
+
+    /// Returns `true` once `nullifier` has been delivered or refunded.
+    pub fn nullifier_consumed(&self, nullifier: &Nullifier) -> bool {
+        self.consumed.contains(nullifier)
+    }
+
+    /// Observes one connected mainchain block: scans its accepted
+    /// certificates for cross-chain declarations and updates the
+    /// pending queue (with quality replacement inside a window).
+    pub fn observe_block(&mut self, chain: &Blockchain, block: &Block) {
+        for tx in &block.transactions {
+            if let McTransaction::Certificate(cert) = tx {
+                self.observe_certificate(chain, cert);
+            }
+        }
+    }
+
+    fn observe_certificate(
+        &mut self,
+        chain: &Blockchain,
+        cert: &zendoo_core::certificate::WithdrawalCertificate,
+    ) {
+        // The registry validated the declaration before accepting the
+        // certificate; re-validate defensively (the router also runs in
+        // tests against hand-built blocks).
+        let declared = match validate_declarations(cert) {
+            Ok(declared) => declared,
+            Err(reason) => {
+                // Nothing escrowed for an invalid declaration (the
+                // certificate would have been rejected); log only.
+                for xct in zendoo_core::crosschain::declared_transfers(cert).unwrap_or_default() {
+                    self.receipts.push(CrossChainReceipt {
+                        transfer: xct,
+                        status: DeliveryStatus::Rejected {
+                            reason: reason.clone(),
+                        },
+                    });
+                }
+                return;
+            }
+        };
+        let key = (cert.sidechain_id, cert.epoch_id);
+
+        // Quality replacement: a better certificate for the same window
+        // supersedes the queued one; its reservations are released (the
+        // replacement typically redeclares the same transfers). This
+        // runs even for empty declarations — a declaration-free winner
+        // must still evict a losing certificate's queued transfers.
+        if let Some(existing) = self.pending.get(&key) {
+            if existing.quality >= cert.quality {
+                return;
+            }
+            let existing = self.pending.remove(&key).expect("present");
+            for item in existing.items {
+                self.reserved.remove(&item.transfer.nullifier);
+                self.receipts.push(CrossChainReceipt {
+                    transfer: item.transfer,
+                    status: DeliveryStatus::NotEscrowed,
+                });
+            }
+        }
+        if declared.is_empty() {
+            return;
+        }
+        let Some(entry) = chain.state().registry.get(&cert.sidechain_id) else {
+            return;
+        };
+        let mature_at = entry.config.schedule.ceasing_height(cert.epoch_id);
+
+        // Pair declared transfers with escrow BT indices, in order
+        // (validate_declarations guarantees the counts and amounts
+        // line up).
+        let escrow = escrow_address();
+        let mut items = Vec::with_capacity(declared.len());
+        let mut next = 0usize;
+        for (bt_index, bt) in cert.bt_list.iter().enumerate() {
+            if bt.receiver != escrow {
+                continue;
+            }
+            let transfer = declared[next];
+            next += 1;
+            if self.consumed.contains(&transfer.nullifier)
+                || self.reserved.contains(&transfer.nullifier)
+            {
+                // Replay across epochs (the registry rejects these for
+                // matured nullifiers; `reserved` covers the in-flight
+                // window). The escrow coins for a replayed item stay
+                // with the escrow authority — they were never honestly
+                // owed anywhere.
+                self.receipts.push(CrossChainReceipt {
+                    transfer,
+                    status: DeliveryStatus::ReplayRejected,
+                });
+                continue;
+            }
+            self.reserved.insert(transfer.nullifier);
+            self.receipts.push(CrossChainReceipt {
+                transfer,
+                status: DeliveryStatus::Pending,
+            });
+            items.push(PendingItem {
+                bt_index: bt_index as u32,
+                transfer,
+            });
+        }
+        if !items.is_empty() {
+            self.pending.insert(
+                key,
+                PendingEpoch {
+                    cert_digest: cert.digest(),
+                    quality: cert.quality,
+                    mature_at,
+                    items,
+                },
+            );
+        }
+    }
+
+    /// Drains every matured pending transfer into delivery (or refund)
+    /// transactions for the next mined block.
+    ///
+    /// Delivery: spends the escrow UTXO created by the matured
+    /// certificate's payout into a forward transfer carrying the
+    /// transfer's cross-chain receiver metadata. Refund: when the
+    /// destination sidechain is unregistered or ceased, the escrow UTXO
+    /// pays the sender's payback address instead.
+    pub fn collect_deliveries(&mut self, chain: &Blockchain) -> Vec<McTransaction> {
+        let height = chain.height();
+        let matured: Vec<(SidechainId, EpochId)> = self
+            .pending
+            .iter()
+            .filter(|(_, e)| e.mature_at <= height)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut deliveries = Vec::new();
+        for key in matured {
+            let epoch = self.pending.remove(&key).expect("listed above");
+            let registry = &chain.state().registry;
+            // Only the window's winning certificate paid its escrow
+            // BTs; if our tracked certificate lost (or the payout is
+            // otherwise absent), the items never escrowed.
+            let winner_matches = registry
+                .accepted_certificate(&key.0, key.1)
+                .map(|accepted| {
+                    accepted.matured && accepted.certificate.digest() == epoch.cert_digest
+                })
+                .unwrap_or(false);
+            for item in epoch.items {
+                self.reserved.remove(&item.transfer.nullifier);
+                let outpoint = OutPoint {
+                    txid: epoch.cert_digest,
+                    index: item.bt_index,
+                };
+                if !winner_matches || chain.state().utxos.get(&outpoint).is_none() {
+                    self.receipts.push(CrossChainReceipt {
+                        transfer: item.transfer,
+                        status: DeliveryStatus::NotEscrowed,
+                    });
+                    continue;
+                }
+                let xct = item.transfer;
+                // The delivery lands in the *next* block, so the
+                // destination must still be active when that block's
+                // epoch bookkeeping runs — a sidechain whose submission
+                // window closes empty exactly at `height + 1` would
+                // reject the forward transfer after the escrow was
+                // already consumed. Mirror the registry's ceasing rule
+                // one block ahead and refund instead.
+                let dest_active = registry.get(&xct.dest).is_some_and(|entry| {
+                    entry.status == SidechainStatus::Active && !will_cease_at(entry, height + 1)
+                });
+                let (output, status) = if dest_active {
+                    (
+                        Output::Forward(zendoo_core::transfer::ForwardTransfer {
+                            sidechain_id: xct.dest,
+                            receiver_metadata: xct.receiver_metadata(),
+                            amount: xct.amount,
+                        }),
+                        DeliveryStatus::Delivered {
+                            mc_height: height + 1,
+                        },
+                    )
+                } else {
+                    let reason = if registry.get(&xct.dest).is_some() {
+                        RefundReason::CeasedDestination
+                    } else {
+                        RefundReason::UnknownDestination
+                    };
+                    (
+                        Output::Regular(TxOut {
+                            address: xct.payback,
+                            amount: xct.amount,
+                        }),
+                        DeliveryStatus::Refunded {
+                            mc_height: height + 1,
+                            reason,
+                        },
+                    )
+                };
+                deliveries.push(McTransaction::Transfer(TransferTx::signed(
+                    &[(outpoint, &self.escrow.secret)],
+                    vec![output],
+                )));
+                self.consumed.insert(xct.nullifier);
+                self.receipts.push(CrossChainReceipt {
+                    transfer: xct,
+                    status,
+                });
+            }
+        }
+        deliveries
+    }
+}
+
+/// Mirrors `SidechainRegistry::begin_block`'s ceasing rule: returns
+/// `true` when `entry` will be marked ceased by the epoch bookkeeping
+/// of the block at `height` (its submission window closes there with no
+/// accepted certificate).
+fn will_cease_at(entry: &zendoo_mainchain::registry::SidechainEntry, height: u64) -> bool {
+    let schedule = entry.config.schedule;
+    let Some(current_epoch) = schedule.epoch_of_height(height) else {
+        return false;
+    };
+    if current_epoch == 0 {
+        return false;
+    }
+    let closing = current_epoch - 1;
+    schedule.ceasing_height(closing) == height && !entry.certificates.contains_key(&closing)
+}
+
+impl std::fmt::Debug for CrossChainRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrossChainRouter")
+            .field("pending", &self.pending_count())
+            .field("consumed", &self.consumed.len())
+            .field("receipts", &self.receipts.len())
+            .finish()
+    }
+}

@@ -38,7 +38,10 @@ pub struct McBlockReference {
     /// The withdrawal certificate for this sidechain carried by the MC
     /// block, if any (`wcert`), with its commitment membership proof —
     /// the inclusion evidence later certificates witness.
-    pub wcert: Option<(WithdrawalCertificate, zendoo_core::commitment::ScMembershipProof)>,
+    pub wcert: Option<(
+        WithdrawalCertificate,
+        zendoo_core::commitment::ScMembershipProof,
+    )>,
 }
 
 /// Failures when deriving a reference from a mainchain block.

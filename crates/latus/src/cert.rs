@@ -16,6 +16,7 @@
 use serde::{Deserialize, Serialize};
 use zendoo_core::certificate::WithdrawalCertificate;
 use zendoo_core::commitment::ScMembershipProof;
+use zendoo_core::crosschain::{self, CrossChainTransfer};
 use zendoo_core::epoch::EpochSchedule;
 use zendoo_core::ids::{Address, Amount, EpochId, Nullifier};
 use zendoo_core::proofdata::{ProofData, ProofDataElem, ProofDataSchema, ProofDataType};
@@ -39,12 +40,21 @@ use crate::state::{
 };
 
 /// Builds the Latus certificate proofdata
-/// (`proofdata = (H(SB_last), H(state[MST]), mst_delta)`, §5.5.3.1).
-pub fn wcert_proofdata(sc_last_block: Digest32, mst_root: Fp, delta: &MstDelta) -> ProofData {
+/// (`proofdata = (H(SB_last), H(state[MST]), mst_delta, XCTList)`,
+/// §5.5.3.1 extended with the declared cross-chain transfer list —
+/// always present, encoding the empty list when the epoch declared no
+/// transfers, so the schema stays fixed-arity).
+pub fn wcert_proofdata(
+    sc_last_block: Digest32,
+    mst_root: Fp,
+    delta: &MstDelta,
+    declared: &[CrossChainTransfer],
+) -> ProofData {
     ProofData(vec![
         ProofDataElem::Digest(sc_last_block),
         ProofDataElem::Field(mst_root),
         ProofDataElem::Digest(delta.digest()),
+        ProofDataElem::Bytes(crosschain::encode_xct_list(declared)),
     ])
 }
 
@@ -54,6 +64,7 @@ pub fn wcert_proofdata_schema() -> ProofDataSchema {
         ProofDataType::Digest,
         ProofDataType::Field,
         ProofDataType::Digest,
+        ProofDataType::Bytes,
     ])
 }
 
@@ -65,7 +76,16 @@ pub fn parse_wcert_proofdata(data: &ProofData) -> Option<(Digest32, Fp, Digest32
             ProofDataElem::Digest(block),
             ProofDataElem::Field(root),
             ProofDataElem::Digest(delta),
-        ) if data.len() == 3 => Some((*block, *root, *delta)),
+        ) if data.len() == 4 => Some((*block, *root, *delta)),
+        _ => None,
+    }
+}
+
+/// Parses the declared cross-chain transfers out of Latus certificate
+/// proofdata (element 3).
+pub fn parse_wcert_declared(data: &ProofData) -> Option<Vec<CrossChainTransfer>> {
+    match data.get(3)? {
+        ProofDataElem::Bytes(bytes) => crosschain::decode_xct_list(bytes)?.ok(),
         _ => None,
     }
 }
@@ -97,10 +117,9 @@ impl CertInclusion {
     pub fn verify(&self, sidechain_id: &zendoo_core::ids::SidechainId) -> bool {
         self.certificate.sidechain_id == *sidechain_id
             && self.inclusion.sidechain_id == *sidechain_id
-            && self.inclusion.verify_certificate(
-                &self.mc_header.sc_txs_commitment,
-                Some(&self.certificate),
-            )
+            && self
+                .inclusion
+                .verify_certificate(&self.mc_header.sc_txs_commitment, Some(&self.certificate))
     }
 }
 
@@ -131,6 +150,9 @@ pub struct WcertWitness {
     /// The previous certificate with inclusion evidence
     /// (`None` only for epoch 0).
     pub prev_cert: Option<CertInclusion>,
+    /// Cross-chain transfers declared by this certificate; each must be
+    /// escrow-paired with a backward transfer in `bt_list`.
+    pub declared: Vec<CrossChainTransfer>,
 }
 
 /// The Latus withdrawal-certificate constraint system (§5.5.3.1).
@@ -214,7 +236,10 @@ impl Circuit for WcertCircuit {
         let mut mc_hashes = Vec::with_capacity(w.mc_headers.len());
         for (k, header) in w.mc_headers.iter().enumerate() {
             if k > 0 && header.parent != mc_hashes[k - 1] {
-                return Err(fail("wcert/mc-chain", format!("MC header {k} breaks the chain")));
+                return Err(fail(
+                    "wcert/mc-chain",
+                    format!("MC header {k} breaks the chain"),
+                ));
             }
             mc_hashes.push(header.hash());
         }
@@ -237,7 +262,10 @@ impl Circuit for WcertCircuit {
         }
         for k in 1..w.sc_headers.len() {
             if w.sc_headers[k].parent != w.sc_headers[k - 1].hash() {
-                return Err(fail("wcert/sc-chain", format!("SC header {k} breaks the chain")));
+                return Err(fail(
+                    "wcert/sc-chain",
+                    format!("SC header {k} breaks the chain"),
+                ));
             }
             if w.sc_headers[k].height != w.sc_headers[k - 1].height + 1 {
                 return Err(fail("wcert/sc-height", "SC heights not consecutive"));
@@ -321,8 +349,36 @@ impl Circuit for WcertCircuit {
             }
         }
 
-        // --- Proofdata binding (H(SB_last), mst root, delta digest).
-        let expected_proofdata = wcert_proofdata(last_sc.hash(), w.final_mst_root, &w.delta);
+        // --- Cross-chain declaration rules: every declared transfer is
+        // escrow-paired (equal amount, in order) inside the epoch's BT
+        // list, names this sidechain as source, and carries a
+        // field-consistent nullifier — so the certificate proof itself
+        // guarantees declared value left the sidechain.
+        for xct in &w.declared {
+            if xct.source != self.params.sidechain_id {
+                return Err(fail(
+                    "wcert/xct-source",
+                    "declared transfer has foreign source",
+                ));
+            }
+            if !xct.nullifier_consistent() {
+                return Err(fail(
+                    "wcert/xct-nullifier",
+                    "declared nullifier inconsistent",
+                ));
+            }
+            if xct.dest == xct.source {
+                return Err(fail("wcert/xct-dest", "self-directed cross-chain transfer"));
+            }
+        }
+        if let Err(e) = crosschain::check_escrow_pairing(&w.declared, &w.bt_list) {
+            return Err(fail("wcert/xct-escrow", e.to_string()));
+        }
+
+        // --- Proofdata binding
+        // (H(SB_last), mst root, delta digest, declared transfers).
+        let expected_proofdata =
+            wcert_proofdata(last_sc.hash(), w.final_mst_root, &w.delta, &w.declared);
         if expected_proofdata.merkle_root() != proofdata_root {
             return Err(fail("wcert/proofdata", "MH(proofdata) mismatch"));
         }
@@ -352,7 +408,10 @@ impl Circuit for WcertCircuit {
             }
             (Some(evidence), epoch) => {
                 if epoch == 0 {
-                    return Err(fail("wcert/epoch0-cert", "epoch 0 has no previous certificate"));
+                    return Err(fail(
+                        "wcert/epoch0-cert",
+                        "epoch 0 has no previous certificate",
+                    ));
                 }
                 if evidence.certificate.epoch_id != epoch - 1 {
                     return Err(fail(
@@ -480,7 +539,10 @@ impl OwnershipWitness {
 
         // H(B_w): the anchor certificate's MC block is the public anchor.
         if self.anchor_cert.mc_header.hash() != anchor_block {
-            return Err(fail("btr/anchor", "certificate block does not match H(B_w)"));
+            return Err(fail(
+                "btr/anchor",
+                "certificate block does not match H(B_w)",
+            ));
         }
         if !self.anchor_cert.verify(&params.sidechain_id) {
             return Err(fail("btr/cert-inclusion", "certificate inclusion invalid"));
@@ -491,7 +553,10 @@ impl OwnershipWitness {
         // utxo ∈ state_w[MST].
         let position = mst_position(&self.utxo, params.mst_depth);
         if self.mst_proof.index() != position {
-            return Err(fail("btr/position", "membership proof at wrong MST position"));
+            return Err(fail(
+                "btr/position",
+                "membership proof at wrong MST position",
+            ));
         }
         if !self.mst_proof.verify_occupied(&mst_root, &self.utxo.leaf()) {
             return Err(fail("btr/membership", "utxo not in the committed MST"));
@@ -649,10 +714,7 @@ impl Circuit for CswCircuit {
                 let mut previous_epoch = base.anchor_cert.certificate.epoch_id;
                 for (k, link) in later.iter().enumerate() {
                     if link.cert.certificate.epoch_id != previous_epoch + 1 {
-                        return Err(fail(
-                            "csw/epoch-gap",
-                            format!("link {k} skips epochs"),
-                        ));
+                        return Err(fail("csw/epoch-gap", format!("link {k} skips epochs")));
                     }
                     if !link.cert.verify(&self.params.sidechain_id) {
                         return Err(fail(
@@ -660,10 +722,10 @@ impl Circuit for CswCircuit {
                             format!("link {k} inclusion invalid"),
                         ));
                     }
-                    let (_, _, delta_digest) =
-                        parse_wcert_proofdata(&link.cert.certificate.proofdata).ok_or_else(
-                            || fail("csw/link-proofdata", format!("link {k} proofdata bad")),
-                        )?;
+                    let (_, _, delta_digest) = parse_wcert_proofdata(
+                        &link.cert.certificate.proofdata,
+                    )
+                    .ok_or_else(|| fail("csw/link-proofdata", format!("link {k} proofdata bad")))?;
                     if link.delta.digest() != delta_digest {
                         return Err(fail(
                             "csw/link-delta",

@@ -110,8 +110,8 @@ impl StakeDistribution {
                 .checked_add(utxo.amount)
                 .expect("sidechain supply fits in u64");
         }
-        let total = Amount::checked_sum(stakes.values().copied())
-            .expect("sidechain supply fits in u64");
+        let total =
+            Amount::checked_sum(stakes.values().copied()).expect("sidechain supply fits in u64");
         StakeDistribution { stakes, total }
     }
 
@@ -121,8 +121,7 @@ impl StakeDistribution {
         for (address, amount) in entries {
             stakes.insert(address, amount);
         }
-        let total = Amount::checked_sum(stakes.values().copied())
-            .expect("stake total fits in u64");
+        let total = Amount::checked_sum(stakes.values().copied()).expect("stake total fits in u64");
         StakeDistribution { stakes, total }
     }
 

@@ -12,8 +12,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use zendoo_core::certificate::{wcert_public_inputs, WcertSysData, WithdrawalCertificate};
 use zendoo_core::config::{SidechainConfig, SidechainConfigBuilder};
+use zendoo_core::crosschain::{escrow_address, CrossChainTransfer, InboundCrossTransfer};
 use zendoo_core::epoch::EpochSchedule;
-use zendoo_core::ids::{Address, Amount, EpochId};
+use zendoo_core::ids::{Address, Amount, EpochId, SidechainId};
 use zendoo_core::withdrawal::{
     btr_public_inputs, BackwardTransferRequest, BtrSysData, CeasedSidechainWithdrawal,
 };
@@ -32,7 +33,7 @@ use crate::mst::{mst_position, Mst, MstDelta, Utxo};
 use crate::params::LatusParams;
 use crate::proof::{proof_system, EpochProofBuilder, LatusProofSystem};
 use crate::state::SidechainState;
-use crate::tx::{apply_transaction, ScTransaction, TxError};
+use crate::tx::{apply_transaction, BackwardTransferTx, PaymentTx, ScTransaction, TxError};
 
 /// All proving/verifying material of one Latus deployment.
 pub struct LatusKeys {
@@ -64,14 +65,9 @@ impl LatusKeys {
     /// `btr_vk`, `csw_vk`).
     pub fn generate(params: LatusParams, schedule: EpochSchedule, seed: &[u8]) -> Self {
         let system = proof_system(params, seed);
-        let wcert_circuit = WcertCircuit::new(
-            params,
-            schedule,
-            *system.base_vk(),
-            *system.merge_vk(),
-        );
-        let (wcert_pk, wcert_vk) =
-            zendoo_snark::backend::setup_deterministic(&wcert_circuit, seed);
+        let wcert_circuit =
+            WcertCircuit::new(params, schedule, *system.base_vk(), *system.merge_vk());
+        let (wcert_pk, wcert_vk) = zendoo_snark::backend::setup_deterministic(&wcert_circuit, seed);
         let btr_circuit = BtrCircuit::new(params);
         let (btr_pk, btr_vk) = zendoo_snark::backend::setup_deterministic(&btr_circuit, seed);
         let csw_circuit = CswCircuit::new(params);
@@ -218,6 +214,11 @@ pub struct LatusNode {
     stake: StakeDistribution,
     stake_epoch: u64,
     next_slot: u64,
+    /// Outbound cross-chain transfers awaiting declaration in a
+    /// certificate (their escrow withdrawals sit in `pending`/state).
+    pending_cross: Vec<CrossChainTransfer>,
+    /// Monotonic nonce for outbound cross-chain transfers.
+    xct_nonce: u64,
 }
 
 impl LatusNode {
@@ -258,6 +259,8 @@ impl LatusNode {
             stake: StakeDistribution::default(),
             stake_epoch: 0,
             next_slot: 0,
+            pending_cross: Vec::new(),
+            xct_nonce: 0,
         }
     }
 
@@ -291,12 +294,123 @@ impl LatusNode {
     ///
     /// # Errors
     ///
-    /// [`NodeError::Tx`] when invalid.
+    /// [`NodeError::Tx`] when invalid, or [`NodeError::Unavailable`]
+    /// for direct withdrawals to the cross-chain escrow address (which
+    /// would break the certificate's escrow-pairing rule; use
+    /// [`LatusNode::submit_cross_transfer`] instead).
     pub fn submit_transaction(&mut self, tx: ScTransaction) -> Result<(), NodeError> {
+        if let ScTransaction::BackwardTransfer(bt) = &tx {
+            let escrow = escrow_address();
+            if bt.backward_transfers.iter().any(|w| w.receiver == escrow) {
+                return Err(NodeError::Unavailable(
+                    "withdrawals to the escrow address must go through submit_cross_transfer",
+                ));
+            }
+        }
         let mut scratch = self.state.clone();
         apply_transaction(&self.params, &mut scratch, &tx)?;
         self.pending.push(tx);
         Ok(())
+    }
+
+    /// Initiates a sidechain→sidechain transfer: spends `inputs`
+    /// (owned by one key) into an escrow withdrawal of exactly `amount`
+    /// and registers the [`CrossChainTransfer`] for declaration in this
+    /// epoch's certificate. When the inputs exceed `amount`, a change
+    /// split payment precedes the escrow withdrawal in the same block.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Tx`] when the inputs don't cover `amount` or fail
+    /// validation.
+    pub fn submit_cross_transfer(
+        &mut self,
+        inputs: Vec<(crate::mst::Utxo, &SecretKey)>,
+        amount: Amount,
+        dest: SidechainId,
+        receiver: Address,
+        payback: Address,
+    ) -> Result<CrossChainTransfer, NodeError> {
+        if inputs.is_empty() {
+            return Err(NodeError::Tx(TxError::NoInputs));
+        }
+        if dest == self.params.sidechain_id {
+            return Err(NodeError::Unavailable(
+                "cross-chain transfer cannot target its own sidechain",
+            ));
+        }
+        if amount.is_zero() {
+            return Err(NodeError::Unavailable("cross-chain transfer of zero coins"));
+        }
+        let total = Amount::checked_sum(inputs.iter().map(|(u, _)| u.amount))
+            .ok_or(NodeError::Tx(TxError::AmountOverflow))?;
+        if total < amount {
+            return Err(NodeError::Tx(TxError::ValueImbalance {
+                input: total,
+                output: amount,
+            }));
+        }
+        let escrow = escrow_address();
+        let xct = CrossChainTransfer::new(
+            self.params.sidechain_id,
+            dest,
+            receiver,
+            amount,
+            self.xct_nonce,
+            payback,
+        );
+
+        let mut txs = Vec::with_capacity(2);
+        if total == amount {
+            txs.push(ScTransaction::BackwardTransfer(BackwardTransferTx::create(
+                inputs,
+                vec![(escrow, amount)],
+            )));
+        } else {
+            // Split change back to the sender on the sidechain, then
+            // escrow the exact-amount output.
+            let owner_address = inputs[0].0.address;
+            let owner_key = inputs[0].1;
+            let change = total.checked_sub(amount).expect("total >= amount");
+            let split = PaymentTx::create(
+                inputs,
+                vec![(owner_address, amount), (owner_address, change)],
+            );
+            let exact = split.outputs[0];
+            txs.push(ScTransaction::Payment(split));
+            txs.push(ScTransaction::BackwardTransfer(BackwardTransferTx::create(
+                vec![(exact, owner_key)],
+                vec![(escrow, amount)],
+            )));
+        }
+        // Chained validation against the state *with the pending queue
+        // applied*: the escrow withdrawal may spend the split payment's
+        // output, and a conflict with an earlier pending transaction
+        // (e.g. two same-tick transfers racing for one UTXO) must fail
+        // here — a silently forge-dropped escrow would leave a stale
+        // declared transfer behind. Pending transactions that would be
+        // dropped at forge are skipped, mirroring the forger.
+        let mut scratch = self.state.clone();
+        for tx in &self.pending {
+            let _ = apply_transaction(&self.params, &mut scratch, tx);
+        }
+        for tx in &txs {
+            apply_transaction(&self.params, &mut scratch, tx)?;
+        }
+        self.pending.extend(txs);
+        self.pending_cross.push(xct);
+        self.xct_nonce += 1;
+        Ok(xct)
+    }
+
+    /// Outbound cross-chain transfers not yet declared in a certificate.
+    pub fn pending_cross_transfers(&self) -> &[CrossChainTransfer] {
+        &self.pending_cross
+    }
+
+    /// Inbound cross-chain transfers credited on this sidechain.
+    pub fn inbound_cross_transfers(&self) -> &[InboundCrossTransfer] {
+        self.state.inbound_cross_transfers()
     }
 
     /// Observes the next mainchain block: forges the sidechain block
@@ -378,9 +492,7 @@ impl LatusNode {
         // The bootstrap authority (and anyone, while the chain is
         // entirely unstaked) forges without winning the lottery; the
         // VRF proof is still produced for auditability.
-        if self.consensus.is_bootstrap_forger(&self.forger.public)
-            || self.stake.total().is_zero()
-        {
+        if self.consensus.is_bootstrap_forger(&self.forger.public) || self.stake.total().is_zero() {
             let slot = self.next_slot;
             self.next_slot += 1;
             let (output, proof) =
@@ -426,9 +538,7 @@ impl LatusNode {
         let mut recorded = Vec::new();
         let sync_txs = [
             ScTransaction::ForwardTransfers(reference.forward_transfers.clone()),
-            ScTransaction::BackwardTransferRequests(
-                reference.backward_transfer_requests.clone(),
-            ),
+            ScTransaction::BackwardTransferRequests(reference.backward_transfer_requests.clone()),
         ];
         for tx in &sync_txs {
             let witness = apply_transaction(&self.params, &mut self.state, tx)?;
@@ -501,8 +611,7 @@ impl LatusNode {
             .last()
             .map(|b| b.hash())
             .unwrap_or(Digest32::ZERO);
-        if block.header.parent != expected_parent
-            || block.header.height != self.chain.len() as u64
+        if block.header.parent != expected_parent || block.header.height != self.chain.len() as u64
         {
             return Err(NodeError::Unavailable("block does not extend our tip"));
         }
@@ -622,11 +731,51 @@ impl LatusNode {
         // The recursive proof over the epoch (Fig 11).
         let state_proof = self.epoch_builder.prove(&self.keys.system)?;
 
+        // Pair pending cross-chain transfers with the epoch's escrow
+        // withdrawals, in BT-list order, *before* the destructive epoch
+        // close — a pairing failure must leave the node state intact.
+        // Transfers whose escrow did not land this epoch stay pending
+        // for the next certificate. (An escrow withdrawal with no
+        // declared transfer cannot arise through this node's own API —
+        // `submit_transaction` rejects direct escrow withdrawals — but
+        // a block from a hostile forger could carry one; failing here
+        // without touching state keeps the error recoverable.)
+        let escrow = escrow_address();
+        let mut declared = Vec::new();
+        let mut used = Vec::new();
+        for bt in self
+            .state
+            .backward_transfers()
+            .iter()
+            .filter(|bt| bt.receiver == escrow)
+        {
+            let matched = self
+                .pending_cross
+                .iter()
+                .enumerate()
+                .find(|(i, xct)| !used.contains(i) && xct.amount == bt.amount);
+            match matched {
+                Some((i, xct)) => {
+                    used.push(i);
+                    declared.push(*xct);
+                }
+                None => {
+                    return Err(NodeError::Unavailable(
+                        "escrow withdrawal without a declared cross-chain transfer",
+                    ));
+                }
+            }
+        }
+        used.sort_unstable();
+        for i in used.into_iter().rev() {
+            self.pending_cross.remove(i);
+        }
+
         // Close the epoch's transients.
         let final_mst_root = self.state.mst().root();
         let (bt_list, delta, touch_sequence) = self.state.end_epoch();
 
-        let proofdata = wcert_proofdata(last_sc.hash(), final_mst_root, &delta);
+        let proofdata = wcert_proofdata(last_sc.hash(), final_mst_root, &delta, &declared);
         let mut cert = WithdrawalCertificate {
             sidechain_id: self.params.sidechain_id,
             epoch_id: epoch,
@@ -638,11 +787,7 @@ impl LatusNode {
         };
 
         let prev_mc_end = self.epoch_mc_headers[0].parent;
-        let mc_end = self
-            .epoch_mc_headers
-            .last()
-            .expect("epoch complete")
-            .hash();
+        let mc_end = self.epoch_mc_headers.last().expect("epoch complete").hash();
         let sysdata = WcertSysData::for_certificate(&cert, prev_mc_end, mc_end);
         let public = wcert_public_inputs(&sysdata, &cert.proofdata.merkle_root());
 
@@ -669,8 +814,14 @@ impl LatusNode {
                         .clone(),
                 )
             },
+            declared,
         };
-        cert.proof = prove(&self.keys.wcert_pk, &self.keys.wcert_circuit, &public, &witness)?;
+        cert.proof = prove(
+            &self.keys.wcert_pk,
+            &self.keys.wcert_circuit,
+            &public,
+            &witness,
+        )?;
 
         // Archive per-epoch material for user proof services.
         self.epoch_msts.insert(epoch, self.state.mst().clone());
@@ -783,7 +934,12 @@ impl LatusNode {
             .last()
             .map(|l| l.cert.mc_header.hash())
             .ok_or(NodeError::Unavailable("historical mode needs later epochs"))?;
-        self.build_csw(utxo, receiver, anchor_block, CswWitness::Historical { base, later })
+        self.build_csw(
+            utxo,
+            receiver,
+            anchor_block,
+            CswWitness::Historical { base, later },
+        )
     }
 
     fn build_csw(

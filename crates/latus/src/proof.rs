@@ -208,7 +208,17 @@ impl TransitionVerifier for LatusTransitionVerifier {
                     ));
                 }
                 for (i, (ft, step)) in tx.transfers.iter().zip(&w.ft_steps).enumerate() {
-                    match (ReceiverMetadata::parse(&ft.receiver_metadata), step) {
+                    // Classic 64-byte metadata or the tagged cross-chain
+                    // form — the circuit mirrors the update semantics of
+                    // `tx::apply_transaction` exactly.
+                    let parsed = match ReceiverMetadata::parse(&ft.receiver_metadata) {
+                        Some(meta) => Some((meta.receiver, meta.payback)),
+                        None => {
+                            zendoo_core::crosschain::parse_cross_metadata(&ft.receiver_metadata)
+                                .map(|cross| (cross.receiver, cross.payback))
+                        }
+                    };
+                    match (parsed, step) {
                         (None, FtStep::RejectedMalformed) => {}
                         (None, _) => {
                             return Err(Unsatisfied::new(
@@ -216,8 +226,8 @@ impl TransitionVerifier for LatusTransitionVerifier {
                                 format!("ft {i}: malformed metadata must be rejected"),
                             ));
                         }
-                        (Some(meta), FtStep::Minted(update)) => {
-                            let utxo = ft_output_utxo(&tx.mc_block, i, meta.receiver, ft.amount);
+                        (Some((receiver, _)), FtStep::Minted(update)) => {
+                            let utxo = ft_output_utxo(&tx.mc_block, i, receiver, ft.amount);
                             if update.position() != mst_position(&utxo, depth)
                                 || update.old_leaf.is_some()
                                 || update.new_leaf != Some(utxo.leaf())
@@ -229,11 +239,14 @@ impl TransitionVerifier for LatusTransitionVerifier {
                             }
                             replay.apply_update(update)?;
                         }
-                        (Some(meta), FtStep::RejectedCollision {
-                            occupied,
-                            occupied_leaf,
-                        }) => {
-                            let utxo = ft_output_utxo(&tx.mc_block, i, meta.receiver, ft.amount);
+                        (
+                            Some((receiver, payback)),
+                            FtStep::RejectedCollision {
+                                occupied,
+                                occupied_leaf,
+                            },
+                        ) => {
+                            let utxo = ft_output_utxo(&tx.mc_block, i, receiver, ft.amount);
                             let position = mst_position(&utxo, depth);
                             if occupied.index() != position {
                                 return Err(Unsatisfied::new(
@@ -249,7 +262,7 @@ impl TransitionVerifier for LatusTransitionVerifier {
                                     format!("ft {i}: slot not provably occupied"),
                                 ));
                             }
-                            replay.append_bt(meta.payback, ft.amount);
+                            replay.append_bt(payback, ft.amount);
                         }
                         (Some(_), FtStep::RejectedMalformed) => {
                             return Err(Unsatisfied::new(
@@ -596,15 +609,15 @@ mod tests {
         // Alice pays Bob, Bob pays Carol.
         let tx1 = ScTransaction::Payment(PaymentTx::create(
             vec![(utxos[0], &alice.secret)],
-            vec![(Address::from_public_key(&bob.public), Amount::from_units(10))],
+            vec![(
+                Address::from_public_key(&bob.public),
+                Amount::from_units(10),
+            )],
         ));
         let w1 = apply_transaction(&params(), &mut state, &tx1).unwrap();
         builder.record(w1, state.digest());
 
-        let bob_utxo = state
-            .mst()
-            .owned_by(&Address::from_public_key(&bob.public))[0]
-            .1;
+        let bob_utxo = state.mst().owned_by(&Address::from_public_key(&bob.public))[0].1;
         let tx2 = ScTransaction::Payment(PaymentTx::create(
             vec![(bob_utxo, &bob.secret)],
             vec![(Address::from_label("carol"), Amount::from_units(10))],

@@ -17,11 +17,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use zendoo_core::ids::{Address, Amount};
 use zendoo_primitives::digest::Digest32;
+use zendoo_primitives::field::Fp;
 use zendoo_primitives::sha256::Prg;
 use zendoo_snark::backend::ProveError;
 use zendoo_snark::parallel::ParallelProver;
 use zendoo_snark::recursive::StateProof;
-use zendoo_primitives::field::Fp;
 
 use crate::proof::LatusProofSystem;
 use crate::tx::TransitionWitness;
@@ -231,11 +231,7 @@ mod tests {
         // 6 base + 5 merge proofs at 10 units each.
         assert_eq!(pool.ledger().total(), Amount::from_units(110));
         // All rewards accounted to registered provers.
-        let accounted: u64 = pool
-            .ledger()
-            .iter()
-            .map(|(_, amount)| amount.units())
-            .sum();
+        let accounted: u64 = pool.ledger().iter().map(|(_, amount)| amount.units()).sum();
         assert_eq!(accounted, 110);
     }
 

@@ -17,6 +17,7 @@
 //!
 //! All three accumulators reset at each withdrawal-epoch boundary.
 
+use zendoo_core::crosschain::InboundCrossTransfer;
 use zendoo_core::ids::{Address, Amount};
 use zendoo_core::transfer::BackwardTransfer;
 use zendoo_primitives::digest::Digest32;
@@ -56,11 +57,9 @@ pub fn empty_delta_accumulator() -> Fp {
 
 /// Computes the delta accumulator of a touch sequence.
 pub fn delta_sequence_accumulator(positions: &[u64]) -> Fp {
-    positions
-        .iter()
-        .fold(empty_delta_accumulator(), |acc, p| {
-            fold_delta_position(acc, *p)
-        })
+    positions.iter().fold(empty_delta_accumulator(), |acc, p| {
+        fold_delta_position(acc, *p)
+    })
 }
 
 /// The two halves of a mainchain-reference sync (§5.5.1): every MC block
@@ -146,6 +145,10 @@ pub struct SidechainState {
     /// the WCert circuit's rule 8).
     touch_sequence: Vec<u64>,
     sync_accumulator: Fp,
+    /// Inbound cross-chain transfers credited on this sidechain
+    /// (observability log; not part of the state digest — the credited
+    /// UTXOs already are, through the MST root).
+    inbound_cross: Vec<InboundCrossTransfer>,
 }
 
 impl SidechainState {
@@ -159,6 +162,7 @@ impl SidechainState {
             delta_accumulator: empty_delta_accumulator(),
             touch_sequence: Vec::new(),
             sync_accumulator: empty_sync_accumulator(),
+            inbound_cross: Vec::new(),
         }
     }
 
@@ -243,6 +247,17 @@ impl SidechainState {
     /// Folds a mainchain sync event.
     pub(crate) fn record_sync(&mut self, kind: SyncKind, mc_block: &Digest32) {
         self.sync_accumulator = fold_sync(self.sync_accumulator, kind, mc_block);
+    }
+
+    /// Logs an inbound cross-chain credit.
+    pub(crate) fn record_inbound_cross(&mut self, inbound: InboundCrossTransfer) {
+        self.inbound_cross.push(inbound);
+    }
+
+    /// Inbound cross-chain transfers credited so far (whole chain
+    /// lifetime, not reset per epoch).
+    pub fn inbound_cross_transfers(&self) -> &[InboundCrossTransfer] {
+        &self.inbound_cross
     }
 
     /// Closes a withdrawal epoch: returns the certificate ingredients —

@@ -370,14 +370,12 @@ impl ScTransaction {
             ScTransaction::BackwardTransfer(tx) => {
                 digest("zendoo/sc-tx-bt", &(tx.sighash(), tx.inputs.clone()))
             }
-            ScTransaction::ForwardTransfers(tx) => digest(
-                "zendoo/sc-tx-ft",
-                &(tx.mc_block, tx.transfers.clone()),
-            ),
-            ScTransaction::BackwardTransferRequests(tx) => digest(
-                "zendoo/sc-tx-btr",
-                &(tx.mc_block, tx.requests.clone()),
-            ),
+            ScTransaction::ForwardTransfers(tx) => {
+                digest("zendoo/sc-tx-ft", &(tx.mc_block, tx.transfers.clone()))
+            }
+            ScTransaction::BackwardTransferRequests(tx) => {
+                digest("zendoo/sc-tx-btr", &(tx.mc_block, tx.requests.clone()))
+            }
         }
     }
 }
@@ -521,14 +519,9 @@ pub fn apply_transaction(
     tx: &ScTransaction,
 ) -> Result<TransitionWitness, TxError> {
     match tx {
-        ScTransaction::Payment(p) => apply_spend(
-            state,
-            tx,
-            &p.inputs,
-            &p.outputs,
-            &[],
-            p.sighash(),
-        ),
+        ScTransaction::Payment(p) => {
+            apply_spend(state, tx, &p.inputs, &p.outputs, &[], p.sighash())
+        }
         ScTransaction::BackwardTransfer(bt) => apply_spend(
             state,
             tx,
@@ -571,10 +564,10 @@ fn apply_spend(
             .checked_add(input.utxo.amount)
             .ok_or(TxError::AmountOverflow)?;
     }
-    let out_value = Amount::checked_sum(outputs.iter().map(|o| o.amount))
-        .ok_or(TxError::AmountOverflow)?;
-    let wd_value = Amount::checked_sum(withdrawals.iter().map(|w| w.amount))
-        .ok_or(TxError::AmountOverflow)?;
+    let out_value =
+        Amount::checked_sum(outputs.iter().map(|o| o.amount)).ok_or(TxError::AmountOverflow)?;
+    let wd_value =
+        Amount::checked_sum(withdrawals.iter().map(|w| w.amount)).ok_or(TxError::AmountOverflow)?;
     let total_out = out_value
         .checked_add(wd_value)
         .ok_or(TxError::AmountOverflow)?;
@@ -608,10 +601,7 @@ fn apply_spend(
     let pre_sync_accumulator = state.sync_accumulator();
     let mut updates = Vec::with_capacity(inputs.len() + outputs.len());
     for input in inputs {
-        let position = state
-            .mst()
-            .position_of(&input.utxo)
-            .expect("planned above");
+        let position = state.mst().position_of(&input.utxo).expect("planned above");
         let path = state.mst().proof(position);
         updates.push(LeafUpdate {
             path,
@@ -647,7 +637,12 @@ fn apply_spend(
 }
 
 /// Deterministic UTXO minted by the `i`-th FT of an FTTx.
-pub fn ft_output_utxo(mc_block: &Digest32, index: usize, receiver: Address, amount: Amount) -> Utxo {
+pub fn ft_output_utxo(
+    mc_block: &Digest32,
+    index: usize,
+    receiver: Address,
+    amount: Amount,
+) -> Utxo {
     Utxo {
         address: receiver,
         amount,
@@ -679,24 +674,29 @@ fn apply_forward_transfers(
     let mut steps = Vec::with_capacity(ft_tx.transfers.len());
     let mut appended = Vec::new();
     for (i, ft) in ft_tx.transfers.iter().enumerate() {
-        match ReceiverMetadata::parse(&ft.receiver_metadata) {
+        // Classic 64-byte Latus metadata, or the tagged cross-chain
+        // form delivered by the mainchain router (§5.3.2 leaves the
+        // metadata format to the sidechain).
+        let parsed = match ReceiverMetadata::parse(&ft.receiver_metadata) {
+            Some(meta) => Some((meta.receiver, meta.payback, None)),
+            None => zendoo_core::crosschain::parse_cross_metadata(&ft.receiver_metadata)
+                .map(|cross| (cross.receiver, cross.payback, Some(cross))),
+        };
+        match parsed {
             None => {
                 // Unparseable: refund impossible — coins remain locked in
                 // the MC-side balance (documented conservation caveat).
                 steps.push(FtStep::RejectedMalformed);
             }
-            Some(meta) => {
-                let utxo = ft_output_utxo(&ft_tx.mc_block, i, meta.receiver, ft.amount);
+            Some((receiver, payback, cross)) => {
+                let utxo = ft_output_utxo(&ft_tx.mc_block, i, receiver, ft.amount);
                 let position = mst_position(&utxo, depth);
                 if state.mst().utxo_at(position).is_some() {
                     let occupied = state.mst().proof(position);
-                    let occupied_leaf = state
-                        .mst()
-                        .utxo_at(position)
-                        .expect("checked above")
-                        .leaf();
+                    let occupied_leaf =
+                        state.mst().utxo_at(position).expect("checked above").leaf();
                     let refund = BackwardTransfer {
-                        receiver: meta.payback,
+                        receiver: payback,
                         amount: ft.amount,
                     };
                     state.append_backward_transfer(refund);
@@ -708,6 +708,15 @@ fn apply_forward_transfers(
                 } else {
                     let path = state.mst().proof(position);
                     state.insert_utxo(&utxo).expect("slot checked empty");
+                    if let Some(cross) = cross {
+                        state.record_inbound_cross(zendoo_core::crosschain::InboundCrossTransfer {
+                            source: cross.source,
+                            nonce: cross.nonce,
+                            receiver,
+                            amount: ft.amount,
+                            mc_block: ft_tx.mc_block,
+                        });
+                    }
                     steps.push(FtStep::Minted(LeafUpdate {
                         path,
                         old_leaf: None,
@@ -816,7 +825,6 @@ fn derive_outputs(domain: &str, spent: &[Utxo], recipients: &[(Address, Amount)]
         .collect()
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -878,10 +886,7 @@ mod tests {
             Some(proof) => McRefEvidence::Membership(proof),
             None => McRefEvidence::NoData(commitment.absence_proof(&sid).unwrap()),
         };
-        (
-            header.hash(),
-            McRefBinding { header, evidence },
-        )
+        (header.hash(), McRefBinding { header, evidence })
     }
 
     fn ft_tx(fts: Vec<ForwardTransfer>) -> (Digest32, ScTransaction) {

@@ -178,11 +178,7 @@ impl ScWallet {
     ///
     /// [`ScWalletError::InsufficientFunds`] if no coin covers the
     /// request.
-    pub fn withdraw_utxo(
-        &self,
-        utxo: &Utxo,
-        mc_receiver: Address,
-    ) -> ScTransaction {
+    pub fn withdraw_utxo(&self, utxo: &Utxo, mc_receiver: Address) -> ScTransaction {
         ScTransaction::BackwardTransfer(BackwardTransferTx::create(
             vec![(*utxo, &self.keypair.secret)],
             vec![(mc_receiver, utxo.amount)],

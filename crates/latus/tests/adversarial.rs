@@ -112,11 +112,7 @@ fn prover_refuses_false_statements() {
     // attempt a base proof with an inconsistent endpoint.
     let sys = &h.keys.system;
     let state = h.node.state();
-    let bogus = sys.prove_base(
-        state.digest(),
-        Fp::from_u64(42),
-        &dummy_witness(&h),
-    );
+    let bogus = sys.prove_base(state.digest(), Fp::from_u64(42), &dummy_witness(&h));
     assert!(bogus.is_err(), "no proof for a false transition");
 }
 

@@ -126,12 +126,7 @@ impl TwoChains {
     }
 
     pub fn sc_balance(&self) -> Amount {
-        self.chain
-            .state()
-            .registry
-            .get(&self.sid)
-            .unwrap()
-            .balance
+        self.chain.state().registry.get(&self.sid).unwrap().balance
     }
 
     /// Mines empty MC blocks (without node sync) until `height`.

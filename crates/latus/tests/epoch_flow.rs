@@ -98,10 +98,7 @@ impl TwoChains {
 
     /// Runs MC blocks (and node sync) until the node's withdrawal epoch
     /// is complete, then produces + submits the certificate.
-    fn run_epoch(
-        &mut self,
-        mut mc_txs: Vec<McTransaction>,
-    ) -> zendoo_core::WithdrawalCertificate {
+    fn run_epoch(&mut self, mut mc_txs: Vec<McTransaction>) -> zendoo_core::WithdrawalCertificate {
         while !self.node.epoch_complete() {
             let txs = std::mem::take(&mut mc_txs);
             self.step(txs);
@@ -117,12 +114,7 @@ impl TwoChains {
     }
 
     fn sc_balance(&self) -> Amount {
-        self.chain
-            .state()
-            .registry
-            .get(&self.sid)
-            .unwrap()
-            .balance
+        self.chain.state().registry.get(&self.sid).unwrap().balance
     }
 }
 
@@ -472,8 +464,12 @@ fn mainchain_reorg_rolls_back_sidechain() {
         alt.submit_block(h.chain.block_at_height(height).unwrap().clone())
             .unwrap();
     }
-    let b1 = alt.mine_next_block(h.mc_wallet.address(), vec![], 800).unwrap();
-    let b2 = alt.mine_next_block(h.mc_wallet.address(), vec![], 801).unwrap();
+    let b1 = alt
+        .mine_next_block(h.mc_wallet.address(), vec![], 800)
+        .unwrap();
+    let b2 = alt
+        .mine_next_block(h.mc_wallet.address(), vec![], 801)
+        .unwrap();
     h.chain.submit_block(b1.clone()).unwrap();
     h.chain.submit_block(b2.clone()).unwrap();
 

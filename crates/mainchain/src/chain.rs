@@ -218,10 +218,8 @@ impl Blockchain {
         let genesis_hash = genesis.hash();
 
         let mut state = ChainState::default();
-        let genesis_total = Amount::checked_sum(
-            params.genesis_outputs.iter().map(|o| o.amount),
-        )
-        .expect("genesis premine fits in u64");
+        let genesis_total = Amount::checked_sum(params.genesis_outputs.iter().map(|o| o.amount))
+            .expect("genesis premine fits in u64");
         let txid = genesis.transactions[0].txid();
         for (i, out) in params.genesis_outputs.iter().enumerate() {
             state.utxos.insert(
@@ -285,8 +283,7 @@ impl Blockchain {
 
     /// The active-chain block at `height`.
     pub fn block_at_height(&self, height: u64) -> Option<&Block> {
-        self.hash_at_height(height)
-            .and_then(|h| self.block(&h))
+        self.hash_at_height(height).and_then(|h| self.block(&h))
     }
 
     /// Cumulative work of a stored block.
@@ -310,7 +307,8 @@ impl Blockchain {
     /// Rebuilds the sidechain-transactions commitment of a stored block
     /// (sidechain nodes use this to extract their slice, §5.5.1).
     pub fn commitment_for(&self, hash: &Digest32) -> Option<ScTxsCommitment> {
-        self.block(hash).map(|b| Self::build_commitment(&b.transactions))
+        self.block(hash)
+            .map(|b| Self::build_commitment(&b.transactions))
     }
 
     /// Builds the commitment tree for a transaction list (§4.1.3: FTs,
@@ -378,9 +376,7 @@ impl Blockchain {
                 cumulative_work,
             },
         );
-        let tip_work = self
-            .cumulative_work(&self.tip_hash())
-            .expect("tip stored");
+        let tip_work = self.cumulative_work(&self.tip_hash()).expect("tip stored");
         if cumulative_work <= tip_work {
             return Ok(SubmitOutcome::StoredOnFork);
         }
@@ -411,7 +407,11 @@ impl Blockchain {
             Some(McTransaction::Coinbase(_)) => {
                 return Err(BlockError::BadCoinbase("coinbase height mismatch"))
             }
-            _ => return Err(BlockError::BadCoinbase("first transaction must be coinbase")),
+            _ => {
+                return Err(BlockError::BadCoinbase(
+                    "first transaction must be coinbase",
+                ))
+            }
         }
         if block.transactions[1..]
             .iter()
@@ -435,7 +435,10 @@ impl Blockchain {
     /// Makes `new_tip` the active tip, disconnecting/connecting as
     /// needed. On a connect failure, the offending block is marked
     /// invalid and the previous active chain is restored.
-    fn activate(&mut self, new_tip: Digest32) -> Result<(Vec<Digest32>, Vec<Digest32>), BlockError> {
+    fn activate(
+        &mut self,
+        new_tip: Digest32,
+    ) -> Result<(Vec<Digest32>, Vec<Digest32>), BlockError> {
         // Path from new_tip down to the first active ancestor.
         let mut to_connect = Vec::new();
         let mut cursor = new_tip;
@@ -551,20 +554,16 @@ impl Blockchain {
         // Phase 1: non-coinbase transactions, accumulating fees.
         let mut fees = Amount::ZERO;
         for tx in &block.transactions[1..] {
-            let fee = apply_transaction(
-                &mut self.state,
-                tx,
-                height,
-                block_hash,
-                &self.active,
-            )?;
+            let fee = apply_transaction(&mut self.state, tx, height, block_hash, &self.active)?;
             fees = fees.checked_add(fee).ok_or(BlockError::AmountOverflow)?;
         }
 
         // Phase 2: coinbase (applied last: its outputs are unspendable
         // within the creating block).
         let McTransaction::Coinbase(cb) = &block.transactions[0] else {
-            return Err(BlockError::BadCoinbase("first transaction must be coinbase"));
+            return Err(BlockError::BadCoinbase(
+                "first transaction must be coinbase",
+            ));
         };
         let cb_total = Amount::checked_sum(cb.outputs.iter().map(|o| o.amount))
             .ok_or(BlockError::AmountOverflow)?;
@@ -732,10 +731,7 @@ fn apply_transaction(
             }
             // Apply: spend inputs, create outputs, credit FTs.
             for input in &t.inputs {
-                state
-                    .utxos
-                    .remove(&input.outpoint)
-                    .expect("checked above");
+                state.utxos.remove(&input.outpoint).expect("checked above");
             }
             let txid = tx.txid();
             for (i, output) in t.outputs.iter().enumerate() {

@@ -49,7 +49,7 @@ pub mod wallet;
 
 pub use block::{Block, BlockHeader};
 pub use chain::{BlockError, Blockchain, ChainParams, ChainState, SubmitOutcome};
+pub use miner::Miner;
 pub use registry::{SidechainRegistry, SidechainStatus};
 pub use transaction::{McTransaction, OutPoint, Output, TransferTx, TxOut};
-pub use miner::Miner;
 pub use wallet::Wallet;

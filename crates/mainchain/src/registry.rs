@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 use zendoo_core::certificate::WithdrawalCertificate;
 use zendoo_core::config::SidechainConfig;
+use zendoo_core::crosschain::{self, XctError};
 use zendoo_core::ids::{Amount, EpochId, Nullifier, SidechainId};
 use zendoo_core::transfer::BackwardTransfer;
 use zendoo_core::verifier::{self, VerifyError};
@@ -121,6 +122,9 @@ pub enum RegistryError {
     NullifierReused(Nullifier),
     /// The posting failed CCTP verification (schema/quality/proof).
     Verify(VerifyError),
+    /// The certificate's cross-chain declaration is invalid (escrow
+    /// pairing, nullifier consistency, self-transfer, …).
+    CrossChain(XctError),
     /// An epoch-boundary block hash was unavailable (internal error).
     MissingBoundaryBlock(u64),
     /// Amount arithmetic overflowed (adversarial input).
@@ -156,6 +160,7 @@ impl std::fmt::Display for RegistryError {
             ),
             RegistryError::NullifierReused(n) => write!(f, "nullifier {n:?} already spent"),
             RegistryError::Verify(e) => write!(f, "verification failed: {e}"),
+            RegistryError::CrossChain(e) => write!(f, "cross-chain declaration: {e}"),
             RegistryError::MissingBoundaryBlock(h) => {
                 write!(f, "no block hash known at boundary height {h}")
             }
@@ -169,6 +174,12 @@ impl std::error::Error for RegistryError {}
 impl From<VerifyError> for RegistryError {
     fn from(e: VerifyError) -> Self {
         RegistryError::Verify(e)
+    }
+}
+
+impl From<XctError> for RegistryError {
+    fn from(e: XctError) -> Self {
+        RegistryError::CrossChain(e)
     }
 }
 
@@ -188,6 +199,15 @@ impl SidechainRegistry {
     /// Looks up a sidechain.
     pub fn get(&self, id: &SidechainId) -> Option<&SidechainEntry> {
         self.entries.get(id)
+    }
+
+    /// The best certificate accepted so far for `(id, epoch)`.
+    pub fn accepted_certificate(
+        &self,
+        id: &SidechainId,
+        epoch: EpochId,
+    ) -> Option<&AcceptedCertificate> {
+        self.entries.get(id)?.certificates.get(&epoch)
     }
 
     /// Iterates over all registered sidechains.
@@ -217,7 +237,11 @@ impl SidechainRegistry {
     ///
     /// Rejects reused/reserved ids, invalid configs, and activation
     /// heights not strictly in the future.
-    pub fn declare(&mut self, config: SidechainConfig, declared_at: u64) -> Result<(), RegistryError> {
+    pub fn declare(
+        &mut self,
+        config: SidechainConfig,
+        declared_at: u64,
+    ) -> Result<(), RegistryError> {
         if config.id.is_reserved() || self.entries.contains_key(&config.id) {
             return Err(RegistryError::IdUnavailable(config.id));
         }
@@ -279,6 +303,16 @@ impl SidechainRegistry {
                         .balance
                         .checked_sub(total)
                         .expect("safeguard checked at acceptance");
+                    // The winning certificate's cross-chain nullifiers
+                    // are consumed now: only the matured certificate
+                    // moves escrowed coins, so consuming earlier would
+                    // break intra-window quality replacement (a better
+                    // certificate redeclares the same transfers).
+                    if let Ok(declared) = crosschain::declared_transfers(&accepted.certificate) {
+                        for xct in declared {
+                            self.nullifiers.insert((*id, xct.nullifier));
+                        }
+                    }
                     if !accepted.certificate.bt_list.is_empty() {
                         payouts.push(MaturedPayout {
                             sidechain_id: *id,
@@ -351,14 +385,34 @@ impl SidechainRegistry {
                 height,
             });
         }
+        // Cross-chain declarations: escrow pairing, field consistency,
+        // and replay protection against nullifiers consumed by already
+        // matured certificates — checked before the SNARK so forged
+        // declarations are named precisely. (Within the open window the
+        // same nullifiers may legitimately reappear in a higher-quality
+        // replacement certificate; those are not yet in the set.)
+        let declared = crosschain::validate_declarations(cert)?;
+        for xct in &declared {
+            if self
+                .nullifiers
+                .contains(&(cert.sidechain_id, xct.nullifier))
+            {
+                return Err(RegistryError::NullifierReused(xct.nullifier));
+            }
+        }
+        let entry = self
+            .entries
+            .get_mut(&cert.sidechain_id)
+            .expect("looked up above");
         // Epoch boundary anchors (H(B^{i-1}_last), H(B^i_last)).
         let epoch_end = schedule.epoch_last_height(cert.epoch_id);
         let prev_end = if cert.epoch_id == 0 {
             if schedule.start_block() == 0 {
                 Digest32::ZERO
             } else {
-                boundary_hash(schedule.start_block() - 1)
-                    .ok_or(RegistryError::MissingBoundaryBlock(schedule.start_block() - 1))?
+                boundary_hash(schedule.start_block() - 1).ok_or(
+                    RegistryError::MissingBoundaryBlock(schedule.start_block() - 1),
+                )?
             }
         } else {
             boundary_hash(schedule.epoch_last_height(cert.epoch_id - 1)).ok_or(

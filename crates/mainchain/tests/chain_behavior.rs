@@ -106,7 +106,12 @@ impl Harness {
 
     /// Builds a certificate for `epoch` with a valid (permissive) proof
     /// anchored to the harness chain's epoch boundary blocks.
-    fn certificate(&self, epoch: u32, quality: u64, bts: Vec<BackwardTransfer>) -> WithdrawalCertificate {
+    fn certificate(
+        &self,
+        epoch: u32,
+        quality: u64,
+        bts: Vec<BackwardTransfer>,
+    ) -> WithdrawalCertificate {
         let schedule = self.config.schedule;
         let prev_end = if epoch == 0 {
             self.chain
@@ -135,7 +140,12 @@ impl Harness {
         cert
     }
 
-    fn csw(&self, receiver: Address, amount: u64, nullifier_seed: &[u8]) -> CeasedSidechainWithdrawal {
+    fn csw(
+        &self,
+        receiver: Address,
+        amount: u64,
+        nullifier_seed: &[u8],
+    ) -> CeasedSidechainWithdrawal {
         let entry = self.chain.state().registry.get(&self.sc_id).unwrap();
         let anchor = entry.last_certificate_block();
         let mut csw = CeasedSidechainWithdrawal {
@@ -165,7 +175,12 @@ impl Harness {
     }
 
     fn sc_balance(&self) -> Amount {
-        self.chain.state().registry.get(&self.sc_id).unwrap().balance
+        self.chain
+            .state()
+            .registry
+            .get(&self.sc_id)
+            .unwrap()
+            .balance
     }
 
     fn sc_status(&self) -> SidechainStatus {
@@ -261,7 +276,13 @@ fn certificate_accepted_only_in_window() {
     // Fund the sidechain so BTs are coverable.
     let ft = h
         .alice
-        .forward_transfer(&h.chain, h.sc_id, vec![], Amount::from_units(1_000), Amount::ZERO)
+        .forward_transfer(
+            &h.chain,
+            h.sc_id,
+            vec![],
+            Amount::from_units(1_000),
+            Amount::ZERO,
+        )
         .unwrap();
     h.submit_tx(ft).unwrap();
     // Epoch 0 spans heights 5..=14; window for epoch 0 is 15..18.
@@ -275,7 +296,8 @@ fn certificate_accepted_only_in_window() {
         .submit_tx(McTransaction::Certificate(Box::new(early)))
         .is_err());
     // In-window certificate accepted (lands at height 15).
-    h.submit_tx(McTransaction::Certificate(Box::new(cert))).unwrap();
+    h.submit_tx(McTransaction::Certificate(Box::new(cert)))
+        .unwrap();
     assert_eq!(h.sc_status(), SidechainStatus::Active);
 }
 
@@ -328,7 +350,13 @@ fn higher_quality_certificate_replaces_and_pays() {
     let mut h = Harness::new();
     let ft = h
         .alice
-        .forward_transfer(&h.chain, h.sc_id, vec![], Amount::from_units(1_000), Amount::ZERO)
+        .forward_transfer(
+            &h.chain,
+            h.sc_id,
+            vec![],
+            Amount::from_units(1_000),
+            Amount::ZERO,
+        )
         .unwrap();
     h.submit_tx(ft).unwrap();
     h.mine_to_height(14);
@@ -351,13 +379,15 @@ fn higher_quality_certificate_replaces_and_pays() {
             amount: Amount::from_units(200),
         }],
     );
-    h.submit_tx(McTransaction::Certificate(Box::new(low))).unwrap();
+    h.submit_tx(McTransaction::Certificate(Box::new(low)))
+        .unwrap();
     // Equal quality rejected.
     let equal = h.certificate(0, 1, vec![]);
     assert!(h
         .submit_tx(McTransaction::Certificate(Box::new(equal)))
         .is_err());
-    h.submit_tx(McTransaction::Certificate(Box::new(high))).unwrap();
+    h.submit_tx(McTransaction::Certificate(Box::new(high)))
+        .unwrap();
     // Window closes at height 18; payout matures then.
     h.mine_to_height(18);
     assert_eq!(
@@ -373,7 +403,13 @@ fn safeguard_rejects_overdraw() {
     let mut h = Harness::new();
     let ft = h
         .alice
-        .forward_transfer(&h.chain, h.sc_id, vec![], Amount::from_units(100), Amount::ZERO)
+        .forward_transfer(
+            &h.chain,
+            h.sc_id,
+            vec![],
+            Amount::from_units(100),
+            Amount::ZERO,
+        )
         .unwrap();
     h.submit_tx(ft).unwrap();
     h.mine_to_height(14);
@@ -397,7 +433,13 @@ fn csw_flow_after_ceasing() {
     let mut h = Harness::new();
     let ft = h
         .alice
-        .forward_transfer(&h.chain, h.sc_id, vec![], Amount::from_units(500), Amount::ZERO)
+        .forward_transfer(
+            &h.chain,
+            h.sc_id,
+            vec![],
+            Amount::from_units(500),
+            Amount::ZERO,
+        )
         .unwrap();
     h.submit_tx(ft).unwrap();
     // Let the sidechain cease (no certificate for epoch 0).
@@ -406,8 +448,12 @@ fn csw_flow_after_ceasing() {
 
     let user = Address::from_label("survivor");
     let csw = h.csw(user, 300, b"utxo-1");
-    h.submit_tx(McTransaction::Csw(Box::new(csw.clone()))).unwrap();
-    assert_eq!(h.chain.state().utxos.balance_of(&user), Amount::from_units(300));
+    h.submit_tx(McTransaction::Csw(Box::new(csw.clone())))
+        .unwrap();
+    assert_eq!(
+        h.chain.state().utxos.balance_of(&user),
+        Amount::from_units(300)
+    );
     assert_eq!(h.sc_balance(), Amount::from_units(200));
 
     // Nullifier replay rejected.
@@ -424,7 +470,13 @@ fn csw_rejected_while_active() {
     let mut h = Harness::new();
     let ft = h
         .alice
-        .forward_transfer(&h.chain, h.sc_id, vec![], Amount::from_units(500), Amount::ZERO)
+        .forward_transfer(
+            &h.chain,
+            h.sc_id,
+            vec![],
+            Amount::from_units(500),
+            Amount::ZERO,
+        )
         .unwrap();
     h.submit_tx(ft).unwrap();
     let csw = h.csw(Address::from_label("u"), 10, b"utxo");
@@ -440,7 +492,13 @@ fn reorg_rolls_back_sidechain_state() {
     // Branch A: one block with an FT.
     let ft = h
         .alice
-        .forward_transfer(&h.chain, h.sc_id, vec![], Amount::from_units(77), Amount::ZERO)
+        .forward_transfer(
+            &h.chain,
+            h.sc_id,
+            vec![],
+            Amount::from_units(77),
+            Amount::ZERO,
+        )
         .unwrap();
     h.submit_tx(ft).unwrap();
     assert_eq!(h.sc_balance(), Amount::from_units(77));
@@ -454,12 +512,8 @@ fn reorg_rolls_back_sidechain_state() {
         alt.submit_block(block).unwrap();
     }
     assert_eq!(alt.tip_hash(), tip_before_ft);
-    let b1 = alt
-        .mine_next_block(h.miner.address(), vec![], 900)
-        .unwrap();
-    let b2 = alt
-        .mine_next_block(h.miner.address(), vec![], 901)
-        .unwrap();
+    let b1 = alt.mine_next_block(h.miner.address(), vec![], 900).unwrap();
+    let b2 = alt.mine_next_block(h.miner.address(), vec![], 901).unwrap();
 
     // Feed the competing branch to the main chain: triggers a reorg.
     h.chain.submit_block(b1).unwrap();
@@ -492,7 +546,13 @@ fn tampered_block_commitment_rejected() {
     let mut h = Harness::new();
     let ft = h
         .alice
-        .forward_transfer(&h.chain, h.sc_id, vec![], Amount::from_units(5), Amount::ZERO)
+        .forward_transfer(
+            &h.chain,
+            h.sc_id,
+            vec![],
+            Amount::from_units(5),
+            Amount::ZERO,
+        )
         .unwrap();
     let mut block = h
         .chain
@@ -542,7 +602,13 @@ fn btr_nullifier_consumed_and_replay_rejected() {
     let mut h = Harness::new();
     let ft = h
         .alice
-        .forward_transfer(&h.chain, h.sc_id, vec![], Amount::from_units(500), Amount::ZERO)
+        .forward_transfer(
+            &h.chain,
+            h.sc_id,
+            vec![],
+            Amount::from_units(500),
+            Amount::ZERO,
+        )
         .unwrap();
     h.submit_tx(ft).unwrap();
 
@@ -571,7 +637,8 @@ fn btr_nullifier_consumed_and_replay_rejected() {
     let inputs = btr_public_inputs(&sysdata, &btr.proofdata.merkle_root());
     btr.proof = prove(&btr_pk, &AcceptAll("btr"), &inputs, &()).unwrap();
 
-    h.submit_tx(McTransaction::Btr(Box::new(btr.clone()))).unwrap();
+    h.submit_tx(McTransaction::Btr(Box::new(btr.clone())))
+        .unwrap();
     // BTR moves no coins.
     assert_eq!(h.sc_balance(), Amount::from_units(500));
     // Replay rejected (nullifier consumed).
@@ -587,8 +654,7 @@ fn sidechain_declaration_id_uniqueness() {
     assert!(h.submit_tx(dup).is_err());
     // Fresh id, future start → accepted.
     config.id = SidechainId::from_label("other");
-    config.schedule =
-        zendoo_core::epoch::EpochSchedule::new(h.chain.height() + 10, 10, 3).unwrap();
+    config.schedule = zendoo_core::epoch::EpochSchedule::new(h.chain.height() + 10, 10, 3).unwrap();
     let fresh = McTransaction::SidechainDeclaration(Box::new(config));
     h.submit_tx(fresh).unwrap();
     assert_eq!(h.chain.state().registry.len(), 2);

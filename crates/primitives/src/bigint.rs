@@ -153,8 +153,7 @@ impl U256 {
             let mut carry = 0u128;
             let mut j = 0;
             while j < 4 {
-                let acc =
-                    t[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
+                let acc = t[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 t[i + j] = acc as u64;
                 carry = acc >> 64;
                 j += 1;

@@ -418,10 +418,7 @@ mod tests {
     #[test]
     fn montgomery_constants_are_consistent() {
         // INV * N ≡ -1 (mod 2^64)
-        assert_eq!(
-            SecpBase::INV.wrapping_mul(SecpBase::MODULUS.0[0]),
-            u64::MAX
-        );
+        assert_eq!(SecpBase::INV.wrapping_mul(SecpBase::MODULUS.0[0]), u64::MAX);
         assert_eq!(
             SecpScalar::INV.wrapping_mul(SecpScalar::MODULUS.0[0]),
             u64::MAX
@@ -439,10 +436,7 @@ mod tests {
         assert_eq!(a * Fp::one(), a);
         assert_eq!(a * Fp::ZERO, Fp::ZERO);
         assert_eq!(a + a.neg_ref(), Fp::ZERO);
-        assert_eq!(
-            Fp::from_u64(6) * Fp::from_u64(7),
-            Fp::from_u64(42)
-        );
+        assert_eq!(Fp::from_u64(6) * Fp::from_u64(7), Fp::from_u64(42));
     }
 
     #[test]

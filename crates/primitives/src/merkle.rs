@@ -196,7 +196,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn leaves(n: usize) -> Vec<[u8; 32]> {
-        (0..n).map(|i| sha256_tagged("leaf", &[&(i as u64).to_be_bytes()])).collect()
+        (0..n)
+            .map(|i| sha256_tagged("leaf", &[&(i as u64).to_be_bytes()]))
+            .collect()
     }
 
     #[test]

@@ -87,7 +87,6 @@ impl PublicKey {
         self.0
     }
 
-
     /// Compressed 33-byte encoding.
     pub fn to_bytes(&self) -> [u8; 33] {
         self.0.to_compressed()
@@ -183,12 +182,7 @@ impl Keypair {
 fn challenge(context: &str, r: &AffinePoint, pk: &PublicKey, msg: &[u8]) -> Fr {
     let digest = sha256_tagged(
         "zendoo/schnorr-challenge",
-        &[
-            context.as_bytes(),
-            &r.to_compressed(),
-            &pk.to_bytes(),
-            msg,
-        ],
+        &[context.as_bytes(), &r.to_compressed(), &pk.to_bytes(), msg],
     );
     Fr::from_be_bytes_reduced(&digest)
 }

@@ -206,10 +206,7 @@ impl SparseMerkleTree {
     /// Value of the node at `(level, index)`; level 0 = leaves.
     fn node(&self, level: u32, index: u64) -> Fp {
         if level == 0 {
-            self.leaves
-                .get(&index)
-                .copied()
-                .unwrap_or(self.empty[0])
+            self.leaves.get(&index).copied().unwrap_or(self.empty[0])
         } else {
             self.nodes
                 .get(&(level, index))

@@ -73,10 +73,7 @@ pub fn prove(sk: &SecretKey, msg: &[u8]) -> (VrfOutput, VrfProof) {
     let h = AffinePoint::hash_to_curve(H2C_DOMAIN, msg);
     let gamma = (h * sk.scalar()).to_affine();
     // Deterministic nonce bound to (sk, msg).
-    let k_bytes = sha256_tagged(
-        "zendoo/vrf-nonce",
-        &[&sk.scalar().to_be_bytes(), msg],
-    );
+    let k_bytes = sha256_tagged("zendoo/vrf-nonce", &[&sk.scalar().to_be_bytes(), msg]);
     let mut k = Fr::from_be_bytes_reduced(&k_bytes);
     if k.is_zero() {
         k = Fr::one();

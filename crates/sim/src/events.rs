@@ -9,7 +9,9 @@ use std::collections::BTreeMap;
 
 use crate::world::{SimError, World};
 
-/// One scripted action.
+/// One scripted action. Single-chain variants target the primary
+/// sidechain; the `…On`/indexed variants name a sidechain by its
+/// position in [`crate::world::SimConfig::sidechain_labels`].
 #[derive(Clone, Debug)]
 pub enum Action {
     /// `ForwardTransfer(user, amount)` — queue an MC→SC transfer.
@@ -18,10 +20,24 @@ pub enum Action {
     ScPay(String, String, u64),
     /// `ScWithdraw(user, amount)` — initiate an SC→MC withdrawal.
     ScWithdraw(String, u64),
-    /// Start withholding certificates (liveness fault).
+    /// `ForwardTransferTo(sc_index, user, amount)`.
+    ForwardTransferTo(usize, String, u64),
+    /// `ScPayOn(sc_index, from, to, amount)`.
+    ScPayOn(usize, String, String, u64),
+    /// `ScWithdrawOn(sc_index, user, amount)`.
+    ScWithdrawOn(usize, String, u64),
+    /// `CrossTransfer(from_sc_index, to_sc_index, user, amount)` — a
+    /// sidechain→sidechain transfer routed through the mainchain.
+    CrossTransfer(usize, usize, String, u64),
+    /// Start withholding certificates on every sidechain (liveness
+    /// fault).
     WithholdCertificates,
-    /// Resume certificate submission.
+    /// Resume certificate submission on every sidechain.
     ResumeCertificates,
+    /// `WithholdCertificatesOn(sc_index)` — liveness fault on one chain.
+    WithholdCertificatesOn(usize),
+    /// `ResumeCertificatesOn(sc_index)`.
+    ResumeCertificatesOn(usize),
     /// Inject a mainchain fork of the given depth.
     McFork(u64),
 }
@@ -74,6 +90,26 @@ impl Schedule {
                         }
                         Action::ScPay(from, to, amount) => world.sc_pay(from, to, *amount),
                         Action::ScWithdraw(user, amount) => world.sc_withdraw(user, *amount),
+                        Action::ForwardTransferTo(index, user, amount) => world
+                            .sidechain_id_at(*index)
+                            .and_then(|sc| world.queue_forward_transfer_on(&sc, user, *amount)),
+                        Action::ScPayOn(index, from, to, amount) => world
+                            .sidechain_id_at(*index)
+                            .and_then(|sc| world.sc_pay_on(&sc, from, to, *amount)),
+                        Action::ScWithdrawOn(index, user, amount) => world
+                            .sidechain_id_at(*index)
+                            .and_then(|sc| world.sc_withdraw_on(&sc, user, *amount)),
+                        Action::CrossTransfer(from, to, user, amount) => {
+                            let from_sc = world.sidechain_id_at(*from);
+                            let to_sc = world.sidechain_id_at(*to);
+                            from_sc.and_then(|f| {
+                                to_sc.and_then(|t| {
+                                    world
+                                        .queue_cross_transfer(&f, &t, user, *amount)
+                                        .map(|_| ())
+                                })
+                            })
+                        }
                         Action::WithholdCertificates => {
                             world.withhold_certificates = true;
                             Ok(())
@@ -81,6 +117,16 @@ impl Schedule {
                         Action::ResumeCertificates => {
                             world.withhold_certificates = false;
                             Ok(())
+                        }
+                        Action::WithholdCertificatesOn(index) => {
+                            world.sidechain_id_at(*index).map(|sc| {
+                                world.withhold_certificates_for(&sc);
+                            })
+                        }
+                        Action::ResumeCertificatesOn(index) => {
+                            world.sidechain_id_at(*index).map(|sc| {
+                                world.resume_certificates_for(&sc);
+                            })
                         }
                         Action::McFork(depth) => world.inject_mc_fork(*depth).map(|_| ()),
                     };

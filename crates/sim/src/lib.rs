@@ -1,12 +1,14 @@
 //! # zendoo-sim
 //!
-//! A deterministic two-chain scenario simulator for the Zendoo
-//! reproduction: a [`world::World`] wires a real mainchain to a real
-//! Latus node, [`events::Schedule`] scripts tick-indexed actions
-//! (transfers, payments, withdrawals, faults), and [`scenarios`]
+//! A deterministic multi-sidechain scenario simulator for the Zendoo
+//! reproduction: a [`world::World`] wires a real mainchain to any
+//! number of real Latus nodes plus a cross-chain router,
+//! [`events::Schedule`] scripts tick-indexed actions (transfers,
+//! payments, withdrawals, cross-chain hops, faults), and [`scenarios`]
 //! provides the canned experiments used by tests and benchmarks —
-//! including the liveness fault (withheld certificates → ceasing) and
-//! mainchain fork injection (§5.1's fork-resolution property).
+//! including the liveness fault (withheld certificates → ceasing),
+//! mainchain fork injection (§5.1's fork-resolution property) and
+//! sidechain→sidechain transfer lifecycles.
 //!
 //! # Examples
 //!
@@ -28,4 +30,4 @@ pub mod world;
 
 pub use events::{Action, Schedule};
 pub use metrics::Metrics;
-pub use world::{SimConfig, SimError, World};
+pub use world::{ScInstance, SimConfig, SimError, User, World};

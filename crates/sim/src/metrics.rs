@@ -31,6 +31,14 @@ pub struct Metrics {
     pub btrs_accepted: u64,
     /// CSWs accepted by the mainchain.
     pub csws_accepted: u64,
+    /// Cross-chain transfers initiated on source sidechains.
+    pub cross_transfers_initiated: u64,
+    /// Cross-chain transfers delivered into their destination.
+    pub cross_transfers_delivered: u64,
+    /// Cross-chain transfers refunded (unknown/ceased destination).
+    pub cross_transfers_refunded: u64,
+    /// Cross-chain transfers rejected (replay, bad declaration).
+    pub cross_transfers_rejected: u64,
     /// Transactions rejected anywhere in the pipeline.
     pub rejections: u64,
 }
@@ -39,7 +47,7 @@ impl Metrics {
     /// Renders a compact human-readable report.
     pub fn report(&self) -> String {
         format!(
-            "mc_blocks={} sc_blocks={} fts={} payments={} bts={} certs(produced/accepted/rejected/withheld)={}/{}/{}/{} reorgs={} sc_reverted={} btrs={} csws={} rejections={}",
+            "mc_blocks={} sc_blocks={} fts={} payments={} bts={} certs(produced/accepted/rejected/withheld)={}/{}/{}/{} reorgs={} sc_reverted={} btrs={} csws={} xct(init/delivered/refunded/rejected)={}/{}/{}/{} rejections={}",
             self.mc_blocks,
             self.sc_blocks,
             self.forward_transfers,
@@ -53,6 +61,10 @@ impl Metrics {
             self.sc_blocks_reverted,
             self.btrs_accepted,
             self.csws_accepted,
+            self.cross_transfers_initiated,
+            self.cross_transfers_delivered,
+            self.cross_transfers_refunded,
+            self.cross_transfers_rejected,
             self.rejections,
         )
     }

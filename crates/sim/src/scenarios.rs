@@ -56,47 +56,56 @@ pub fn mc_fork_mid_epoch(depth: u64) -> Result<World, SimError> {
     Ok(world)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use zendoo_mainchain::SidechainStatus;
-
-    #[test]
-    fn happy_path_certifies_epochs_and_conserves() {
-        let world = happy_path(2).unwrap();
-        assert!(world.metrics.certificates_accepted >= 2);
-        assert_eq!(world.metrics.certificates_rejected, 0);
-        assert!(world.conservation_holds());
-        assert_eq!(world.sidechain_status(), Some(SidechainStatus::Active));
-        // The withdrawal eventually paid out on the MC.
-        let bob = world.user("bob").unwrap();
-        assert!(
-            !world
-                .chain
-                .state()
-                .utxos
-                .balance_of(&bob.mc_address())
-                .is_zero(),
+/// Three concurrent sidechains exchanging value through the mainchain:
+/// alice funds `sc-0`, hops `sc-0 → sc-1 → sc-2`, then withdraws back
+/// to the mainchain from `sc-2`. Exercises the full cross-chain
+/// lifecycle (escrow, certificate declaration, maturity, delivery)
+/// twice in sequence.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn cross_chain_triangle() -> Result<World, SimError> {
+    let config = SimConfig::with_sidechains(3);
+    let mut world = World::new(config.clone());
+    let epoch = config.epoch_len as u64; // 6: epoch 0 spans heights 2..=7
+    let schedule = Schedule::new()
+        .at(0, Action::ForwardTransferTo(0, "alice".into(), 50_000))
+        // Declared in sc-0's epoch-0 certificate, delivered after its
+        // window closes (escrow matures at the ceasing height).
+        .at(2, Action::CrossTransfer(0, 1, "alice".into(), 20_000))
+        // The second hop waits until the first delivery landed on sc-1
+        // (tick epoch + 3), then rides sc-1's next certificate.
+        .at(
+            2 * epoch,
+            Action::CrossTransfer(1, 2, "alice".into(), 8_000),
+        )
+        .at(
+            4 * epoch - 2,
+            Action::ScWithdrawOn(2, "alice".into(), 3_000),
         );
-    }
+    schedule.run(&mut world, 5 * epoch)?;
+    Ok(world)
+}
 
-    #[test]
-    fn withheld_certificates_cease_the_sidechain() {
-        let world = withheld_certificates().unwrap();
-        assert_eq!(world.sidechain_status(), Some(SidechainStatus::Ceased));
-        assert!(world.metrics.certificates_withheld > 0);
-        assert!(world.conservation_holds());
-    }
-
-    #[test]
-    fn mc_fork_recovers_and_still_certifies() {
-        let world = mc_fork_mid_epoch(2).unwrap();
-        assert_eq!(world.metrics.reorgs, 1);
-        assert!(world.metrics.sc_blocks_reverted >= 1);
-        assert!(world.metrics.certificates_accepted >= 1);
-        assert!(world.conservation_holds());
-        assert_eq!(world.sidechain_status(), Some(SidechainStatus::Active));
-    }
+/// Refund path: a transfer whose destination sidechain ceases before
+/// delivery. `sc-1` withholds its certificates from the start, so it is
+/// ceased by the time alice's `sc-0 → sc-1` escrow matures; the router
+/// refunds her mainchain payback address.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn cross_transfer_to_ceased() -> Result<World, SimError> {
+    let config = SimConfig::with_sidechains(2);
+    let mut world = World::new(config.clone());
+    let epoch = config.epoch_len as u64;
+    let schedule = Schedule::new()
+        .at(0, Action::WithholdCertificatesOn(1))
+        .at(0, Action::ForwardTransferTo(0, "alice".into(), 50_000))
+        .at(2, Action::CrossTransfer(0, 1, "alice".into(), 20_000));
+    schedule.run(&mut world, 2 * epoch + 2)?;
+    Ok(world)
 }
 
 /// Stress scenario: sustained mixed workload over `epochs` epochs with
@@ -121,4 +130,126 @@ pub fn sustained_load(epochs: u32, payments_per_block: u32) -> Result<World, Sim
     }
     schedule.run(&mut world, ticks)?;
     Ok(world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zendoo_mainchain::SidechainStatus;
+
+    #[test]
+    fn happy_path_certifies_epochs_and_conserves() {
+        let world = happy_path(2).unwrap();
+        assert!(world.metrics.certificates_accepted >= 2);
+        assert_eq!(world.metrics.certificates_rejected, 0);
+        assert!(world.conservation_holds());
+        assert_eq!(world.sidechain_status(), Some(SidechainStatus::Active));
+        // The withdrawal eventually paid out on the MC.
+        let bob = world.user("bob").unwrap();
+        assert!(!world
+            .chain
+            .state()
+            .utxos
+            .balance_of(&bob.mc_address())
+            .is_zero(),);
+    }
+
+    #[test]
+    fn withheld_certificates_cease_the_sidechain() {
+        let world = withheld_certificates().unwrap();
+        assert_eq!(world.sidechain_status(), Some(SidechainStatus::Ceased));
+        assert!(world.metrics.certificates_withheld > 0);
+        assert!(world.conservation_holds());
+    }
+
+    #[test]
+    fn cross_chain_triangle_moves_value_and_conserves() {
+        let world = cross_chain_triangle().unwrap();
+        assert_eq!(world.metrics.cross_transfers_initiated, 2);
+        assert_eq!(world.metrics.cross_transfers_delivered, 2);
+        assert_eq!(world.metrics.cross_transfers_rejected, 0);
+        assert!(world.conservation_holds());
+        assert!(world.safeguards_hold());
+
+        let ids = world.sidechain_ids().to_vec();
+        let alice = world.user("alice").unwrap().clone();
+        // sc-0 kept the change of the first hop.
+        assert_eq!(
+            world
+                .node_of(&ids[0])
+                .unwrap()
+                .balance_of(&alice.sc_address_on(&ids[0])),
+            zendoo_core::ids::Amount::from_units(30_000)
+        );
+        // sc-1 kept what was not forwarded to sc-2.
+        assert_eq!(
+            world
+                .node_of(&ids[1])
+                .unwrap()
+                .balance_of(&alice.sc_address_on(&ids[1])),
+            zendoo_core::ids::Amount::from_units(12_000)
+        );
+        // sc-2 received the second hop; the withdrawal spends the whole
+        // 8k UTXO (whole-UTXO withdrawal refunds change to the MC side),
+        // so everything returned to alice's mainchain address.
+        assert_eq!(
+            world
+                .node_of(&ids[2])
+                .unwrap()
+                .balance_of(&alice.sc_address_on(&ids[2])),
+            zendoo_core::ids::Amount::ZERO
+        );
+        assert_eq!(
+            world.chain.state().utxos.balance_of(&alice.mc_address()),
+            zendoo_core::ids::Amount::from_units(1_000_000 - 50_000 + 8_000)
+        );
+        // The destination nodes logged the inbound transfers.
+        assert_eq!(
+            world
+                .node_of(&ids[1])
+                .unwrap()
+                .inbound_cross_transfers()
+                .len(),
+            1
+        );
+        assert_eq!(
+            world
+                .node_of(&ids[2])
+                .unwrap()
+                .inbound_cross_transfers()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn ceased_destination_refunds_sender() {
+        let world = cross_transfer_to_ceased().unwrap();
+        let ids = world.sidechain_ids().to_vec();
+        assert_eq!(
+            world.sidechain_status_of(&ids[1]),
+            Some(SidechainStatus::Ceased)
+        );
+        assert_eq!(world.metrics.cross_transfers_initiated, 1);
+        assert_eq!(world.metrics.cross_transfers_delivered, 0);
+        assert_eq!(world.metrics.cross_transfers_refunded, 1);
+        assert!(world.conservation_holds());
+        // The refund paid alice's mainchain address: genesis premine
+        // minus the 50k forward transfer plus the 20k refund.
+        let alice = world.user("alice").unwrap().clone();
+        assert_eq!(
+            world.chain.state().utxos.balance_of(&alice.mc_address()),
+            zendoo_core::ids::Amount::from_units(1_000_000 - 50_000 + 20_000)
+        );
+    }
+
+    #[test]
+    fn mc_fork_recovers_and_still_certifies() {
+        let world = mc_fork_mid_epoch(2).unwrap();
+        assert_eq!(world.metrics.reorgs, 1);
+        assert!(world.metrics.sc_blocks_reverted >= 1);
+        assert!(world.metrics.certificates_accepted >= 1);
+        assert!(world.conservation_holds());
+        assert_eq!(world.sidechain_status(), Some(SidechainStatus::Active));
+    }
 }

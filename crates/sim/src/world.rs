@@ -1,10 +1,18 @@
-//! The two-chain simulation world: one mainchain, one Latus deployment,
-//! named users on both sides, deterministic time, and fault injection.
+//! The simulation world: one mainchain, **any number** of Latus
+//! sidechain deployments, a cross-chain router, named users on every
+//! chain, deterministic time, and fault injection.
+//!
+//! The world drives each sidechain node block-by-block against the
+//! shared mainchain, produces certificates per sidechain at epoch
+//! boundaries, and routes declared [`CrossChainTransfer`]s between
+//! sidechains through the [`CrossChainRouter`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
+use zendoo_core::crosschain::CrossChainTransfer;
 use zendoo_core::epoch::EpochSchedule;
 use zendoo_core::ids::{Address, Amount, SidechainId};
+use zendoo_crosschain::CrossChainRouter;
 use zendoo_latus::consensus::ConsensusParams;
 use zendoo_latus::node::{LatusKeys, LatusNode, NodeError};
 use zendoo_latus::params::LatusParams;
@@ -19,9 +27,11 @@ use crate::metrics::Metrics;
 /// Simulation configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
-    /// Label of the simulated sidechain.
-    pub sidechain_label: String,
-    /// Withdrawal-epoch length in MC blocks.
+    /// Labels of the simulated sidechains, in declaration order; the
+    /// first is the *primary* sidechain the legacy single-chain API
+    /// operates on.
+    pub sidechain_labels: Vec<String>,
+    /// Withdrawal-epoch length in MC blocks (shared by all sidechains).
     pub epoch_len: u32,
     /// Certificate submission window.
     pub submit_len: u32,
@@ -36,7 +46,7 @@ pub struct SimConfig {
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
-            sidechain_label: "sim-sidechain".into(),
+            sidechain_labels: vec!["sim-sidechain".into()],
             epoch_len: 6,
             submit_len: 2,
             mst_depth: 16,
@@ -46,17 +56,30 @@ impl Default for SimConfig {
     }
 }
 
-/// A named participant: a mainchain wallet plus a sidechain keypair.
+impl SimConfig {
+    /// A default configuration with `n` sidechains (`sc-0` … `sc-{n-1}`;
+    /// the first keeps the legacy primary label).
+    pub fn with_sidechains(n: usize) -> Self {
+        SimConfig {
+            sidechain_labels: (0..n).map(|i| format!("sc-{i}")).collect(),
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// A named participant: a mainchain wallet plus a sidechain keypair per
+/// deployed sidechain.
 #[derive(Clone, Debug)]
 pub struct User {
     /// Mainchain wallet.
     pub wallet: Wallet,
-    /// Sidechain keypair.
+    /// Keypair on the primary sidechain (legacy single-chain shape).
     pub sc_keys: Keypair,
+    per_chain: BTreeMap<SidechainId, Keypair>,
 }
 
 impl User {
-    /// The user's sidechain address.
+    /// The user's address on the primary sidechain.
     pub fn sc_address(&self) -> Address {
         Address::from_public_key(&self.sc_keys.public)
     }
@@ -65,6 +88,28 @@ impl User {
     pub fn mc_address(&self) -> Address {
         self.wallet.address()
     }
+
+    /// The user's keypair on a specific sidechain.
+    pub fn sc_keys_on(&self, id: &SidechainId) -> &Keypair {
+        self.per_chain.get(id).unwrap_or(&self.sc_keys)
+    }
+
+    /// The user's address on a specific sidechain.
+    pub fn sc_address_on(&self, id: &SidechainId) -> Address {
+        Address::from_public_key(&self.sc_keys_on(id).public)
+    }
+}
+
+/// One deployed Latus sidechain inside the world.
+pub struct ScInstance {
+    /// Human label (from [`SimConfig::sidechain_labels`]).
+    pub label: String,
+    /// The sidechain id.
+    pub id: SidechainId,
+    /// The Latus node (forger + prover).
+    pub node: LatusNode,
+    /// Shared proving material.
+    pub keys: Arc<LatusKeys>,
 }
 
 /// Simulation-level failures.
@@ -72,6 +117,8 @@ impl User {
 pub enum SimError {
     /// Unknown user name.
     UnknownUser(String),
+    /// Unknown sidechain (bad index or id).
+    UnknownSidechain(String),
     /// A mainchain operation failed.
     Chain(zendoo_mainchain::BlockError),
     /// A wallet operation failed.
@@ -84,6 +131,7 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::UnknownUser(name) => write!(f, "unknown user {name}"),
+            SimError::UnknownSidechain(what) => write!(f, "unknown sidechain {what}"),
             SimError::Chain(e) => write!(f, "mainchain: {e}"),
             SimError::Wallet(e) => write!(f, "wallet: {e}"),
             SimError::Node(e) => write!(f, "node: {e}"),
@@ -115,90 +163,150 @@ impl From<NodeError> for SimError {
 pub struct World {
     /// The mainchain.
     pub chain: Blockchain,
-    /// The Latus node (forger + prover).
-    pub node: LatusNode,
-    /// Shared proving material.
-    pub keys: Arc<LatusKeys>,
+    /// Deployed sidechains, keyed by id.
+    chains: BTreeMap<SidechainId, ScInstance>,
+    /// Sidechain ids in declaration order (`order[0]` is primary).
+    order: Vec<SidechainId>,
     /// Named users.
     pub users: HashMap<String, User>,
     /// Collected metrics.
     pub metrics: Metrics,
-    /// The sidechain id.
+    /// The primary sidechain's id (legacy single-chain API target).
     pub sidechain_id: SidechainId,
+    /// The cross-chain transfer router.
+    pub router: CrossChainRouter,
     /// Queued MC transactions for the next block.
     mc_mempool: Vec<McTransaction>,
-    /// When `true`, certificates are produced but not submitted
-    /// (the withheld-certificate fault).
+    /// When `true`, certificates of *all* sidechains are produced but
+    /// not submitted (the withheld-certificate fault).
     pub withhold_certificates: bool,
+    /// Per-sidechain withheld-certificate fault.
+    withheld: BTreeSet<SidechainId>,
+    /// Receipts already folded into `metrics`.
+    receipts_seen: usize,
     miner: Wallet,
     time: u64,
 }
 
 impl World {
-    /// Bootstraps the world: genesis, sidechain declaration, node.
+    /// Bootstraps the world: genesis, one declaration per configured
+    /// sidechain (all in one block), one node per sidechain.
     pub fn new(config: SimConfig) -> Self {
+        assert!(
+            !config.sidechain_labels.is_empty(),
+            "at least one sidechain required"
+        );
         let miner = Wallet::from_seed(b"sim-miner");
+        let sidechain_ids: Vec<SidechainId> = config
+            .sidechain_labels
+            .iter()
+            .map(|label| SidechainId::from_label(label))
+            .collect();
         let users: HashMap<String, User> = config
             .genesis_users
             .iter()
             .map(|(name, _)| {
+                // The primary chain keeps the legacy per-user seed so
+                // single-chain scenarios stay byte-for-byte stable.
+                let primary = Keypair::from_seed(format!("sc-{name}").as_bytes());
+                let per_chain: BTreeMap<SidechainId, Keypair> = config
+                    .sidechain_labels
+                    .iter()
+                    .zip(&sidechain_ids)
+                    .enumerate()
+                    .map(|(i, (label, id))| {
+                        let keys = if i == 0 {
+                            primary.clone()
+                        } else {
+                            Keypair::from_seed(format!("sc-{label}-{name}").as_bytes())
+                        };
+                        (*id, keys)
+                    })
+                    .collect();
                 (
                     name.clone(),
                     User {
                         wallet: Wallet::from_seed(format!("mc-{name}").as_bytes()),
-                        sc_keys: Keypair::from_seed(format!("sc-{name}").as_bytes()),
+                        sc_keys: primary,
+                        per_chain,
                     },
                 )
             })
             .collect();
 
-        let mut chain_params = ChainParams::default();
-        chain_params.genesis_outputs = config
-            .genesis_users
-            .iter()
-            .map(|(name, amount)| TxOut {
-                address: users[name].mc_address(),
-                amount: Amount::from_units(*amount),
-            })
-            .collect();
+        let chain_params = ChainParams {
+            genesis_outputs: config
+                .genesis_users
+                .iter()
+                .map(|(name, amount)| TxOut {
+                    address: users[name].mc_address(),
+                    amount: Amount::from_units(*amount),
+                })
+                .collect(),
+            ..ChainParams::default()
+        };
         let mut chain = Blockchain::new(chain_params);
 
-        let sidechain_id = SidechainId::from_label(&config.sidechain_label);
-        let params = LatusParams::new(sidechain_id, config.mst_depth);
         let schedule = EpochSchedule::new(2, config.epoch_len, config.submit_len)
             .expect("simulation schedule valid");
-        let keys = Arc::new(LatusKeys::generate(params, schedule, &config.seed));
-        let sc_config = keys.sidechain_config(&params, schedule);
+        let mut declarations = Vec::new();
+        let mut prepared = Vec::new();
+        for (label, id) in config.sidechain_labels.iter().zip(&sidechain_ids) {
+            let params = LatusParams::new(*id, config.mst_depth);
+            let keys = Arc::new(LatusKeys::generate(params, schedule, &config.seed));
+            declarations.push(McTransaction::SidechainDeclaration(Box::new(
+                keys.sidechain_config(&params, schedule),
+            )));
+            prepared.push((label.clone(), *id, params, keys));
+        }
         chain
-            .mine_next_block(
-                miner.address(),
-                vec![McTransaction::SidechainDeclaration(Box::new(sc_config))],
-                1,
-            )
+            .mine_next_block(miner.address(), declarations, 1)
             .expect("declaration block");
 
-        let forger = Keypair::from_seed(b"sim-forger");
-        let node = LatusNode::new(
-            params,
-            schedule,
-            ConsensusParams::with_bootstrap(forger.public),
-            Arc::clone(&keys),
-            forger,
-            chain.tip_hash(),
-        );
+        let mut chains = BTreeMap::new();
+        for (i, (label, id, params, keys)) in prepared.into_iter().enumerate() {
+            let forger = if i == 0 {
+                Keypair::from_seed(b"sim-forger")
+            } else {
+                Keypair::from_seed(format!("sim-forger-{label}").as_bytes())
+            };
+            let node = LatusNode::new(
+                params,
+                schedule,
+                ConsensusParams::with_bootstrap(forger.public),
+                Arc::clone(&keys),
+                forger,
+                chain.tip_hash(),
+            );
+            chains.insert(
+                id,
+                ScInstance {
+                    label,
+                    id,
+                    node,
+                    keys,
+                },
+            );
+        }
+
         World {
             chain,
-            node,
-            keys,
+            chains,
+            order: sidechain_ids.clone(),
             users,
             metrics: Metrics::default(),
-            sidechain_id,
+            sidechain_id: sidechain_ids[0],
+            router: CrossChainRouter::new(),
             mc_mempool: Vec::new(),
             withhold_certificates: false,
+            withheld: BTreeSet::new(),
+            receipts_seen: 0,
             miner,
             time: 1,
         }
     }
+
+    // ---- Lookup -------------------------------------------------------
 
     /// Looks up a user.
     ///
@@ -211,25 +319,90 @@ impl World {
             .ok_or_else(|| SimError::UnknownUser(name.into()))
     }
 
+    /// Sidechain ids in declaration order.
+    pub fn sidechain_ids(&self) -> &[SidechainId] {
+        &self.order
+    }
+
+    /// The id of the `index`-th declared sidechain.
+    pub fn sidechain_id_at(&self, index: usize) -> Result<SidechainId, SimError> {
+        self.order
+            .get(index)
+            .copied()
+            .ok_or_else(|| SimError::UnknownSidechain(format!("index {index}")))
+    }
+
+    /// A deployed sidechain instance.
+    pub fn sidechain(&self, id: &SidechainId) -> Option<&ScInstance> {
+        self.chains.get(id)
+    }
+
+    fn instance(&self, id: &SidechainId) -> Result<&ScInstance, SimError> {
+        self.chains
+            .get(id)
+            .ok_or_else(|| SimError::UnknownSidechain(id.to_string()))
+    }
+
+    fn instance_mut(&mut self, id: &SidechainId) -> Result<&mut ScInstance, SimError> {
+        self.chains
+            .get_mut(id)
+            .ok_or_else(|| SimError::UnknownSidechain(id.to_string()))
+    }
+
+    /// The primary sidechain's node (legacy single-chain accessor).
+    pub fn node(&self) -> &LatusNode {
+        &self.chains[&self.sidechain_id].node
+    }
+
+    /// Mutable access to the primary sidechain's node.
+    pub fn node_mut(&mut self) -> &mut LatusNode {
+        let id = self.sidechain_id;
+        &mut self.chains.get_mut(&id).expect("primary exists").node
+    }
+
+    /// The node of a specific sidechain.
+    pub fn node_of(&self, id: &SidechainId) -> Result<&LatusNode, SimError> {
+        Ok(&self.instance(id)?.node)
+    }
+
+    // ---- Actions ------------------------------------------------------
+
     /// Queues a mainchain transaction for the next mined block.
     pub fn queue_mc_tx(&mut self, tx: McTransaction) {
         self.mc_mempool.push(tx);
     }
 
-    /// Queues a forward transfer from a user to their own SC address.
+    /// Queues a forward transfer from a user to their own address on the
+    /// primary sidechain.
     ///
     /// # Errors
     ///
     /// [`SimError`] on unknown users or insufficient funds.
     pub fn queue_forward_transfer(&mut self, name: &str, amount: u64) -> Result<(), SimError> {
+        let primary = self.sidechain_id;
+        self.queue_forward_transfer_on(&primary, name, amount)
+    }
+
+    /// Queues a forward transfer into a specific sidechain.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] on unknown users/sidechains or insufficient funds.
+    pub fn queue_forward_transfer_on(
+        &mut self,
+        sc: &SidechainId,
+        name: &str,
+        amount: u64,
+    ) -> Result<(), SimError> {
+        self.instance(sc)?;
         let user = self.user(name)?.clone();
         let meta = ReceiverMetadata {
-            receiver: user.sc_address(),
+            receiver: user.sc_address_on(sc),
             payback: user.mc_address(),
         };
         let tx = user.wallet.forward_transfer(
             &self.chain,
-            self.sidechain_id,
+            *sc,
             meta.to_bytes(),
             Amount::from_units(amount),
             Amount::ZERO,
@@ -239,95 +412,170 @@ impl World {
         Ok(())
     }
 
-    /// Submits a sidechain payment between users.
+    /// Gathers enough of a user's UTXOs on `sc` to cover `amount`.
+    fn select_inputs(
+        &self,
+        sc: &SidechainId,
+        user: &User,
+        amount: Amount,
+    ) -> Result<(Vec<zendoo_latus::mst::Utxo>, Amount), SimError> {
+        let node = &self.instance(sc)?.node;
+        let mut selected = Vec::new();
+        let mut total = Amount::ZERO;
+        for utxo in node.utxos_of(&user.sc_address_on(sc)) {
+            if total >= amount {
+                break;
+            }
+            total = total.checked_add(utxo.amount).expect("fits");
+            selected.push(utxo);
+        }
+        if total < amount {
+            return Err(SimError::Node(NodeError::Tx(
+                zendoo_latus::tx::TxError::ValueImbalance {
+                    input: total,
+                    output: amount,
+                },
+            )));
+        }
+        Ok((selected, total))
+    }
+
+    /// Submits a payment between users on the primary sidechain.
     ///
     /// # Errors
     ///
     /// [`SimError`] when funds are insufficient.
     pub fn sc_pay(&mut self, from: &str, to: &str, amount: u64) -> Result<(), SimError> {
+        let primary = self.sidechain_id;
+        self.sc_pay_on(&primary, from, to, amount)
+    }
+
+    /// Submits a payment between users on a specific sidechain.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] when funds are insufficient.
+    pub fn sc_pay_on(
+        &mut self,
+        sc: &SidechainId,
+        from: &str,
+        to: &str,
+        amount: u64,
+    ) -> Result<(), SimError> {
         let sender = self.user(from)?.clone();
-        let receiver = self.user(to)?.sc_address();
+        let receiver = self.user(to)?.sc_address_on(sc);
         let amount = Amount::from_units(amount);
-        // Gather enough inputs.
-        let mut selected = Vec::new();
-        let mut total = Amount::ZERO;
-        for utxo in self.node.utxos_of(&sender.sc_address()) {
-            if total >= amount {
-                break;
-            }
-            total = total.checked_add(utxo.amount).expect("fits");
-            selected.push(utxo);
-        }
-        let inputs: Vec<_> = selected
-            .iter()
-            .map(|u| (*u, &sender.sc_keys.secret))
-            .collect();
-        let change = total.checked_sub(amount).ok_or_else(|| {
-            SimError::Node(NodeError::Tx(zendoo_latus::tx::TxError::ValueImbalance {
-                input: total,
-                output: amount,
-            }))
-        })?;
+        let (selected, total) = self.select_inputs(sc, &sender, amount)?;
+        let sender_keys = sender.sc_keys_on(sc);
+        let inputs: Vec<_> = selected.iter().map(|u| (*u, &sender_keys.secret)).collect();
+        let change = total.checked_sub(amount).expect("selection covers amount");
         let mut outputs = vec![(receiver, amount)];
         if !change.is_zero() {
-            outputs.push((sender.sc_address(), change));
+            outputs.push((sender.sc_address_on(sc), change));
         }
         let tx = ScTransaction::Payment(PaymentTx::create(inputs, outputs));
-        self.node.submit_transaction(tx)?;
+        self.instance_mut(sc)?.node.submit_transaction(tx)?;
         self.metrics.sc_payments += 1;
         Ok(())
     }
 
-    /// Initiates a sidechain→mainchain withdrawal for a user.
+    /// Initiates a sidechain→mainchain withdrawal on the primary chain.
     ///
     /// # Errors
     ///
     /// [`SimError`] when funds are insufficient.
     pub fn sc_withdraw(&mut self, name: &str, amount: u64) -> Result<(), SimError> {
+        let primary = self.sidechain_id;
+        self.sc_withdraw_on(&primary, name, amount)
+    }
+
+    /// Initiates a withdrawal from a specific sidechain.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] when funds are insufficient.
+    pub fn sc_withdraw_on(
+        &mut self,
+        sc: &SidechainId,
+        name: &str,
+        amount: u64,
+    ) -> Result<(), SimError> {
         let user = self.user(name)?.clone();
         let amount = Amount::from_units(amount);
-        let mut selected = Vec::new();
-        let mut total = Amount::ZERO;
-        for utxo in self.node.utxos_of(&user.sc_address()) {
-            if total >= amount {
-                break;
-            }
-            total = total.checked_add(utxo.amount).expect("fits");
-            selected.push(utxo);
-        }
-        let inputs: Vec<_> = selected
-            .iter()
-            .map(|u| (*u, &user.sc_keys.secret))
-            .collect();
+        let (selected, total) = self.select_inputs(sc, &user, amount)?;
+        let user_keys = user.sc_keys_on(sc);
+        let inputs: Vec<_> = selected.iter().map(|u| (*u, &user_keys.secret)).collect();
+        // A BT tx has no outputs; whole-UTXO withdrawal refunds the
+        // change as a second withdrawal to the user's MC address.
         let mut withdrawals = vec![(user.mc_address(), amount)];
-        let change = total.checked_sub(amount).ok_or_else(|| {
-            SimError::Node(NodeError::Tx(zendoo_latus::tx::TxError::ValueImbalance {
-                input: total,
-                output: amount,
-            }))
-        })?;
-        // Change stays on the SC as a payment output… but a BT tx has no
-        // outputs; route change back via a separate payment-to-self when
-        // needed. Simplest correct form: withdraw whole UTXOs and refund
-        // the change as a second withdrawal to the user's MC address.
+        let change = total.checked_sub(amount).expect("selection covers amount");
         if !change.is_zero() {
             withdrawals.push((user.mc_address(), change));
         }
         let tx = ScTransaction::BackwardTransfer(BackwardTransferTx::create(inputs, withdrawals));
-        self.node.submit_transaction(tx)?;
+        self.instance_mut(sc)?.node.submit_transaction(tx)?;
         self.metrics.backward_transfers += 1;
         Ok(())
     }
 
-    /// Advances the world by one mainchain block: mines the queued
-    /// transactions, syncs the node, and — at epoch boundaries —
-    /// produces and (unless withheld) submits the certificate.
+    /// Initiates a sidechain→sidechain transfer: `name` moves `amount`
+    /// from their account on `from_sc` to their account on `to_sc`,
+    /// routed through the mainchain. Returns the transfer message.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] on unknown chains/users or insufficient funds.
+    pub fn queue_cross_transfer(
+        &mut self,
+        from_sc: &SidechainId,
+        to_sc: &SidechainId,
+        name: &str,
+        amount: u64,
+    ) -> Result<CrossChainTransfer, SimError> {
+        let user = self.user(name)?.clone();
+        let amount = Amount::from_units(amount);
+        let (selected, _) = self.select_inputs(from_sc, &user, amount)?;
+        let receiver = user.sc_address_on(to_sc);
+        let payback = user.mc_address();
+        let user_keys = user.sc_keys_on(from_sc);
+        let inputs: Vec<_> = selected.iter().map(|u| (*u, &user_keys.secret)).collect();
+        let dest = *to_sc;
+        let xct = self
+            .instance_mut(from_sc)?
+            .node
+            .submit_cross_transfer(inputs, amount, dest, receiver, payback)?;
+        self.metrics.cross_transfers_initiated += 1;
+        Ok(xct)
+    }
+
+    /// Starts withholding certificates for one sidechain only.
+    pub fn withhold_certificates_for(&mut self, sc: &SidechainId) {
+        self.withheld.insert(*sc);
+    }
+
+    /// Resumes certificate submission for one sidechain.
+    pub fn resume_certificates_for(&mut self, sc: &SidechainId) {
+        self.withheld.remove(sc);
+    }
+
+    // ---- Progression --------------------------------------------------
+
+    /// Advances the world by one mainchain block: drains matured
+    /// cross-chain deliveries into the mempool, mines the queued
+    /// transactions, feeds the block to the router and to every
+    /// sidechain node, and — at epoch boundaries — produces and (unless
+    /// withheld) submits each sidechain's certificate.
     ///
     /// # Errors
     ///
     /// [`SimError`] on chain/node failures.
     pub fn step(&mut self) -> Result<(), SimError> {
         self.time += 1;
+
+        // Matured cross-chain escrows deliver in this block.
+        let deliveries = self.router.collect_deliveries(&self.chain);
+        self.mc_mempool.extend(deliveries);
+
         let queued = std::mem::take(&mut self.mc_mempool);
         // Filter out transactions the chain rejects (e.g. deliberately
         // invalid certificates in fault scenarios), counting rejections.
@@ -356,24 +604,49 @@ impl World {
             .chain
             .mine_next_block(self.miner.address(), accepted, self.time)?;
         self.metrics.mc_blocks += 1;
-        self.node.sync_mainchain_block(&block)?;
-        self.metrics.sc_blocks += 1;
 
-        if self.node.epoch_complete() {
-            if self.withhold_certificates {
-                // The sidechain stops certifying entirely: a node that
-                // never published its certificate cannot prove later
-                // epochs either (the proof chain is broken) — exactly
-                // the liveness fault Def 4.2 punishes with ceasing.
-                self.metrics.certificates_withheld += 1;
-            } else {
-                let cert = self.node.produce_certificate()?;
-                self.metrics.certificates_produced += 1;
-                self.mc_mempool
-                    .push(McTransaction::Certificate(Box::new(cert)));
+        self.router.observe_block(&self.chain, &block);
+
+        for id in self.order.clone() {
+            let instance = self.chains.get_mut(&id).expect("declared");
+            instance.node.sync_mainchain_block(&block)?;
+            self.metrics.sc_blocks += 1;
+
+            if instance.node.epoch_complete() {
+                if self.withhold_certificates || self.withheld.contains(&id) {
+                    // The sidechain stops certifying entirely: a node
+                    // that never published its certificate cannot prove
+                    // later epochs either (the proof chain is broken) —
+                    // exactly the liveness fault Def 4.2 punishes with
+                    // ceasing.
+                    self.metrics.certificates_withheld += 1;
+                } else {
+                    let cert = instance.node.produce_certificate()?;
+                    self.metrics.certificates_produced += 1;
+                    self.mc_mempool
+                        .push(McTransaction::Certificate(Box::new(cert)));
+                }
             }
         }
+        self.sync_cross_metrics();
         Ok(())
+    }
+
+    /// Folds freshly produced router receipts into the metrics.
+    fn sync_cross_metrics(&mut self) {
+        use zendoo_core::crosschain::DeliveryStatus;
+        let receipts = self.router.receipts();
+        for receipt in &receipts[self.receipts_seen..] {
+            match receipt.status {
+                DeliveryStatus::Delivered { .. } => self.metrics.cross_transfers_delivered += 1,
+                DeliveryStatus::Refunded { .. } => self.metrics.cross_transfers_refunded += 1,
+                DeliveryStatus::Rejected { .. }
+                | DeliveryStatus::ReplayRejected
+                | DeliveryStatus::NotEscrowed => self.metrics.cross_transfers_rejected += 1,
+                DeliveryStatus::Pending => {}
+            }
+        }
+        self.receipts_seen = receipts.len();
     }
 
     /// Runs `n` steps.
@@ -388,16 +661,16 @@ impl World {
         Ok(())
     }
 
-    /// Runs until `epochs` withdrawal epochs have been certified (or the
-    /// step budget runs out).
+    /// Runs until the primary sidechain has certified `epochs` more
+    /// withdrawal epochs (or the step budget runs out).
     ///
     /// # Errors
     ///
     /// [`SimError`] on failures.
     pub fn run_epochs(&mut self, epochs: u32) -> Result<(), SimError> {
-        let target = self.node.current_epoch() + epochs;
+        let target = self.node().current_epoch() + epochs;
         let mut budget = 10_000u32;
-        while self.node.current_epoch() < target && budget > 0 {
+        while self.node().current_epoch() < target && budget > 0 {
             self.step()?;
             budget -= 1;
         }
@@ -406,9 +679,13 @@ impl World {
 
     /// Injects a mainchain fork: builds `depth + 1` empty blocks on the
     /// branch point `depth` blocks below the tip, triggering a reorg,
-    /// then re-syncs the node onto the new branch.
+    /// then re-syncs every node onto the new branch.
     ///
-    /// Returns the number of SC blocks reverted.
+    /// Returns the total number of SC blocks reverted across chains.
+    ///
+    /// Note: the cross-chain router's queue is *not* rolled back;
+    /// scenarios combining reorgs with in-flight cross-chain transfers
+    /// are out of scope for the current router.
     ///
     /// # Errors
     ///
@@ -442,38 +719,55 @@ impl World {
         if reorged {
             self.metrics.reorgs += 1;
         }
-        // Roll the node back to the fork base and replay the new branch.
-        let reverted = self.node.rollback_to_mc(&fork_base)?;
-        self.metrics.sc_blocks_reverted += reverted as u64;
-        for block in &branch {
-            self.node.sync_mainchain_block(block)?;
-            self.metrics.sc_blocks += 1;
+        // Roll every node back to the fork base and replay the branch.
+        let mut reverted = 0;
+        for id in self.order.clone() {
+            let instance = self.chains.get_mut(&id).expect("declared");
+            reverted += instance.node.rollback_to_mc(&fork_base)?;
+            for block in &branch {
+                instance.node.sync_mainchain_block(block)?;
+                self.metrics.sc_blocks += 1;
+            }
         }
+        self.metrics.sc_blocks_reverted += reverted as u64;
         self.time = self.time.max(900_000 + depth + 1);
         Ok(reverted)
     }
 
-    /// The sidechain's balance held on the mainchain (safeguard).
+    // ---- Audits -------------------------------------------------------
+
+    /// The primary sidechain's balance held on the mainchain (safeguard;
+    /// legacy single-chain shim for [`World::sidechain_balance_of`]).
     pub fn sidechain_balance(&self) -> Amount {
+        self.sidechain_balance_of(&self.sidechain_id)
+    }
+
+    /// A sidechain's balance held on the mainchain (safeguard).
+    pub fn sidechain_balance_of(&self, id: &SidechainId) -> Amount {
         self.chain
             .state()
             .registry
-            .get(&self.sidechain_id)
+            .get(id)
             .map(|e| e.balance)
             .unwrap_or(Amount::ZERO)
     }
 
-    /// The registry status of the sidechain.
+    /// The registry status of the primary sidechain (legacy shim).
     pub fn sidechain_status(&self) -> Option<zendoo_mainchain::SidechainStatus> {
-        self.chain
-            .state()
-            .registry
-            .get(&self.sidechain_id)
-            .map(|e| e.status)
+        self.sidechain_status_of(&self.sidechain_id)
+    }
+
+    /// The registry status of a sidechain.
+    pub fn sidechain_status_of(
+        &self,
+        id: &SidechainId,
+    ) -> Option<zendoo_mainchain::SidechainStatus> {
+        self.chain.state().registry.get(id).map(|e| e.status)
     }
 
     /// Audits the global conservation invariant: MC UTXO value plus all
-    /// locked sidechain balances equals net minted coins.
+    /// locked sidechain balances equals net minted coins. (Escrowed
+    /// cross-chain value in flight is an MC UTXO, so it is covered.)
     pub fn conservation_holds(&self) -> bool {
         let state = self.chain.state();
         state
@@ -482,14 +776,23 @@ impl World {
             .checked_add(state.registry.total_locked())
             == Some(state.minted)
     }
+
+    /// Audits the per-sidechain safeguard: no sidechain's on-chain value
+    /// exceeds the balance the mainchain holds for it.
+    pub fn safeguards_hold(&self) -> bool {
+        self.chains.values().all(|instance| {
+            instance.node.state().total_value() <= self.sidechain_balance_of(&instance.id)
+        })
+    }
 }
 
 impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
             .field("mc_height", &self.chain.height())
-            .field("sc_height", &self.node.chain().len())
-            .field("epoch", &self.node.current_epoch())
+            .field("sidechains", &self.order.len())
+            .field("sc_height", &self.node().chain().len())
+            .field("epoch", &self.node().current_epoch())
             .field("metrics", &self.metrics)
             .finish()
     }

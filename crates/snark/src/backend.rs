@@ -85,7 +85,11 @@ impl ProvingKey {
 
 impl std::fmt::Debug for ProvingKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ProvingKey(circuit={}, <toxic waste redacted>)", self.circuit_id)
+        write!(
+            f,
+            "ProvingKey(circuit={}, <toxic waste redacted>)",
+            self.circuit_id
+        )
     }
 }
 
@@ -282,33 +286,56 @@ mod tests {
     #[test]
     fn completeness() {
         let (pk, vk) = setup_deterministic(&MulCircuit, b"s");
-        let proof = prove(&pk, &MulCircuit, &public(6), &(Fp::from_u64(2), Fp::from_u64(3)))
-            .expect("valid witness proves");
+        let proof = prove(
+            &pk,
+            &MulCircuit,
+            &public(6),
+            &(Fp::from_u64(2), Fp::from_u64(3)),
+        )
+        .expect("valid witness proves");
         assert!(verify(&vk, &public(6), &proof));
     }
 
     #[test]
     fn soundness_no_proof_for_false_statement() {
         let (pk, _) = setup_deterministic(&MulCircuit, b"s");
-        let err = prove(&pk, &MulCircuit, &public(7), &(Fp::from_u64(2), Fp::from_u64(3)))
-            .unwrap_err();
+        let err = prove(
+            &pk,
+            &MulCircuit,
+            &public(7),
+            &(Fp::from_u64(2), Fp::from_u64(3)),
+        )
+        .unwrap_err();
         assert!(matches!(err, ProveError::Unsatisfied(_)));
     }
 
     #[test]
     fn verification_binds_public_inputs() {
         let (pk, vk) = setup_deterministic(&MulCircuit, b"s");
-        let proof =
-            prove(&pk, &MulCircuit, &public(6), &(Fp::from_u64(2), Fp::from_u64(3))).unwrap();
-        assert!(!verify(&vk, &public(8), &proof), "different input must fail");
+        let proof = prove(
+            &pk,
+            &MulCircuit,
+            &public(6),
+            &(Fp::from_u64(2), Fp::from_u64(3)),
+        )
+        .unwrap();
+        assert!(
+            !verify(&vk, &public(8), &proof),
+            "different input must fail"
+        );
     }
 
     #[test]
     fn verification_binds_circuit() {
         let (pk, _) = setup_deterministic(&MulCircuit, b"s");
         let (_, other_vk) = setup_deterministic(&OtherCircuit, b"s");
-        let proof =
-            prove(&pk, &MulCircuit, &public(6), &(Fp::from_u64(2), Fp::from_u64(3))).unwrap();
+        let proof = prove(
+            &pk,
+            &MulCircuit,
+            &public(6),
+            &(Fp::from_u64(2), Fp::from_u64(3)),
+        )
+        .unwrap();
         assert!(!verify(&other_vk, &public(6), &proof));
     }
 
@@ -331,8 +358,13 @@ mod tests {
     #[test]
     fn proofs_are_constant_size_and_roundtrip() {
         let (pk, vk) = setup_deterministic(&MulCircuit, b"s");
-        let proof =
-            prove(&pk, &MulCircuit, &public(6), &(Fp::from_u64(2), Fp::from_u64(3))).unwrap();
+        let proof = prove(
+            &pk,
+            &MulCircuit,
+            &public(6),
+            &(Fp::from_u64(2), Fp::from_u64(3)),
+        )
+        .unwrap();
         let bytes = proof.to_bytes();
         assert_eq!(bytes.len(), Proof::SIZE);
         let decoded = Proof::from_bytes(&bytes).unwrap();
@@ -342,8 +374,13 @@ mod tests {
     #[test]
     fn tampered_proof_fails() {
         let (pk, vk) = setup_deterministic(&MulCircuit, b"s");
-        let proof =
-            prove(&pk, &MulCircuit, &public(6), &(Fp::from_u64(2), Fp::from_u64(3))).unwrap();
+        let proof = prove(
+            &pk,
+            &MulCircuit,
+            &public(6),
+            &(Fp::from_u64(2), Fp::from_u64(3)),
+        )
+        .unwrap();
         let mut bytes = proof.to_bytes();
         bytes[50] ^= 0x10;
         if let Some(bad) = Proof::from_bytes(&bytes) {

@@ -165,10 +165,16 @@ impl Circuit for MergeCircuit {
     fn check(&self, public: &PublicInputs, w: &MergeWitness) -> Result<(), Unsatisfied> {
         let (from, to) = expect_states(public)?;
         if w.left.from != from {
-            return Err(Unsatisfied::new("merge/left-from", "left proof does not start at s_i"));
+            return Err(Unsatisfied::new(
+                "merge/left-from",
+                "left proof does not start at s_i",
+            ));
         }
         if w.right.to != to {
-            return Err(Unsatisfied::new("merge/right-to", "right proof does not end at s_j"));
+            return Err(Unsatisfied::new(
+                "merge/right-to",
+                "right proof does not end at s_j",
+            ));
         }
         if w.left.to != w.right.from {
             return Err(Unsatisfied::new(
@@ -177,10 +183,16 @@ impl Circuit for MergeCircuit {
             ));
         }
         if !verify_state_proof(&self.base_vk, &self.merge_vk, &w.left) {
-            return Err(Unsatisfied::new("merge/left-proof", "left child proof invalid"));
+            return Err(Unsatisfied::new(
+                "merge/left-proof",
+                "left child proof invalid",
+            ));
         }
         if !verify_state_proof(&self.base_vk, &self.merge_vk, &w.right) {
-            return Err(Unsatisfied::new("merge/right-proof", "right child proof invalid"));
+            return Err(Unsatisfied::new(
+                "merge/right-proof",
+                "right child proof invalid",
+            ));
         }
         Ok(())
     }
@@ -220,8 +232,7 @@ impl<V: TransitionVerifier> RecursiveSystem<V> {
         let (base_pk, base_vk) = setup(&base_circuit, rng);
         // Merge keys depend only on the circuit id, so they can be minted
         // before the circuit object (which embeds the vk) exists.
-        let (merge_pk, merge_vk) =
-            setup(&IdOnly(merge_circuit_id(&verifier.id())), rng);
+        let (merge_pk, merge_vk) = setup(&IdOnly(merge_circuit_id(&verifier.id())), rng);
         RecursiveSystem {
             verifier,
             base_pk,

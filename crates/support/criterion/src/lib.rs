@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface this workspace's benches use — groups,
+//! `bench_function`/`bench_with_input`, `iter`/`iter_batched`,
+//! `Throughput`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — over a deliberately
+//! small measurement core: a fixed warm-up iteration followed by a
+//! capped sample loop, reporting mean wall-clock time per iteration.
+//! No statistical analysis, HTML reports or outlier rejection.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (re-exported std hint).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How a benchmark's throughput is reported.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on:
+/// the stand-in always runs setup once per measured iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function[/parameter]`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with an explicit function name and parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying only the parameter (the group supplies context).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher {
+    samples: u64,
+    /// Mean time per iteration of the measured routine.
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        }
+    }
+
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up, then the sample loop.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = self.samples;
+    }
+
+    /// Measures `routine` over fresh inputs produced by `setup`;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iterations = self.samples;
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.iterations == 0 {
+            println!("{label:<50} (not measured)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() / u128::from(self.iterations);
+        let rate = throughput.map(|t| match t {
+            Throughput::Bytes(n) => format!(
+                " ({:.1} MiB/s)",
+                (n as f64 * self.iterations as f64)
+                    / (self.elapsed.as_secs_f64() * 1024.0 * 1024.0)
+            ),
+            Throughput::Elements(n) => format!(
+                " ({:.0} elem/s)",
+                (n as f64 * self.iterations as f64) / self.elapsed.as_secs_f64()
+            ),
+        });
+        println!(
+            "{label:<50} {:>12} ns/iter{}",
+            per_iter,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).clamp(1, self.criterion.max_samples);
+        self
+    }
+
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&label, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&label, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    max_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep the offline harness quick: benches exist to exercise the
+        // hot paths and print indicative numbers, not to run a full
+        // statistical campaign.
+        Criterion { max_samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.max_samples;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.max_samples);
+        f(&mut bencher);
+        bencher.report(name, None);
+        self
+    }
+}
+
+/// Declares a benchmark group function compatible with
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

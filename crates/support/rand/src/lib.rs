@@ -1,0 +1,137 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides exactly the surface this workspace consumes: the
+//! [`RngCore`]/[`Rng`] traits with `fill`, [`SeedableRng`] with
+//! `seed_from_u64`, a deterministic [`rngs::StdRng`]
+//! (SplitMix64-based) and a process-unique [`thread_rng`]. This is a
+//! non-cryptographic generator: the workspace only uses it for test
+//! vectors, key-generation *inputs* in examples, and simulation
+//! randomness — never as a protocol security primitive.
+
+/// Core random-number-generation operations.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Convenience extensions over [`RngCore`] (blanket-implemented).
+pub trait Rng: RngCore {
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+
+    /// A uniformly random value in `[low, high)`.
+    fn gen_range(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low < high, "gen_range requires low < high");
+        low + self.next_u64() % (high - low)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic SplitMix64 generator (stand-in for rand's
+    /// `StdRng`; NOT cryptographically secure).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+/// The generator returned by [`thread_rng`].
+#[derive(Clone, Debug)]
+pub struct ThreadRng(rngs::StdRng);
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A process-local generator seeded once per call from a global
+/// counter mixed with the process start time.
+pub fn thread_rng() -> ThreadRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0x5eed_5eed_5eed_5eed);
+    let n = COUNTER.fetch_add(0x9e37_79b9, Ordering::Relaxed);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    ThreadRng(<rngs::StdRng as SeedableRng>::seed_from_u64(n ^ t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        let mut c = rngs::StdRng::seed_from_u64(8);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fill_covers_non_multiple_lengths() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = rng.gen_range(5, 10);
+            assert!((5..10).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace builds without network access, so the real crates.io
+//! `serde` stack is unavailable. Nothing in this repository performs
+//! actual serialization through serde (all wire formats go through the
+//! in-repo `Encode` trait); the derives exist so type definitions keep
+//! their familiar `#[derive(Serialize, Deserialize)]` shape. These
+//! derives therefore expand to nothing: the types simply do not get
+//! serde impls, and no code requires them to.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]`
+/// helper attributes such as `#[serde(bound(...))]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts (and ignores) `#[serde(...)]`
+/// helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -45,7 +45,7 @@ fn main() {
     // Alice still holds her UTXO and the last certified state is public:
     // she builds a CSW against the epoch-0 certificate.
     let alice = world.user("alice").unwrap().clone();
-    let utxo = world.node.utxos_of(&alice.sc_address())[0];
+    let utxo = world.node().utxos_of(&alice.sc_address())[0];
     println!(
         "\nalice's stranded utxo: {} coins at nullifier {:?}",
         utxo.amount,
@@ -54,7 +54,7 @@ fn main() {
 
     let rescue_addr = Address::from_label("alice-rescue");
     let csw = world
-        .node
+        .node()
         .create_csw(0, &utxo, &alice.sc_keys.secret, rescue_addr)
         .unwrap();
     world.queue_mc_tx(McTransaction::Csw(Box::new(csw.clone())));

@@ -139,7 +139,10 @@ fn main() {
     let entry = chain.state().registry.get(&sid).unwrap();
     println!("\nfinal state:");
     println!("  sidechain balance (safeguard) = {}", entry.balance);
-    println!("  certificates accepted          = {}", entry.certificates.len());
+    println!(
+        "  certificates accepted          = {}",
+        entry.certificates.len()
+    );
     println!(
         "  alice MC balance               = {}",
         chain.state().utxos.balance_of(&alice_mc.address())

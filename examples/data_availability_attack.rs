@@ -25,7 +25,7 @@ fn main() {
     world.queue_forward_transfer("alice", 4_200).unwrap();
     world.run_epochs(1).unwrap();
     let alice = world.user("alice").unwrap().clone();
-    let utxo = world.node.utxos_of(&alice.sc_address())[0];
+    let utxo = world.node().utxos_of(&alice.sc_address())[0];
     println!(
         "epoch 0 certified publicly; alice's utxo ({} coins) is in the committed MST",
         utxo.amount
@@ -52,7 +52,7 @@ fn main() {
     //   * the epoch-1 and epoch-2 certificates' deltas.
     let mut deltas = BTreeMap::new();
     for epoch in 1u32..=2 {
-        let delta = world.node.epoch_delta(epoch).unwrap().clone();
+        let delta = world.node().epoch_delta(epoch).unwrap().clone();
         println!(
             "epoch {epoch} delta: {} touched slot(s); alice's slot touched: {}",
             delta.count(),
@@ -63,16 +63,14 @@ fn main() {
 
     let rescue = Address::from_label("alice-survives");
     let csw = world
-        .node
+        .node()
         .create_historical_csw(0, 2, &utxo, &alice.sc_keys.secret, rescue, &deltas)
         .unwrap();
     world.queue_mc_tx(McTransaction::Csw(Box::new(csw)));
     world.step().unwrap();
 
     let recovered = world.chain.state().utxos.balance_of(&rescue);
-    println!(
-        "\nhistorical CSW accepted: {recovered} coins recovered without the withheld state"
-    );
+    println!("\nhistorical CSW accepted: {recovered} coins recovered without the withheld state");
     assert_eq!(recovered.units(), 4_200);
     assert!(world.conservation_holds());
     println!("conservation audit: OK");

@@ -28,14 +28,13 @@ fn main() {
         .iter()
         .map(|(name, _)| (*name, Keypair::from_seed(name.as_bytes())))
         .collect();
-    let distribution = StakeDistribution::from_entries(
-        keys.iter().zip(&stakes).map(|((_, kp), (_, stake))| {
+    let distribution =
+        StakeDistribution::from_entries(keys.iter().zip(&stakes).map(|((_, kp), (_, stake))| {
             (
                 Address::from_public_key(&kp.public),
                 Amount::from_units(*stake),
             )
-        }),
-    );
+        }));
 
     let params = ConsensusParams {
         slots_per_epoch: 500,
@@ -51,7 +50,10 @@ fn main() {
     println!("thresholds φ_f(α) = 1 − (1 − f)^α:");
     for (name, kp) in &keys {
         let alpha = distribution.relative_stake(&Address::from_public_key(&kp.public));
-        println!("  {name:6} α = {alpha:.2}  φ = {:.4}", params.threshold(alpha));
+        println!(
+            "  {name:6} α = {alpha:.2}  φ = {:.4}",
+            params.threshold(alpha)
+        );
     }
 
     // Run the lottery over two consensus epochs (1000 slots).
@@ -64,7 +66,12 @@ fn main() {
         for (i, (_, kp)) in keys.iter().enumerate() {
             if let Some(claim) = try_lead_slot(&params, &distribution, &kp.secret, slot) {
                 // Every claim must verify publicly.
-                assert!(verify_leadership(&params, &distribution, &kp.public, &claim));
+                assert!(verify_leadership(
+                    &params,
+                    &distribution,
+                    &kp.public,
+                    &claim
+                ));
                 verified += 1;
                 counts[i] += 1;
                 any = true;

@@ -41,7 +41,10 @@ fn main() {
     for (i, u) in utxos.iter().enumerate() {
         let tx = ScTransaction::Payment(PaymentTx::create(
             vec![(*u, &alice.secret)],
-            vec![(Address::from_label(&format!("merchant-{i}")), Amount::from_units(100))],
+            vec![(
+                Address::from_label(&format!("merchant-{i}")),
+                Amount::from_units(100),
+            )],
         ));
         let w = apply_transaction(&params, &mut state, &tx).unwrap();
         witnesses.push(w);

@@ -44,7 +44,7 @@ fn main() {
     let alice = world.user("alice").unwrap().clone();
     println!(
         "alice's sidechain balance = {}",
-        world.node.balance_of(&alice.sc_address())
+        world.node().balance_of(&alice.sc_address())
     );
 
     // She withdraws 4 000 back to the mainchain.
@@ -52,12 +52,8 @@ fn main() {
     world.run_epochs(2).unwrap();
     println!(
         "after withdrawal + maturity: alice MC balance = {}, SC balance = {}",
-        world
-            .chain
-            .state()
-            .utxos
-            .balance_of(&alice.mc_address()),
-        world.node.balance_of(&alice.sc_address()),
+        world.chain.state().utxos.balance_of(&alice.mc_address()),
+        world.node().balance_of(&alice.sc_address()),
     );
 
     assert!(world.conservation_holds());

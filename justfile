@@ -1,0 +1,42 @@
+# Zendoo reproduction — developer tasks.
+#
+# `just ci` is the gate: formatting, lints on the crates that are kept
+# warning-clean, and the tier-1 test suite.
+
+# Default: list recipes.
+default:
+    @just --list
+
+# Full CI gate: format check, clippy on the newer crates, tier-1 tests.
+ci: fmt-check clippy test
+
+# Formatting check (whole workspace).
+fmt-check:
+    cargo fmt --check
+
+# Apply formatting.
+fmt:
+    cargo fmt
+
+# Lints, warnings-as-errors, on the crates introduced/refactored since
+# the seed (the seed crates carry pre-existing style noise; --no-deps
+# keeps the gate scoped to these two).
+clippy:
+    cargo clippy -p zendoo-crosschain -p zendoo-sim --all-targets --no-deps -- -D warnings
+
+# Tier-1 verification (must stay green).
+test:
+    cargo build --release
+    cargo test -q
+
+# Benchmarks (criterion stand-in prints ns/iter).
+bench:
+    cargo bench -p zendoo-bench
+
+# Just the cross-chain routing hot-path bench.
+bench-crosschain:
+    cargo bench -p zendoo-bench --bench crosschain_routing
+
+# Run the cross-sidechain swap example end to end.
+demo:
+    cargo run --release --example cross_sidechain_swap

@@ -17,7 +17,9 @@
 //! * [`latus`] — the Latus verifiable sidechain (§5): PoS consensus
 //!   bound to the mainchain, MST accounting, recursive epoch proofs,
 //!   certificate/BTR/CSW circuits;
-//! * [`sim`] — the deterministic two-chain scenario simulator.
+//! * [`crosschain`] — sidechain→sidechain transfers routed through the
+//!   mainchain (escrowed certificate declarations + delivery router);
+//! * [`sim`] — the deterministic multi-sidechain scenario simulator.
 //!
 //! # Examples
 //!
@@ -26,6 +28,7 @@
 //! ```text
 //! cargo run --example quickstart
 //! cargo run --example cross_chain_lifecycle
+//! cargo run --example cross_sidechain_swap
 //! cargo run --example ceased_sidechain
 //! cargo run --example data_availability_attack
 //! cargo run --example latus_consensus
@@ -46,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub use zendoo_core as core;
+pub use zendoo_crosschain as crosschain;
 pub use zendoo_latus as latus;
 pub use zendoo_mainchain as mainchain;
 pub use zendoo_primitives as primitives;

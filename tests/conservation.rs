@@ -1,11 +1,13 @@
 //! E10 — property-based conservation and safeguard auditing: under
 //! random interleavings of forward transfers, sidechain payments,
-//! withdrawals and epoch boundaries, (1) no coins are created or
-//! destroyed across the two chains, and (2) no sidechain ever withdraws
-//! more than was forwarded to it.
+//! withdrawals, cross-sidechain transfers and epoch boundaries, (1) no
+//! coins are created or destroyed across any chain, and (2) no
+//! sidechain ever withdraws more than was forwarded to it.
 
 use proptest::prelude::*;
 use zendoo::sim::{Action, Schedule, SimConfig, World};
+
+const N_SIDECHAINS: usize = 3;
 
 /// One randomly generated scripted action.
 fn action_strategy() -> impl Strategy<Value = Action> {
@@ -40,11 +42,97 @@ proptest! {
         // (2) Safeguard: the sidechain balance tracked by the MC equals
         // SC-side value plus not-yet-matured withdrawals.
         let mc_view = world.sidechain_balance();
-        let sc_value = world.node.state().total_value();
+        let sc_value = world.node().state().total_value();
         prop_assert!(
             sc_value <= mc_view,
             "sidechain holds more value ({sc_value}) than the MC safeguard ({mc_view})"
         );
+    }
+}
+
+/// One randomly generated action over `N_SIDECHAINS` concurrent
+/// sidechains, including cross-chain hops between random pairs.
+fn multi_action_strategy() -> impl Strategy<Value = Action> {
+    let user = prop_oneof![
+        (0u8..1).prop_map(|_| "alice".to_string()),
+        (0u8..1).prop_map(|_| "bob".to_string()),
+    ];
+    prop_oneof![
+        (0usize..N_SIDECHAINS, user.prop_map(|u| u), 1u64..5_000)
+            .prop_map(|(sc, u, amount)| Action::ForwardTransferTo(sc, u, amount)),
+        (0usize..N_SIDECHAINS, 1u64..3_000)
+            .prop_map(|(sc, amount)| { Action::ScPayOn(sc, "alice".into(), "bob".into(), amount) }),
+        (0usize..N_SIDECHAINS, 1u64..3_000)
+            .prop_map(|(sc, amount)| { Action::ScPayOn(sc, "bob".into(), "alice".into(), amount) }),
+        (0usize..N_SIDECHAINS, 1u64..2_000).prop_map(|(sc, amount)| Action::ScWithdrawOn(
+            sc,
+            "alice".into(),
+            amount
+        )),
+        (0usize..N_SIDECHAINS, 1u64..2_000).prop_map(|(sc, amount)| Action::ScWithdrawOn(
+            sc,
+            "bob".into(),
+            amount
+        )),
+        (0usize..N_SIDECHAINS, 0usize..N_SIDECHAINS, 1u64..2_500)
+            .prop_map(|(from, to, amount)| Action::CrossTransfer(from, to, "alice".into(), amount)),
+        (0usize..N_SIDECHAINS, 0usize..N_SIDECHAINS, 1u64..2_500)
+            .prop_map(|(from, to, amount)| Action::CrossTransfer(from, to, "bob".into(), amount)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn global_conservation_across_n_sidechains(
+        actions in proptest::collection::vec((0u64..20, multi_action_strategy()), 0..14)
+    ) {
+        let mut schedule = Schedule::new();
+        for (tick, action) in actions {
+            schedule = schedule.at(tick, action);
+        }
+        let mut world = World::new(SimConfig::with_sidechains(N_SIDECHAINS));
+        // 26 ticks ≈ 4 withdrawal epochs: enough for cross-chain escrows
+        // to mature and deliver. Failures (overdrafts, self-directed
+        // cross transfers) are tolerated and counted as rejections.
+        schedule.run(&mut world, 26).unwrap();
+
+        // (1) Global conservation across the mainchain and every
+        // sidechain, with cross-chain value possibly in escrow.
+        prop_assert!(world.conservation_holds(), "conservation violated");
+
+        // (2) Per-sidechain safeguard.
+        prop_assert!(world.safeguards_hold(), "a sidechain outran its safeguard");
+
+        // (3) Transfer accounting: every initiated transfer is either
+        // settled (delivered/refunded/rejected), queued in the router
+        // awaiting maturity, or still undeclared on its source node —
+        // nothing is silently dropped. (Exact only while no certificate
+        // was rejected; a rejected certificate takes its declarations
+        // with it.)
+        let initiated = world.metrics.cross_transfers_initiated;
+        let settled = world.metrics.cross_transfers_delivered
+            + world.metrics.cross_transfers_refunded
+            + world.metrics.cross_transfers_rejected;
+        let undeclared: u64 = world
+            .sidechain_ids()
+            .to_vec()
+            .iter()
+            .map(|id| world.node_of(id).unwrap().pending_cross_transfers().len() as u64)
+            .sum();
+        if world.metrics.certificates_rejected == 0 {
+            prop_assert_eq!(
+                settled + world.router.pending_count() as u64 + undeclared,
+                initiated,
+                "router accounting leak: settled {} + queued {} + undeclared {} != initiated {}",
+                settled,
+                world.router.pending_count(),
+                undeclared,
+                initiated
+            );
+        } else {
+            prop_assert!(settled <= initiated, "router settled more than initiated");
+        }
     }
 }
 

@@ -42,10 +42,16 @@ impl Circuit for CentralizedCircuit {
     fn check(&self, public: &PublicInputs, sig: &Signature) -> Result<(), Unsatisfied> {
         use zendoo::primitives::encode::Encode;
         let msg = Digest32::hash_tagged("test/centralized-stmt", &[&public.encoded()]);
-        if self.authority.verify("test/centralized", msg.as_bytes(), sig) {
+        if self
+            .authority
+            .verify("test/centralized", msg.as_bytes(), sig)
+        {
             Ok(())
         } else {
-            Err(Unsatisfied::new("centralized/sig", "authority signature invalid"))
+            Err(Unsatisfied::new(
+                "centralized/sig",
+                "authority signature invalid",
+            ))
         }
     }
 }
@@ -57,9 +63,13 @@ struct Harness {
 }
 
 impl Harness {
-    fn mine(&mut self, txs: Vec<McTransaction>) -> Result<zendoo::mainchain::Block, zendoo::mainchain::BlockError> {
+    fn mine(
+        &mut self,
+        txs: Vec<McTransaction>,
+    ) -> Result<zendoo::mainchain::Block, zendoo::mainchain::BlockError> {
         self.time += 1;
-        self.chain.mine_next_block(self.miner.address(), txs, self.time)
+        self.chain
+            .mine_next_block(self.miner.address(), txs, self.time)
     }
 }
 
@@ -68,9 +78,7 @@ fn sysdata_for(
     schedule: &EpochSchedule,
     cert: &WithdrawalCertificate,
 ) -> WcertSysData {
-    let prev_end = chain
-        .hash_at_height(schedule.start_block() - 1)
-        .unwrap();
+    let prev_end = chain.hash_at_height(schedule.start_block() - 1).unwrap();
     let epoch_end = chain
         .hash_at_height(schedule.epoch_last_height(cert.epoch_id))
         .unwrap();
@@ -117,8 +125,7 @@ fn three_trust_models_one_verifier() {
     let certifier_keys: Vec<Keypair> = (0..5)
         .map(|i| Keypair::from_seed(format!("certifier-{i}").as_bytes()))
         .collect();
-    let committee =
-        CertifierCommittee::new(certifier_keys.iter().map(|k| k.public).collect(), 3);
+    let committee = CertifierCommittee::new(certifier_keys.iter().map(|k| k.public).collect(), 3);
     let committee_circuit = CertifierCircuit::new(committee.clone());
     let (committee_pk, committee_vk) = setup_deterministic(&committee_circuit, b"committee");
     let committee_id = SidechainId::from_label("committee-sc");
@@ -188,7 +195,8 @@ fn three_trust_models_one_verifier() {
     let endorsements: Vec<Endorsement> = (0..3)
         .map(|i| committee.endorse(i, &certifier_keys[i].secret, &public))
         .collect();
-    committee_cert.proof = prove(&committee_pk, &committee_circuit, &public, &endorsements).unwrap();
+    committee_cert.proof =
+        prove(&committee_pk, &committee_circuit, &public, &endorsements).unwrap();
 
     // C: the Latus recursive proof.
     let latus_cert = latus_node.produce_certificate().unwrap();
@@ -206,7 +214,11 @@ fn three_trust_models_one_verifier() {
 
     for sid in [central_id, committee_id, latus_id] {
         let entry = h.chain.state().registry.get(&sid).unwrap();
-        assert_eq!(entry.certificates.len(), 1, "certificate accepted for {sid}");
+        assert_eq!(
+            entry.certificates.len(),
+            1,
+            "certificate accepted for {sid}"
+        );
     }
 }
 
