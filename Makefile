@@ -1,7 +1,7 @@
 # Zendoo reproduction — make mirror of the justfile (the container may
 # not have `just` installed).
 
-.PHONY: ci fmt-check clippy test bench demo
+.PHONY: ci fmt-check clippy test bench bench-smoke demo
 
 ci: fmt-check clippy test
 
@@ -9,7 +9,7 @@ fmt-check:
 	cargo fmt --check
 
 clippy:
-	cargo clippy -p zendoo-crosschain -p zendoo-sim --all-targets --no-deps -- -D warnings
+	cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain --all-targets --no-deps -- -D warnings
 
 test:
 	cargo build --release
@@ -17,6 +17,11 @@ test:
 
 bench:
 	cargo bench -p zendoo-bench
+
+bench-smoke:
+	cargo bench -p zendoo-bench --bench crosschain_routing
+	cargo bench -p zendoo-bench --bench cert_pipeline
+	cargo bench -p zendoo-bench --bench settlement
 
 demo:
 	cargo run --release --example cross_sidechain_swap

@@ -1,0 +1,123 @@
+//! Windowed batch settlement: the router groups every matured escrow
+//! of a `(source, epoch)` window into one multi-input transaction per
+//! destination instead of one transaction per transfer.
+//!
+//! Shape to reproduce: `collect_deliveries` cost is linear in the
+//! matured transfer count; the settlement transaction count per window
+//! equals the destination count `k`, not the transfer count `n`.
+//!
+//! Besides timing, this bench emits `BENCH_settlement.json` at the
+//! workspace root with the per-window transaction counts before
+//! (`txs_per_transfer` — the pre-batching router issued one tx per
+//! transfer) and after batching, as measured on a real simulated
+//! window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zendoo_sim::{SimConfig, World};
+
+/// A world with one source and `dests` destination sidechains, with
+/// `transfers` cross-chain transfers queued out of the source in epoch
+/// 0 (round-robin over the destinations), advanced to the step just
+/// before the window matures.
+fn world_before_settlement(dests: usize, transfers: usize) -> World {
+    // One transfer is queued per tick; the epoch must be long enough
+    // for all of them to escrow inside window 0.
+    let config = SimConfig {
+        epoch_len: transfers as u32 + 6,
+        ..SimConfig::with_sidechains(dests + 1)
+    };
+    let mut world = World::new(config);
+    let ids = world.sidechain_ids().to_vec();
+    world
+        .queue_forward_transfer_on(&ids[0], "alice", 500_000)
+        .unwrap();
+    world.run(1).unwrap();
+    for i in 0..transfers {
+        let dest = ids[1 + (i % dests)];
+        world
+            .queue_cross_transfer(&ids[0], &dest, "alice", 1_000 + i as u64)
+            .unwrap();
+        world.run(1).unwrap();
+    }
+    // Advance until the queued window would settle on the next
+    // collection (probe with a snapshot; an immature collection is a
+    // no-op).
+    loop {
+        let snapshot = world.router.snapshot();
+        let txs = world.router.collect_deliveries(&world.chain);
+        if !txs.is_empty() {
+            world.router.restore(snapshot);
+            return world;
+        }
+        world.step().unwrap();
+    }
+}
+
+fn bench_collect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("settlement/collect_deliveries");
+    for (dests, transfers) in [(1usize, 4usize), (3, 6), (3, 12)] {
+        let mut world = world_before_settlement(dests, transfers);
+        let snapshot = world.router.snapshot();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{transfers}xct-{dests}dest")),
+            &(),
+            |b, ()| {
+                b.iter_batched(
+                    || snapshot.clone(),
+                    |snapshot| {
+                        world.router.restore(snapshot);
+                        world.router.collect_deliveries(&world.chain)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Runs one representative window to completion and writes the
+/// before/after settlement transaction counts as JSON.
+fn emit_settlement_report(c: &mut Criterion) {
+    let mut world = world_before_settlement(3, 6);
+    world.run(4).unwrap();
+    assert_eq!(world.metrics.cross_transfers_delivered, 6);
+
+    let mut windows = String::new();
+    let mut total_batched = 0usize;
+    let mut total_unbatched = 0usize;
+    for (i, record) in world.router.settlements().iter().enumerate() {
+        let batched = record.delivery_txs + record.refund_txs;
+        total_batched += batched;
+        total_unbatched += record.transfers;
+        if i > 0 {
+            windows.push(',');
+        }
+        windows.push_str(&format!(
+            "\n    {{\"source\": \"{}\", \"epoch\": {}, \"mc_height\": {}, \"transfers\": {}, \"delivery_txs\": {}, \"refund_txs\": {}, \"txs_per_transfer\": {}, \"txs_batched\": {}}}",
+            record.source,
+            record.epoch,
+            record.mc_height,
+            record.transfers,
+            record.delivery_txs,
+            record.refund_txs,
+            record.transfers,
+            batched,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"settlement\",\n  \"windows\": [{windows}\n  ],\n  \"total\": {{\"txs_before_batching\": {total_unbatched}, \"txs_after_batching\": {total_batched}, \"txs_saved\": {}}}\n}}\n",
+        total_unbatched - total_batched,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_settlement.json");
+    std::fs::write(path, &json).expect("write BENCH_settlement.json");
+    println!("settlement/report: {total_unbatched} txs/window unbatched -> {total_batched} batched (BENCH_settlement.json)");
+
+    // Keep criterion's harness shape: time the metrics fold.
+    c.bench_function("settlement/report_fold", |b| {
+        b.iter(|| world.router.settlements().len())
+    });
+}
+
+criterion_group!(benches, bench_collect, emit_settlement_report);
+criterion_main!(benches);

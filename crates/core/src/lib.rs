@@ -32,6 +32,7 @@ pub mod crosschain;
 pub mod epoch;
 pub mod ids;
 pub mod proofdata;
+pub mod settlement;
 pub mod transfer;
 pub mod verifier;
 pub mod withdrawal;
@@ -42,5 +43,6 @@ pub use config::{SidechainConfig, SidechainConfigBuilder};
 pub use crosschain::{CrossChainReceipt, CrossChainTransfer};
 pub use epoch::EpochSchedule;
 pub use ids::{Address, Amount, EpochId, Nullifier, Quality, SidechainId};
+pub use settlement::{SettlementBatch, SettlementError};
 pub use transfer::{BackwardTransfer, ForwardTransfer};
 pub use withdrawal::{BackwardTransferRequest, CeasedSidechainWithdrawal};

@@ -1,0 +1,539 @@
+//! Windowed batch settlement of matured cross-chain transfers.
+//!
+//! One maturity window of a source sidechain can release many escrowed
+//! cross-chain transfers at once. Instead of one mainchain transaction
+//! per transfer, the router aggregates every matured transfer of a
+//! window bound for the same destination into a single
+//! [`SettlementBatch`]: one multi-input mainchain transaction spending
+//! all of that destination's escrow UTXOs into **one** forward transfer
+//! whose receiver metadata carries the per-receiver breakdown.
+//!
+//! The batch is self-authenticating: its metadata embeds a
+//! [`SettlementBatch::commitment`] over `(source, epoch, dest,
+//! transfers)`. The mainchain recomputes the commitment when it applies
+//! the settlement transaction and checks the batch against the escrow
+//! UTXOs the transaction consumes ([`validate_settlement`]) — a forged
+//! or tampered batch invalidates the whole block. The destination
+//! sidechain decodes the same metadata to mint one UTXO per entry.
+
+use zendoo_primitives::digest::Digest32;
+use zendoo_primitives::encode::Encode;
+
+use crate::crosschain::{CrossChainTransfer, XCT_WIRE_LEN};
+use crate::ids::{Amount, EpochId, SidechainId};
+use crate::transfer::ForwardTransfer;
+
+/// Version tag prefixing aggregated settlement receiver metadata. A
+/// forward transfer whose metadata starts with this magic is a batched
+/// cross-chain settlement.
+pub const XSB_MAGIC: &[u8; 5] = b"XSBv1";
+
+/// Fixed-size header of encoded settlement metadata:
+/// `magic ‖ source ‖ epoch(u32) ‖ dest ‖ commitment ‖ count(u32)`.
+pub const XSB_HEADER_LEN: usize = XSB_MAGIC.len() + 32 + 4 + 32 + 32 + 4;
+
+/// All matured transfers of one maturity window `(source, epoch)` bound
+/// for one destination sidechain, settled by a single mainchain
+/// transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SettlementBatch {
+    /// The sidechain whose certificate escrowed the transfers.
+    pub source: SidechainId,
+    /// The withdrawal epoch whose window matured.
+    pub epoch: EpochId,
+    /// The destination sidechain all entries are bound for.
+    pub dest: SidechainId,
+    /// The aggregated transfers, in escrow (BT-list) order.
+    pub transfers: Vec<CrossChainTransfer>,
+}
+
+/// Why a settlement batch (or the transaction carrying it) is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SettlementError {
+    /// The metadata bytes do not decode as a settlement batch.
+    Malformed,
+    /// The embedded commitment does not match the batch contents.
+    ForgedCommitment {
+        /// The commitment the metadata claims.
+        claimed: Digest32,
+        /// The commitment recomputed from the entries.
+        actual: Digest32,
+    },
+    /// The batch declares no transfers.
+    Empty,
+    /// An entry's destination differs from the batch destination.
+    DestMismatch {
+        /// Index of the offending entry.
+        index: usize,
+    },
+    /// An entry's source differs from the batch source.
+    SourceMismatch {
+        /// Index of the offending entry.
+        index: usize,
+    },
+    /// An entry's nullifier does not match its fields.
+    BadNullifier {
+        /// Index of the offending entry.
+        index: usize,
+    },
+    /// The forward transfer's amount differs from the entry total.
+    AmountMismatch {
+        /// Value of the carrying forward transfer.
+        carried: Amount,
+        /// Sum of the batch entries.
+        declared: Amount,
+    },
+    /// The forward transfer carrying the batch targets a different
+    /// sidechain than the batch destination.
+    CarrierMismatch {
+        /// Sidechain the forward transfer pays into.
+        carried: SidechainId,
+        /// Destination the batch declares.
+        batch: SidechainId,
+    },
+    /// A settlement transaction spent a non-escrow input.
+    NonEscrowInput {
+        /// Index of the offending input.
+        input: usize,
+    },
+    /// The consumed escrow value differs from the settled value.
+    EscrowImbalance {
+        /// Total escrow value consumed.
+        consumed: Amount,
+        /// Total value settled by the outputs.
+        settled: Amount,
+    },
+    /// Amount arithmetic overflowed (adversarial input).
+    AmountOverflow,
+}
+
+impl std::fmt::Display for SettlementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SettlementError::Malformed => write!(f, "settlement metadata undecodable"),
+            SettlementError::ForgedCommitment { claimed, actual } => write!(
+                f,
+                "settlement commitment forged: claimed {claimed}, recomputed {actual}"
+            ),
+            SettlementError::Empty => write!(f, "settlement batch declares no transfers"),
+            SettlementError::DestMismatch { index } => {
+                write!(f, "entry {index} names a different destination")
+            }
+            SettlementError::SourceMismatch { index } => {
+                write!(f, "entry {index} names a different source")
+            }
+            SettlementError::BadNullifier { index } => {
+                write!(f, "entry {index} nullifier does not match its fields")
+            }
+            SettlementError::AmountMismatch { carried, declared } => write!(
+                f,
+                "forward transfer carries {carried} but entries sum to {declared}"
+            ),
+            SettlementError::CarrierMismatch { carried, batch } => write!(
+                f,
+                "forward transfer targets {carried} but the batch declares {batch}"
+            ),
+            SettlementError::NonEscrowInput { input } => {
+                write!(f, "settlement spends non-escrow input {input}")
+            }
+            SettlementError::EscrowImbalance { consumed, settled } => write!(
+                f,
+                "settlement consumes {consumed} of escrow but settles {settled}"
+            ),
+            SettlementError::AmountOverflow => write!(f, "amount arithmetic overflow"),
+        }
+    }
+}
+
+impl std::error::Error for SettlementError {}
+
+impl SettlementBatch {
+    /// Builds a batch, asserting nothing — call
+    /// [`SettlementBatch::validate`] (or decode round-trip) for the
+    /// structural rules.
+    pub fn new(
+        source: SidechainId,
+        epoch: EpochId,
+        dest: SidechainId,
+        transfers: Vec<CrossChainTransfer>,
+    ) -> Self {
+        SettlementBatch {
+            source,
+            epoch,
+            dest,
+            transfers,
+        }
+    }
+
+    /// Total value settled by the batch (`None` on overflow).
+    pub fn total_amount(&self) -> Option<Amount> {
+        Amount::checked_sum(self.transfers.iter().map(|t| t.amount))
+    }
+
+    /// The binding commitment over `(source, epoch, dest, transfers)`.
+    pub fn commitment(&self) -> Digest32 {
+        let mut entries = Vec::with_capacity(self.transfers.len() * XCT_WIRE_LEN);
+        for xct in &self.transfers {
+            xct.encode_into(&mut entries);
+        }
+        Digest32::hash_tagged(
+            "zendoo/settlement-batch",
+            &[
+                self.source.0.as_bytes(),
+                &self.epoch.to_be_bytes(),
+                self.dest.0.as_bytes(),
+                &entries,
+            ],
+        )
+    }
+
+    /// Structural validity: non-empty, uniform source/destination and
+    /// consistent nullifiers.
+    ///
+    /// # Errors
+    ///
+    /// [`SettlementError`] naming the violated rule.
+    pub fn validate(&self) -> Result<(), SettlementError> {
+        if self.transfers.is_empty() {
+            return Err(SettlementError::Empty);
+        }
+        for (index, xct) in self.transfers.iter().enumerate() {
+            if xct.dest != self.dest {
+                return Err(SettlementError::DestMismatch { index });
+            }
+            if xct.source != self.source {
+                return Err(SettlementError::SourceMismatch { index });
+            }
+            if !xct.nullifier_consistent() {
+                return Err(SettlementError::BadNullifier { index });
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes the batch as forward-transfer receiver metadata:
+    /// `XSB_MAGIC ‖ source ‖ epoch ‖ dest ‖ commitment ‖ count ‖
+    /// entries` (entries in [`CrossChainTransfer`] wire form).
+    pub fn receiver_metadata(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(XSB_HEADER_LEN + self.transfers.len() * XCT_WIRE_LEN);
+        out.extend_from_slice(XSB_MAGIC);
+        out.extend_from_slice(self.source.0.as_bytes());
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(self.dest.0.as_bytes());
+        out.extend_from_slice(self.commitment().as_bytes());
+        out.extend_from_slice(&(self.transfers.len() as u32).to_be_bytes());
+        for xct in &self.transfers {
+            xct.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// The forward transfer settling this batch on the mainchain.
+    pub fn forward_transfer(&self) -> Option<ForwardTransfer> {
+        Some(ForwardTransfer {
+            sidechain_id: self.dest,
+            receiver_metadata: self.receiver_metadata(),
+            amount: self.total_amount()?,
+        })
+    }
+}
+
+/// Decodes settlement receiver metadata. `None` when `bytes` does not
+/// start with [`XSB_MAGIC`] (the metadata is not a settlement);
+/// `Some(Err)` when it claims to be one but is malformed, forged, or
+/// structurally invalid. `Some(Ok)` implies the embedded commitment
+/// matched and [`SettlementBatch::validate`] passed.
+pub fn decode_settlement_metadata(
+    bytes: &[u8],
+) -> Option<Result<SettlementBatch, SettlementError>> {
+    if bytes.len() < XSB_MAGIC.len() || &bytes[..XSB_MAGIC.len()] != XSB_MAGIC {
+        return None;
+    }
+    Some(decode_tagged(bytes))
+}
+
+fn decode_tagged(bytes: &[u8]) -> Result<SettlementBatch, SettlementError> {
+    if bytes.len() < XSB_HEADER_LEN {
+        return Err(SettlementError::Malformed);
+    }
+    let body = &bytes[XSB_MAGIC.len()..];
+    let word = |offset: usize| -> Digest32 {
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&body[offset..offset + 32]);
+        Digest32(out)
+    };
+    let source = SidechainId(word(0));
+    let epoch = EpochId::from_be_bytes([body[32], body[33], body[34], body[35]]);
+    let dest = SidechainId(word(36));
+    let claimed = word(68);
+    let count = u32::from_be_bytes([body[100], body[101], body[102], body[103]]) as usize;
+    let entries = &body[104..];
+    if entries.len() != count * XCT_WIRE_LEN {
+        return Err(SettlementError::Malformed);
+    }
+    // Entries reuse the declared-list wire form via the XCT codec.
+    let mut encoded = crate::crosschain::XCT_MAGIC.to_vec();
+    encoded.extend_from_slice(&(count as u32).to_be_bytes());
+    encoded.extend_from_slice(entries);
+    let transfers = match crate::crosschain::decode_xct_list(&encoded) {
+        Some(Ok(transfers)) => transfers,
+        _ => return Err(SettlementError::Malformed),
+    };
+    let batch = SettlementBatch::new(source, epoch, dest, transfers);
+    let actual = batch.commitment();
+    if actual != claimed {
+        return Err(SettlementError::ForgedCommitment { claimed, actual });
+    }
+    batch.validate()?;
+    Ok(batch)
+}
+
+/// Classifies one forward-transfer output for settlement purposes:
+/// `Ok(None)` for a plain (non-settlement) transfer, `Ok(Some(batch))`
+/// for a well-formed batch whose total equals the carried amount and
+/// whose destination matches the carrying transfer, and `Err`
+/// otherwise. The single source of truth for the per-output settlement
+/// rule — both mempool admission and block application use it.
+///
+/// # Errors
+///
+/// [`SettlementError`] naming the violated rule.
+pub fn check_settlement_output(
+    ft: &ForwardTransfer,
+) -> Result<Option<SettlementBatch>, SettlementError> {
+    match decode_settlement_metadata(&ft.receiver_metadata) {
+        None => Ok(None),
+        Some(Err(e)) => Err(e),
+        Some(Ok(batch)) => {
+            let declared = batch
+                .total_amount()
+                .ok_or(SettlementError::AmountOverflow)?;
+            if declared != ft.amount {
+                return Err(SettlementError::AmountMismatch {
+                    carried: ft.amount,
+                    declared,
+                });
+            }
+            if batch.dest != ft.sidechain_id {
+                return Err(SettlementError::CarrierMismatch {
+                    carried: ft.sidechain_id,
+                    batch: batch.dest,
+                });
+            }
+            Ok(Some(batch))
+        }
+    }
+}
+
+/// Consensus check the mainchain applies to a settlement transaction:
+/// every consumed input must be an escrow UTXO, and the total escrow
+/// value consumed must equal the total value settled by the batches it
+/// carries (plus any same-window refund outputs in `refunded`). Each
+/// batch must additionally match its own forward transfer's amount —
+/// the caller checks that per output via
+/// [`SettlementBatch::total_amount`].
+///
+/// `consumed` lists the `(address, amount)` of every input the
+/// transaction spends.
+///
+/// # Errors
+///
+/// [`SettlementError`] naming the violated rule.
+pub fn validate_settlement(
+    consumed: &[(crate::ids::Address, Amount)],
+    settled: Amount,
+    refunded: Amount,
+) -> Result<(), SettlementError> {
+    let escrow = crate::crosschain::escrow_address();
+    for (input, (address, _)) in consumed.iter().enumerate() {
+        if *address != escrow {
+            return Err(SettlementError::NonEscrowInput { input });
+        }
+    }
+    let consumed_total = Amount::checked_sum(consumed.iter().map(|(_, amount)| *amount))
+        .ok_or(SettlementError::AmountOverflow)?;
+    let settled_total = settled
+        .checked_add(refunded)
+        .ok_or(SettlementError::AmountOverflow)?;
+    if consumed_total != settled_total {
+        return Err(SettlementError::EscrowImbalance {
+            consumed: consumed_total,
+            settled: settled_total,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crosschain::escrow_address;
+    use crate::ids::Address;
+
+    fn xct(nonce: u64, amount: u64) -> CrossChainTransfer {
+        CrossChainTransfer::new(
+            SidechainId::from_label("src"),
+            SidechainId::from_label("dst"),
+            Address::from_label(&format!("recv-{nonce}")),
+            Amount::from_units(amount),
+            nonce,
+            Address::from_label("payback"),
+        )
+    }
+
+    fn batch(n: usize) -> SettlementBatch {
+        SettlementBatch::new(
+            SidechainId::from_label("src"),
+            3,
+            SidechainId::from_label("dst"),
+            (0..n).map(|i| xct(i as u64, 100 + i as u64)).collect(),
+        )
+    }
+
+    #[test]
+    fn metadata_roundtrip() {
+        let b = batch(3);
+        let decoded = decode_settlement_metadata(&b.receiver_metadata())
+            .expect("tagged")
+            .expect("valid");
+        assert_eq!(decoded, b);
+        assert!(decode_settlement_metadata(b"not-a-batch").is_none());
+        // Classic 64-byte Latus metadata must not be mistaken for a batch.
+        assert!(decode_settlement_metadata(&[0u8; 64]).is_none());
+    }
+
+    #[test]
+    fn truncated_metadata_rejected() {
+        let mut bytes = batch(2).receiver_metadata();
+        bytes.pop();
+        assert_eq!(
+            decode_settlement_metadata(&bytes),
+            Some(Err(SettlementError::Malformed))
+        );
+    }
+
+    #[test]
+    fn forged_commitment_rejected() {
+        let b = batch(2);
+        let mut bytes = b.receiver_metadata();
+        // Tamper with one entry's amount (inside the entry region).
+        let tamper_at = XSB_HEADER_LEN + 96;
+        bytes[tamper_at] ^= 0x01;
+        assert!(matches!(
+            decode_settlement_metadata(&bytes),
+            Some(Err(SettlementError::ForgedCommitment { .. }))
+        ));
+        // Tampering with the commitment itself is equally fatal.
+        let mut bytes = b.receiver_metadata();
+        bytes[XSB_MAGIC.len() + 68] ^= 0x01;
+        assert!(matches!(
+            decode_settlement_metadata(&bytes),
+            Some(Err(SettlementError::ForgedCommitment { .. }))
+        ));
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let empty = SettlementBatch::new(
+            SidechainId::from_label("src"),
+            0,
+            SidechainId::from_label("dst"),
+            vec![],
+        );
+        assert_eq!(
+            decode_settlement_metadata(&empty.receiver_metadata()),
+            Some(Err(SettlementError::Empty))
+        );
+    }
+
+    #[test]
+    fn mixed_destination_rejected() {
+        let mut stray = xct(9, 50);
+        stray.dest = SidechainId::from_label("elsewhere");
+        stray.nullifier = stray.derive_nullifier();
+        let mut b = batch(1);
+        b.transfers.push(stray);
+        assert!(matches!(
+            decode_settlement_metadata(&b.receiver_metadata()),
+            Some(Err(SettlementError::DestMismatch { index: 1 }))
+        ));
+    }
+
+    #[test]
+    fn commitment_binds_window_and_entries() {
+        let a = batch(2);
+        let mut other_epoch = a.clone();
+        other_epoch.epoch = 4;
+        assert_ne!(a.commitment(), other_epoch.commitment());
+        let mut other_entries = a.clone();
+        other_entries.transfers[0].amount = Amount::from_units(1);
+        assert_ne!(a.commitment(), other_entries.commitment());
+    }
+
+    #[test]
+    fn settlement_inputs_must_be_escrow_and_balance() {
+        let escrow = escrow_address();
+        let consumed = vec![
+            (escrow, Amount::from_units(30)),
+            (escrow, Amount::from_units(70)),
+        ];
+        assert_eq!(
+            validate_settlement(&consumed, Amount::from_units(100), Amount::ZERO),
+            Ok(())
+        );
+        assert_eq!(
+            validate_settlement(&consumed, Amount::from_units(60), Amount::from_units(40)),
+            Ok(())
+        );
+        assert!(matches!(
+            validate_settlement(&consumed, Amount::from_units(99), Amount::ZERO),
+            Err(SettlementError::EscrowImbalance { .. })
+        ));
+        let mut with_stranger = consumed.clone();
+        with_stranger.push((Address::from_label("mallory"), Amount::from_units(1)));
+        assert!(matches!(
+            validate_settlement(&with_stranger, Amount::from_units(101), Amount::ZERO),
+            Err(SettlementError::NonEscrowInput { input: 2 })
+        ));
+    }
+
+    #[test]
+    fn check_settlement_output_enforces_carrier_rules() {
+        let b = batch(2);
+        let ft = b.forward_transfer().unwrap();
+        assert_eq!(check_settlement_output(&ft).unwrap(), Some(b.clone()));
+        // A plain FT is not a settlement.
+        let plain = ForwardTransfer {
+            sidechain_id: b.dest,
+            receiver_metadata: vec![0u8; 64],
+            amount: Amount::from_units(1),
+        };
+        assert_eq!(check_settlement_output(&plain), Ok(None));
+        // Amount skim.
+        let mut skimmed = b.forward_transfer().unwrap();
+        skimmed.amount = Amount::from_units(1);
+        assert!(matches!(
+            check_settlement_output(&skimmed),
+            Err(SettlementError::AmountMismatch { .. })
+        ));
+        // Carrier targets a different sidechain than the batch.
+        let mut misrouted = b.forward_transfer().unwrap();
+        misrouted.sidechain_id = SidechainId::from_label("elsewhere");
+        assert!(matches!(
+            check_settlement_output(&misrouted),
+            Err(SettlementError::CarrierMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_transfer_carries_total() {
+        let b = batch(3);
+        let ft = b.forward_transfer().unwrap();
+        assert_eq!(ft.sidechain_id, b.dest);
+        assert_eq!(ft.amount, b.total_amount().unwrap());
+        let decoded = decode_settlement_metadata(&ft.receiver_metadata)
+            .unwrap()
+            .unwrap();
+        assert_eq!(decoded, b);
+    }
+}

@@ -8,7 +8,9 @@
 //! boundary blocks and certificate history.
 
 use zendoo_primitives::digest::Digest32;
-use zendoo_snark::backend::verify;
+use zendoo_primitives::encode::Encode;
+use zendoo_snark::backend::{verify, Proof, VerifyingKey};
+use zendoo_snark::inputs::PublicInputs;
 
 use crate::certificate::{wcert_public_inputs, WcertSysData, WithdrawalCertificate};
 use crate::config::SidechainConfig;
@@ -17,6 +19,100 @@ use crate::proofdata::SchemaViolation;
 use crate::withdrawal::{
     btr_public_inputs, BackwardTransferRequest, BtrSysData, CeasedSidechainWithdrawal,
 };
+
+/// One SNARK verification the mainchain owes for a posting: the
+/// registered verifying key, the fully assembled public inputs, and the
+/// submitted proof. Statement assembly is split from proof checking so
+/// a block's checks can be collected up front and verified in parallel
+/// before any state mutation (the staged-pipeline hook).
+#[derive(Clone, Debug)]
+pub struct ProofCheck {
+    /// The registered verifying key.
+    pub vk: VerifyingKey,
+    /// The assembled public inputs.
+    pub inputs: PublicInputs,
+    /// The submitted proof.
+    pub proof: Proof,
+}
+
+impl ProofCheck {
+    /// A stable identity of the statement+proof, usable as a verdict
+    /// cache key: two checks with equal keys verify identically.
+    pub fn key(&self) -> Digest32 {
+        Digest32::hash_tagged(
+            "zendoo/proof-check",
+            &[
+                self.vk.digest().as_bytes(),
+                &self.inputs.encoded(),
+                &self.proof.to_bytes(),
+            ],
+        )
+    }
+
+    /// Runs the verification inline.
+    pub fn run(&self) -> bool {
+        verify(&self.vk, &self.inputs, &self.proof)
+    }
+}
+
+/// Assembles the [`ProofCheck`] for a withdrawal certificate (the
+/// statement of "WCert Verification" rules 3–4, independent of the
+/// cheap schema/quality checks).
+pub fn certificate_proof_check(
+    config: &SidechainConfig,
+    cert: &WithdrawalCertificate,
+    prev_epoch_last_block: Digest32,
+    epoch_last_block: Digest32,
+) -> ProofCheck {
+    let sysdata = WcertSysData::for_certificate(cert, prev_epoch_last_block, epoch_last_block);
+    ProofCheck {
+        vk: config.wcert_vk,
+        inputs: wcert_public_inputs(&sysdata, &cert.proofdata.merkle_root()),
+        proof: cert.proof,
+    }
+}
+
+/// Assembles the [`ProofCheck`] for a backward transfer request.
+/// `None` when the sidechain registered no `btr_vk`.
+pub fn btr_proof_check(
+    config: &SidechainConfig,
+    btr: &BackwardTransferRequest,
+    last_cert_block: Digest32,
+) -> Option<ProofCheck> {
+    let vk = *config.btr_vk.as_ref()?;
+    let sysdata = BtrSysData {
+        last_cert_block,
+        nullifier: btr.nullifier,
+        receiver: btr.receiver,
+        amount: btr.amount,
+    };
+    Some(ProofCheck {
+        vk,
+        inputs: btr_public_inputs(&sysdata, &btr.proofdata.merkle_root()),
+        proof: btr.proof,
+    })
+}
+
+/// Assembles the [`ProofCheck`] for a ceased sidechain withdrawal.
+/// `None` when the sidechain registered no `csw_vk`.
+pub fn csw_proof_check(
+    config: &SidechainConfig,
+    csw: &CeasedSidechainWithdrawal,
+    last_cert_block: Digest32,
+) -> Option<ProofCheck> {
+    let vk = *config.csw_vk.as_ref()?;
+    let sysdata = BtrSysData {
+        last_cert_block,
+        nullifier: csw.nullifier,
+        receiver: csw.receiver,
+        amount: csw.amount,
+    };
+    Some(ProofCheck {
+        vk,
+        inputs: btr_public_inputs(&sysdata, &csw.proofdata.merkle_root()),
+        proof: csw.proof,
+    })
+}
 
 /// Rejection reasons for sidechain postings.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -80,6 +176,35 @@ pub fn verify_certificate(
     prev_epoch_last_block: Digest32,
     epoch_last_block: Digest32,
 ) -> Result<(), VerifyError> {
+    verify_certificate_with(
+        config,
+        cert,
+        best_quality_so_far,
+        prev_epoch_last_block,
+        epoch_last_block,
+        ProofCheck::run,
+    )
+}
+
+/// [`verify_certificate`] with a pluggable proof check: `check` receives
+/// the assembled [`ProofCheck`] and returns its verdict. The staged
+/// block pipeline passes a verdict cache filled by parallel workers;
+/// [`verify_certificate`] passes [`ProofCheck::run`].
+///
+/// # Errors
+///
+/// See [`VerifyError`].
+pub fn verify_certificate_with<F>(
+    config: &SidechainConfig,
+    cert: &WithdrawalCertificate,
+    best_quality_so_far: Option<Quality>,
+    prev_epoch_last_block: Digest32,
+    epoch_last_block: Digest32,
+    check: F,
+) -> Result<(), VerifyError>
+where
+    F: FnOnce(&ProofCheck) -> bool,
+{
     config.wcert_proofdata.validate(&cert.proofdata)?;
     if let Some(existing) = best_quality_so_far {
         if cert.quality <= existing {
@@ -89,9 +214,8 @@ pub fn verify_certificate(
             });
         }
     }
-    let sysdata = WcertSysData::for_certificate(cert, prev_epoch_last_block, epoch_last_block);
-    let inputs = wcert_public_inputs(&sysdata, &cert.proofdata.merkle_root());
-    if !verify(&config.wcert_vk, &inputs, &cert.proof) {
+    let job = certificate_proof_check(config, cert, prev_epoch_last_block, epoch_last_block);
+    if !check(&job) {
         return Err(VerifyError::InvalidProof);
     }
     Ok(())
@@ -110,19 +234,28 @@ pub fn verify_btr(
     btr: &BackwardTransferRequest,
     last_cert_block: Digest32,
 ) -> Result<(), VerifyError> {
-    let vk = config
-        .btr_vk
-        .as_ref()
+    verify_btr_with(config, btr, last_cert_block, ProofCheck::run)
+}
+
+/// [`verify_btr`] with a pluggable proof check (see
+/// [`verify_certificate_with`]).
+///
+/// # Errors
+///
+/// See [`VerifyError`].
+pub fn verify_btr_with<F>(
+    config: &SidechainConfig,
+    btr: &BackwardTransferRequest,
+    last_cert_block: Digest32,
+    check: F,
+) -> Result<(), VerifyError>
+where
+    F: FnOnce(&ProofCheck) -> bool,
+{
+    let job = btr_proof_check(config, btr, last_cert_block)
         .ok_or(VerifyError::OperationDisabled("btr"))?;
     config.btr_proofdata.validate(&btr.proofdata)?;
-    let sysdata = BtrSysData {
-        last_cert_block,
-        nullifier: btr.nullifier,
-        receiver: btr.receiver,
-        amount: btr.amount,
-    };
-    let inputs = btr_public_inputs(&sysdata, &btr.proofdata.merkle_root());
-    if !verify(vk, &inputs, &btr.proof) {
+    if !check(&job) {
         return Err(VerifyError::InvalidProof);
     }
     Ok(())
@@ -139,19 +272,28 @@ pub fn verify_csw(
     csw: &CeasedSidechainWithdrawal,
     last_cert_block: Digest32,
 ) -> Result<(), VerifyError> {
-    let vk = config
-        .csw_vk
-        .as_ref()
+    verify_csw_with(config, csw, last_cert_block, ProofCheck::run)
+}
+
+/// [`verify_csw`] with a pluggable proof check (see
+/// [`verify_certificate_with`]).
+///
+/// # Errors
+///
+/// See [`VerifyError`].
+pub fn verify_csw_with<F>(
+    config: &SidechainConfig,
+    csw: &CeasedSidechainWithdrawal,
+    last_cert_block: Digest32,
+    check: F,
+) -> Result<(), VerifyError>
+where
+    F: FnOnce(&ProofCheck) -> bool,
+{
+    let job = csw_proof_check(config, csw, last_cert_block)
         .ok_or(VerifyError::OperationDisabled("csw"))?;
     config.csw_proofdata.validate(&csw.proofdata)?;
-    let sysdata = BtrSysData {
-        last_cert_block,
-        nullifier: csw.nullifier,
-        receiver: csw.receiver,
-        amount: csw.amount,
-    };
-    let inputs = btr_public_inputs(&sysdata, &csw.proofdata.merkle_root());
-    if !verify(vk, &inputs, &csw.proof) {
+    if !check(&job) {
         return Err(VerifyError::InvalidProof);
     }
     Ok(())

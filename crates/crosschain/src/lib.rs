@@ -16,12 +16,15 @@
 //!    certificate acceptance (escrow pairing, nullifier freshness) and,
 //!    when the submission window closes, pays the escrow backward
 //!    transfers of the winning certificate like any other payout.
-//! 3. **Deliver** — the [`CrossChainRouter`] observes accepted
+//! 3. **Settle** — the [`CrossChainRouter`] observes accepted
 //!    certificates, tracks quality replacement within the window,
-//!    dedupes by nullifier, and at maturity spends each escrow UTXO
-//!    into a forward transfer to the destination sidechain — or, when
-//!    the destination is unknown or ceased, into a refund payment to
-//!    the sender's payback address.
+//!    dedupes by nullifier, and at maturity settles each window in
+//!    batches: all matured escrow UTXOs bound for one destination are
+//!    spent by a single transaction into one aggregated
+//!    [`SettlementBatch`] forward transfer (per-receiver breakdown
+//!    committed in its metadata), while unknown/ceased destinations
+//!    share one refund transaction paying the senders' payback
+//!    addresses.
 //!
 //! The message/receipt types and verifier hooks live in
 //! [`zendoo_core::crosschain`] (both chains and the mainchain registry
@@ -33,7 +36,8 @@
 
 pub mod router;
 
-pub use router::CrossChainRouter;
+pub use router::{CrossChainRouter, RouterSnapshot, SettlementRecord};
 pub use zendoo_core::crosschain::{
     escrow_address, CrossChainReceipt, CrossChainTransfer, DeliveryStatus, RefundReason, XctError,
 };
+pub use zendoo_core::settlement::{SettlementBatch, SettlementError};

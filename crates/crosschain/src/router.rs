@@ -2,10 +2,11 @@
 
 use std::collections::{BTreeMap, HashSet};
 use zendoo_core::crosschain::{
-    escrow_address, escrow_keypair, validate_declarations, CrossChainReceipt, CrossChainTransfer,
-    DeliveryStatus, RefundReason,
+    escrow_keypair, validate_declarations, CrossChainReceipt, CrossChainTransfer, DeliveryStatus,
+    RefundReason,
 };
 use zendoo_core::ids::{EpochId, Nullifier, Quality, SidechainId};
+use zendoo_core::settlement::SettlementBatch;
 use zendoo_mainchain::registry::SidechainStatus;
 use zendoo_mainchain::transaction::{McTransaction, OutPoint, Output, TransferTx, TxOut};
 use zendoo_mainchain::{Block, Blockchain};
@@ -31,6 +32,44 @@ struct PendingEpoch {
     items: Vec<PendingItem>,
 }
 
+/// Per-window settlement accounting: how many matured transfers the
+/// window released and how many mainchain transactions settled them
+/// (the before/after of windowed batching — the per-transfer router
+/// issued one transaction per transfer, i.e. `transfers` transactions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SettlementRecord {
+    /// The window's source sidechain.
+    pub source: SidechainId,
+    /// The window's withdrawal epoch.
+    pub epoch: EpochId,
+    /// Mainchain height the settlement transactions target.
+    pub mc_height: u64,
+    /// Matured transfers settled (delivered or refunded).
+    pub transfers: usize,
+    /// Batched delivery transactions issued (one per destination).
+    pub delivery_txs: usize,
+    /// Batched refund transactions issued (zero or one).
+    pub refund_txs: usize,
+}
+
+/// A restorable snapshot of the router's mutable state, taken per
+/// observed block so mainchain reorgs can roll the router back in
+/// lock-step with the registry undo records (see
+/// [`CrossChainRouter::snapshot`]).
+///
+/// Only the in-flight state (consumed/reserved nullifiers, pending
+/// windows) is cloned; the append-only receipt and settlement logs are
+/// captured as stream positions and rewound by truncation on restore —
+/// a snapshot costs O(in-flight transfers), not O(history).
+#[derive(Clone, Debug)]
+pub struct RouterSnapshot {
+    consumed: HashSet<Nullifier>,
+    reserved: HashSet<Nullifier>,
+    pending: BTreeMap<(SidechainId, EpochId), PendingEpoch>,
+    receipts_recorded: u64,
+    settlements_len: usize,
+}
+
 /// Routes declared cross-chain transfers from source-certificate
 /// acceptance to destination delivery (or refund).
 ///
@@ -38,6 +77,15 @@ struct PendingEpoch {
 /// feed every connected block to [`CrossChainRouter::observe_block`],
 /// then drain [`CrossChainRouter::collect_deliveries`] into the next
 /// block's transaction list.
+///
+/// Delivery is **windowed batch settlement**: all matured escrows of a
+/// `(source, epoch)` window bound for the same destination settle in a
+/// single multi-input transaction carrying one aggregated
+/// [`SettlementBatch`] forward transfer; all refunds of the window
+/// share one multi-output refund transaction. A window with `n`
+/// transfers to `k` live destinations therefore settles in exactly `k`
+/// mainchain transactions (plus at most one refund transaction),
+/// instead of `n`.
 ///
 /// Escrowed value is held by the escrow authority key between maturity
 /// and delivery; see [`zendoo_core::crosschain::escrow_keypair`] for
@@ -50,6 +98,12 @@ pub struct CrossChainRouter {
     reserved: HashSet<Nullifier>,
     pending: BTreeMap<(SidechainId, EpochId), PendingEpoch>,
     receipts: Vec<CrossChainReceipt>,
+    /// Receipts evicted by the retention policy (or drained), counted so
+    /// cursors into the receipt stream stay meaningful.
+    receipts_dropped: u64,
+    /// Retention cap on the in-memory receipt log (`None` = unbounded).
+    receipt_capacity: Option<usize>,
+    settlements: Vec<SettlementRecord>,
 }
 
 impl Default for CrossChainRouter {
@@ -59,7 +113,7 @@ impl Default for CrossChainRouter {
 }
 
 impl CrossChainRouter {
-    /// A fresh router.
+    /// A fresh router with an unbounded receipt log.
     pub fn new() -> Self {
         CrossChainRouter {
             escrow: escrow_keypair(),
@@ -67,12 +121,71 @@ impl CrossChainRouter {
             reserved: HashSet::new(),
             pending: BTreeMap::new(),
             receipts: Vec::new(),
+            receipts_dropped: 0,
+            receipt_capacity: None,
+            settlements: Vec::new(),
         }
     }
 
-    /// Per-transfer outcome records, in observation order.
+    /// Caps the in-memory receipt log at `capacity` entries: when a new
+    /// receipt would exceed the cap, the oldest receipts are evicted
+    /// (long-running simulations would otherwise accumulate
+    /// O(transfers) memory). `None` restores the unbounded default.
+    /// [`CrossChainRouter::receipts_recorded`] keeps counting evicted
+    /// receipts, so stream cursors survive eviction.
+    pub fn set_receipt_capacity(&mut self, capacity: Option<usize>) {
+        self.receipt_capacity = capacity;
+        self.enforce_receipt_capacity();
+    }
+
+    fn enforce_receipt_capacity(&mut self) {
+        if let Some(cap) = self.receipt_capacity {
+            if self.receipts.len() > cap {
+                let excess = self.receipts.len() - cap;
+                self.receipts.drain(..excess);
+                self.receipts_dropped += excess as u64;
+            }
+        }
+    }
+
+    fn push_receipt(&mut self, receipt: CrossChainReceipt) {
+        self.receipts.push(receipt);
+        self.enforce_receipt_capacity();
+    }
+
+    /// Per-transfer outcome records still retained, in observation
+    /// order (the oldest may have been evicted — see
+    /// [`CrossChainRouter::set_receipt_capacity`]).
     pub fn receipts(&self) -> &[CrossChainReceipt] {
         &self.receipts
+    }
+
+    /// Total receipts ever recorded, including evicted/drained ones —
+    /// a monotonic cursor base for incremental consumers.
+    pub fn receipts_recorded(&self) -> u64 {
+        self.receipts_dropped + self.receipts.len() as u64
+    }
+
+    /// The receipts recorded after stream position `cursor` (as returned
+    /// by a previous [`CrossChainRouter::receipts_recorded`]). Receipts
+    /// evicted past the cursor are gone — the slice starts at the oldest
+    /// retained one.
+    pub fn receipts_since(&self, cursor: u64) -> &[CrossChainReceipt] {
+        let start = cursor.saturating_sub(self.receipts_dropped) as usize;
+        &self.receipts[start.min(self.receipts.len())..]
+    }
+
+    /// Removes and returns every retained receipt (retention for
+    /// long-running processes: consumers fold receipts into their own
+    /// accounting and keep the router's memory flat).
+    pub fn drain_receipts(&mut self) -> Vec<CrossChainReceipt> {
+        self.receipts_dropped += self.receipts.len() as u64;
+        std::mem::take(&mut self.receipts)
+    }
+
+    /// Per-window settlement accounting, in maturity order.
+    pub fn settlements(&self) -> &[SettlementRecord] {
+        &self.settlements
     }
 
     /// The latest receipt recorded for `nullifier`, if any.
@@ -91,6 +204,37 @@ impl CrossChainRouter {
     /// Returns `true` once `nullifier` has been delivered or refunded.
     pub fn nullifier_consumed(&self, nullifier: &Nullifier) -> bool {
         self.consumed.contains(nullifier)
+    }
+
+    /// Captures the router's mutable state. The simulation records one
+    /// snapshot per mainchain block, keyed by the pre-block tip, and
+    /// [`CrossChainRouter::restore`]s the matching one when a reorg
+    /// rewinds the chain — closing the rollback gap the per-transfer
+    /// router documented in `World::inject_mc_fork`.
+    pub fn snapshot(&self) -> RouterSnapshot {
+        RouterSnapshot {
+            consumed: self.consumed.clone(),
+            reserved: self.reserved.clone(),
+            pending: self.pending.clone(),
+            receipts_recorded: self.receipts_recorded(),
+            settlements_len: self.settlements.len(),
+        }
+    }
+
+    /// Restores a state captured by [`CrossChainRouter::snapshot`]:
+    /// in-flight state is swapped back, and the append-only receipt /
+    /// settlement logs are truncated to their positions at snapshot
+    /// time (entries evicted by the retention policy since then stay
+    /// gone; [`CrossChainRouter::receipts_recorded`] stays monotonic).
+    pub fn restore(&mut self, snapshot: RouterSnapshot) {
+        self.consumed = snapshot.consumed;
+        self.reserved = snapshot.reserved;
+        self.pending = snapshot.pending;
+        let keep = snapshot
+            .receipts_recorded
+            .saturating_sub(self.receipts_dropped) as usize;
+        self.receipts.truncate(keep.min(self.receipts.len()));
+        self.settlements.truncate(snapshot.settlements_len);
     }
 
     /// Observes one connected mainchain block: scans its accepted
@@ -118,7 +262,7 @@ impl CrossChainRouter {
                 // Nothing escrowed for an invalid declaration (the
                 // certificate would have been rejected); log only.
                 for xct in zendoo_core::crosschain::declared_transfers(cert).unwrap_or_default() {
-                    self.receipts.push(CrossChainReceipt {
+                    self.push_receipt(CrossChainReceipt {
                         transfer: xct,
                         status: DeliveryStatus::Rejected {
                             reason: reason.clone(),
@@ -142,7 +286,7 @@ impl CrossChainRouter {
             let existing = self.pending.remove(&key).expect("present");
             for item in existing.items {
                 self.reserved.remove(&item.transfer.nullifier);
-                self.receipts.push(CrossChainReceipt {
+                self.push_receipt(CrossChainReceipt {
                     transfer: item.transfer,
                     status: DeliveryStatus::NotEscrowed,
                 });
@@ -159,7 +303,7 @@ impl CrossChainRouter {
         // Pair declared transfers with escrow BT indices, in order
         // (validate_declarations guarantees the counts and amounts
         // line up).
-        let escrow = escrow_address();
+        let escrow = zendoo_core::crosschain::escrow_address();
         let mut items = Vec::with_capacity(declared.len());
         let mut next = 0usize;
         for (bt_index, bt) in cert.bt_list.iter().enumerate() {
@@ -176,14 +320,14 @@ impl CrossChainRouter {
                 // window). The escrow coins for a replayed item stay
                 // with the escrow authority — they were never honestly
                 // owed anywhere.
-                self.receipts.push(CrossChainReceipt {
+                self.push_receipt(CrossChainReceipt {
                     transfer,
                     status: DeliveryStatus::ReplayRejected,
                 });
                 continue;
             }
             self.reserved.insert(transfer.nullifier);
-            self.receipts.push(CrossChainReceipt {
+            self.push_receipt(CrossChainReceipt {
                 transfer,
                 status: DeliveryStatus::Pending,
             });
@@ -205,14 +349,17 @@ impl CrossChainRouter {
         }
     }
 
-    /// Drains every matured pending transfer into delivery (or refund)
-    /// transactions for the next mined block.
+    /// Drains every matured pending window into batched settlement (or
+    /// refund) transactions for the next mined block.
     ///
-    /// Delivery: spends the escrow UTXO created by the matured
-    /// certificate's payout into a forward transfer carrying the
-    /// transfer's cross-chain receiver metadata. Refund: when the
-    /// destination sidechain is unregistered or ceased, the escrow UTXO
-    /// pays the sender's payback address instead.
+    /// Per window, deliverable transfers are grouped by destination
+    /// sidechain: each destination receives **one** multi-input
+    /// transaction spending all of its escrow UTXOs into a single
+    /// aggregated forward transfer whose metadata carries the
+    /// [`SettlementBatch`] (per-receiver breakdown + binding
+    /// commitment). Transfers whose destination is unregistered or
+    /// ceased share **one** multi-output refund transaction paying each
+    /// sender's payback address.
     pub fn collect_deliveries(&mut self, chain: &Blockchain) -> Vec<McTransaction> {
         let height = chain.height();
         let matured: Vec<(SidechainId, EpochId)> = self
@@ -221,9 +368,10 @@ impl CrossChainRouter {
             .filter(|(_, e)| e.mature_at <= height)
             .map(|(k, _)| *k)
             .collect();
-        let mut deliveries = Vec::new();
+        let escrow_secret = self.escrow.secret;
+        let mut transactions = Vec::new();
         for key in matured {
-            let epoch = self.pending.remove(&key).expect("listed above");
+            let window = self.pending.remove(&key).expect("listed above");
             let registry = &chain.state().registry;
             // Only the window's winning certificate paid its escrow
             // BTs; if our tracked certificate lost (or the payout is
@@ -231,24 +379,30 @@ impl CrossChainRouter {
             let winner_matches = registry
                 .accepted_certificate(&key.0, key.1)
                 .map(|accepted| {
-                    accepted.matured && accepted.certificate.digest() == epoch.cert_digest
+                    accepted.matured && accepted.certificate.digest() == window.cert_digest
                 })
                 .unwrap_or(false);
-            for item in epoch.items {
+
+            // Partition the window's items: deliverable (grouped by
+            // destination), refundable, never-escrowed.
+            let mut deliver: BTreeMap<SidechainId, Vec<(OutPoint, CrossChainTransfer)>> =
+                BTreeMap::new();
+            let mut refunds: Vec<(OutPoint, CrossChainTransfer, RefundReason)> = Vec::new();
+            for item in window.items {
                 self.reserved.remove(&item.transfer.nullifier);
                 let outpoint = OutPoint {
-                    txid: epoch.cert_digest,
+                    txid: window.cert_digest,
                     index: item.bt_index,
                 };
                 if !winner_matches || chain.state().utxos.get(&outpoint).is_none() {
-                    self.receipts.push(CrossChainReceipt {
+                    self.push_receipt(CrossChainReceipt {
                         transfer: item.transfer,
                         status: DeliveryStatus::NotEscrowed,
                     });
                     continue;
                 }
                 let xct = item.transfer;
-                // The delivery lands in the *next* block, so the
+                // The settlement lands in the *next* block, so the
                 // destination must still be active when that block's
                 // epoch bookkeeping runs — a sidechain whose submission
                 // window closes empty exactly at `height + 1` would
@@ -258,46 +412,96 @@ impl CrossChainRouter {
                 let dest_active = registry.get(&xct.dest).is_some_and(|entry| {
                     entry.status == SidechainStatus::Active && !will_cease_at(entry, height + 1)
                 });
-                let (output, status) = if dest_active {
-                    (
-                        Output::Forward(zendoo_core::transfer::ForwardTransfer {
-                            sidechain_id: xct.dest,
-                            receiver_metadata: xct.receiver_metadata(),
-                            amount: xct.amount,
-                        }),
-                        DeliveryStatus::Delivered {
-                            mc_height: height + 1,
-                        },
-                    )
+                if dest_active {
+                    deliver.entry(xct.dest).or_default().push((outpoint, xct));
                 } else {
                     let reason = if registry.get(&xct.dest).is_some() {
                         RefundReason::CeasedDestination
                     } else {
                         RefundReason::UnknownDestination
                     };
-                    (
+                    refunds.push((outpoint, xct, reason));
+                }
+            }
+
+            let settled = deliver.values().map(Vec::len).sum::<usize>() + refunds.len();
+            let mut delivery_txs = 0usize;
+            for (dest, items) in deliver {
+                let batch = SettlementBatch::new(
+                    key.0,
+                    key.1,
+                    dest,
+                    items.iter().map(|(_, xct)| *xct).collect(),
+                );
+                let output = Output::Forward(
+                    batch
+                        .forward_transfer()
+                        .expect("escrowed amounts were accepted on-chain"),
+                );
+                let spends: Vec<_> = items
+                    .iter()
+                    .map(|(outpoint, _)| (*outpoint, &escrow_secret))
+                    .collect();
+                transactions.push(McTransaction::Transfer(TransferTx::signed(
+                    &spends,
+                    vec![output],
+                )));
+                delivery_txs += 1;
+                for (_, xct) in items {
+                    self.consumed.insert(xct.nullifier);
+                    self.push_receipt(CrossChainReceipt {
+                        transfer: xct,
+                        status: DeliveryStatus::Delivered {
+                            mc_height: height + 1,
+                        },
+                    });
+                }
+            }
+
+            let refund_txs = if refunds.is_empty() {
+                0
+            } else {
+                let spends: Vec<_> = refunds
+                    .iter()
+                    .map(|(outpoint, _, _)| (*outpoint, &escrow_secret))
+                    .collect();
+                let outputs: Vec<Output> = refunds
+                    .iter()
+                    .map(|(_, xct, _)| {
                         Output::Regular(TxOut {
                             address: xct.payback,
                             amount: xct.amount,
-                        }),
-                        DeliveryStatus::Refunded {
+                        })
+                    })
+                    .collect();
+                transactions.push(McTransaction::Transfer(TransferTx::signed(
+                    &spends, outputs,
+                )));
+                for (_, xct, reason) in refunds {
+                    self.consumed.insert(xct.nullifier);
+                    self.push_receipt(CrossChainReceipt {
+                        transfer: xct,
+                        status: DeliveryStatus::Refunded {
                             mc_height: height + 1,
                             reason,
                         },
-                    )
-                };
-                deliveries.push(McTransaction::Transfer(TransferTx::signed(
-                    &[(outpoint, &self.escrow.secret)],
-                    vec![output],
-                )));
-                self.consumed.insert(xct.nullifier);
-                self.receipts.push(CrossChainReceipt {
-                    transfer: xct,
-                    status,
+                    });
+                }
+                1
+            };
+
+            if settled > 0 {
+                self.settlements.push(SettlementRecord {
+                    source: key.0,
+                    epoch: key.1,
+                    mc_height: height + 1,
+                    transfers: settled,
+                    delivery_txs,
+                    refund_txs,
                 });
             }
         }
-        deliveries
+        transactions
     }
 }
 
@@ -323,6 +527,8 @@ impl std::fmt::Debug for CrossChainRouter {
             .field("pending", &self.pending_count())
             .field("consumed", &self.consumed.len())
             .field("receipts", &self.receipts.len())
+            .field("receipts_recorded", &self.receipts_recorded())
+            .field("settlement_windows", &self.settlements.len())
             .finish()
     }
 }

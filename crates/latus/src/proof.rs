@@ -22,8 +22,9 @@ use crate::state::{
     fold_backward_transfer, fold_delta_position, fold_sync, state_digest, SyncKind,
 };
 use crate::tx::{
-    btr_claimed_utxo, empty_leaf, ft_output_utxo, BtrStep, FtStep, LeafUpdate, ReceiverMetadata,
-    ScTransaction, SignedInput, TransitionWitness,
+    btr_claimed_utxo, classify_ft_metadata, empty_leaf, ft_batch_output_utxo, ft_output_utxo,
+    BtrStep, FtEntryStep, FtKind, FtStep, LeafUpdate, ScTransaction, SignedInput,
+    TransitionWitness,
 };
 
 /// The Latus single-transition constraint system.
@@ -111,6 +112,30 @@ fn check_spend(
         ));
     }
     replay.apply_update(update)
+}
+
+/// Checks that a collision rejection's evidence proves `position`
+/// occupied under the running root.
+fn check_occupied_slot(
+    replay: &Replay,
+    position: u64,
+    occupied: &zendoo_primitives::smt::SmtProof,
+    occupied_leaf: &Fp,
+    ft_index: usize,
+) -> Result<(), Unsatisfied> {
+    if occupied.index() != position {
+        return Err(Unsatisfied::new(
+            "latus/ft-collision-pos",
+            format!("ft {ft_index}: collision proof at wrong position"),
+        ));
+    }
+    if *occupied_leaf == empty_leaf() || occupied.compute_root(occupied_leaf) != replay.mst_root {
+        return Err(Unsatisfied::new(
+            "latus/ft-collision",
+            format!("ft {ft_index}: slot not provably occupied"),
+        ));
+    }
+    Ok(())
 }
 
 impl TransitionVerifier for LatusTransitionVerifier {
@@ -208,25 +233,26 @@ impl TransitionVerifier for LatusTransitionVerifier {
                     ));
                 }
                 for (i, (ft, step)) in tx.transfers.iter().zip(&w.ft_steps).enumerate() {
-                    // Classic 64-byte metadata or the tagged cross-chain
-                    // form — the circuit mirrors the update semantics of
-                    // `tx::apply_transaction` exactly.
-                    let parsed = match ReceiverMetadata::parse(&ft.receiver_metadata) {
-                        Some(meta) => Some((meta.receiver, meta.payback)),
-                        None => {
-                            zendoo_core::crosschain::parse_cross_metadata(&ft.receiver_metadata)
-                                .map(|cross| (cross.receiver, cross.payback))
-                        }
+                    // Classic 64-byte metadata, the tagged cross-chain
+                    // form, or an aggregated settlement batch — the
+                    // circuit mirrors the update semantics of
+                    // `tx::apply_transaction` exactly via the shared
+                    // classifier.
+                    let kind = classify_ft_metadata(&self.params.sidechain_id, ft);
+                    let single = match &kind {
+                        FtKind::Classic { receiver, payback } => Some((*receiver, *payback)),
+                        FtKind::Cross { meta } => Some((meta.receiver, meta.payback)),
+                        FtKind::Settlement(_) | FtKind::Malformed => None,
                     };
-                    match (parsed, step) {
-                        (None, FtStep::RejectedMalformed) => {}
-                        (None, _) => {
+                    match (&kind, single, step) {
+                        (FtKind::Malformed, _, FtStep::RejectedMalformed) => {}
+                        (FtKind::Malformed, _, _) => {
                             return Err(Unsatisfied::new(
                                 "latus/ft-malformed",
                                 format!("ft {i}: malformed metadata must be rejected"),
                             ));
                         }
-                        (Some((receiver, _)), FtStep::Minted(update)) => {
+                        (_, Some((receiver, _)), FtStep::Minted(update)) => {
                             let utxo = ft_output_utxo(&tx.mc_block, i, receiver, ft.amount);
                             if update.position() != mst_position(&utxo, depth)
                                 || update.old_leaf.is_some()
@@ -240,6 +266,7 @@ impl TransitionVerifier for LatusTransitionVerifier {
                             replay.apply_update(update)?;
                         }
                         (
+                            _,
                             Some((receiver, payback)),
                             FtStep::RejectedCollision {
                                 occupied,
@@ -247,29 +274,76 @@ impl TransitionVerifier for LatusTransitionVerifier {
                             },
                         ) => {
                             let utxo = ft_output_utxo(&tx.mc_block, i, receiver, ft.amount);
-                            let position = mst_position(&utxo, depth);
-                            if occupied.index() != position {
-                                return Err(Unsatisfied::new(
-                                    "latus/ft-collision-pos",
-                                    format!("ft {i}: collision proof at wrong position"),
-                                ));
-                            }
-                            if *occupied_leaf == empty_leaf()
-                                || occupied.compute_root(occupied_leaf) != replay.mst_root
-                            {
-                                return Err(Unsatisfied::new(
-                                    "latus/ft-collision",
-                                    format!("ft {i}: slot not provably occupied"),
-                                ));
-                            }
+                            check_occupied_slot(
+                                &replay,
+                                mst_position(&utxo, depth),
+                                occupied,
+                                occupied_leaf,
+                                i,
+                            )?;
                             replay.append_bt(payback, ft.amount);
                         }
-                        (Some(_), FtStep::RejectedMalformed) => {
+                        (FtKind::Settlement(batch), _, FtStep::Settled(entry_steps)) => {
+                            if entry_steps.len() != batch.transfers.len() {
+                                return Err(Unsatisfied::new(
+                                    "latus/ft-batch-arity",
+                                    format!("ft {i}: one sub-step required per batch entry"),
+                                ));
+                            }
+                            for (entry, (xct, entry_step)) in
+                                batch.transfers.iter().zip(entry_steps).enumerate()
+                            {
+                                let utxo = ft_batch_output_utxo(
+                                    &tx.mc_block,
+                                    i,
+                                    entry,
+                                    xct.receiver,
+                                    xct.amount,
+                                );
+                                match entry_step {
+                                    FtEntryStep::Minted(update) => {
+                                        if update.position() != mst_position(&utxo, depth)
+                                            || update.old_leaf.is_some()
+                                            || update.new_leaf != Some(utxo.leaf())
+                                        {
+                                            return Err(Unsatisfied::new(
+                                                "latus/ft-batch-mint",
+                                                format!(
+                                                    "ft {i} entry {entry}: mint update malformed"
+                                                ),
+                                            ));
+                                        }
+                                        replay.apply_update(update)?;
+                                    }
+                                    FtEntryStep::RejectedCollision {
+                                        occupied,
+                                        occupied_leaf,
+                                    } => {
+                                        check_occupied_slot(
+                                            &replay,
+                                            mst_position(&utxo, depth),
+                                            occupied,
+                                            occupied_leaf,
+                                            i,
+                                        )?;
+                                        replay.append_bt(xct.payback, xct.amount);
+                                    }
+                                }
+                            }
+                        }
+                        (FtKind::Settlement(_), _, _) => {
+                            return Err(Unsatisfied::new(
+                                "latus/ft-batch",
+                                format!("ft {i}: settlement batch requires settled sub-steps"),
+                            ));
+                        }
+                        (_, Some(_), _) => {
                             return Err(Unsatisfied::new(
                                 "latus/ft-skip",
                                 format!("ft {i}: well-formed transfer cannot be skipped"),
                             ));
                         }
+                        (_, None, _) => unreachable!("single is Some for classic/cross"),
                     }
                 }
                 replay.sync_acc =
@@ -378,7 +452,20 @@ impl TransitionVerifier for LatusTransitionVerifier {
                 tx.inputs.len() as u64,
                 tx.backward_transfers.len() as u64,
             ),
-            ScTransaction::ForwardTransfers(tx) => (0, tx.transfers.len() as u64, 2),
+            ScTransaction::ForwardTransfers(tx) => {
+                // An aggregated settlement FT costs one path per entry.
+                let paths: u64 = tx
+                    .transfers
+                    .iter()
+                    .map(
+                        |ft| match classify_ft_metadata(&self.params.sidechain_id, ft) {
+                            FtKind::Settlement(batch) => batch.transfers.len() as u64,
+                            _ => 1,
+                        },
+                    )
+                    .sum();
+                (0, paths, 2)
+            }
             ScTransaction::BackwardTransferRequests(tx) => (0, tx.requests.len() as u64, 2),
         };
         sigs * gadget_cost::SCHNORR_VERIFY

@@ -394,9 +394,29 @@ pub enum FtStep {
         /// The leaf found there.
         occupied_leaf: Fp,
     },
+    /// An aggregated settlement forward transfer (batched cross-chain
+    /// delivery): one sub-step per batch entry, in entry order.
+    Settled(Vec<FtEntryStep>),
     /// Metadata unparseable; coins refunded if a payback address could
     /// be salvaged, otherwise burned on the sidechain side.
     RejectedMalformed,
+}
+
+/// One entry of an aggregated settlement forward transfer: minted into
+/// the entry receiver's slot, or refunded to the entry's payback
+/// address on a slot collision.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FtEntryStep {
+    /// The entry minted a UTXO for its receiver.
+    Minted(LeafUpdate),
+    /// The entry's deterministic slot was occupied; its coins refunded
+    /// via backward transfer to the entry's payback address.
+    RejectedCollision {
+        /// Occupancy proof at the contested slot.
+        occupied: SmtProof,
+        /// The leaf found there.
+        occupied_leaf: Fp,
+    },
 }
 
 /// One step of a synchronized-BTR application (§5.3.4).
@@ -653,6 +673,84 @@ pub fn ft_output_utxo(
     }
 }
 
+/// Deterministic UTXO minted by entry `entry` of the `i`-th
+/// (aggregated settlement) FT of an FTTx — the per-receiver mint of a
+/// batched cross-chain delivery.
+pub fn ft_batch_output_utxo(
+    mc_block: &Digest32,
+    index: usize,
+    entry: usize,
+    receiver: Address,
+    amount: Amount,
+) -> Utxo {
+    Utxo {
+        address: receiver,
+        amount,
+        nonce: Digest32::hash_tagged(
+            "zendoo/ft-batch-nonce",
+            &[
+                mc_block.as_bytes(),
+                &(index as u64).to_be_bytes(),
+                &(entry as u64).to_be_bytes(),
+            ],
+        ),
+    }
+}
+
+/// How a forward transfer's receiver metadata classifies on this
+/// sidechain. Shared by transaction application and the transition
+/// circuit so both sides dispatch identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FtKind {
+    /// Classic 64-byte Latus metadata.
+    Classic {
+        /// The sidechain address to credit.
+        receiver: Address,
+        /// The mainchain refund address.
+        payback: Address,
+    },
+    /// Tagged single cross-chain transfer metadata (per-transfer
+    /// delivery form).
+    Cross {
+        /// Parsed cross-chain metadata.
+        meta: zendoo_core::crosschain::CrossChainMetadata,
+    },
+    /// An aggregated settlement batch (windowed batch delivery). The
+    /// decoded batch passed its commitment check, totals the FT amount
+    /// and targets this sidechain.
+    Settlement(zendoo_core::settlement::SettlementBatch),
+    /// None of the known forms (or a batch whose commitment, total or
+    /// destination is wrong): the FT is rejected as malformed.
+    Malformed,
+}
+
+/// Classifies one forward transfer's metadata for `sidechain_id`
+/// (§5.3.2 leaves the metadata format to the sidechain; Latus accepts
+/// the classic, cross-transfer and settlement-batch forms).
+pub fn classify_ft_metadata(
+    sidechain_id: &zendoo_core::ids::SidechainId,
+    ft: &ForwardTransfer,
+) -> FtKind {
+    if let Some(meta) = ReceiverMetadata::parse(&ft.receiver_metadata) {
+        return FtKind::Classic {
+            receiver: meta.receiver,
+            payback: meta.payback,
+        };
+    }
+    if let Some(meta) = zendoo_core::crosschain::parse_cross_metadata(&ft.receiver_metadata) {
+        return FtKind::Cross { meta };
+    }
+    match zendoo_core::settlement::decode_settlement_metadata(&ft.receiver_metadata) {
+        Some(Ok(batch))
+            if batch.dest == *sidechain_id && batch.total_amount() == Some(ft.amount) =>
+        {
+            FtKind::Settlement(batch)
+        }
+        Some(_) => FtKind::Malformed,
+        None => FtKind::Malformed,
+    }
+}
+
 fn apply_forward_transfers(
     params: &crate::params::LatusParams,
     state: &mut SidechainState,
@@ -673,56 +771,106 @@ fn apply_forward_transfers(
     let depth = state.mst().depth();
     let mut steps = Vec::with_capacity(ft_tx.transfers.len());
     let mut appended = Vec::new();
+
+    /// Mints `utxo` (or refunds `payback` on a slot collision),
+    /// returning the mint update or the collision evidence.
+    fn mint_or_refund(
+        state: &mut SidechainState,
+        appended: &mut Vec<BackwardTransfer>,
+        utxo: &Utxo,
+        payback: Address,
+        depth: u32,
+    ) -> Result<LeafUpdate, (SmtProof, Fp)> {
+        let position = mst_position(utxo, depth);
+        if let Some(present) = state.mst().utxo_at(position) {
+            let occupied_leaf = present.leaf();
+            let occupied = state.mst().proof(position);
+            let refund = BackwardTransfer {
+                receiver: payback,
+                amount: utxo.amount,
+            };
+            state.append_backward_transfer(refund);
+            appended.push(refund);
+            return Err((occupied, occupied_leaf));
+        }
+        let path = state.mst().proof(position);
+        state.insert_utxo(utxo).expect("slot checked empty");
+        Ok(LeafUpdate {
+            path,
+            old_leaf: None,
+            new_leaf: Some(utxo.leaf()),
+        })
+    }
+
     for (i, ft) in ft_tx.transfers.iter().enumerate() {
-        // Classic 64-byte Latus metadata, or the tagged cross-chain
-        // form delivered by the mainchain router (§5.3.2 leaves the
-        // metadata format to the sidechain).
-        let parsed = match ReceiverMetadata::parse(&ft.receiver_metadata) {
-            Some(meta) => Some((meta.receiver, meta.payback, None)),
-            None => zendoo_core::crosschain::parse_cross_metadata(&ft.receiver_metadata)
-                .map(|cross| (cross.receiver, cross.payback, Some(cross))),
-        };
-        match parsed {
-            None => {
+        // Classic 64-byte Latus metadata, the tagged single cross-chain
+        // form, or an aggregated settlement batch delivered by the
+        // mainchain router (§5.3.2 leaves the metadata format to the
+        // sidechain).
+        match classify_ft_metadata(&params.sidechain_id, ft) {
+            FtKind::Malformed => {
                 // Unparseable: refund impossible — coins remain locked in
                 // the MC-side balance (documented conservation caveat).
                 steps.push(FtStep::RejectedMalformed);
             }
-            Some((receiver, payback, cross)) => {
+            FtKind::Classic { receiver, payback } => {
                 let utxo = ft_output_utxo(&ft_tx.mc_block, i, receiver, ft.amount);
-                let position = mst_position(&utxo, depth);
-                if state.mst().utxo_at(position).is_some() {
-                    let occupied = state.mst().proof(position);
-                    let occupied_leaf =
-                        state.mst().utxo_at(position).expect("checked above").leaf();
-                    let refund = BackwardTransfer {
-                        receiver: payback,
-                        amount: ft.amount,
-                    };
-                    state.append_backward_transfer(refund);
-                    appended.push(refund);
-                    steps.push(FtStep::RejectedCollision {
+                match mint_or_refund(state, &mut appended, &utxo, payback, depth) {
+                    Ok(update) => steps.push(FtStep::Minted(update)),
+                    Err((occupied, occupied_leaf)) => steps.push(FtStep::RejectedCollision {
                         occupied,
                         occupied_leaf,
-                    });
-                } else {
-                    let path = state.mst().proof(position);
-                    state.insert_utxo(&utxo).expect("slot checked empty");
-                    if let Some(cross) = cross {
+                    }),
+                }
+            }
+            FtKind::Cross { meta } => {
+                let utxo = ft_output_utxo(&ft_tx.mc_block, i, meta.receiver, ft.amount);
+                match mint_or_refund(state, &mut appended, &utxo, meta.payback, depth) {
+                    Ok(update) => {
                         state.record_inbound_cross(zendoo_core::crosschain::InboundCrossTransfer {
-                            source: cross.source,
-                            nonce: cross.nonce,
-                            receiver,
+                            source: meta.source,
+                            nonce: meta.nonce,
+                            receiver: meta.receiver,
                             amount: ft.amount,
                             mc_block: ft_tx.mc_block,
                         });
+                        steps.push(FtStep::Minted(update));
                     }
-                    steps.push(FtStep::Minted(LeafUpdate {
-                        path,
-                        old_leaf: None,
-                        new_leaf: Some(utxo.leaf()),
-                    }));
+                    Err((occupied, occupied_leaf)) => steps.push(FtStep::RejectedCollision {
+                        occupied,
+                        occupied_leaf,
+                    }),
                 }
+            }
+            FtKind::Settlement(batch) => {
+                // One mint per batch entry, each into its own receiver's
+                // slot; a colliding entry refunds its own payback.
+                let mut entry_steps = Vec::with_capacity(batch.transfers.len());
+                for (entry, xct) in batch.transfers.iter().enumerate() {
+                    let utxo =
+                        ft_batch_output_utxo(&ft_tx.mc_block, i, entry, xct.receiver, xct.amount);
+                    match mint_or_refund(state, &mut appended, &utxo, xct.payback, depth) {
+                        Ok(update) => {
+                            state.record_inbound_cross(
+                                zendoo_core::crosschain::InboundCrossTransfer {
+                                    source: xct.source,
+                                    nonce: xct.nonce,
+                                    receiver: xct.receiver,
+                                    amount: xct.amount,
+                                    mc_block: ft_tx.mc_block,
+                                },
+                            );
+                            entry_steps.push(FtEntryStep::Minted(update));
+                        }
+                        Err((occupied, occupied_leaf)) => {
+                            entry_steps.push(FtEntryStep::RejectedCollision {
+                                occupied,
+                                occupied_leaf,
+                            });
+                        }
+                    }
+                }
+                steps.push(FtStep::Settled(entry_steps));
             }
         }
     }

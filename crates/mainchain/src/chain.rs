@@ -2,17 +2,23 @@
 //! connect/disconnect with full reorg support, and block building.
 //!
 //! Fork choice is by cumulative work (Def 3.1's Bitcoin-backbone model).
-//! Every connected block stores a pre-state snapshot, so reorgs of up to
-//! [`ChainParams::max_reorg_depth`] blocks are exact state rollbacks —
-//! the mechanism exercised by the paper's "mainchain forks resolution"
-//! property (§5.1).
+//! Block acceptance runs the three-stage [`crate::pipeline`]: stateless
+//! precheck at submission, parallel SNARK verification of the block's
+//! certificate/BTR/CSW proofs, then atomic state application journaled
+//! into a single [`crate::pipeline::BlockUndo`] record per block — so
+//! reorgs of up to [`ChainParams::max_reorg_depth`] blocks are exact
+//! state rollbacks (the mechanism exercised by the paper's "mainchain
+//! forks resolution" property, §5.1) without retaining a full state
+//! snapshot per block.
 
 use std::collections::{HashMap, HashSet};
 use zendoo_core::commitment::{ScTxsCommitment, ScTxsCommitmentBuilder};
 use zendoo_core::ids::{Address, Amount};
+use zendoo_core::settlement::SettlementError;
 use zendoo_primitives::digest::Digest32;
 
 use crate::block::{Block, BlockHeader};
+use crate::pipeline::{self, BlockUndo, ProofVerdicts};
 use crate::pow::{mine, Target};
 use crate::registry::{RegistryError, SidechainRegistry};
 use crate::transaction::{CoinbaseTx, McTransaction, OutPoint, TxOut};
@@ -101,6 +107,9 @@ pub enum BlockError {
     AmountOverflow,
     /// A sidechain operation was rejected by the registry.
     Registry(RegistryError),
+    /// A batched cross-chain settlement violated its invariant (forged
+    /// commitment, escrow imbalance, non-escrow inputs).
+    Settlement(SettlementError),
     /// Reorg deeper than the retained undo data.
     ReorgTooDeep,
     /// Mining exhausted the attempt bound.
@@ -132,6 +141,7 @@ impl std::fmt::Display for BlockError {
             BlockError::NoInputs => write!(f, "transfer has no inputs"),
             BlockError::AmountOverflow => write!(f, "amount overflow"),
             BlockError::Registry(e) => write!(f, "sidechain registry: {e}"),
+            BlockError::Settlement(e) => write!(f, "batched settlement: {e}"),
             BlockError::ReorgTooDeep => write!(f, "reorg exceeds retained undo depth"),
             BlockError::MiningFailed => write!(f, "mining attempt bound exhausted"),
             BlockError::Duplicate(h) => write!(f, "duplicate block {h}"),
@@ -144,6 +154,12 @@ impl std::error::Error for BlockError {}
 impl From<RegistryError> for BlockError {
     fn from(e: RegistryError) -> Self {
         BlockError::Registry(e)
+    }
+}
+
+impl From<SettlementError> for BlockError {
+    fn from(e: SettlementError) -> Self {
+        BlockError::Settlement(e)
     }
 }
 
@@ -177,9 +193,9 @@ pub struct Blockchain {
     /// Active chain block hashes, indexed by height.
     active: Vec<Digest32>,
     state: ChainState,
-    /// Pre-state snapshot per active block (pruned beyond
-    /// `max_reorg_depth`).
-    undo: HashMap<Digest32, ChainState>,
+    /// Single undo record per active block (pruned beyond
+    /// `max_reorg_depth`) — stage 3's journal, not a state snapshot.
+    undo: HashMap<Digest32, BlockUndo>,
     genesis_hash: Digest32,
 }
 
@@ -356,7 +372,8 @@ impl Blockchain {
         if self.invalid.contains(&hash) || self.invalid.contains(&block.header.parent) {
             return Err(BlockError::KnownInvalid(hash));
         }
-        self.check_structure(&block)?;
+        // Stage 1: stateless precheck.
+        pipeline::precheck_block(self.params.target, &block)?;
         let parent = self
             .blocks
             .get(&block.header.parent)
@@ -389,47 +406,6 @@ impl Blockchain {
                 connected,
             })
         }
-    }
-
-    /// Stateless structural checks.
-    fn check_structure(&self, block: &Block) -> Result<(), BlockError> {
-        if block.header.target != self.params.target {
-            return Err(BlockError::WrongTarget);
-        }
-        if !block.header.meets_target() {
-            return Err(BlockError::BadProofOfWork);
-        }
-        if !block.tx_root_consistent() {
-            return Err(BlockError::TxRootMismatch);
-        }
-        match block.transactions.first() {
-            Some(McTransaction::Coinbase(cb)) if cb.height == block.header.height => {}
-            Some(McTransaction::Coinbase(_)) => {
-                return Err(BlockError::BadCoinbase("coinbase height mismatch"))
-            }
-            _ => {
-                return Err(BlockError::BadCoinbase(
-                    "first transaction must be coinbase",
-                ))
-            }
-        }
-        if block.transactions[1..]
-            .iter()
-            .any(|tx| matches!(tx, McTransaction::Coinbase(_)))
-        {
-            return Err(BlockError::BadCoinbase("multiple coinbases"));
-        }
-        let mut seen = HashSet::new();
-        for tx in &block.transactions {
-            if !seen.insert(tx.txid()) {
-                return Err(BlockError::DuplicateTxid(tx.txid()));
-            }
-        }
-        let commitment = Self::build_commitment(&block.transactions);
-        if commitment.root() != block.header.sc_txs_commitment {
-            return Err(BlockError::CommitmentMismatch);
-        }
-        Ok(())
     }
 
     /// Makes `new_tip` the active tip, disconnecting/connecting as
@@ -488,36 +464,41 @@ impl Blockchain {
         Ok((disconnected, connected))
     }
 
-    /// Disconnects the active tip, restoring the pre-block snapshot.
+    /// Disconnects the active tip, replaying its undo journal.
     fn disconnect_tip(&mut self) -> Result<(), BlockError> {
         let tip = self.tip_hash();
         if tip == self.genesis_hash {
             return Err(BlockError::ReorgTooDeep);
         }
-        let snapshot = self.undo.remove(&tip).ok_or(BlockError::ReorgTooDeep)?;
-        self.state = snapshot;
+        let undo = self.undo.remove(&tip).ok_or(BlockError::ReorgTooDeep)?;
+        pipeline::revert_block(&mut self.state, undo);
         self.active.pop();
         Ok(())
     }
 
-    /// Connects a stored block on top of the current tip.
+    /// Connects a stored block on top of the current tip: stage 2
+    /// verifies every SNARK in the block in parallel before stage 3
+    /// applies it atomically.
     fn connect_block(&mut self, hash: Digest32) -> Result<(), BlockError> {
         let stored = self.blocks.get(&hash).expect("stored during submit");
         let block = stored.block.clone();
         debug_assert_eq!(block.header.parent, self.tip_hash());
-        let snapshot = self.state.clone();
-        match self.apply_block(&block, hash) {
-            Ok(()) => {
-                self.undo.insert(hash, snapshot);
-                self.active.push(hash);
-                self.prune_undo();
-                Ok(())
-            }
-            Err(e) => {
-                self.state = snapshot;
-                Err(e)
-            }
-        }
+        // Stage 2: parallel proof verification against the pre-block
+        // state (read-only; no mutation can have happened yet).
+        let verdicts = pipeline::verify_block_proofs(&self.state, &block, hash, &self.active, None);
+        // Stage 3: atomic application (reverts itself on failure).
+        let undo = pipeline::apply_block(
+            &mut self.state,
+            &block,
+            hash,
+            &self.active,
+            self.params.block_subsidy,
+            &verdicts,
+        )?;
+        self.undo.insert(hash, undo);
+        self.active.push(hash);
+        self.prune_undo();
+        Ok(())
     }
 
     fn prune_undo(&mut self) {
@@ -527,72 +508,6 @@ impl Blockchain {
                 self.undo.remove(hash);
             }
         }
-    }
-
-    /// Applies a block's effects to `self.state`. Errors leave the state
-    /// dirty; the caller restores the snapshot.
-    fn apply_block(&mut self, block: &Block, block_hash: Digest32) -> Result<(), BlockError> {
-        let height = block.header.height;
-
-        // Phase 0: epoch bookkeeping — ceasing + certificate maturity.
-        let payouts = self.state.registry.begin_block(height);
-        for payout in payouts {
-            for (i, bt) in payout.transfers.iter().enumerate() {
-                self.state.utxos.insert(
-                    OutPoint {
-                        txid: payout.certificate_digest,
-                        index: i as u32,
-                    },
-                    TxOut {
-                        address: bt.receiver,
-                        amount: bt.amount,
-                    },
-                );
-            }
-        }
-
-        // Phase 1: non-coinbase transactions, accumulating fees.
-        let mut fees = Amount::ZERO;
-        for tx in &block.transactions[1..] {
-            let fee = apply_transaction(&mut self.state, tx, height, block_hash, &self.active)?;
-            fees = fees.checked_add(fee).ok_or(BlockError::AmountOverflow)?;
-        }
-
-        // Phase 2: coinbase (applied last: its outputs are unspendable
-        // within the creating block).
-        let McTransaction::Coinbase(cb) = &block.transactions[0] else {
-            return Err(BlockError::BadCoinbase(
-                "first transaction must be coinbase",
-            ));
-        };
-        let cb_total = Amount::checked_sum(cb.outputs.iter().map(|o| o.amount))
-            .ok_or(BlockError::AmountOverflow)?;
-        let allowed = self
-            .params
-            .block_subsidy
-            .checked_add(fees)
-            .ok_or(BlockError::AmountOverflow)?;
-        if cb_total > allowed {
-            return Err(BlockError::BadCoinbase("claims more than subsidy + fees"));
-        }
-        let txid = block.transactions[0].txid();
-        for (i, out) in cb.outputs.iter().enumerate() {
-            self.state.utxos.insert(
-                OutPoint {
-                    txid,
-                    index: i as u32,
-                },
-                *out,
-            );
-        }
-        // Net minted coins: coinbase output minus recycled fees.
-        let net = cb_total.checked_sub(fees).unwrap_or(Amount::ZERO);
-        self.state.minted = self
-            .state
-            .minted
-            .checked_add(net)
-            .ok_or(BlockError::AmountOverflow)?;
-        Ok(())
     }
 
     /// Assembles, mines and returns (without submitting) the next block
@@ -609,8 +524,12 @@ impl Blockchain {
         time: u64,
     ) -> Result<Block, BlockError> {
         let height = self.height() + 1;
-        // Dry-run against a state clone to compute fees and validate.
+        // Dry-run against a state clone to compute fees and validate
+        // (stage 3 on scratch state; proofs verify inline — the miner's
+        // prefetch happens when the block is submitted).
         let mut scratch = self.state.clone();
+        let mut scratch_undo = BlockUndo::scratch(&scratch);
+        let verdicts = ProofVerdicts::inline();
         for payout in scratch.registry.begin_block(height) {
             for (i, bt) in payout.transfers.iter().enumerate() {
                 scratch.utxos.insert(
@@ -627,7 +546,15 @@ impl Blockchain {
         }
         let mut fees = Amount::ZERO;
         for tx in &transactions {
-            let fee = apply_transaction(&mut scratch, tx, height, Digest32::ZERO, &self.active)?;
+            let fee = pipeline::apply_transaction(
+                &mut scratch,
+                tx,
+                height,
+                Digest32::ZERO,
+                &self.active,
+                &verdicts,
+                &mut scratch_undo,
+            )?;
             fees = fees.checked_add(fee).ok_or(BlockError::AmountOverflow)?;
         }
         let subsidy = self
@@ -686,102 +613,6 @@ impl Blockchain {
         let block = self.build_next_block(miner, transactions, time)?;
         self.submit_block(block.clone())?;
         Ok(block)
-    }
-}
-
-/// Applies one non-coinbase transaction, returning its fee.
-fn apply_transaction(
-    state: &mut ChainState,
-    tx: &McTransaction,
-    height: u64,
-    block_hash: Digest32,
-    active: &[Digest32],
-) -> Result<Amount, BlockError> {
-    let boundary = |h: u64| active.get(h as usize).copied();
-    match tx {
-        McTransaction::Coinbase(_) => Err(BlockError::BadCoinbase("coinbase not first")),
-        McTransaction::Transfer(t) => {
-            if t.inputs.is_empty() {
-                return Err(BlockError::NoInputs);
-            }
-            // Uniqueness of spent outpoints within the transaction.
-            let mut outpoints = HashSet::new();
-            for input in &t.inputs {
-                if !outpoints.insert(input.outpoint) {
-                    return Err(BlockError::DoubleSpendInBlock(input.outpoint));
-                }
-            }
-            // Authorization + input total.
-            let mut total_in = Amount::ZERO;
-            for (i, input) in t.inputs.iter().enumerate() {
-                let spent = *state
-                    .utxos
-                    .get(&input.outpoint)
-                    .ok_or(BlockError::MissingInput(input.outpoint))?;
-                if !t.verify_input(i, &spent) {
-                    return Err(BlockError::BadInputAuthorization { input: i });
-                }
-                total_in = total_in
-                    .checked_add(spent.amount)
-                    .ok_or(BlockError::AmountOverflow)?;
-            }
-            let total_out = t.total_output().ok_or(BlockError::AmountOverflow)?;
-            if total_out > total_in {
-                return Err(BlockError::ValueImbalance);
-            }
-            // Apply: spend inputs, create outputs, credit FTs.
-            for input in &t.inputs {
-                state.utxos.remove(&input.outpoint).expect("checked above");
-            }
-            let txid = tx.txid();
-            for (i, output) in t.outputs.iter().enumerate() {
-                match output {
-                    crate::transaction::Output::Regular(out) => {
-                        state.utxos.insert(
-                            OutPoint {
-                                txid,
-                                index: i as u32,
-                            },
-                            *out,
-                        );
-                    }
-                    crate::transaction::Output::Forward(ft) => {
-                        state
-                            .registry
-                            .credit_forward_transfer(&ft.sidechain_id, ft.amount)?;
-                    }
-                }
-            }
-            Ok(total_in.checked_sub(total_out).expect("checked above"))
-        }
-        McTransaction::SidechainDeclaration(config) => {
-            state.registry.declare((**config).clone(), height)?;
-            Ok(Amount::ZERO)
-        }
-        McTransaction::Certificate(cert) => {
-            state
-                .registry
-                .accept_certificate(cert, height, block_hash, boundary)?;
-            Ok(Amount::ZERO)
-        }
-        McTransaction::Btr(btr) => {
-            state.registry.accept_btr(btr)?;
-            Ok(Amount::ZERO)
-        }
-        McTransaction::Csw(csw) => {
-            let bt = state.registry.accept_csw(csw)?;
-            state.utxos.insert(
-                OutPoint {
-                    txid: tx.txid(),
-                    index: 0,
-                },
-                TxOut {
-                    address: bt.receiver,
-                    amount: bt.amount,
-                },
-            );
-            Ok(Amount::ZERO)
-        }
     }
 }
 

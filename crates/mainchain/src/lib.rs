@@ -41,6 +41,7 @@ pub mod block;
 pub mod chain;
 pub mod mempool;
 pub mod miner;
+pub mod pipeline;
 pub mod pow;
 pub mod registry;
 pub mod transaction;
@@ -50,6 +51,7 @@ pub mod wallet;
 pub use block::{Block, BlockHeader};
 pub use chain::{BlockError, Blockchain, ChainParams, ChainState, SubmitOutcome};
 pub use miner::Miner;
+pub use pipeline::{BlockUndo, ProofVerdicts};
 pub use registry::{SidechainRegistry, SidechainStatus};
 pub use transaction::{McTransaction, OutPoint, Output, TransferTx, TxOut};
 pub use wallet::Wallet;

@@ -1,9 +1,12 @@
 //! A minimal transaction mempool.
 //!
-//! Keeps candidate transactions in arrival order; validity is checked at
-//! block-building time against the then-current state (the builder
-//! rejects transactions invalidated by reorgs or competing spends), so
-//! the pool itself only deduplicates.
+//! Keeps candidate transactions in arrival order; the pool itself only
+//! deduplicates. Admission through [`crate::miner::Miner`] additionally
+//! runs the pipeline's stage-1 stateless precheck
+//! ([`crate::pipeline::precheck_transaction`]); stateful validity is
+//! checked at block-building time against the then-current state (the
+//! builder rejects transactions invalidated by reorgs or competing
+//! spends).
 
 use std::collections::{HashSet, VecDeque};
 use zendoo_primitives::digest::Digest32;

@@ -53,8 +53,14 @@ impl Miner {
         &self.mempool
     }
 
-    /// Queues a transaction for inclusion.
+    /// Queues a transaction for inclusion. Stage-1 stateless prechecks
+    /// run at admission, so structurally invalid submissions (coinbases,
+    /// empty transfers, malformed declarations, forged settlement
+    /// batches) never occupy pool space.
     pub fn submit_transaction(&mut self, tx: McTransaction) -> bool {
+        if crate::pipeline::precheck_transaction(&tx).is_err() {
+            return false;
+        }
         self.mempool.insert(tx)
     }
 
@@ -111,11 +117,13 @@ mod tests {
 
     fn setup() -> (Blockchain, Miner, Wallet) {
         let alice = Wallet::from_seed(b"alice");
-        let mut params = ChainParams::default();
-        params.genesis_outputs = vec![TxOut {
-            address: alice.address(),
-            amount: Amount::from_units(100_000),
-        }];
+        let params = ChainParams {
+            genesis_outputs: vec![TxOut {
+                address: alice.address(),
+                amount: Amount::from_units(100_000),
+            }],
+            ..ChainParams::default()
+        };
         let chain = Blockchain::new(params);
         let miner = Miner::new(Wallet::from_seed(b"miner").address());
         (chain, miner, alice)

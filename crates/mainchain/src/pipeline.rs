@@ -1,0 +1,621 @@
+//! The staged block-acceptance pipeline.
+//!
+//! Block validation is split into three stages with explicit,
+//! snapshottable boundaries:
+//!
+//! 1. **Stateless precheck** ([`precheck_block`]) — structure, proof of
+//!    work, coinbase discipline, txid uniqueness and the
+//!    `scTxsCommitment` rebuild. No chain state is consulted beyond the
+//!    consensus parameters; [`precheck_transaction`] is the same stage
+//!    applied to a single transaction at mempool admission.
+//! 2. **Parallel proof verification** ([`verify_block_proofs`]) — every
+//!    SNARK check the block owes (certificates, BTRs, CSWs) is
+//!    collected into a work list and verified on scoped worker threads
+//!    *before any state mutation*. The verdicts land in a
+//!    [`ProofVerdicts`] cache keyed by full statement identity, so
+//!    stage 3 consumes them without re-deriving trust: a cache miss
+//!    (the prefetch guessed a different statement than the stateful
+//!    walk assembles) silently falls back to inline verification —
+//!    parallelism is an optimization, never a semantic change.
+//! 3. **Atomic state application** ([`apply_block`]) — the stateful
+//!    walk. All mutations are journaled into a single [`BlockUndo`]
+//!    record per block; on any failure the journal is replayed in
+//!    reverse and the state is returned bit-identical. The same record
+//!    serves reorg disconnects, replacing the full [`ChainState`]
+//!    snapshot per block the chain used to retain (O(UTXO-set) memory
+//!    per block, now O(block)).
+
+use std::collections::{HashMap, HashSet};
+use zendoo_core::ids::{Amount, EpochId, SidechainId};
+use zendoo_core::settlement;
+use zendoo_core::verifier::{self, ProofCheck};
+use zendoo_primitives::digest::Digest32;
+use zendoo_snark::batch::{self, BatchItem};
+
+use crate::block::Block;
+use crate::chain::{BlockError, ChainState};
+use crate::registry::SidechainRegistry;
+use crate::transaction::{McTransaction, OutPoint, Output, TxOut};
+
+// ---- Stage 1: stateless precheck -----------------------------------------
+
+/// Stage-1 checks for one transaction, applied at mempool admission so
+/// garbage never occupies pool space: coinbases cannot be submitted,
+/// transfers must spend something, certificate cross-chain declarations
+/// must decode and pair, and settlement-tagged forward transfers must
+/// carry a well-formed, unforged batch.
+///
+/// # Errors
+///
+/// [`BlockError`] naming the violated rule.
+pub fn precheck_transaction(tx: &McTransaction) -> Result<(), BlockError> {
+    match tx {
+        McTransaction::Coinbase(_) => Err(BlockError::BadCoinbase("coinbase not submittable")),
+        McTransaction::Transfer(t) => {
+            if t.inputs.is_empty() {
+                return Err(BlockError::NoInputs);
+            }
+            for output in &t.outputs {
+                if let Output::Forward(ft) = output {
+                    settlement::check_settlement_output(ft).map_err(BlockError::Settlement)?;
+                }
+            }
+            Ok(())
+        }
+        McTransaction::Certificate(cert) => zendoo_core::crosschain::validate_declarations(cert)
+            .map(|_| ())
+            .map_err(|e| BlockError::Registry(crate::registry::RegistryError::CrossChain(e))),
+        McTransaction::SidechainDeclaration(_) | McTransaction::Btr(_) | McTransaction::Csw(_) => {
+            Ok(())
+        }
+    }
+}
+
+/// Stage-1 checks for a whole block: target/PoW, tx-root and commitment
+/// consistency, coinbase discipline and txid uniqueness. Consults no
+/// chain state beyond `expected_target`.
+///
+/// # Errors
+///
+/// [`BlockError`] naming the violated rule.
+pub fn precheck_block(
+    expected_target: crate::pow::Target,
+    block: &Block,
+) -> Result<(), BlockError> {
+    if block.header.target != expected_target {
+        return Err(BlockError::WrongTarget);
+    }
+    if !block.header.meets_target() {
+        return Err(BlockError::BadProofOfWork);
+    }
+    if !block.tx_root_consistent() {
+        return Err(BlockError::TxRootMismatch);
+    }
+    match block.transactions.first() {
+        Some(McTransaction::Coinbase(cb)) if cb.height == block.header.height => {}
+        Some(McTransaction::Coinbase(_)) => {
+            return Err(BlockError::BadCoinbase("coinbase height mismatch"))
+        }
+        _ => {
+            return Err(BlockError::BadCoinbase(
+                "first transaction must be coinbase",
+            ))
+        }
+    }
+    if block.transactions[1..]
+        .iter()
+        .any(|tx| matches!(tx, McTransaction::Coinbase(_)))
+    {
+        return Err(BlockError::BadCoinbase("multiple coinbases"));
+    }
+    let mut seen = HashSet::new();
+    for tx in &block.transactions {
+        if !seen.insert(tx.txid()) {
+            return Err(BlockError::DuplicateTxid(tx.txid()));
+        }
+    }
+    let commitment = crate::chain::Blockchain::build_commitment(&block.transactions);
+    if commitment.root() != block.header.sc_txs_commitment {
+        return Err(BlockError::CommitmentMismatch);
+    }
+    Ok(())
+}
+
+// ---- Stage 2: parallel proof verification --------------------------------
+
+/// Verdicts of a block's SNARK checks, keyed by full statement identity
+/// ([`ProofCheck::key`]). Stage 3 consults the cache at exactly the
+/// point where the serial validator would verify inline; a miss falls
+/// back to inline verification, so the cache can only save work, never
+/// change an outcome.
+#[derive(Debug, Default)]
+pub struct ProofVerdicts {
+    verdicts: HashMap<Digest32, bool>,
+}
+
+impl ProofVerdicts {
+    /// An empty cache: every check verifies inline (the serial path).
+    pub fn inline() -> Self {
+        Self::default()
+    }
+
+    /// Number of prefetched verdicts.
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// Returns `true` when nothing was prefetched.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+
+    /// The verdict for `job`: cached if prefetched, inline otherwise.
+    pub fn check(&self, job: &ProofCheck) -> bool {
+        match self.verdicts.get(&job.key()) {
+            Some(verdict) => *verdict,
+            None => job.run(),
+        }
+    }
+}
+
+/// Collects every SNARK check a block owes, in transaction order,
+/// against a read-only view of the pre-block state.
+///
+/// The walk mirrors the stateful validator's statement assembly: a
+/// certificate accepted earlier in the same block moves the BTR/CSW
+/// anchor (`H(B_w)`) of later postings for that sidechain to the block
+/// being validated, so the tracker carries per-sidechain anchor
+/// overrides. Transactions whose statements cannot be assembled
+/// (unknown sidechain, missing boundary block, disabled operation) are
+/// skipped — stage 3 rejects them with the precise cheap-check error.
+pub fn collect_proof_checks(
+    state: &ChainState,
+    block: &Block,
+    block_hash: Digest32,
+    active: &[Digest32],
+) -> Vec<ProofCheck> {
+    let boundary = |h: u64| active.get(h as usize).copied();
+    let registry = &state.registry;
+    // Per-sidechain `(epoch, anchor)` of the latest certificate, as it
+    // evolves through the block.
+    let mut anchors: HashMap<SidechainId, (Option<EpochId>, Digest32)> = HashMap::new();
+    fn anchor_of(
+        anchors: &mut HashMap<SidechainId, (Option<EpochId>, Digest32)>,
+        registry: &SidechainRegistry,
+        id: &SidechainId,
+    ) -> (Option<EpochId>, Digest32) {
+        *anchors.entry(*id).or_insert_with(|| {
+            registry
+                .get(id)
+                .and_then(|e| e.certificates.iter().next_back())
+                .map(|(epoch, accepted)| (Some(*epoch), accepted.mc_block))
+                .unwrap_or((None, Digest32::ZERO))
+        })
+    }
+    let mut checks = Vec::new();
+    for tx in &block.transactions {
+        match tx {
+            McTransaction::Certificate(cert) => {
+                let Some(entry) = registry.get(&cert.sidechain_id) else {
+                    continue;
+                };
+                let schedule = entry.config.schedule;
+                let prev_end = if cert.epoch_id == 0 {
+                    if schedule.start_block() == 0 {
+                        Some(Digest32::ZERO)
+                    } else {
+                        boundary(schedule.start_block() - 1)
+                    }
+                } else {
+                    boundary(schedule.epoch_last_height(cert.epoch_id - 1))
+                };
+                let epoch_end = boundary(schedule.epoch_last_height(cert.epoch_id));
+                if let (Some(prev_end), Some(epoch_end)) = (prev_end, epoch_end) {
+                    checks.push(verifier::certificate_proof_check(
+                        &entry.config,
+                        cert,
+                        prev_end,
+                        epoch_end,
+                    ));
+                }
+                // Acceptance would make this the latest certificate,
+                // anchored at the block being validated.
+                let (epoch, _) = anchor_of(&mut anchors, registry, &cert.sidechain_id);
+                if epoch.is_none() || epoch <= Some(cert.epoch_id) {
+                    anchors.insert(cert.sidechain_id, (Some(cert.epoch_id), block_hash));
+                }
+            }
+            McTransaction::Btr(btr) => {
+                let Some(entry) = registry.get(&btr.sidechain_id) else {
+                    continue;
+                };
+                let (_, anchor) = anchor_of(&mut anchors, registry, &btr.sidechain_id);
+                if let Some(check) = verifier::btr_proof_check(&entry.config, btr, anchor) {
+                    checks.push(check);
+                }
+            }
+            McTransaction::Csw(csw) => {
+                let Some(entry) = registry.get(&csw.sidechain_id) else {
+                    continue;
+                };
+                let (_, anchor) = anchor_of(&mut anchors, registry, &csw.sidechain_id);
+                if let Some(check) = verifier::csw_proof_check(&entry.config, csw, anchor) {
+                    checks.push(check);
+                }
+            }
+            McTransaction::Coinbase(_)
+            | McTransaction::Transfer(_)
+            | McTransaction::SidechainDeclaration(_) => {}
+        }
+    }
+    checks
+}
+
+/// Stage 2: collects a block's proof work list and verifies it on
+/// `workers` scoped threads (defaulting to one lane per core). Returns
+/// the filled verdict cache for stage 3.
+pub fn verify_block_proofs(
+    state: &ChainState,
+    block: &Block,
+    block_hash: Digest32,
+    active: &[Digest32],
+    workers: Option<usize>,
+) -> ProofVerdicts {
+    let checks = collect_proof_checks(state, block, block_hash, active);
+    if checks.is_empty() {
+        return ProofVerdicts::inline();
+    }
+    let items: Vec<BatchItem> = checks
+        .iter()
+        .map(|c| BatchItem {
+            vk: c.vk,
+            inputs: c.inputs.clone(),
+            proof: c.proof,
+        })
+        .collect();
+    let workers = workers.unwrap_or_else(|| batch::default_workers(items.len()));
+    let outcomes = batch::verify_batch(&items, workers);
+    let mut verdicts = HashMap::with_capacity(checks.len());
+    for (check, verdict) in checks.iter().zip(outcomes) {
+        // Duplicate statements (same key) necessarily share a verdict.
+        verdicts.insert(check.key(), verdict);
+    }
+    ProofVerdicts { verdicts }
+}
+
+// ---- Stage 3: atomic application with a single undo record ---------------
+
+/// One journaled UTXO-set mutation.
+#[derive(Clone, Debug)]
+enum UtxoOp {
+    /// An output was created at this outpoint.
+    Created(OutPoint),
+    /// This output was spent (previous value retained for undo).
+    Spent(OutPoint, TxOut),
+}
+
+/// The single undo record of one connected block: the journaled UTXO
+/// mutations (replayed in reverse on disconnect) plus the pre-block
+/// registry and mint counter. Everything a reorg needs, at O(block)
+/// rather than O(state) size.
+#[derive(Clone, Debug)]
+pub struct BlockUndo {
+    ops: Vec<UtxoOp>,
+    registry: SidechainRegistry,
+    minted: Amount,
+}
+
+impl BlockUndo {
+    fn new(state: &ChainState) -> Self {
+        BlockUndo {
+            ops: Vec::new(),
+            registry: state.registry.clone(),
+            minted: state.minted,
+        }
+    }
+
+    /// A throwaway journal for dry-run application (block building
+    /// validates candidate transactions on a scratch state and discards
+    /// the journal).
+    pub fn scratch(state: &ChainState) -> Self {
+        Self::new(state)
+    }
+
+    /// Number of journaled UTXO mutations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when the block touched no UTXOs.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+fn create_utxo(state: &mut ChainState, undo: &mut BlockUndo, outpoint: OutPoint, output: TxOut) {
+    let previous = state.utxos.insert(outpoint, output);
+    debug_assert!(previous.is_none(), "outpoint collision at {outpoint:?}");
+    undo.ops.push(UtxoOp::Created(outpoint));
+}
+
+fn spend_utxo(state: &mut ChainState, undo: &mut BlockUndo, outpoint: &OutPoint) -> TxOut {
+    let spent = state.utxos.remove(outpoint).expect("presence checked");
+    undo.ops.push(UtxoOp::Spent(*outpoint, spent));
+    spent
+}
+
+/// Reverts a connected block: replays the UTXO journal in reverse and
+/// restores the pre-block registry and mint counter.
+pub fn revert_block(state: &mut ChainState, undo: BlockUndo) {
+    for op in undo.ops.iter().rev() {
+        match op {
+            UtxoOp::Created(outpoint) => {
+                state.utxos.remove(outpoint);
+            }
+            UtxoOp::Spent(outpoint, output) => {
+                state.utxos.insert(*outpoint, *output);
+            }
+        }
+    }
+    state.registry = undo.registry;
+    state.minted = undo.minted;
+}
+
+/// Stage 3: applies a block's effects to `state`, journaling every
+/// mutation. On success, returns the block's [`BlockUndo`]; on failure,
+/// the partial journal is reverted and the state is untouched.
+///
+/// `verdicts` supplies the stage-2 proof verdicts; pass
+/// [`ProofVerdicts::inline`] for the serial path.
+///
+/// # Errors
+///
+/// [`BlockError`] naming the first violated rule, in the same order a
+/// serial validator reports them.
+pub fn apply_block(
+    state: &mut ChainState,
+    block: &Block,
+    block_hash: Digest32,
+    active: &[Digest32],
+    block_subsidy: Amount,
+    verdicts: &ProofVerdicts,
+) -> Result<BlockUndo, BlockError> {
+    let mut undo = BlockUndo::new(state);
+    match apply_block_inner(
+        state,
+        block,
+        block_hash,
+        active,
+        block_subsidy,
+        verdicts,
+        &mut undo,
+    ) {
+        Ok(()) => Ok(undo),
+        Err(e) => {
+            revert_block(state, undo);
+            Err(e)
+        }
+    }
+}
+
+fn apply_block_inner(
+    state: &mut ChainState,
+    block: &Block,
+    block_hash: Digest32,
+    active: &[Digest32],
+    block_subsidy: Amount,
+    verdicts: &ProofVerdicts,
+    undo: &mut BlockUndo,
+) -> Result<(), BlockError> {
+    let height = block.header.height;
+
+    // Phase 0: epoch bookkeeping — ceasing + certificate maturity.
+    let payouts = state.registry.begin_block(height);
+    for payout in payouts {
+        for (i, bt) in payout.transfers.iter().enumerate() {
+            create_utxo(
+                state,
+                undo,
+                OutPoint {
+                    txid: payout.certificate_digest,
+                    index: i as u32,
+                },
+                TxOut {
+                    address: bt.receiver,
+                    amount: bt.amount,
+                },
+            );
+        }
+    }
+
+    // Phase 1: non-coinbase transactions, accumulating fees.
+    let mut fees = Amount::ZERO;
+    for tx in &block.transactions[1..] {
+        let fee = apply_transaction(state, tx, height, block_hash, active, verdicts, undo)?;
+        fees = fees.checked_add(fee).ok_or(BlockError::AmountOverflow)?;
+    }
+
+    // Phase 2: coinbase (applied last: its outputs are unspendable
+    // within the creating block).
+    let McTransaction::Coinbase(cb) = &block.transactions[0] else {
+        return Err(BlockError::BadCoinbase(
+            "first transaction must be coinbase",
+        ));
+    };
+    let cb_total = Amount::checked_sum(cb.outputs.iter().map(|o| o.amount))
+        .ok_or(BlockError::AmountOverflow)?;
+    let allowed = block_subsidy
+        .checked_add(fees)
+        .ok_or(BlockError::AmountOverflow)?;
+    if cb_total > allowed {
+        return Err(BlockError::BadCoinbase("claims more than subsidy + fees"));
+    }
+    let txid = block.transactions[0].txid();
+    for (i, out) in cb.outputs.iter().enumerate() {
+        create_utxo(
+            state,
+            undo,
+            OutPoint {
+                txid,
+                index: i as u32,
+            },
+            *out,
+        );
+    }
+    // Net minted coins: coinbase output minus recycled fees.
+    let net = cb_total.checked_sub(fees).unwrap_or(Amount::ZERO);
+    state.minted = state
+        .minted
+        .checked_add(net)
+        .ok_or(BlockError::AmountOverflow)?;
+    Ok(())
+}
+
+/// Applies one non-coinbase transaction, returning its fee. Mutations
+/// are journaled into `undo`; proof checks consult `verdicts`.
+///
+/// # Errors
+///
+/// [`BlockError`] naming the violated rule.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_transaction(
+    state: &mut ChainState,
+    tx: &McTransaction,
+    height: u64,
+    block_hash: Digest32,
+    active: &[Digest32],
+    verdicts: &ProofVerdicts,
+    undo: &mut BlockUndo,
+) -> Result<Amount, BlockError> {
+    let boundary = |h: u64| active.get(h as usize).copied();
+    match tx {
+        McTransaction::Coinbase(_) => Err(BlockError::BadCoinbase("coinbase not first")),
+        McTransaction::Transfer(t) => {
+            if t.inputs.is_empty() {
+                return Err(BlockError::NoInputs);
+            }
+            // Uniqueness of spent outpoints within the transaction.
+            let mut outpoints = HashSet::new();
+            for input in &t.inputs {
+                if !outpoints.insert(input.outpoint) {
+                    return Err(BlockError::DoubleSpendInBlock(input.outpoint));
+                }
+            }
+            // Authorization + input total.
+            let mut consumed = Vec::with_capacity(t.inputs.len());
+            let mut total_in = Amount::ZERO;
+            for (i, input) in t.inputs.iter().enumerate() {
+                let spent = *state
+                    .utxos
+                    .get(&input.outpoint)
+                    .ok_or(BlockError::MissingInput(input.outpoint))?;
+                if !t.verify_input(i, &spent) {
+                    return Err(BlockError::BadInputAuthorization { input: i });
+                }
+                consumed.push((spent.address, spent.amount));
+                total_in = total_in
+                    .checked_add(spent.amount)
+                    .ok_or(BlockError::AmountOverflow)?;
+            }
+            let total_out = t.total_output().ok_or(BlockError::AmountOverflow)?;
+            if total_out > total_in {
+                return Err(BlockError::ValueImbalance);
+            }
+            // Batched cross-chain settlement: a transaction carrying a
+            // settlement-tagged forward transfer must spend exactly the
+            // escrow UTXOs whose value it settles (the SettlementBatch
+            // invariant — the commitment was checked against the entry
+            // list at stage 1 / decode time; re-checked here for
+            // hand-built blocks).
+            let mut settled = Amount::ZERO;
+            let mut refunded = Amount::ZERO;
+            let mut carries_settlement = false;
+            for output in &t.outputs {
+                match output {
+                    Output::Forward(ft) => {
+                        if settlement::check_settlement_output(ft)
+                            .map_err(BlockError::Settlement)?
+                            .is_some()
+                        {
+                            carries_settlement = true;
+                        }
+                        settled = settled
+                            .checked_add(ft.amount)
+                            .ok_or(BlockError::AmountOverflow)?;
+                    }
+                    Output::Regular(out) => {
+                        refunded = refunded
+                            .checked_add(out.amount)
+                            .ok_or(BlockError::AmountOverflow)?;
+                    }
+                }
+            }
+            if carries_settlement {
+                settlement::validate_settlement(&consumed, settled, refunded)
+                    .map_err(BlockError::Settlement)?;
+            }
+            // Apply: spend inputs, create outputs, credit FTs.
+            for input in &t.inputs {
+                spend_utxo(state, undo, &input.outpoint);
+            }
+            let txid = tx.txid();
+            for (i, output) in t.outputs.iter().enumerate() {
+                match output {
+                    Output::Regular(out) => {
+                        create_utxo(
+                            state,
+                            undo,
+                            OutPoint {
+                                txid,
+                                index: i as u32,
+                            },
+                            *out,
+                        );
+                    }
+                    Output::Forward(ft) => {
+                        state
+                            .registry
+                            .credit_forward_transfer(&ft.sidechain_id, ft.amount)?;
+                    }
+                }
+            }
+            Ok(total_in.checked_sub(total_out).expect("checked above"))
+        }
+        McTransaction::SidechainDeclaration(config) => {
+            state.registry.declare((**config).clone(), height)?;
+            Ok(Amount::ZERO)
+        }
+        McTransaction::Certificate(cert) => {
+            state
+                .registry
+                .accept_certificate_with(cert, height, block_hash, boundary, |job| {
+                    verdicts.check(job)
+                })?;
+            Ok(Amount::ZERO)
+        }
+        McTransaction::Btr(btr) => {
+            state
+                .registry
+                .accept_btr_with(btr, |job| verdicts.check(job))?;
+            Ok(Amount::ZERO)
+        }
+        McTransaction::Csw(csw) => {
+            let bt = state
+                .registry
+                .accept_csw_with(csw, |job| verdicts.check(job))?;
+            create_utxo(
+                state,
+                undo,
+                OutPoint {
+                    txid: tx.txid(),
+                    index: 0,
+                },
+                TxOut {
+                    address: bt.receiver,
+                    amount: bt.amount,
+                },
+            );
+            Ok(Amount::ZERO)
+        }
+    }
+}

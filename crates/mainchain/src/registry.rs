@@ -19,7 +19,7 @@ use zendoo_core::config::SidechainConfig;
 use zendoo_core::crosschain::{self, XctError};
 use zendoo_core::ids::{Amount, EpochId, Nullifier, SidechainId};
 use zendoo_core::transfer::BackwardTransfer;
-use zendoo_core::verifier::{self, VerifyError};
+use zendoo_core::verifier::{self, ProofCheck, VerifyError};
 use zendoo_core::withdrawal::{BackwardTransferRequest, CeasedSidechainWithdrawal};
 use zendoo_primitives::digest::Digest32;
 
@@ -371,6 +371,28 @@ impl SidechainRegistry {
     where
         F: Fn(u64) -> Option<Digest32>,
     {
+        self.accept_certificate_with(cert, height, block_hash, boundary_hash, ProofCheck::run)
+    }
+
+    /// [`SidechainRegistry::accept_certificate`] with a pluggable SNARK
+    /// check — the staged pipeline passes its stage-2 verdict cache;
+    /// every cheap rule still runs here, in serial order.
+    ///
+    /// # Errors
+    ///
+    /// See [`SidechainRegistry::accept_certificate`].
+    pub fn accept_certificate_with<F, C>(
+        &mut self,
+        cert: &WithdrawalCertificate,
+        height: u64,
+        block_hash: Digest32,
+        boundary_hash: F,
+        check: C,
+    ) -> Result<(), RegistryError>
+    where
+        F: Fn(u64) -> Option<Digest32>,
+        C: FnOnce(&ProofCheck) -> bool,
+    {
         let entry = self
             .entries
             .get_mut(&cert.sidechain_id)
@@ -426,7 +448,14 @@ impl SidechainRegistry {
             .certificates
             .get(&cert.epoch_id)
             .map(|c| c.certificate.quality);
-        verifier::verify_certificate(&entry.config, cert, best_quality, prev_end, epoch_end_hash)?;
+        verifier::verify_certificate_with(
+            &entry.config,
+            cert,
+            best_quality,
+            prev_end,
+            epoch_end_hash,
+            check,
+        )?;
 
         // Safeguard (§4.1.2.2): cannot withdraw more than the balance.
         let total = cert
@@ -457,6 +486,23 @@ impl SidechainRegistry {
     /// Unknown/ceased sidechain, disabled BTRs, reused nullifier, or
     /// invalid proof.
     pub fn accept_btr(&mut self, btr: &BackwardTransferRequest) -> Result<(), RegistryError> {
+        self.accept_btr_with(btr, ProofCheck::run)
+    }
+
+    /// [`SidechainRegistry::accept_btr`] with a pluggable SNARK check
+    /// (see [`SidechainRegistry::accept_certificate_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`SidechainRegistry::accept_btr`].
+    pub fn accept_btr_with<C>(
+        &mut self,
+        btr: &BackwardTransferRequest,
+        check: C,
+    ) -> Result<(), RegistryError>
+    where
+        C: FnOnce(&ProofCheck) -> bool,
+    {
         let entry = self
             .entries
             .get(&btr.sidechain_id)
@@ -468,7 +514,7 @@ impl SidechainRegistry {
         if self.nullifiers.contains(&key) {
             return Err(RegistryError::NullifierReused(btr.nullifier));
         }
-        verifier::verify_btr(&entry.config, btr, entry.last_certificate_block())?;
+        verifier::verify_btr_with(&entry.config, btr, entry.last_certificate_block(), check)?;
         self.nullifiers.insert(key);
         Ok(())
     }
@@ -485,6 +531,23 @@ impl SidechainRegistry {
         &mut self,
         csw: &CeasedSidechainWithdrawal,
     ) -> Result<BackwardTransfer, RegistryError> {
+        self.accept_csw_with(csw, ProofCheck::run)
+    }
+
+    /// [`SidechainRegistry::accept_csw`] with a pluggable SNARK check
+    /// (see [`SidechainRegistry::accept_certificate_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`SidechainRegistry::accept_csw`].
+    pub fn accept_csw_with<C>(
+        &mut self,
+        csw: &CeasedSidechainWithdrawal,
+        check: C,
+    ) -> Result<BackwardTransfer, RegistryError>
+    where
+        C: FnOnce(&ProofCheck) -> bool,
+    {
         let entry = self
             .entries
             .get_mut(&csw.sidechain_id)
@@ -497,7 +560,7 @@ impl SidechainRegistry {
             return Err(RegistryError::NullifierReused(csw.nullifier));
         }
         let anchor = entry.last_certificate_block();
-        verifier::verify_csw(&entry.config, csw, anchor)?;
+        verifier::verify_csw_with(&entry.config, csw, anchor, check)?;
         if csw.amount > entry.balance {
             return Err(RegistryError::SafeguardViolation {
                 requested: csw.amount,

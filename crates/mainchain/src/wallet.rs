@@ -91,7 +91,7 @@ impl Wallet {
         target: Amount,
     ) -> Result<(Vec<(OutPoint, TxOut)>, Amount), WalletError> {
         let mut coins = chain.state().utxos.owned_by(&self.address);
-        coins.sort_by(|a, b| b.1.amount.cmp(&a.1.amount));
+        coins.sort_by_key(|(_, out)| std::cmp::Reverse(out.amount));
         let mut selected = Vec::new();
         let mut total = Amount::ZERO;
         for (op, out) in coins {

@@ -54,11 +54,13 @@ impl Harness {
     fn new() -> Self {
         let miner = Wallet::from_seed(b"miner");
         let alice = Wallet::from_seed(b"alice");
-        let mut params = ChainParams::default();
-        params.genesis_outputs = vec![TxOut {
-            address: alice.address(),
-            amount: Amount::from_units(1_000_000),
-        }];
+        let params = ChainParams {
+            genesis_outputs: vec![TxOut {
+                address: alice.address(),
+                amount: Amount::from_units(1_000_000),
+            }],
+            ..ChainParams::default()
+        };
         let mut chain = Blockchain::new(params);
 
         let (wcert_pk, wcert_vk) = setup_deterministic(&AcceptAll("wcert"), b"h");

@@ -12,14 +12,16 @@ fn chain_with_users(n_users: usize, funds: u64) -> (Blockchain, Vec<Wallet>) {
     let wallets: Vec<Wallet> = (0..n_users)
         .map(|i| Wallet::from_seed(format!("user-{i}").as_bytes()))
         .collect();
-    let mut params = ChainParams::default();
-    params.genesis_outputs = wallets
-        .iter()
-        .map(|w| TxOut {
-            address: w.address(),
-            amount: Amount::from_units(funds),
-        })
-        .collect();
+    let params = ChainParams {
+        genesis_outputs: wallets
+            .iter()
+            .map(|w| TxOut {
+                address: w.address(),
+                amount: Amount::from_units(funds),
+            })
+            .collect(),
+        ..ChainParams::default()
+    };
     (Blockchain::new(params), wallets)
 }
 

@@ -39,6 +39,14 @@ pub struct Metrics {
     pub cross_transfers_refunded: u64,
     /// Cross-chain transfers rejected (replay, bad declaration).
     pub cross_transfers_rejected: u64,
+    /// Maturity windows settled by the router.
+    pub settlement_windows: u64,
+    /// Batched settlement transactions issued (delivery + refund).
+    pub settlement_txs: u64,
+    /// Mainchain transactions saved by windowed batching versus the
+    /// per-transfer delivery path (`transfers − transactions`, summed
+    /// over windows).
+    pub settlement_txs_saved: u64,
     /// Transactions rejected anywhere in the pipeline.
     pub rejections: u64,
 }
@@ -47,7 +55,7 @@ impl Metrics {
     /// Renders a compact human-readable report.
     pub fn report(&self) -> String {
         format!(
-            "mc_blocks={} sc_blocks={} fts={} payments={} bts={} certs(produced/accepted/rejected/withheld)={}/{}/{}/{} reorgs={} sc_reverted={} btrs={} csws={} xct(init/delivered/refunded/rejected)={}/{}/{}/{} rejections={}",
+            "mc_blocks={} sc_blocks={} fts={} payments={} bts={} certs(produced/accepted/rejected/withheld)={}/{}/{}/{} reorgs={} sc_reverted={} btrs={} csws={} xct(init/delivered/refunded/rejected)={}/{}/{}/{} settle(windows/txs/saved)={}/{}/{} rejections={}",
             self.mc_blocks,
             self.sc_blocks,
             self.forward_transfers,
@@ -65,6 +73,9 @@ impl Metrics {
             self.cross_transfers_delivered,
             self.cross_transfers_refunded,
             self.cross_transfers_rejected,
+            self.settlement_windows,
+            self.settlement_txs,
+            self.settlement_txs_saved,
             self.rejections,
         )
     }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use zendoo_core::crosschain::CrossChainTransfer;
 use zendoo_core::epoch::EpochSchedule;
 use zendoo_core::ids::{Address, Amount, SidechainId};
-use zendoo_crosschain::CrossChainRouter;
+use zendoo_crosschain::{CrossChainRouter, RouterSnapshot};
 use zendoo_latus::consensus::ConsensusParams;
 use zendoo_latus::node::{LatusKeys, LatusNode, NodeError};
 use zendoo_latus::params::LatusParams;
@@ -182,10 +182,36 @@ pub struct World {
     pub withhold_certificates: bool,
     /// Per-sidechain withheld-certificate fault.
     withheld: BTreeSet<SidechainId>,
-    /// Receipts already folded into `metrics`.
-    receipts_seen: usize,
+    /// Router receipt-stream cursor already folded into `metrics`.
+    receipts_cursor: u64,
+    /// Router settlement windows already folded into `metrics`.
+    settlements_seen: usize,
+    /// Per-block router undo records keyed by the pre-block chain tip,
+    /// so `inject_mc_fork` can rewind the router (and the
+    /// receipt-derived metrics) alongside the registry undo records
+    /// (pruned to the chain's reorg window).
+    router_undo: Vec<RouterUndo>,
     miner: Wallet,
     time: u64,
+}
+
+/// Everything a mainchain fork must rewind besides the chain itself:
+/// the router state at the pre-block tip plus the receipt-derived
+/// metric counters — without the latter, transfers re-settled on the
+/// replacement branch would be double-counted.
+#[derive(Clone)]
+struct RouterUndo {
+    /// The chain tip this record is consistent with.
+    tip: zendoo_primitives::digest::Digest32,
+    router: RouterSnapshot,
+    receipts_cursor: u64,
+    settlements_seen: usize,
+    cross_delivered: u64,
+    cross_refunded: u64,
+    cross_rejected: u64,
+    settlement_windows: u64,
+    settlement_txs: u64,
+    settlement_txs_saved: u64,
 }
 
 impl World {
@@ -289,7 +315,7 @@ impl World {
             );
         }
 
-        World {
+        let mut world = World {
             chain,
             chains,
             order: sidechain_ids.clone(),
@@ -300,10 +326,48 @@ impl World {
             mc_mempool: Vec::new(),
             withhold_certificates: false,
             withheld: BTreeSet::new(),
-            receipts_seen: 0,
+            receipts_cursor: 0,
+            settlements_seen: 0,
+            router_undo: Vec::new(),
             miner,
             time: 1,
+        };
+        // Anchor snapshot: the router state at the bootstrap tip, so
+        // forks reaching back to the first stepped block can rewind it.
+        let anchor = world.capture_router_undo(world.chain.tip_hash());
+        world.router_undo.push(anchor);
+        world
+    }
+
+    /// Captures the router state and receipt-derived metric counters,
+    /// consistent with chain tip `tip`.
+    fn capture_router_undo(&self, tip: zendoo_primitives::digest::Digest32) -> RouterUndo {
+        RouterUndo {
+            tip,
+            router: self.router.snapshot(),
+            receipts_cursor: self.receipts_cursor,
+            settlements_seen: self.settlements_seen,
+            cross_delivered: self.metrics.cross_transfers_delivered,
+            cross_refunded: self.metrics.cross_transfers_refunded,
+            cross_rejected: self.metrics.cross_transfers_rejected,
+            settlement_windows: self.metrics.settlement_windows,
+            settlement_txs: self.metrics.settlement_txs,
+            settlement_txs_saved: self.metrics.settlement_txs_saved,
         }
+    }
+
+    /// Restores a [`RouterUndo`] record: router state, stream cursors
+    /// and the receipt-derived metric counters.
+    fn restore_router_undo(&mut self, undo: RouterUndo) {
+        self.router.restore(undo.router);
+        self.receipts_cursor = undo.receipts_cursor;
+        self.settlements_seen = undo.settlements_seen;
+        self.metrics.cross_transfers_delivered = undo.cross_delivered;
+        self.metrics.cross_transfers_refunded = undo.cross_refunded;
+        self.metrics.cross_transfers_rejected = undo.cross_rejected;
+        self.metrics.settlement_windows = undo.settlement_windows;
+        self.metrics.settlement_txs = undo.settlement_txs;
+        self.metrics.settlement_txs_saved = undo.settlement_txs_saved;
     }
 
     // ---- Lookup -------------------------------------------------------
@@ -572,7 +636,17 @@ impl World {
     pub fn step(&mut self) -> Result<(), SimError> {
         self.time += 1;
 
-        // Matured cross-chain escrows deliver in this block.
+        // Snapshot the router against the pre-block tip (reorg undo),
+        // pruned to the chain's own reorg window.
+        let undo = self.capture_router_undo(self.chain.tip_hash());
+        self.router_undo.push(undo);
+        let keep = self.chain.params().max_reorg_depth + 1;
+        if self.router_undo.len() > keep {
+            let drop = self.router_undo.len() - keep;
+            self.router_undo.drain(..drop);
+        }
+
+        // Matured cross-chain escrows settle (batched) in this block.
         let deliveries = self.router.collect_deliveries(&self.chain);
         self.mc_mempool.extend(deliveries);
 
@@ -632,11 +706,11 @@ impl World {
         Ok(())
     }
 
-    /// Folds freshly produced router receipts into the metrics.
+    /// Folds freshly produced router receipts and settlement records
+    /// into the metrics.
     fn sync_cross_metrics(&mut self) {
         use zendoo_core::crosschain::DeliveryStatus;
-        let receipts = self.router.receipts();
-        for receipt in &receipts[self.receipts_seen..] {
+        for receipt in self.router.receipts_since(self.receipts_cursor) {
             match receipt.status {
                 DeliveryStatus::Delivered { .. } => self.metrics.cross_transfers_delivered += 1,
                 DeliveryStatus::Refunded { .. } => self.metrics.cross_transfers_refunded += 1,
@@ -646,7 +720,16 @@ impl World {
                 DeliveryStatus::Pending => {}
             }
         }
-        self.receipts_seen = receipts.len();
+        self.receipts_cursor = self.router.receipts_recorded();
+        for record in &self.router.settlements()[self.settlements_seen..] {
+            self.metrics.settlement_windows += 1;
+            self.metrics.settlement_txs += (record.delivery_txs + record.refund_txs) as u64;
+            self.metrics.settlement_txs_saved += record
+                .transfers
+                .saturating_sub(record.delivery_txs + record.refund_txs)
+                as u64;
+        }
+        self.settlements_seen = self.router.settlements().len();
     }
 
     /// Runs `n` steps.
@@ -679,13 +762,12 @@ impl World {
 
     /// Injects a mainchain fork: builds `depth + 1` empty blocks on the
     /// branch point `depth` blocks below the tip, triggering a reorg,
-    /// then re-syncs every node onto the new branch.
+    /// then re-syncs every node onto the new branch and rewinds the
+    /// cross-chain router to its snapshot at the fork base (so queued
+    /// escrows, nullifier reservations and receipts roll back in
+    /// lock-step with the registry undo records).
     ///
     /// Returns the total number of SC blocks reverted across chains.
-    ///
-    /// Note: the cross-chain router's queue is *not* rolled back;
-    /// scenarios combining reorgs with in-flight cross-chain transfers
-    /// are out of scope for the current router.
     ///
     /// # Errors
     ///
@@ -708,16 +790,44 @@ impl World {
             branch.push(block);
         }
         let mut reorged = false;
+        let mut dropped: Vec<McTransaction> = Vec::new();
         for block in &branch {
-            if matches!(
-                self.chain.submit_block(block.clone())?,
-                SubmitOutcome::Reorganized { .. }
-            ) {
+            if let SubmitOutcome::Reorganized { disconnected, .. } =
+                self.chain.submit_block(block.clone())?
+            {
                 reorged = true;
+                // Transactions from disconnected blocks re-enter the
+                // mempool (mirrors `Miner::on_reorg`); the next step's
+                // greedy filter drops any that became invalid on the
+                // new branch.
+                for hash in &disconnected {
+                    if let Some(block) = self.chain.block(hash) {
+                        dropped.extend(block.transactions.iter().skip(1).cloned());
+                    }
+                }
             }
         }
         if reorged {
             self.metrics.reorgs += 1;
+        }
+        self.mc_mempool.extend(dropped);
+        // Rewind the router (and the receipt-derived metrics) to the
+        // fork base, then let it observe the replacement branch —
+        // recording one undo entry per branch block so a later fork
+        // based *inside* this branch can also rewind.
+        if let Some(at) = self
+            .router_undo
+            .iter()
+            .rposition(|undo| undo.tip == fork_base)
+        {
+            let undo = self.router_undo[at].clone();
+            self.restore_router_undo(undo);
+            self.router_undo.truncate(at + 1);
+            for block in &branch {
+                let undo = self.capture_router_undo(block.header.parent);
+                self.router_undo.push(undo);
+                self.router.observe_block(&self.chain, block);
+            }
         }
         // Roll every node back to the fork base and replay the branch.
         let mut reverted = 0;

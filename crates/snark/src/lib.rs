@@ -47,12 +47,14 @@
 #![forbid(unsafe_code)]
 
 pub mod backend;
+pub mod batch;
 pub mod circuit;
 pub mod inputs;
 pub mod parallel;
 pub mod recursive;
 
 pub use backend::{prove, setup, setup_deterministic, verify, Proof, ProvingKey, VerifyingKey};
+pub use batch::{verify_batch, BatchItem};
 pub use circuit::{Circuit, Unsatisfied};
 pub use inputs::PublicInputs;
 pub use parallel::ParallelProver;

@@ -20,9 +20,9 @@ fmt:
 
 # Lints, warnings-as-errors, on the crates introduced/refactored since
 # the seed (the seed crates carry pre-existing style noise; --no-deps
-# keeps the gate scoped to these two).
+# keeps the gate scoped to these).
 clippy:
-    cargo clippy -p zendoo-crosschain -p zendoo-sim --all-targets --no-deps -- -D warnings
+    cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain --all-targets --no-deps -- -D warnings
 
 # Tier-1 verification (must stay green).
 test:
@@ -36,6 +36,14 @@ bench:
 # Just the cross-chain routing hot-path bench.
 bench-crosschain:
     cargo bench -p zendoo-bench --bench crosschain_routing
+
+# Quick bench smoke: routing hot path, multi-certificate block
+# verification (serial vs parallel), and windowed batch settlement
+# (emits BENCH_settlement.json with per-window tx counts).
+bench-smoke:
+    cargo bench -p zendoo-bench --bench crosschain_routing
+    cargo bench -p zendoo-bench --bench cert_pipeline
+    cargo bench -p zendoo-bench --bench settlement
 
 # Run the cross-sidechain swap example end to end.
 demo:

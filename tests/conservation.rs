@@ -133,6 +133,60 @@ proptest! {
         } else {
             prop_assert!(settled <= initiated, "router settled more than initiated");
         }
+
+        // (4) Windowed batch settlement accounting: every matured window
+        // settles its transfers in batched transactions (one per
+        // destination plus at most one refund transaction), so the
+        // transaction count plus the batching savings must equal the
+        // transfers settled — and nothing else may issue settlements.
+        let window_settled = world.metrics.cross_transfers_delivered
+            + world.metrics.cross_transfers_refunded;
+        prop_assert_eq!(
+            world.metrics.settlement_txs + world.metrics.settlement_txs_saved,
+            window_settled,
+            "settlement tx accounting leak"
+        );
+        for record in world.router.settlements() {
+            prop_assert!(
+                record.delivery_txs + record.refund_txs <= record.transfers,
+                "window issued more transactions than transfers"
+            );
+            prop_assert!(record.refund_txs <= 1, "refunds must share one transaction");
+        }
+
+        // (5) Exact per-window value accounting on the batched path: the
+        // value of every delivered transfer equals the value minted on
+        // destination sidechains as inbound cross transfers — i.e. the
+        // sum of batch outputs matches the escrow UTXOs the settlement
+        // transactions consumed (consensus rejects any imbalance, and
+        // the destinations only mint what actually landed).
+        use zendoo::crosschain::DeliveryStatus;
+        let delivered_value: u64 = world
+            .router
+            .receipts()
+            .iter()
+            .filter(|r| matches!(r.status, DeliveryStatus::Delivered { .. }))
+            .map(|r| r.transfer.amount.units())
+            .sum();
+        let inbound_value: u64 = world
+            .sidechain_ids()
+            .to_vec()
+            .iter()
+            .map(|id| {
+                world
+                    .node_of(id)
+                    .unwrap()
+                    .inbound_cross_transfers()
+                    .iter()
+                    .map(|t| t.amount.units())
+                    .sum::<u64>()
+            })
+            .sum();
+        prop_assert_eq!(
+            delivered_value,
+            inbound_value,
+            "delivered escrow value must equal destination-side minted value"
+        );
     }
 }
 
