@@ -1,15 +1,21 @@
 # Zendoo reproduction — make mirror of the justfile (the container may
 # not have `just` installed).
 
-.PHONY: ci fmt-check clippy test bench bench-smoke demo
+.PHONY: ci fmt-check clippy doc doc-test test bench bench-smoke demo
 
-ci: fmt-check clippy test
+ci: fmt-check clippy doc doc-test test
 
 fmt-check:
 	cargo fmt --check
 
 clippy:
 	cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain --all-targets --no-deps -- -D warnings
+
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+doc-test:
+	cargo test --doc --workspace -q
 
 test:
 	cargo build --release
@@ -22,6 +28,7 @@ bench-smoke:
 	cargo bench -p zendoo-bench --bench crosschain_routing
 	cargo bench -p zendoo-bench --bench cert_pipeline
 	cargo bench -p zendoo-bench --bench settlement
+	cargo bench -p zendoo-bench --bench sharded_sim
 
 demo:
 	cargo run --release --example cross_sidechain_swap

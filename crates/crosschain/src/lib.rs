@@ -26,10 +26,50 @@
 //!    share one refund transaction paying the senders' payback
 //!    addresses.
 //!
+//! The full lifecycle, left to right:
+//!
+//! ```text
+//!  source SC                mainchain (registry + router)          dest SC
+//!  ─────────                ─────────────────────────────          ───────
+//!  submit_cross_transfer
+//!    │ spend UTXOs, queue XCT
+//!    ▼
+//!  certificate ──declare──► accept_certificate:        ┌─────────────────┐
+//!  (escrow-paired BTs)        escrow pairing ✓         │ observe_block   │
+//!                             nullifier fresh ✓   ───► │ quality replace │
+//!                                                      │ nullifier dedup │
+//!                           window closes:             └────────┬────────┘
+//!                             escrow BTs pay out                │ mature
+//!                                                      ┌────────▼────────┐
+//!                                                      │collect_deliverie│
+//!                             one settlement tx per    │ batch by dest   │
+//!                             destination (or one  ◄── │ refund ceased / │
+//!                             shared refund tx)        │ unknown dests   │
+//!                                                      └────────┬────────┘
+//!                           settlement FT in next block          │
+//!                                                                ▼
+//!                                                      sync_mainchain_block:
+//!                                                      mint one UTXO per
+//!                                                      batch entry
+//! ```
+//!
 //! The message/receipt types and verifier hooks live in
 //! [`zendoo_core::crosschain`] (both chains and the mainchain registry
 //! need them); this crate owns the mainchain-side routing state
-//! machine.
+//! machine. For concurrent simulations, the in-flight queue can be
+//! split per destination ([`CrossChainRouter::pending_by_destination`])
+//! so each sidechain shard receives its own inbound view without
+//! contending on the router.
+//!
+//! # Examples
+//!
+//! ```
+//! use zendoo_crosschain::CrossChainRouter;
+//!
+//! let router = CrossChainRouter::new();
+//! assert_eq!(router.pending_count(), 0);
+//! assert_eq!(router.receipts_recorded(), 0);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

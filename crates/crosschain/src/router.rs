@@ -90,6 +90,30 @@ pub struct RouterSnapshot {
 /// Escrowed value is held by the escrow authority key between maturity
 /// and delivery; see [`zendoo_core::crosschain::escrow_keypair`] for
 /// why this reproduction models the escrow as a well-known key.
+///
+/// # Examples
+///
+/// The router mirrors a [`Blockchain`] block by block; a block without
+/// certificates queues nothing and an immature queue settles nothing:
+///
+/// ```
+/// use zendoo_crosschain::CrossChainRouter;
+/// use zendoo_mainchain::chain::{Blockchain, ChainParams};
+/// use zendoo_mainchain::wallet::Wallet;
+///
+/// let mut chain = Blockchain::new(ChainParams::default());
+/// let mut router = CrossChainRouter::new();
+/// let miner = Wallet::from_seed(b"doc-miner");
+///
+/// let snapshot = router.snapshot(); // reorg-safety: pre-block state
+/// let block = chain.mine_next_block(miner.address(), vec![], 1).unwrap();
+/// router.observe_block(&chain, &block);
+///
+/// assert_eq!(router.pending_count(), 0);
+/// assert!(router.pending_by_destination().is_empty());
+/// assert!(router.collect_deliveries(&chain).is_empty());
+/// router.restore(snapshot); // a fork rewinds the router in lock-step
+/// ```
 pub struct CrossChainRouter {
     escrow: Keypair,
     /// Nullifiers of transfers already delivered or refunded.
@@ -199,6 +223,45 @@ impl CrossChainRouter {
     /// Number of transfers awaiting maturity.
     pub fn pending_count(&self) -> usize {
         self.pending.values().map(|e| e.items.len()).sum()
+    }
+
+    /// The in-flight transfers currently queued for one destination
+    /// sidechain, in `(source, epoch)` window order.
+    ///
+    /// This is the single-destination slice of
+    /// [`CrossChainRouter::pending_by_destination`]; a node answering
+    /// "incoming balance" queries for its own chain only needs this.
+    pub fn pending_for_destination(&self, dest: &SidechainId) -> Vec<CrossChainTransfer> {
+        self.pending
+            .values()
+            .flat_map(|window| window.items.iter())
+            .filter(|item| item.transfer.dest == *dest)
+            .map(|item| item.transfer)
+            .collect()
+    }
+
+    /// Partitions the in-flight queue by destination sidechain:
+    /// every transfer awaiting maturity, grouped under the chain that
+    /// will receive it, in `(source, epoch)` window order within each
+    /// group.
+    ///
+    /// The partition is **by value** — each destination's slice is
+    /// independent of the router and of every other slice — so a
+    /// sharded simulation (or a per-chain worker in a node deployment)
+    /// can hand each sidechain its own inbound view and let shards
+    /// pre-validate pending value concurrently without contending on
+    /// the router itself.
+    pub fn pending_by_destination(&self) -> BTreeMap<SidechainId, Vec<CrossChainTransfer>> {
+        let mut partition: BTreeMap<SidechainId, Vec<CrossChainTransfer>> = BTreeMap::new();
+        for window in self.pending.values() {
+            for item in &window.items {
+                partition
+                    .entry(item.transfer.dest)
+                    .or_default()
+                    .push(item.transfer);
+            }
+        }
+        partition
     }
 
     /// Returns `true` once `nullifier` has been delivered or refunded.

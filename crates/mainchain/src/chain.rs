@@ -185,6 +185,23 @@ struct StoredBlock {
     cumulative_work: u128,
 }
 
+/// A block assembled by [`Blockchain::prepare_next_block`]: the mined
+/// block, the candidates it had to reject, and the proof verdicts
+/// recorded during the dry run — [`Blockchain::submit_prepared`]
+/// consumes the verdicts so stage 2 re-verifies nothing the builder
+/// already checked.
+#[derive(Debug)]
+pub struct PreparedBlock {
+    /// The assembled, mined (not yet submitted) block.
+    pub block: Block,
+    /// Candidates rejected during the one-pass greedy fill, with the
+    /// rule each violated (in candidate order).
+    pub rejected: Vec<(McTransaction, BlockError)>,
+    /// Proof verdicts recorded by the dry run, keyed by statement
+    /// identity.
+    pub verdicts: ProofVerdicts,
+}
+
 /// The mainchain: block tree + active-chain state.
 pub struct Blockchain {
     params: ChainParams,
@@ -196,6 +213,9 @@ pub struct Blockchain {
     /// Single undo record per active block (pruned beyond
     /// `max_reorg_depth`) — stage 3's journal, not a state snapshot.
     undo: HashMap<Digest32, BlockUndo>,
+    /// Builder-supplied verdicts for the block hash being submitted via
+    /// [`Blockchain::submit_prepared`]; consumed by `connect_block`.
+    pending_verdicts: Option<(Digest32, ProofVerdicts)>,
     genesis_hash: Digest32,
 }
 
@@ -263,6 +283,7 @@ impl Blockchain {
             active: vec![genesis_hash],
             state,
             undo: HashMap::new(),
+            pending_verdicts: None,
             genesis_hash,
         }
     }
@@ -484,8 +505,17 @@ impl Blockchain {
         let block = stored.block.clone();
         debug_assert_eq!(block.header.parent, self.tip_hash());
         // Stage 2: parallel proof verification against the pre-block
-        // state (read-only; no mutation can have happened yet).
-        let verdicts = pipeline::verify_block_proofs(&self.state, &block, hash, &self.active, None);
+        // state (read-only; no mutation can have happened yet). A block
+        // arriving through `submit_prepared` brings the verdicts its
+        // builder already recorded; statements the builder could not
+        // anticipate fall back to inline verification in stage 3.
+        let verdicts = match self.pending_verdicts.take() {
+            Some((prepared_hash, verdicts)) if prepared_hash == hash => verdicts,
+            other => {
+                self.pending_verdicts = other;
+                pipeline::verify_block_proofs(&self.state, &block, hash, &self.active, None)
+            }
+        };
         // Stage 3: atomic application (reverts itself on failure).
         let undo = pipeline::apply_block(
             &mut self.state,
@@ -523,13 +553,63 @@ impl Blockchain {
         transactions: Vec<McTransaction>,
         time: u64,
     ) -> Result<Block, BlockError> {
+        // Validate first: a rejected candidate must surface before any
+        // proof-of-work is spent on a block that would be discarded.
+        let (accepted, mut rejected, fees, verdicts) = self.fill_block(transactions);
+        if let Some((_, error)) = rejected.drain(..).next() {
+            return Err(error);
+        }
+        drop(verdicts);
+        self.assemble_and_mine(miner, accepted, fees, time)
+    }
+
+    /// Assembles and mines the next block in **one pass**: every
+    /// candidate is applied to a single scratch state in order, a
+    /// failing candidate is rolled back via the undo journal and
+    /// reported in [`PreparedBlock::rejected`] (the greedy fill a miner
+    /// wants — without re-validating the accepted prefix per
+    /// candidate), and every proof verified during the dry run is
+    /// recorded in [`PreparedBlock::verdicts`] so
+    /// [`Blockchain::submit_prepared`] never re-verifies it.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::MiningFailed`] or amount overflow while assembling
+    /// the coinbase; per-candidate failures are reported in the
+    /// returned `rejected` list instead.
+    pub fn prepare_next_block(
+        &self,
+        miner: Address,
+        candidates: Vec<McTransaction>,
+        time: u64,
+    ) -> Result<PreparedBlock, BlockError> {
+        let (accepted, rejected, fees, verdicts) = self.fill_block(candidates);
+        let block = self.assemble_and_mine(miner, accepted, fees, time)?;
+        Ok(PreparedBlock {
+            block,
+            rejected,
+            verdicts,
+        })
+    }
+
+    /// The one-pass greedy fill: applies every candidate to a single
+    /// scratch state in order, rolling a failing candidate back via the
+    /// undo journal, and records every proof verdict the dry run
+    /// produced. Returns `(accepted, rejected, fees, verdicts)`.
+    #[allow(clippy::type_complexity)]
+    fn fill_block(
+        &self,
+        candidates: Vec<McTransaction>,
+    ) -> (
+        Vec<McTransaction>,
+        Vec<(McTransaction, BlockError)>,
+        Amount,
+        ProofVerdicts,
+    ) {
         let height = self.height() + 1;
-        // Dry-run against a state clone to compute fees and validate
-        // (stage 3 on scratch state; proofs verify inline — the miner's
-        // prefetch happens when the block is submitted).
         let mut scratch = self.state.clone();
-        let mut scratch_undo = BlockUndo::scratch(&scratch);
-        let verdicts = ProofVerdicts::inline();
+        let mut undo = BlockUndo::scratch(&scratch);
+        let mut verdicts = ProofVerdicts::recording();
         for payout in scratch.registry.begin_block(height) {
             for (i, bt) in payout.transfers.iter().enumerate() {
                 scratch.utxos.insert(
@@ -545,18 +625,49 @@ impl Blockchain {
             }
         }
         let mut fees = Amount::ZERO;
-        for tx in &transactions {
-            let fee = pipeline::apply_transaction(
+        let mut accepted = Vec::with_capacity(candidates.len());
+        let mut rejected = Vec::new();
+        for tx in candidates {
+            let mark = undo.mark();
+            match pipeline::apply_transaction(
                 &mut scratch,
-                tx,
+                &tx,
                 height,
                 Digest32::ZERO,
                 &self.active,
                 &verdicts,
-                &mut scratch_undo,
-            )?;
-            fees = fees.checked_add(fee).ok_or(BlockError::AmountOverflow)?;
+                &mut undo,
+            ) {
+                Ok(fee) => match fees.checked_add(fee) {
+                    Some(total) => {
+                        fees = total;
+                        accepted.push(tx);
+                    }
+                    None => {
+                        undo.revert_to_mark(&mut scratch, mark);
+                        rejected.push((tx, BlockError::AmountOverflow));
+                    }
+                },
+                Err(e) => {
+                    undo.revert_to_mark(&mut scratch, mark);
+                    rejected.push((tx, e));
+                }
+            }
         }
+        verdicts.freeze();
+        (accepted, rejected, fees, verdicts)
+    }
+
+    /// Assembles the coinbase + accepted transactions and mines the
+    /// header.
+    fn assemble_and_mine(
+        &self,
+        miner: Address,
+        accepted: Vec<McTransaction>,
+        fees: Amount,
+        time: u64,
+    ) -> Result<Block, BlockError> {
+        let height = self.height() + 1;
         let subsidy = self
             .params
             .block_subsidy
@@ -569,9 +680,9 @@ impl Blockchain {
                 amount: subsidy,
             }],
         });
-        let mut all = Vec::with_capacity(transactions.len() + 1);
+        let mut all = Vec::with_capacity(accepted.len() + 1);
         all.push(coinbase);
-        all.extend(transactions);
+        all.extend(accepted);
         let commitment = Self::build_commitment(&all);
         let mut header = BlockHeader {
             parent: self.tip_hash(),
@@ -596,6 +707,25 @@ impl Blockchain {
             header,
             transactions: all,
         })
+    }
+
+    /// Submits a block assembled by [`Blockchain::prepare_next_block`],
+    /// threading the builder's recorded proof verdicts into stage 2 —
+    /// each proof is verified once per node (at build time) instead of
+    /// once at build and again at submission.
+    ///
+    /// # Errors
+    ///
+    /// See [`Blockchain::submit_block`].
+    pub fn submit_prepared(
+        &mut self,
+        prepared: PreparedBlock,
+    ) -> Result<SubmitOutcome, BlockError> {
+        let hash = prepared.block.hash();
+        self.pending_verdicts = Some((hash, prepared.verdicts));
+        let result = self.submit_block(prepared.block);
+        self.pending_verdicts = None;
+        result
     }
 
     /// Convenience: build, mine and submit the next block in one call.

@@ -64,28 +64,22 @@ impl Miner {
         self.mempool.insert(tx)
     }
 
-    /// Assembles, mines and submits the next block. Transactions the
-    /// chain rejects are dropped from the pool (counted in the return's
-    /// second element).
+    /// Assembles, mines and submits the next block in one pass
+    /// ([`Blockchain::prepare_next_block`]): candidates the chain
+    /// rejects are dropped from the pool, and every proof verified
+    /// while building is reused at submission
+    /// ([`Blockchain::submit_prepared`]) instead of being verified a
+    /// second time.
     ///
     /// # Errors
     ///
     /// Propagates chain errors other than per-transaction rejections.
     pub fn mine(&mut self, chain: &mut Blockchain, time: u64) -> Result<Block, BlockError> {
         let candidates = self.mempool.take(self.max_txs_per_block);
-        // Greedy filter: drop exactly the transactions the chain
-        // rejects, keep the rest in order.
-        let mut accepted: Vec<McTransaction> = Vec::with_capacity(candidates.len());
-        for tx in candidates {
-            let mut attempt = accepted.clone();
-            attempt.push(tx.clone());
-            if chain.build_next_block(self.address, attempt, time).is_ok() {
-                accepted.push(tx);
-            }
-        }
-        let block = chain.build_next_block(self.address, accepted, time)?;
+        let prepared = chain.prepare_next_block(self.address, candidates, time)?;
+        let block = prepared.block.clone();
         let confirmed: Vec<Digest32> = block.transactions.iter().map(|t| t.txid()).collect();
-        match chain.submit_block(block.clone())? {
+        match chain.submit_prepared(prepared)? {
             SubmitOutcome::ExtendedActiveChain | SubmitOutcome::Reorganized { .. } => {
                 self.mempool.remove_confirmed(&confirmed);
             }

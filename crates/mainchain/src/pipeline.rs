@@ -34,7 +34,7 @@ use zendoo_snark::batch::{self, BatchItem};
 
 use crate::block::Block;
 use crate::chain::{BlockError, ChainState};
-use crate::registry::SidechainRegistry;
+use crate::registry::{RegistryUndo, SidechainRegistry};
 use crate::transaction::{McTransaction, OutPoint, Output, TxOut};
 
 // ---- Stage 1: stateless precheck -----------------------------------------
@@ -128,9 +128,20 @@ pub fn precheck_block(
 /// point where the serial validator would verify inline; a miss falls
 /// back to inline verification, so the cache can only save work, never
 /// change an outcome.
+///
+/// A **recording** cache ([`ProofVerdicts::recording`]) additionally
+/// memoizes every inline verification it performs. A block builder
+/// threads one recording cache through its dry run and hands it to
+/// [`crate::chain::Blockchain::submit_prepared`]: each proof is then
+/// verified exactly once per node — at build time — instead of once at
+/// build and again at stage 2 of submission.
 #[derive(Debug, Default)]
 pub struct ProofVerdicts {
     verdicts: HashMap<Digest32, bool>,
+    /// Verdicts memoized by a recording cache (interior mutability so
+    /// stage 3 can record through the shared `&ProofVerdicts` it is
+    /// handed). `None` disables recording.
+    memo: Option<std::cell::RefCell<HashMap<Digest32, bool>>>,
 }
 
 impl ProofVerdicts {
@@ -139,21 +150,48 @@ impl ProofVerdicts {
         Self::default()
     }
 
-    /// Number of prefetched verdicts.
+    /// An empty cache that memoizes every inline verification it runs,
+    /// so later checks of the same statement are free.
+    pub fn recording() -> Self {
+        ProofVerdicts {
+            verdicts: HashMap::new(),
+            memo: Some(std::cell::RefCell::new(HashMap::new())),
+        }
+    }
+
+    /// Number of cached verdicts (prefetched plus recorded).
     pub fn len(&self) -> usize {
-        self.verdicts.len()
+        self.verdicts.len() + self.memo.as_ref().map(|m| m.borrow().len()).unwrap_or(0)
     }
 
-    /// Returns `true` when nothing was prefetched.
+    /// Returns `true` when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.verdicts.is_empty()
+        self.len() == 0
     }
 
-    /// The verdict for `job`: cached if prefetched, inline otherwise.
+    /// The verdict for `job`: cached if prefetched or previously
+    /// recorded, inline otherwise (memoized when recording).
     pub fn check(&self, job: &ProofCheck) -> bool {
-        match self.verdicts.get(&job.key()) {
-            Some(verdict) => *verdict,
-            None => job.run(),
+        let key = job.key();
+        if let Some(verdict) = self.verdicts.get(&key) {
+            return *verdict;
+        }
+        if let Some(memo) = &self.memo {
+            if let Some(verdict) = memo.borrow().get(&key) {
+                return *verdict;
+            }
+            let verdict = job.run();
+            memo.borrow_mut().insert(key, verdict);
+            return verdict;
+        }
+        job.run()
+    }
+
+    /// Stops recording, promoting every memoized verdict into the
+    /// plain cache (the shape `submit_prepared` consumes).
+    pub fn freeze(&mut self) {
+        if let Some(memo) = self.memo.take() {
+            self.verdicts.extend(memo.into_inner());
         }
     }
 }
@@ -280,7 +318,10 @@ pub fn verify_block_proofs(
         // Duplicate statements (same key) necessarily share a verdict.
         verdicts.insert(check.key(), verdict);
     }
-    ProofVerdicts { verdicts }
+    ProofVerdicts {
+        verdicts,
+        memo: None,
+    }
 }
 
 // ---- Stage 3: atomic application with a single undo record ---------------
@@ -295,21 +336,31 @@ enum UtxoOp {
 }
 
 /// The single undo record of one connected block: the journaled UTXO
-/// mutations (replayed in reverse on disconnect) plus the pre-block
-/// registry and mint counter. Everything a reorg needs, at O(block)
-/// rather than O(state) size.
-#[derive(Clone, Debug)]
+/// mutations and [`RegistryUndo`] deltas (both replayed in reverse on
+/// disconnect) plus the pre-block mint counter. Everything a reorg
+/// needs, at O(block) size — the registry half used to be a full
+/// [`SidechainRegistry`] clone per block, O(sidechains + nullifiers).
+#[derive(Clone, Debug, Default)]
 pub struct BlockUndo {
     ops: Vec<UtxoOp>,
-    registry: SidechainRegistry,
+    registry: RegistryUndo,
     minted: Amount,
+}
+
+/// A position inside a [`BlockUndo`] journal, for rolling back the
+/// suffix written by a single failed transaction (the one-pass block
+/// builder's per-candidate rollback).
+#[derive(Clone, Copy, Debug)]
+pub struct UndoMark {
+    utxo_ops: usize,
+    registry_ops: usize,
 }
 
 impl BlockUndo {
     fn new(state: &ChainState) -> Self {
         BlockUndo {
             ops: Vec::new(),
-            registry: state.registry.clone(),
+            registry: RegistryUndo::default(),
             minted: state.minted,
         }
     }
@@ -330,6 +381,35 @@ impl BlockUndo {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// The current journal position; pass to
+    /// [`BlockUndo::revert_to_mark`] to roll back everything journaled
+    /// after this point.
+    pub fn mark(&self) -> UndoMark {
+        UndoMark {
+            utxo_ops: self.ops.len(),
+            registry_ops: self.registry.len(),
+        }
+    }
+
+    /// Reverts (and drops from the journal) every mutation recorded
+    /// after `mark` — the per-transaction rollback used by the one-pass
+    /// block builder when a candidate fails mid-application.
+    pub fn revert_to_mark(&mut self, state: &mut ChainState, mark: UndoMark) {
+        for op in self.ops.drain(mark.utxo_ops..).rev() {
+            match op {
+                UtxoOp::Created(outpoint) => {
+                    state.utxos.remove(&outpoint);
+                }
+                UtxoOp::Spent(outpoint, output) => {
+                    state.utxos.insert(outpoint, output);
+                }
+            }
+        }
+        state
+            .registry
+            .revert_to(&mut self.registry, mark.registry_ops);
+    }
 }
 
 fn create_utxo(state: &mut ChainState, undo: &mut BlockUndo, outpoint: OutPoint, output: TxOut) {
@@ -344,8 +424,8 @@ fn spend_utxo(state: &mut ChainState, undo: &mut BlockUndo, outpoint: &OutPoint)
     spent
 }
 
-/// Reverts a connected block: replays the UTXO journal in reverse and
-/// restores the pre-block registry and mint counter.
+/// Reverts a connected block: replays the UTXO and registry journals in
+/// reverse and restores the pre-block mint counter.
 pub fn revert_block(state: &mut ChainState, undo: BlockUndo) {
     for op in undo.ops.iter().rev() {
         match op {
@@ -357,7 +437,7 @@ pub fn revert_block(state: &mut ChainState, undo: BlockUndo) {
             }
         }
     }
-    state.registry = undo.registry;
+    state.registry.revert(undo.registry);
     state.minted = undo.minted;
 }
 
@@ -410,7 +490,9 @@ fn apply_block_inner(
     let height = block.header.height;
 
     // Phase 0: epoch bookkeeping — ceasing + certificate maturity.
-    let payouts = state.registry.begin_block(height);
+    let payouts = state
+        .registry
+        .begin_block_journaled(height, &mut undo.registry);
     for payout in payouts {
         for (i, bt) in payout.transfers.iter().enumerate() {
             create_utxo(
@@ -573,36 +655,47 @@ pub fn apply_transaction(
                         );
                     }
                     Output::Forward(ft) => {
-                        state
-                            .registry
-                            .credit_forward_transfer(&ft.sidechain_id, ft.amount)?;
+                        state.registry.credit_forward_transfer_journaled(
+                            &ft.sidechain_id,
+                            ft.amount,
+                            &mut undo.registry,
+                        )?;
                     }
                 }
             }
             Ok(total_in.checked_sub(total_out).expect("checked above"))
         }
         McTransaction::SidechainDeclaration(config) => {
-            state.registry.declare((**config).clone(), height)?;
+            state
+                .registry
+                .declare_journaled((**config).clone(), height, &mut undo.registry)?;
             Ok(Amount::ZERO)
         }
         McTransaction::Certificate(cert) => {
-            state
-                .registry
-                .accept_certificate_with(cert, height, block_hash, boundary, |job| {
-                    verdicts.check(job)
-                })?;
+            state.registry.accept_certificate_journaled(
+                cert,
+                height,
+                block_hash,
+                boundary,
+                |job| verdicts.check(job),
+                &mut undo.registry,
+            )?;
             Ok(Amount::ZERO)
         }
         McTransaction::Btr(btr) => {
-            state
-                .registry
-                .accept_btr_with(btr, |job| verdicts.check(job))?;
+            state.registry.accept_btr_journaled(
+                btr,
+                |job| verdicts.check(job),
+                &mut undo.registry,
+            )?;
             Ok(Amount::ZERO)
         }
         McTransaction::Csw(csw) => {
-            let bt = state
-                .registry
-                .accept_csw_with(csw, |job| verdicts.check(job))?;
+            let bt = state.registry.accept_csw_journaled(
+                csw,
+                |job| verdicts.check(job),
+                &mut undo.registry,
+            )?;
             create_utxo(
                 state,
                 undo,

@@ -183,6 +183,67 @@ impl From<XctError> for RegistryError {
     }
 }
 
+/// One journaled registry mutation, recorded by the `*_journaled`
+/// mutation methods and replayed in reverse by
+/// [`SidechainRegistry::revert`].
+#[derive(Clone, Debug)]
+enum RegistryOp {
+    /// A sidechain was declared (undo: remove the entry).
+    Declared(SidechainId),
+    /// The safeguard balance was credited (undo: debit).
+    Credited(SidechainId, Amount),
+    /// The safeguard balance was debited (undo: credit).
+    Debited(SidechainId, Amount),
+    /// A certificate was inserted for `(id, epoch)`, displacing
+    /// `previous` (undo: restore `previous` or remove).
+    CertInserted {
+        id: SidechainId,
+        epoch: EpochId,
+        previous: Option<Box<AcceptedCertificate>>,
+    },
+    /// A nullifier was consumed (undo: release it).
+    NullifierInserted(SidechainId, Nullifier),
+    /// The sidechain was marked ceased (undo: back to `Active`).
+    Ceased(SidechainId),
+    /// The `(id, epoch)` certificate matured (undo: unmature).
+    Matured(SidechainId, EpochId),
+}
+
+/// An ordered journal of registry mutations — the registry half of a
+/// block's undo record. Replaces the full [`SidechainRegistry`] clone
+/// the chain used to retain per block: undo memory is now proportional
+/// to what the block *changed*, not to the number of registered
+/// sidechains or the size of the nullifier set.
+#[derive(Clone, Debug, Default)]
+pub struct RegistryUndo {
+    ops: Vec<RegistryOp>,
+}
+
+impl RegistryUndo {
+    /// Number of journaled mutations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when nothing was journaled.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends `other`'s ops after this journal's (keeps one journal
+    /// per block while composing per-phase journals).
+    pub fn append(&mut self, other: &mut RegistryUndo) {
+        self.ops.append(&mut other.ops);
+    }
+
+    /// Truncates the journal back to `len` ops **without** reverting
+    /// them (callers revert first via
+    /// [`SidechainRegistry::revert_to`]).
+    fn truncate(&mut self, len: usize) {
+        self.ops.truncate(len);
+    }
+}
+
 /// The registry of all sidechains known to the mainchain.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SidechainRegistry {
@@ -230,6 +291,78 @@ impl SidechainRegistry {
         self.nullifiers.contains(&(*id, *nullifier))
     }
 
+    /// Reverts every mutation in `undo`, newest first. After this the
+    /// registry is bit-identical to its state before the journaled
+    /// methods ran.
+    pub fn revert(&mut self, undo: RegistryUndo) {
+        self.revert_ops(&undo.ops, 0);
+    }
+
+    /// Reverts the journal's suffix past `mark` (as returned by
+    /// [`RegistryUndo::len`] before a mutation batch) and truncates the
+    /// journal — per-transaction rollback inside one block's journal.
+    pub fn revert_to(&mut self, undo: &mut RegistryUndo, mark: usize) {
+        self.revert_ops(&undo.ops, mark);
+        undo.truncate(mark);
+    }
+
+    fn revert_ops(&mut self, ops: &[RegistryOp], from: usize) {
+        for op in ops[from..].iter().rev() {
+            match op {
+                RegistryOp::Declared(id) => {
+                    self.entries.remove(id);
+                }
+                RegistryOp::Credited(id, amount) => {
+                    let entry = self.entries.get_mut(id).expect("journaled entry exists");
+                    entry.balance = entry
+                        .balance
+                        .checked_sub(*amount)
+                        .expect("journaled credit reverts");
+                }
+                RegistryOp::Debited(id, amount) => {
+                    let entry = self.entries.get_mut(id).expect("journaled entry exists");
+                    entry.balance = entry
+                        .balance
+                        .checked_add(*amount)
+                        .expect("journaled debit reverts");
+                }
+                RegistryOp::CertInserted {
+                    id,
+                    epoch,
+                    previous,
+                } => {
+                    let entry = self.entries.get_mut(id).expect("journaled entry exists");
+                    match previous {
+                        Some(prev) => {
+                            entry.certificates.insert(*epoch, (**prev).clone());
+                        }
+                        None => {
+                            entry.certificates.remove(epoch);
+                        }
+                    }
+                }
+                RegistryOp::NullifierInserted(id, nullifier) => {
+                    self.nullifiers.remove(&(*id, *nullifier));
+                }
+                RegistryOp::Ceased(id) => {
+                    self.entries
+                        .get_mut(id)
+                        .expect("journaled entry exists")
+                        .status = SidechainStatus::Active;
+                }
+                RegistryOp::Matured(id, epoch) => {
+                    self.entries
+                        .get_mut(id)
+                        .expect("journaled entry exists")
+                        .certificates
+                        .get_mut(epoch)
+                        .expect("journaled certificate exists")
+                        .matured = false;
+                }
+            }
+        }
+    }
+
     /// Registers a new sidechain (§4.2), declared in a block at
     /// `declared_at`.
     ///
@@ -241,6 +374,21 @@ impl SidechainRegistry {
         &mut self,
         config: SidechainConfig,
         declared_at: u64,
+    ) -> Result<(), RegistryError> {
+        self.declare_journaled(config, declared_at, &mut RegistryUndo::default())
+    }
+
+    /// [`SidechainRegistry::declare`], journaling the mutation into
+    /// `undo`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SidechainRegistry::declare`].
+    pub fn declare_journaled(
+        &mut self,
+        config: SidechainConfig,
+        declared_at: u64,
+        undo: &mut RegistryUndo,
     ) -> Result<(), RegistryError> {
         if config.id.is_reserved() || self.entries.contains_key(&config.id) {
             return Err(RegistryError::IdUnavailable(config.id));
@@ -265,6 +413,7 @@ impl SidechainRegistry {
                 declared_at,
             },
         );
+        undo.ops.push(RegistryOp::Declared(id));
         Ok(())
     }
 
@@ -272,6 +421,17 @@ impl SidechainRegistry {
     /// closed empty (Def 4.2) and matures the winning certificate of each
     /// window that closed — returning the payouts the chain must credit.
     pub fn begin_block(&mut self, height: u64) -> Vec<MaturedPayout> {
+        self.begin_block_journaled(height, &mut RegistryUndo::default())
+    }
+
+    /// [`SidechainRegistry::begin_block`], journaling every mutation
+    /// (ceasings, maturities, balance debits, consumed nullifiers) into
+    /// `undo`.
+    pub fn begin_block_journaled(
+        &mut self,
+        height: u64,
+        undo: &mut RegistryUndo,
+    ) -> Vec<MaturedPayout> {
         let mut payouts = Vec::new();
         for (id, entry) in self.entries.iter_mut() {
             if entry.status == SidechainStatus::Ceased {
@@ -292,9 +452,11 @@ impl SidechainRegistry {
             match entry.certificates.get_mut(&closing_epoch) {
                 None => {
                     entry.status = SidechainStatus::Ceased;
+                    undo.ops.push(RegistryOp::Ceased(*id));
                 }
                 Some(accepted) => {
                     accepted.matured = true;
+                    undo.ops.push(RegistryOp::Matured(*id, closing_epoch));
                     let total = accepted
                         .certificate
                         .total_withdrawn()
@@ -303,6 +465,7 @@ impl SidechainRegistry {
                         .balance
                         .checked_sub(total)
                         .expect("safeguard checked at acceptance");
+                    undo.ops.push(RegistryOp::Debited(*id, total));
                     // The winning certificate's cross-chain nullifiers
                     // are consumed now: only the matured certificate
                     // moves escrowed coins, so consuming earlier would
@@ -310,7 +473,10 @@ impl SidechainRegistry {
                     // certificate redeclares the same transfers).
                     if let Ok(declared) = crosschain::declared_transfers(&accepted.certificate) {
                         for xct in declared {
-                            self.nullifiers.insert((*id, xct.nullifier));
+                            if self.nullifiers.insert((*id, xct.nullifier)) {
+                                undo.ops
+                                    .push(RegistryOp::NullifierInserted(*id, xct.nullifier));
+                            }
                         }
                     }
                     if !accepted.certificate.bt_list.is_empty() {
@@ -337,6 +503,21 @@ impl SidechainRegistry {
         id: &SidechainId,
         amount: Amount,
     ) -> Result<(), RegistryError> {
+        self.credit_forward_transfer_journaled(id, amount, &mut RegistryUndo::default())
+    }
+
+    /// [`SidechainRegistry::credit_forward_transfer`], journaling the
+    /// balance credit into `undo`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SidechainRegistry::credit_forward_transfer`].
+    pub fn credit_forward_transfer_journaled(
+        &mut self,
+        id: &SidechainId,
+        amount: Amount,
+        undo: &mut RegistryUndo,
+    ) -> Result<(), RegistryError> {
         let entry = self
             .entries
             .get_mut(id)
@@ -348,6 +529,7 @@ impl SidechainRegistry {
             .balance
             .checked_add(amount)
             .ok_or(RegistryError::AmountOverflow)?;
+        undo.ops.push(RegistryOp::Credited(*id, amount));
         Ok(())
     }
 
@@ -388,6 +570,35 @@ impl SidechainRegistry {
         block_hash: Digest32,
         boundary_hash: F,
         check: C,
+    ) -> Result<(), RegistryError>
+    where
+        F: Fn(u64) -> Option<Digest32>,
+        C: FnOnce(&ProofCheck) -> bool,
+    {
+        self.accept_certificate_journaled(
+            cert,
+            height,
+            block_hash,
+            boundary_hash,
+            check,
+            &mut RegistryUndo::default(),
+        )
+    }
+
+    /// [`SidechainRegistry::accept_certificate_with`], journaling the
+    /// certificate insertion into `undo`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SidechainRegistry::accept_certificate`].
+    pub fn accept_certificate_journaled<F, C>(
+        &mut self,
+        cert: &WithdrawalCertificate,
+        height: u64,
+        block_hash: Digest32,
+        boundary_hash: F,
+        check: C,
+        undo: &mut RegistryUndo,
     ) -> Result<(), RegistryError>
     where
         F: Fn(u64) -> Option<Digest32>,
@@ -467,7 +678,7 @@ impl SidechainRegistry {
                 available: entry.balance,
             });
         }
-        entry.certificates.insert(
+        let previous = entry.certificates.insert(
             cert.epoch_id,
             AcceptedCertificate {
                 certificate: cert.clone(),
@@ -475,6 +686,11 @@ impl SidechainRegistry {
                 matured: false,
             },
         );
+        undo.ops.push(RegistryOp::CertInserted {
+            id: cert.sidechain_id,
+            epoch: cert.epoch_id,
+            previous: previous.map(Box::new),
+        });
         Ok(())
     }
 
@@ -503,6 +719,24 @@ impl SidechainRegistry {
     where
         C: FnOnce(&ProofCheck) -> bool,
     {
+        self.accept_btr_journaled(btr, check, &mut RegistryUndo::default())
+    }
+
+    /// [`SidechainRegistry::accept_btr_with`], journaling the consumed
+    /// nullifier into `undo`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SidechainRegistry::accept_btr`].
+    pub fn accept_btr_journaled<C>(
+        &mut self,
+        btr: &BackwardTransferRequest,
+        check: C,
+        undo: &mut RegistryUndo,
+    ) -> Result<(), RegistryError>
+    where
+        C: FnOnce(&ProofCheck) -> bool,
+    {
         let entry = self
             .entries
             .get(&btr.sidechain_id)
@@ -516,6 +750,10 @@ impl SidechainRegistry {
         }
         verifier::verify_btr_with(&entry.config, btr, entry.last_certificate_block(), check)?;
         self.nullifiers.insert(key);
+        undo.ops.push(RegistryOp::NullifierInserted(
+            btr.sidechain_id,
+            btr.nullifier,
+        ));
         Ok(())
     }
 
@@ -548,6 +786,24 @@ impl SidechainRegistry {
     where
         C: FnOnce(&ProofCheck) -> bool,
     {
+        self.accept_csw_journaled(csw, check, &mut RegistryUndo::default())
+    }
+
+    /// [`SidechainRegistry::accept_csw_with`], journaling the balance
+    /// debit and consumed nullifier into `undo`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SidechainRegistry::accept_csw`].
+    pub fn accept_csw_journaled<C>(
+        &mut self,
+        csw: &CeasedSidechainWithdrawal,
+        check: C,
+        undo: &mut RegistryUndo,
+    ) -> Result<BackwardTransfer, RegistryError>
+    where
+        C: FnOnce(&ProofCheck) -> bool,
+    {
         let entry = self
             .entries
             .get_mut(&csw.sidechain_id)
@@ -571,7 +827,13 @@ impl SidechainRegistry {
             .balance
             .checked_sub(csw.amount)
             .expect("checked above");
+        undo.ops
+            .push(RegistryOp::Debited(csw.sidechain_id, csw.amount));
         self.nullifiers.insert(key);
+        undo.ops.push(RegistryOp::NullifierInserted(
+            csw.sidechain_id,
+            csw.nullifier,
+        ));
         Ok(BackwardTransfer {
             receiver: csw.receiver,
             amount: csw.amount,

@@ -1,0 +1,343 @@
+//! The mainchain-side coordinator: drives one simulation tick in
+//! either step mode.
+//!
+//! Both paths perform the same logical phases —
+//!
+//! 1. snapshot the router against the pre-block tip (reorg undo),
+//! 2. drain matured cross-chain settlements into the mempool,
+//! 3. assemble, mine and submit the next mainchain block,
+//! 4. hand the block to every sidechain shard (sync + certify),
+//! 5. fold shard effect logs and fresh router receipts into the
+//!    metrics
+//!
+//! — and differ only in *how* phases 3–4 execute:
+//!
+//! * [`StepMode::Serial`] re-validates the accepted prefix per
+//!   candidate (the legacy greedy fill), verifies every proof at build
+//!   *and* submission, and walks the shards sequentially;
+//! * [`StepMode::Sharded`] prepares the block in one pass
+//!   (`Blockchain::prepare_next_block`, recording proof verdicts that
+//!   `submit_prepared` reuses so each proof is verified once per
+//!   node), then overlaps the block's stage-2/3 submission with the
+//!   shard phase on scoped worker threads (the `crossbeam` scoped
+//!   pattern of `zendoo_snark::batch`).
+//!
+//! Determinism contract: shard work communicates only through ordered
+//! [`ShardEffects`] logs, applied in sidechain declaration order, so a
+//! sharded step is bit-identical to a serial step on panic-free,
+//! error-free runs (`crates/sim/tests/determinism.rs` enforces this;
+//! on a `NodeError` the serial path stops at the failing shard while
+//! the sharded path completes the remaining shards before reporting
+//! the same first error).
+
+use std::time::Instant;
+
+use crossbeam::thread;
+use zendoo_core::crosschain::CrossChainTransfer;
+use zendoo_core::ids::SidechainId;
+use zendoo_mainchain::transaction::McTransaction;
+
+use crate::shard::{ShardEffects, SidechainShard, StepMode};
+use crate::world::{SimError, World};
+
+/// Wall-clock accounting for one tick, split into the coordinator's
+/// critical path (block assembly + submission + router bookkeeping)
+/// and each shard's own work. `BENCH_sharded_sim.json` derives the
+/// work/span model from these: on a machine with at least as many
+/// cores as shards, a sharded tick costs `coordinator + max(shards)`
+/// while a serial tick costs `coordinator + sum(shards)`.
+#[derive(Clone, Debug)]
+pub struct StepTiming {
+    /// Total wall-clock nanoseconds of the tick.
+    pub total_nanos: u64,
+    /// Nanoseconds of coordinator work: prologue (router snapshot,
+    /// settlement, partition), block assembly + submission, router
+    /// observation and the effect fold — everything that cannot run on
+    /// a shard thread.
+    pub coordinator_nanos: u64,
+    /// Per-shard nanoseconds, in declaration order.
+    pub shard_nanos: Vec<(SidechainId, u64)>,
+}
+
+/// Dispatches one tick according to the world's step mode.
+pub(crate) fn step(world: &mut World) -> Result<(), SimError> {
+    match world.mode {
+        StepMode::Serial => step_serial(world),
+        StepMode::Sharded { workers } => step_sharded(world, workers),
+    }
+}
+
+/// Shared prologue: bump time, snapshot the router against the
+/// pre-block tip (pruned to the reorg window), drain matured
+/// settlements into the mempool, and partition the router's remaining
+/// in-flight queue per destination (each shard's read-only inbound
+/// view for this tick).
+///
+/// The partition is a by-value copy costing O(in-flight transfers) —
+/// bounded by the open settlement windows, which drain at maturity.
+/// That copy is deliberate: handing each shard its own slice is what
+/// lets the parallel phase run with zero shard→router contention
+/// (shards answering inbound queries never lock the router the
+/// coordinator is concurrently feeding).
+fn prologue(world: &mut World) -> std::collections::BTreeMap<SidechainId, Vec<CrossChainTransfer>> {
+    world.time += 1;
+    let undo = world.capture_router_undo(world.chain.tip_hash());
+    world.router_undo.push(undo);
+    let keep = world.chain.params().max_reorg_depth + 1;
+    if world.router_undo.len() > keep {
+        let drop = world.router_undo.len() - keep;
+        world.router_undo.drain(..drop);
+    }
+    let deliveries = world.router.collect_deliveries(&world.chain);
+    world.mc_mempool.extend(deliveries);
+    world.router.pending_by_destination()
+}
+
+/// Folds one shard's effect log into the coordinator state. Returns
+/// the shard's error, if any.
+fn apply_effects(world: &mut World, effects: ShardEffects) -> Option<SimError> {
+    if effects.forged {
+        world.metrics.sc_blocks += 1;
+    }
+    if let Some(cert) = effects.certificate {
+        world.metrics.certificates_produced += 1;
+        world.mc_mempool.push(McTransaction::Certificate(cert));
+    }
+    if effects.withheld {
+        world.metrics.certificates_withheld += 1;
+    }
+    if effects.panicked.is_some() {
+        world.metrics.shard_panics += 1;
+    }
+    effects.error.map(SimError::Node)
+}
+
+/// The reference serial tick (legacy behavior, kept as the determinism
+/// oracle and benchmark baseline).
+fn step_serial(world: &mut World) -> Result<(), SimError> {
+    let step_start = Instant::now();
+    let mut partition = prologue(world);
+
+    // Greedy candidate filter, one full dry-run block build per
+    // candidate; rejected transactions are counted, not fatal (fault
+    // scenarios schedule actions that are *supposed* to fail).
+    let queued = std::mem::take(&mut world.mc_mempool);
+    let mut accepted = Vec::new();
+    for tx in queued {
+        let mut candidate = accepted.clone();
+        candidate.push(tx.clone());
+        match world
+            .chain
+            .build_next_block(world.miner.address(), candidate, world.time)
+        {
+            Ok(_) => accepted.push(tx),
+            Err(_) => {
+                world.metrics.rejections += 1;
+                if matches!(tx, McTransaction::Certificate(_)) {
+                    world.metrics.certificates_rejected += 1;
+                }
+            }
+        }
+    }
+    world.metrics.certificates_accepted += accepted
+        .iter()
+        .filter(|tx| matches!(tx, McTransaction::Certificate(_)))
+        .count() as u64;
+    let block = world
+        .chain
+        .mine_next_block(world.miner.address(), accepted, world.time)?;
+    world.metrics.mc_blocks += 1;
+
+    world.router.observe_block(&world.chain, &block);
+
+    let withhold_all = world.withhold_certificates;
+    let mut shard_nanos = Vec::with_capacity(world.order.len());
+    for id in world.order.clone() {
+        let shard = world.shards.get_mut(&id).expect("declared");
+        if shard.quarantined {
+            continue;
+        }
+        let inbound = partition.remove(&id).unwrap_or_default();
+        let effects = shard.sync_and_certify(&block, withhold_all, inbound);
+        shard_nanos.push((id, effects.nanos));
+        if let Some(error) = apply_effects(world, effects) {
+            // Legacy semantics: the serial walk stops at the first
+            // failing shard.
+            return Err(error);
+        }
+    }
+    world.sync_cross_metrics();
+    // In a serial tick, everything that is not shard work is
+    // coordinator work by definition (prologue, block build/submit,
+    // router observation, effect fold) — measure it exactly as the
+    // difference, so the work/span model never undercounts the
+    // serial-only critical path.
+    let total_nanos = step_start.elapsed().as_nanos() as u64;
+    let shard_sum: u64 = shard_nanos.iter().map(|(_, nanos)| nanos).sum();
+    world.timings.push(StepTiming {
+        total_nanos,
+        coordinator_nanos: total_nanos.saturating_sub(shard_sum),
+        shard_nanos,
+    });
+    Ok(())
+}
+
+/// The sharded tick: one-pass block preparation with verdict reuse,
+/// then the shard phase on scoped worker threads overlapped with the
+/// block's submission.
+fn step_sharded(world: &mut World, workers: Option<usize>) -> Result<(), SimError> {
+    let step_start = Instant::now();
+    let mut partition = prologue(world);
+    // Everything before the worker scope is coordinator critical path
+    // (prologue's router snapshot + settlement + partition included).
+    let prologue_nanos = step_start.elapsed().as_nanos() as u64;
+
+    let mc_start = Instant::now();
+    let queued = std::mem::take(&mut world.mc_mempool);
+    let prepared = world
+        .chain
+        .prepare_next_block(world.miner.address(), queued, world.time)?;
+    for (tx, _) in &prepared.rejected {
+        world.metrics.rejections += 1;
+        if matches!(tx, McTransaction::Certificate(_)) {
+            world.metrics.certificates_rejected += 1;
+        }
+    }
+    world.metrics.certificates_accepted += prepared
+        .block
+        .transactions
+        .iter()
+        .filter(|tx| matches!(tx, McTransaction::Certificate(_)))
+        .count() as u64;
+    let block = prepared.block.clone();
+    let prepare_nanos = mc_start.elapsed().as_nanos() as u64;
+    let withhold_all = world.withhold_certificates;
+
+    // Split borrows: the scope below hands each worker lane disjoint
+    // `&mut SidechainShard`s while the coordinator thread drives the
+    // chain + router.
+    let World {
+        chain,
+        router,
+        shards,
+        order,
+        ..
+    } = world;
+
+    // Live shards in declaration order, each paired with its original
+    // index (effects are re-ordered by it afterwards) and its inbound
+    // partition (by value — no shard touches the router).
+    let mut by_id: std::collections::BTreeMap<SidechainId, &mut SidechainShard> =
+        shards.iter_mut().map(|(id, shard)| (*id, shard)).collect();
+    let mut work: Vec<(usize, &mut SidechainShard, Vec<CrossChainTransfer>)> = Vec::new();
+    for (index, id) in order.iter().enumerate() {
+        let shard = by_id.remove(id).expect("declared");
+        if shard.quarantined {
+            continue;
+        }
+        let inbound = partition.remove(id).unwrap_or_default();
+        work.push((index, shard, inbound));
+    }
+    let live = work.len();
+
+    let workers = workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, live.max(1));
+
+    let (submit_result, mut indexed_effects, mc_tail_nanos) = if workers <= 1 {
+        // No parallelism available: submit first, then walk the shards
+        // in order on this thread (identical outcomes, no spawn cost).
+        let tail_start = Instant::now();
+        let submit = chain.submit_prepared(prepared).map(|_| ());
+        if submit.is_ok() {
+            router.observe_block(chain, &block);
+        }
+        let tail = tail_start.elapsed().as_nanos() as u64;
+        let effects = work
+            .into_iter()
+            .map(|(index, shard, inbound)| {
+                (index, shard.sync_and_certify(&block, withhold_all, inbound))
+            })
+            .collect::<Vec<_>>();
+        (submit, effects, tail)
+    } else {
+        // Round-robin the shards over `workers` lanes; the coordinator
+        // thread submits the block (stage 2 consumes the recorded
+        // verdicts, stage 3 applies) and feeds the router while the
+        // lanes sync.
+        let mut lanes: Vec<Vec<(usize, &mut SidechainShard, Vec<CrossChainTransfer>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (slot, item) in work.into_iter().enumerate() {
+            lanes[slot % workers].push(item);
+        }
+        let block_ref = &block;
+        thread::scope(|scope| {
+            let handles: Vec<_> = lanes
+                .into_iter()
+                .map(|lane| {
+                    scope.spawn(move |_| {
+                        lane.into_iter()
+                            .map(|(index, shard, inbound)| {
+                                (
+                                    index,
+                                    shard.sync_and_certify(block_ref, withhold_all, inbound),
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            // Coordinator critical path, overlapped with the lanes.
+            let tail_start = Instant::now();
+            let submit = chain.submit_prepared(prepared).map(|_| ());
+            if submit.is_ok() {
+                router.observe_block(chain, block_ref);
+            }
+            let tail = tail_start.elapsed().as_nanos() as u64;
+            let mut effects = Vec::with_capacity(live);
+            for handle in handles {
+                // Shard panics are contained inside `sync_and_certify`;
+                // a lane itself never panics.
+                effects.extend(handle.join().expect("worker lane panicked"));
+            }
+            (submit, effects, tail)
+        })
+        .expect("thread scope")
+    };
+    if submit_result.is_ok() {
+        world.metrics.mc_blocks += 1;
+    }
+
+    // Apply effect logs in declaration order — the determinism
+    // contract's single ordered channel (folded even if the submit
+    // failed, so contained panics and produced certificates are never
+    // silently dropped). The fold is coordinator work too: it counts
+    // toward the critical path the work/span model reports.
+    let fold_start = Instant::now();
+    indexed_effects.sort_by_key(|(index, _)| *index);
+    let mut shard_nanos = Vec::with_capacity(indexed_effects.len());
+    let mut first_error = None;
+    for (_, effects) in indexed_effects {
+        shard_nanos.push((effects.id, effects.nanos));
+        let error = apply_effects(world, effects);
+        if first_error.is_none() {
+            first_error = error;
+        }
+    }
+    world.sync_cross_metrics();
+    let fold_nanos = fold_start.elapsed().as_nanos() as u64;
+    world.timings.push(StepTiming {
+        total_nanos: step_start.elapsed().as_nanos() as u64,
+        coordinator_nanos: prologue_nanos + prepare_nanos + mc_tail_nanos + fold_nanos,
+        shard_nanos,
+    });
+    submit_result?;
+    match first_error {
+        Some(error) => Err(error),
+        None => Ok(()),
+    }
+}

@@ -40,6 +40,9 @@ pub enum Action {
     ResumeCertificatesOn(usize),
     /// Inject a mainchain fork of the given depth.
     McFork(u64),
+    /// `InjectShardPanic(sc_index)` — crash fault: the shard panics at
+    /// its next sync, is quarantined, and its chain eventually ceases.
+    InjectShardPanic(usize),
 }
 
 /// A tick-indexed script of actions.
@@ -129,6 +132,11 @@ impl Schedule {
                             })
                         }
                         Action::McFork(depth) => world.inject_mc_fork(*depth).map(|_| ()),
+                        Action::InjectShardPanic(index) => {
+                            world.sidechain_id_at(*index).map(|sc| {
+                                world.inject_shard_panic(&sc);
+                            })
+                        }
                     };
                     if result.is_err() {
                         world.metrics.rejections += 1;

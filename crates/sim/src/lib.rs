@@ -10,6 +10,36 @@
 //! mainchain fork injection (§5.1's fork-resolution property) and
 //! sidechain→sidechain transfer lifecycles.
 //!
+//! # Sharded stepping
+//!
+//! The world is an MC-side **coordinator** plus one [`shard`] per
+//! sidechain; since the mainchain never executes sidechain logic (the
+//! paper's decoupling), the per-tick sidechain phase fans out over
+//! worker threads under [`shard::StepMode::Sharded`]:
+//!
+//! ```text
+//!                ┌──────────── coordinator ────────────┐
+//!  tick t:       │ router snapshot → settle matured    │
+//!                │ prepare block (one-pass, records    │
+//!                │ proof verdicts)                     │
+//!                ├──── scoped worker threads ──────────┤
+//!                │ submit block     ║ shard sc-0 sync  │
+//!                │ (stage 2 reuses  ║ shard sc-1 sync  │
+//!                │  verdicts,       ║ shard sc-2 …     │
+//!                │  stage 3 applies)║   + certify      │
+//!                ├─────────────────────────────────────┤
+//!                │ apply ShardEffects in declaration   │
+//!                │ order; fold receipts into metrics   │
+//!                └─────────────────────────────────────┘
+//! ```
+//!
+//! Shards return ordered effect logs the coordinator applies in
+//! declaration order, so a sharded step is **bit-identical** to a
+//! serial step (`tests/determinism.rs`); a panicking shard is
+//! quarantined and its chain ceases like any liveness-faulty
+//! sidechain. See the "Concurrency model" section of `ARCHITECTURE.md`
+//! and `docs/SCENARIOS.md` for the scenario ↔ paper map.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -23,11 +53,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod coordinator;
 pub mod events;
 pub mod metrics;
 pub mod scenarios;
+pub mod shard;
 pub mod world;
 
+pub use coordinator::StepTiming;
 pub use events::{Action, Schedule};
 pub use metrics::Metrics;
+pub use shard::{ShardEffects, ShardMetrics, SidechainShard, StepMode};
 pub use world::{ScInstance, SimConfig, SimError, User, World};

@@ -49,13 +49,16 @@ pub struct Metrics {
     pub settlement_txs_saved: u64,
     /// Transactions rejected anywhere in the pipeline.
     pub rejections: u64,
+    /// Shard panics contained by the coordinator (each quarantines its
+    /// sidechain, which then ceases like any liveness fault).
+    pub shard_panics: u64,
 }
 
 impl Metrics {
     /// Renders a compact human-readable report.
     pub fn report(&self) -> String {
         format!(
-            "mc_blocks={} sc_blocks={} fts={} payments={} bts={} certs(produced/accepted/rejected/withheld)={}/{}/{}/{} reorgs={} sc_reverted={} btrs={} csws={} xct(init/delivered/refunded/rejected)={}/{}/{}/{} settle(windows/txs/saved)={}/{}/{} rejections={}",
+            "mc_blocks={} sc_blocks={} fts={} payments={} bts={} certs(produced/accepted/rejected/withheld)={}/{}/{}/{} reorgs={} sc_reverted={} btrs={} csws={} xct(init/delivered/refunded/rejected)={}/{}/{}/{} settle(windows/txs/saved)={}/{}/{} rejections={} shard_panics={}",
             self.mc_blocks,
             self.sc_blocks,
             self.forward_transfers,
@@ -77,6 +80,7 @@ impl Metrics {
             self.settlement_txs,
             self.settlement_txs_saved,
             self.rejections,
+            self.shard_panics,
         )
     }
 }

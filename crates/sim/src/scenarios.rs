@@ -1,6 +1,10 @@
 //! Canned scenarios used by tests, examples and benchmarks.
+//!
+//! `docs/SCENARIOS.md` maps each scenario (and each `examples/*.rs`
+//! program) to the paper section it reproduces.
 
 use crate::events::{Action, Schedule};
+use crate::shard::StepMode;
 use crate::world::{SimConfig, SimError, World};
 
 /// Happy path: forward coins, pay on the SC, withdraw back, run the
@@ -105,6 +109,58 @@ pub fn cross_transfer_to_ceased() -> Result<World, SimError> {
         .at(0, Action::ForwardTransferTo(0, "alice".into(), 50_000))
         .at(2, Action::CrossTransfer(0, 1, "alice".into(), 20_000));
     schedule.run(&mut world, 2 * epoch + 2)?;
+    Ok(world)
+}
+
+/// The epoch length [`cross_chain_ring`] uses: long enough that every
+/// chain can be funded (one forward transfer per tick — alice's
+/// mainchain wallet chains each FT off the previous change output) and
+/// still fire its ring transfer inside withdrawal epoch 0.
+pub fn ring_epoch_len(chains: usize) -> u32 {
+    (chains as u32 + 4).max(6)
+}
+
+/// The schedule of [`cross_chain_ring`]: chain `i` is funded at tick
+/// `i`, and once every chain is funded each fires one transfer to its
+/// ring successor simultaneously (all riding the chains' epoch-0
+/// certificates).
+pub fn ring_schedule(chains: usize) -> Schedule {
+    let mut schedule = Schedule::new();
+    for i in 0..chains {
+        // 10k per chain: alice's 1M premine funds worlds up to 100
+        // sidechains.
+        schedule = schedule.at(
+            i as u64,
+            Action::ForwardTransferTo(i, "alice".into(), 10_000),
+        );
+        if chains > 1 {
+            schedule = schedule.at(
+                chains as u64 + 1,
+                Action::CrossTransfer(i, (i + 1) % chains, "alice".into(), 2_000 + i as u64),
+            );
+        }
+    }
+    schedule
+}
+
+/// Scale scenario: `chains` sidechains advancing in lockstep, every
+/// chain simultaneously sending one cross-chain transfer to its ring
+/// successor — the workload of the sharded-simulation benchmark and
+/// the determinism suite. `mode` selects the step implementation
+/// (outcomes are identical in every mode).
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn cross_chain_ring(chains: usize, epochs: u32, mode: StepMode) -> Result<World, SimError> {
+    let config = SimConfig {
+        step_mode: mode,
+        epoch_len: ring_epoch_len(chains),
+        ..SimConfig::with_sidechains(chains)
+    };
+    let ticks = (config.epoch_len as u64 + 1) * (epochs as u64 + 1);
+    let mut world = World::new(config);
+    ring_schedule(chains).run(&mut world, ticks)?;
     Ok(world)
 }
 

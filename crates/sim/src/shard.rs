@@ -1,0 +1,256 @@
+//! Per-sidechain shards: the unit of parallelism in the sharded
+//! simulation world.
+//!
+//! Zendoo's decoupling claim (§1: the mainchain never executes
+//! sidechain logic) makes the per-tick sidechain phase embarrassingly
+//! parallel: each sidechain node only consumes the mined mainchain
+//! block. A [`SidechainShard`] owns everything one sidechain needs for
+//! that phase — the deployed [`ScInstance`], its fault flags, its
+//! per-chain [`ShardMetrics`] and its partition of the router's
+//! in-flight inbound queue — and
+//! [`SidechainShard::sync_and_certify`] performs one tick of work,
+//! returning an ordered [`ShardEffects`] log instead of mutating any
+//! coordinator state.
+//!
+//! The coordinator (`World::step`) applies effect logs in sidechain
+//! **declaration order**, which is what makes a parallel step
+//! bit-identical to a serial one: the only shard→coordinator channel
+//! is the effect log, and its application order is fixed regardless of
+//! thread scheduling. See `docs/SCENARIOS.md` and the "Concurrency
+//! model" section of `ARCHITECTURE.md`.
+//!
+//! Shards also contain **panics**: a panicking shard is quarantined
+//! (its sidechain stops syncing and certifying — from the mainchain's
+//! point of view, exactly the liveness fault of Def 4.2, so the chain
+//! eventually ceases) while the rest of the world keeps stepping.
+
+use std::time::Instant;
+
+use zendoo_core::certificate::WithdrawalCertificate;
+use zendoo_core::crosschain::CrossChainTransfer;
+use zendoo_core::ids::SidechainId;
+use zendoo_latus::node::NodeError;
+use zendoo_mainchain::Block;
+
+use crate::world::ScInstance;
+
+/// How `World::step` executes its per-sidechain phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepMode {
+    /// The reference implementation: the legacy per-candidate greedy
+    /// block fill (inline proof verification at build *and* submit)
+    /// followed by a sequential walk over the shards. Kept as the
+    /// determinism oracle and the benchmark baseline.
+    Serial,
+    /// The sharded coordinator: one-pass block preparation with
+    /// recorded proof verdicts reused at submission, and the
+    /// per-sidechain phase fanned out over scoped worker threads while
+    /// the coordinator overlaps the block's stage-2/3 submission.
+    /// Outcomes are bit-identical to [`StepMode::Serial`] (enforced by
+    /// `tests/determinism.rs`).
+    Sharded {
+        /// Worker-thread count; `None` uses one lane per available
+        /// core. Clamped to the shard count; `1` short-circuits to an
+        /// in-thread loop with no spawn overhead.
+        workers: Option<usize>,
+    },
+}
+
+impl Default for StepMode {
+    /// Sharded with one worker lane per available core.
+    fn default() -> Self {
+        StepMode::Sharded { workers: None }
+    }
+}
+
+/// Per-sidechain counters, owned by the shard itself (the global
+/// [`crate::metrics::Metrics`] aggregates across chains).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Sidechain blocks forged by this chain.
+    pub sc_blocks: u64,
+    /// Certificates this chain produced.
+    pub certificates_produced: u64,
+    /// Certificate opportunities deliberately withheld (fault).
+    pub certificates_withheld: u64,
+    /// Sidechain blocks reverted by mainchain reorgs.
+    pub sc_blocks_reverted: u64,
+    /// Contained panics (each one quarantines the shard).
+    pub panics: u64,
+}
+
+/// The ordered effect log one shard produces for one tick. The
+/// coordinator folds these into the global metrics and mempool in
+/// declaration order, so the outcome is independent of which worker
+/// thread ran which shard when.
+#[derive(Debug)]
+pub struct ShardEffects {
+    /// The shard's sidechain.
+    pub id: SidechainId,
+    /// Whether a sidechain block was forged this tick.
+    pub forged: bool,
+    /// A certificate produced at an epoch boundary, for the
+    /// coordinator to queue on the mainchain.
+    pub certificate: Option<Box<WithdrawalCertificate>>,
+    /// An epoch boundary was reached but certification was withheld
+    /// (the scripted liveness fault).
+    pub withheld: bool,
+    /// A contained panic payload; the shard quarantined itself.
+    pub panicked: Option<String>,
+    /// A node error (distinct from a panic: state was rolled back by
+    /// the node itself).
+    pub error: Option<NodeError>,
+    /// Wall-clock nanoseconds this shard's tick took (feeds the
+    /// work/span accounting in `BENCH_sharded_sim.json`).
+    pub nanos: u64,
+}
+
+/// One sidechain's slice of the world: the deployed instance plus the
+/// shard-local fault flags, metrics and inbound view.
+pub struct SidechainShard {
+    pub(crate) instance: ScInstance,
+    /// Per-chain withheld-certificate fault.
+    pub(crate) withheld: bool,
+    /// Set once a panic was contained; a quarantined shard no longer
+    /// syncs or certifies (its chain will cease on the mainchain).
+    pub(crate) quarantined: bool,
+    /// Fault injection: panic on the next sync (before any node
+    /// mutation, so the quarantined node state stays consistent).
+    pub(crate) panic_next_sync: bool,
+    pub(crate) metrics: ShardMetrics,
+    /// This chain's partition of the router's in-flight inbound queue,
+    /// refreshed each tick (no shard ever touches the router itself).
+    pub(crate) pending_inbound: Vec<CrossChainTransfer>,
+}
+
+impl SidechainShard {
+    pub(crate) fn new(instance: ScInstance) -> Self {
+        SidechainShard {
+            instance,
+            withheld: false,
+            quarantined: false,
+            panic_next_sync: false,
+            metrics: ShardMetrics::default(),
+            pending_inbound: Vec::new(),
+        }
+    }
+
+    /// The shard's sidechain id.
+    pub fn id(&self) -> SidechainId {
+        self.instance.id
+    }
+
+    /// The deployed sidechain instance.
+    pub fn instance(&self) -> &ScInstance {
+        &self.instance
+    }
+
+    /// The shard-local metrics.
+    pub fn metrics(&self) -> &ShardMetrics {
+        &self.metrics
+    }
+
+    /// Returns `true` once a contained panic quarantined this shard.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// The transfers currently routed toward this chain (escrowed on
+    /// the mainchain, awaiting maturity) as of the last tick — the
+    /// shard's private copy of the router partition.
+    pub fn pending_inbound(&self) -> &[CrossChainTransfer] {
+        &self.pending_inbound
+    }
+
+    /// One tick of shard work: adopt the freshly mined mainchain
+    /// block, forge the corresponding sidechain block and — at an epoch
+    /// boundary — produce (or deliberately withhold) the withdrawal
+    /// certificate. Panics are contained: the shard quarantines itself
+    /// and reports the payload in [`ShardEffects::panicked`].
+    pub(crate) fn sync_and_certify(
+        &mut self,
+        block: &Block,
+        withhold_all: bool,
+        inbound: Vec<CrossChainTransfer>,
+    ) -> ShardEffects {
+        let start = Instant::now();
+        let id = self.instance.id;
+        self.pending_inbound = inbound;
+        let mut effects = ShardEffects {
+            id,
+            forged: false,
+            certificate: None,
+            withheld: false,
+            panicked: None,
+            error: None,
+            nanos: 0,
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.tick(block, withhold_all)
+        }));
+        match outcome {
+            Ok(Ok((forged, certificate, withheld))) => {
+                effects.forged = forged;
+                effects.certificate = certificate;
+                effects.withheld = withheld;
+                if forged {
+                    self.metrics.sc_blocks += 1;
+                }
+                if effects.certificate.is_some() {
+                    self.metrics.certificates_produced += 1;
+                }
+                if withheld {
+                    self.metrics.certificates_withheld += 1;
+                }
+            }
+            Ok(Err(error)) => {
+                effects.error = Some(error);
+            }
+            Err(payload) => {
+                self.quarantined = true;
+                self.metrics.panics += 1;
+                effects.panicked = Some(panic_message(payload));
+            }
+        }
+        effects.nanos = start.elapsed().as_nanos() as u64;
+        effects
+    }
+
+    /// The fallible tick body `sync_and_certify` wraps with panic
+    /// containment.
+    #[allow(clippy::type_complexity)]
+    fn tick(
+        &mut self,
+        block: &Block,
+        withhold_all: bool,
+    ) -> Result<(bool, Option<Box<WithdrawalCertificate>>, bool), NodeError> {
+        if self.panic_next_sync {
+            self.panic_next_sync = false;
+            panic!("injected shard fault on {}", self.instance.label);
+        }
+        self.instance.node.sync_mainchain_block(block)?;
+        if !self.instance.node.epoch_complete() {
+            return Ok((true, None, false));
+        }
+        if withhold_all || self.withheld {
+            // The sidechain stops certifying entirely: a node that
+            // never published its certificate cannot prove later
+            // epochs either (the proof chain is broken) — exactly the
+            // liveness fault Def 4.2 punishes with ceasing.
+            return Ok((true, None, true));
+        }
+        let certificate = self.instance.node.produce_certificate()?;
+        Ok((true, Some(Box::new(certificate)), false))
+    }
+}
+
+/// Renders a caught panic payload (the common `&str`/`String` cases).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "shard panicked with a non-string payload".to_string()
+    }
+}

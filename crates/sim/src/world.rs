@@ -2,12 +2,44 @@
 //! sidechain deployments, a cross-chain router, named users on every
 //! chain, deterministic time, and fault injection.
 //!
+//! The world is split into an **MC-side coordinator** (this module plus
+//! [`crate::coordinator`]: the mainchain, the router, the mempool, the
+//! users and the global metrics) and one [`SidechainShard`] per
+//! deployed sidechain (the node, its fault flags and per-chain
+//! metrics). Each tick the coordinator mines the next mainchain block
+//! and hands it to every shard; under [`StepMode::Sharded`] the shards
+//! run on scoped worker threads, overlapped with the block's own
+//! proof-verification stage, and return ordered effect logs the
+//! coordinator applies in declaration order — so a parallel step is
+//! bit-identical to a serial one.
+//!
 //! The world drives each sidechain node block-by-block against the
 //! shared mainchain, produces certificates per sidechain at epoch
 //! boundaries, and routes declared [`CrossChainTransfer`]s between
 //! sidechains through the [`CrossChainRouter`].
+//!
+//! # Examples
+//!
+//! Two sidechains exchange value through the mainchain; the parallel
+//! step mode is an explicit switch:
+//!
+//! ```
+//! use zendoo_sim::{Schedule, Action, SimConfig, StepMode, World};
+//!
+//! let mut config = SimConfig::with_sidechains(2);
+//! config.step_mode = StepMode::Sharded { workers: Some(2) };
+//! let mut world = World::new(config);
+//!
+//! let schedule = Schedule::new()
+//!     .at(0, Action::ForwardTransferTo(0, "alice".into(), 10_000))
+//!     .at(2, Action::CrossTransfer(0, 1, "alice".into(), 4_000));
+//! schedule.run(&mut world, 14).unwrap();
+//!
+//! assert_eq!(world.metrics.cross_transfers_delivered, 1);
+//! assert!(world.conservation_holds() && world.safeguards_hold());
+//! ```
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use zendoo_core::crosschain::CrossChainTransfer;
 use zendoo_core::epoch::EpochSchedule;
@@ -22,7 +54,9 @@ use zendoo_mainchain::transaction::{McTransaction, TxOut};
 use zendoo_mainchain::wallet::Wallet;
 use zendoo_primitives::schnorr::Keypair;
 
+use crate::coordinator::{self, StepTiming};
 use crate::metrics::Metrics;
+use crate::shard::{ShardMetrics, SidechainShard, StepMode};
 
 /// Simulation configuration.
 #[derive(Clone, Debug)]
@@ -41,6 +75,9 @@ pub struct SimConfig {
     pub genesis_users: Vec<(String, u64)>,
     /// Setup seed (keys are deterministic per seed).
     pub seed: Vec<u8>,
+    /// How [`World::step`] executes (see [`StepMode`]); switchable
+    /// later via [`World::set_step_mode`].
+    pub step_mode: StepMode,
 }
 
 impl Default for SimConfig {
@@ -52,6 +89,7 @@ impl Default for SimConfig {
             mst_depth: 16,
             genesis_users: vec![("alice".into(), 1_000_000), ("bob".into(), 500_000)],
             seed: b"zendoo-sim".to_vec(),
+            step_mode: StepMode::default(),
         }
     }
 }
@@ -159,14 +197,16 @@ impl From<NodeError> for SimError {
     }
 }
 
-/// The simulation world.
+/// The simulation world: the MC-side coordinator state plus one
+/// [`SidechainShard`] per deployed sidechain.
 pub struct World {
     /// The mainchain.
     pub chain: Blockchain,
-    /// Deployed sidechains, keyed by id.
-    chains: BTreeMap<SidechainId, ScInstance>,
+    /// Per-sidechain shards (instance + faults + per-chain metrics),
+    /// keyed by id.
+    pub(crate) shards: BTreeMap<SidechainId, SidechainShard>,
     /// Sidechain ids in declaration order (`order[0]` is primary).
-    order: Vec<SidechainId>,
+    pub(crate) order: Vec<SidechainId>,
     /// Named users.
     pub users: HashMap<String, User>,
     /// Collected metrics.
@@ -176,23 +216,26 @@ pub struct World {
     /// The cross-chain transfer router.
     pub router: CrossChainRouter,
     /// Queued MC transactions for the next block.
-    mc_mempool: Vec<McTransaction>,
+    pub(crate) mc_mempool: Vec<McTransaction>,
     /// When `true`, certificates of *all* sidechains are produced but
     /// not submitted (the withheld-certificate fault).
     pub withhold_certificates: bool,
-    /// Per-sidechain withheld-certificate fault.
-    withheld: BTreeSet<SidechainId>,
     /// Router receipt-stream cursor already folded into `metrics`.
-    receipts_cursor: u64,
+    pub(crate) receipts_cursor: u64,
     /// Router settlement windows already folded into `metrics`.
-    settlements_seen: usize,
+    pub(crate) settlements_seen: usize,
     /// Per-block router undo records keyed by the pre-block chain tip,
     /// so `inject_mc_fork` can rewind the router (and the
     /// receipt-derived metrics) alongside the registry undo records
     /// (pruned to the chain's reorg window).
-    router_undo: Vec<RouterUndo>,
-    miner: Wallet,
-    time: u64,
+    pub(crate) router_undo: Vec<RouterUndo>,
+    pub(crate) miner: Wallet,
+    pub(crate) time: u64,
+    /// How `step` executes (serial reference vs sharded workers).
+    pub(crate) mode: StepMode,
+    /// Per-tick wall-clock accounting since the last
+    /// [`World::take_step_timings`].
+    pub(crate) timings: Vec<StepTiming>,
 }
 
 /// Everything a mainchain fork must rewind besides the chain itself:
@@ -200,7 +243,7 @@ pub struct World {
 /// metric counters — without the latter, transfers re-settled on the
 /// replacement branch would be double-counted.
 #[derive(Clone)]
-struct RouterUndo {
+pub(crate) struct RouterUndo {
     /// The chain tip this record is consistent with.
     tip: zendoo_primitives::digest::Digest32,
     router: RouterSnapshot,
@@ -289,7 +332,7 @@ impl World {
             .mine_next_block(miner.address(), declarations, 1)
             .expect("declaration block");
 
-        let mut chains = BTreeMap::new();
+        let mut shards = BTreeMap::new();
         for (i, (label, id, params, keys)) in prepared.into_iter().enumerate() {
             let forger = if i == 0 {
                 Keypair::from_seed(b"sim-forger")
@@ -304,20 +347,20 @@ impl World {
                 forger,
                 chain.tip_hash(),
             );
-            chains.insert(
+            shards.insert(
                 id,
-                ScInstance {
+                SidechainShard::new(ScInstance {
                     label,
                     id,
                     node,
                     keys,
-                },
+                }),
             );
         }
 
         let mut world = World {
             chain,
-            chains,
+            shards,
             order: sidechain_ids.clone(),
             users,
             metrics: Metrics::default(),
@@ -325,12 +368,13 @@ impl World {
             router: CrossChainRouter::new(),
             mc_mempool: Vec::new(),
             withhold_certificates: false,
-            withheld: BTreeSet::new(),
             receipts_cursor: 0,
             settlements_seen: 0,
             router_undo: Vec::new(),
             miner,
             time: 1,
+            mode: config.step_mode,
+            timings: Vec::new(),
         };
         // Anchor snapshot: the router state at the bootstrap tip, so
         // forks reaching back to the first stepped block can rewind it.
@@ -341,7 +385,10 @@ impl World {
 
     /// Captures the router state and receipt-derived metric counters,
     /// consistent with chain tip `tip`.
-    fn capture_router_undo(&self, tip: zendoo_primitives::digest::Digest32) -> RouterUndo {
+    pub(crate) fn capture_router_undo(
+        &self,
+        tip: zendoo_primitives::digest::Digest32,
+    ) -> RouterUndo {
         RouterUndo {
             tip,
             router: self.router.snapshot(),
@@ -398,30 +445,67 @@ impl World {
 
     /// A deployed sidechain instance.
     pub fn sidechain(&self, id: &SidechainId) -> Option<&ScInstance> {
-        self.chains.get(id)
+        self.shards.get(id).map(|shard| &shard.instance)
+    }
+
+    /// A sidechain's shard (instance + fault flags + per-chain
+    /// metrics + inbound view).
+    pub fn shard(&self, id: &SidechainId) -> Option<&SidechainShard> {
+        self.shards.get(id)
+    }
+
+    /// A shard's per-chain metrics.
+    pub fn shard_metrics_of(&self, id: &SidechainId) -> Option<&ShardMetrics> {
+        self.shards.get(id).map(|shard| &shard.metrics)
+    }
+
+    /// The transfers currently routed toward `id` (this shard's
+    /// private copy of the router partition, as of the last tick).
+    pub fn pending_inbound_of(&self, id: &SidechainId) -> &[CrossChainTransfer] {
+        self.shards
+            .get(id)
+            .map(|shard| shard.pending_inbound())
+            .unwrap_or(&[])
+    }
+
+    /// The ids of shards quarantined by a contained panic, in id
+    /// order.
+    pub fn quarantined_sidechains(&self) -> Vec<SidechainId> {
+        self.shards
+            .values()
+            .filter(|shard| shard.quarantined)
+            .map(|shard| shard.id())
+            .collect()
     }
 
     fn instance(&self, id: &SidechainId) -> Result<&ScInstance, SimError> {
-        self.chains
+        self.shards
             .get(id)
+            .map(|shard| &shard.instance)
             .ok_or_else(|| SimError::UnknownSidechain(id.to_string()))
     }
 
     fn instance_mut(&mut self, id: &SidechainId) -> Result<&mut ScInstance, SimError> {
-        self.chains
+        self.shards
             .get_mut(id)
+            .map(|shard| &mut shard.instance)
             .ok_or_else(|| SimError::UnknownSidechain(id.to_string()))
     }
 
     /// The primary sidechain's node (legacy single-chain accessor).
     pub fn node(&self) -> &LatusNode {
-        &self.chains[&self.sidechain_id].node
+        &self.shards[&self.sidechain_id].instance.node
     }
 
     /// Mutable access to the primary sidechain's node.
     pub fn node_mut(&mut self) -> &mut LatusNode {
         let id = self.sidechain_id;
-        &mut self.chains.get_mut(&id).expect("primary exists").node
+        &mut self
+            .shards
+            .get_mut(&id)
+            .expect("primary exists")
+            .instance
+            .node
     }
 
     /// The node of a specific sidechain.
@@ -614,101 +698,70 @@ impl World {
 
     /// Starts withholding certificates for one sidechain only.
     pub fn withhold_certificates_for(&mut self, sc: &SidechainId) {
-        self.withheld.insert(*sc);
+        if let Some(shard) = self.shards.get_mut(sc) {
+            shard.withheld = true;
+        }
     }
 
     /// Resumes certificate submission for one sidechain.
     pub fn resume_certificates_for(&mut self, sc: &SidechainId) {
-        self.withheld.remove(sc);
+        if let Some(shard) = self.shards.get_mut(sc) {
+            shard.withheld = false;
+        }
+    }
+
+    /// Injects a crash fault: the shard panics at its next sync (before
+    /// mutating its node), is quarantined by the containment logic and
+    /// — having stopped certifying — eventually ceases on the
+    /// mainchain, like any other liveness fault.
+    pub fn inject_shard_panic(&mut self, sc: &SidechainId) {
+        if let Some(shard) = self.shards.get_mut(sc) {
+            shard.panic_next_sync = true;
+        }
     }
 
     // ---- Progression --------------------------------------------------
 
+    /// The current step mode.
+    pub fn step_mode(&self) -> StepMode {
+        self.mode
+    }
+
+    /// Switches how [`World::step`] executes. Outcomes are identical in
+    /// every mode (see [`StepMode`]); only the wall-clock profile
+    /// changes.
+    pub fn set_step_mode(&mut self, mode: StepMode) {
+        self.mode = mode;
+    }
+
+    /// Drains the per-tick wall-clock accounting collected since the
+    /// last call (one [`StepTiming`] per completed step).
+    pub fn take_step_timings(&mut self) -> Vec<StepTiming> {
+        std::mem::take(&mut self.timings)
+    }
+
     /// Advances the world by one mainchain block: drains matured
     /// cross-chain deliveries into the mempool, mines the queued
     /// transactions, feeds the block to the router and to every
-    /// sidechain node, and — at epoch boundaries — produces and (unless
-    /// withheld) submits each sidechain's certificate.
+    /// sidechain shard, and — at epoch boundaries — produces and
+    /// (unless withheld) submits each sidechain's certificate.
+    ///
+    /// Under [`StepMode::Sharded`] the per-sidechain phase runs on
+    /// scoped worker threads, overlapped with the block's submission;
+    /// the result is bit-identical to [`StepMode::Serial`].
     ///
     /// # Errors
     ///
-    /// [`SimError`] on chain/node failures.
+    /// [`SimError`] on chain/node failures (contained shard panics are
+    /// *not* errors: the shard is quarantined and counted in
+    /// [`Metrics::shard_panics`]).
     pub fn step(&mut self) -> Result<(), SimError> {
-        self.time += 1;
-
-        // Snapshot the router against the pre-block tip (reorg undo),
-        // pruned to the chain's own reorg window.
-        let undo = self.capture_router_undo(self.chain.tip_hash());
-        self.router_undo.push(undo);
-        let keep = self.chain.params().max_reorg_depth + 1;
-        if self.router_undo.len() > keep {
-            let drop = self.router_undo.len() - keep;
-            self.router_undo.drain(..drop);
-        }
-
-        // Matured cross-chain escrows settle (batched) in this block.
-        let deliveries = self.router.collect_deliveries(&self.chain);
-        self.mc_mempool.extend(deliveries);
-
-        let queued = std::mem::take(&mut self.mc_mempool);
-        // Filter out transactions the chain rejects (e.g. deliberately
-        // invalid certificates in fault scenarios), counting rejections.
-        let mut accepted = Vec::new();
-        for tx in queued {
-            let mut candidate = accepted.clone();
-            candidate.push(tx.clone());
-            match self
-                .chain
-                .build_next_block(self.miner.address(), candidate, self.time)
-            {
-                Ok(_) => accepted.push(tx),
-                Err(_) => {
-                    self.metrics.rejections += 1;
-                    if matches!(tx, McTransaction::Certificate(_)) {
-                        self.metrics.certificates_rejected += 1;
-                    }
-                }
-            }
-        }
-        self.metrics.certificates_accepted += accepted
-            .iter()
-            .filter(|tx| matches!(tx, McTransaction::Certificate(_)))
-            .count() as u64;
-        let block = self
-            .chain
-            .mine_next_block(self.miner.address(), accepted, self.time)?;
-        self.metrics.mc_blocks += 1;
-
-        self.router.observe_block(&self.chain, &block);
-
-        for id in self.order.clone() {
-            let instance = self.chains.get_mut(&id).expect("declared");
-            instance.node.sync_mainchain_block(&block)?;
-            self.metrics.sc_blocks += 1;
-
-            if instance.node.epoch_complete() {
-                if self.withhold_certificates || self.withheld.contains(&id) {
-                    // The sidechain stops certifying entirely: a node
-                    // that never published its certificate cannot prove
-                    // later epochs either (the proof chain is broken) —
-                    // exactly the liveness fault Def 4.2 punishes with
-                    // ceasing.
-                    self.metrics.certificates_withheld += 1;
-                } else {
-                    let cert = instance.node.produce_certificate()?;
-                    self.metrics.certificates_produced += 1;
-                    self.mc_mempool
-                        .push(McTransaction::Certificate(Box::new(cert)));
-                }
-            }
-        }
-        self.sync_cross_metrics();
-        Ok(())
+        coordinator::step(self)
     }
 
     /// Folds freshly produced router receipts and settlement records
     /// into the metrics.
-    fn sync_cross_metrics(&mut self) {
+    pub(crate) fn sync_cross_metrics(&mut self) {
         use zendoo_core::crosschain::DeliveryStatus;
         for receipt in self.router.receipts_since(self.receipts_cursor) {
             match receipt.status {
@@ -829,13 +882,20 @@ impl World {
                 self.router.observe_block(&self.chain, block);
             }
         }
-        // Roll every node back to the fork base and replay the branch.
+        // Roll every live shard back to the fork base and replay the
+        // branch (a rare path, kept serial in every step mode).
         let mut reverted = 0;
         for id in self.order.clone() {
-            let instance = self.chains.get_mut(&id).expect("declared");
-            reverted += instance.node.rollback_to_mc(&fork_base)?;
+            let shard = self.shards.get_mut(&id).expect("declared");
+            if shard.quarantined {
+                continue;
+            }
+            let shard_reverted = shard.instance.node.rollback_to_mc(&fork_base)?;
+            shard.metrics.sc_blocks_reverted += shard_reverted as u64;
+            reverted += shard_reverted;
             for block in &branch {
-                instance.node.sync_mainchain_block(block)?;
+                shard.instance.node.sync_mainchain_block(block)?;
+                shard.metrics.sc_blocks += 1;
                 self.metrics.sc_blocks += 1;
             }
         }
@@ -888,11 +948,18 @@ impl World {
     }
 
     /// Audits the per-sidechain safeguard: no sidechain's on-chain value
-    /// exceeds the balance the mainchain holds for it.
+    /// exceeds the balance the mainchain holds for it. Quarantined
+    /// shards are skipped (a contained panic leaves no guarantee about
+    /// the node's in-memory state; the mainchain-side invariants are
+    /// still audited by [`World::conservation_holds`]).
     pub fn safeguards_hold(&self) -> bool {
-        self.chains.values().all(|instance| {
-            instance.node.state().total_value() <= self.sidechain_balance_of(&instance.id)
-        })
+        self.shards
+            .values()
+            .filter(|shard| !shard.quarantined)
+            .all(|shard| {
+                shard.instance.node.state().total_value()
+                    <= self.sidechain_balance_of(&shard.instance.id)
+            })
     }
 }
 

@@ -1,0 +1,153 @@
+//! The sharded-world determinism contract: a parallel step is
+//! bit-identical to a serial step, and a panicking shard is contained
+//! without perturbing the rest of the world.
+
+use zendoo_sim::{scenarios, Action, Schedule, SimConfig, StepMode, World};
+
+/// Every externally observable outcome of a run, for cross-mode
+/// comparison.
+fn observe(world: &World) -> impl PartialEq + std::fmt::Debug {
+    let tip = world.chain.tip_hash();
+    let height = world.chain.height();
+    let state = world.chain.state().clone();
+    let metrics = world.metrics.clone();
+    let receipts = world.router.receipts().to_vec();
+    let settlements = world.router.settlements().to_vec();
+    let per_chain: Vec<_> = world
+        .sidechain_ids()
+        .iter()
+        .map(|id| {
+            let node = world.node_of(id).unwrap();
+            let alice = world.user("alice").unwrap().sc_address_on(id);
+            let bob = world.user("bob").unwrap().sc_address_on(id);
+            (
+                *id,
+                world.sidechain_balance_of(id),
+                world.sidechain_status_of(id),
+                node.balance_of(&alice),
+                node.balance_of(&bob),
+                node.current_epoch(),
+                node.chain().len(),
+                node.inbound_cross_transfers().to_vec(),
+                world.shard_metrics_of(id).unwrap().clone(),
+                world.pending_inbound_of(id).to_vec(),
+            )
+        })
+        .collect();
+    (
+        tip,
+        height,
+        state,
+        metrics,
+        receipts,
+        settlements,
+        per_chain,
+    )
+}
+
+#[test]
+fn sharded_16_chain_world_is_bit_identical_to_serial() {
+    let epochs = 2;
+    let serial = scenarios::cross_chain_ring(16, epochs, StepMode::Serial).unwrap();
+    let sharded =
+        scenarios::cross_chain_ring(16, epochs, StepMode::Sharded { workers: Some(4) }).unwrap();
+    // The workload is non-trivial: every chain certified and the ring
+    // transfers settled.
+    assert!(serial.metrics.certificates_accepted >= 16);
+    assert_eq!(serial.metrics.cross_transfers_initiated, 16);
+    assert_eq!(serial.metrics.cross_transfers_delivered, 16);
+    assert!(serial.conservation_holds() && serial.safeguards_hold());
+
+    assert_eq!(
+        observe(&serial),
+        observe(&sharded),
+        "sharded step diverged from the serial reference"
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_outcomes() {
+    let base = scenarios::cross_chain_ring(5, 1, StepMode::Sharded { workers: Some(1) }).unwrap();
+    for workers in [2usize, 5, 16] {
+        let other = scenarios::cross_chain_ring(
+            5,
+            1,
+            StepMode::Sharded {
+                workers: Some(workers),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            observe(&base),
+            observe(&other),
+            "outcome changed at workers={workers}"
+        );
+    }
+}
+
+/// Runs a 4-chain world in `mode` with a crash fault injected on chain
+/// 2 just before its epoch-0 certificate.
+fn panic_world(mode: StepMode) -> World {
+    let config = SimConfig {
+        step_mode: mode,
+        ..SimConfig::with_sidechains(4)
+    };
+    let mut world = World::new(config.clone());
+    let schedule = Schedule::new()
+        .at(0, Action::ForwardTransferTo(0, "alice".into(), 20_000))
+        .at(4, Action::InjectShardPanic(2));
+    let ticks = (config.epoch_len as u64 + 1) * 3;
+    schedule.run(&mut world, ticks).unwrap();
+    world
+}
+
+#[test]
+fn shard_panic_is_contained_and_quarantines_only_that_chain() {
+    for mode in [
+        StepMode::Serial,
+        StepMode::Sharded { workers: Some(4) },
+        StepMode::Sharded { workers: Some(1) },
+    ] {
+        let world = panic_world(mode);
+        let ids = world.sidechain_ids().to_vec();
+
+        // The panic was contained, counted, and quarantined chain 2.
+        assert_eq!(world.metrics.shard_panics, 1, "{mode:?}");
+        assert_eq!(world.quarantined_sidechains(), vec![ids[2]], "{mode:?}");
+        assert_eq!(world.shard_metrics_of(&ids[2]).unwrap().panics, 1);
+        assert!(world.shard(&ids[2]).unwrap().is_quarantined());
+
+        // The quarantined chain stopped certifying and ceased on the
+        // mainchain — a crash fault degrades into the paper's liveness
+        // fault (Def 4.2), nothing worse.
+        assert_eq!(
+            world.sidechain_status_of(&ids[2]),
+            Some(zendoo_mainchain::SidechainStatus::Ceased),
+            "{mode:?}"
+        );
+
+        // Every other chain kept certifying on schedule.
+        for id in [ids[0], ids[1], ids[3]] {
+            assert_eq!(
+                world.sidechain_status_of(&id),
+                Some(zendoo_mainchain::SidechainStatus::Active),
+                "{mode:?}"
+            );
+            assert!(world.shard_metrics_of(&id).unwrap().certificates_produced >= 2);
+        }
+        // And the world's global invariants held throughout.
+        assert!(world.conservation_holds(), "{mode:?}");
+        assert!(world.safeguards_hold(), "{mode:?}");
+    }
+}
+
+#[test]
+fn panic_containment_is_mode_independent() {
+    let serial = panic_world(StepMode::Serial);
+    let sharded = panic_world(StepMode::Sharded { workers: Some(3) });
+    assert_eq!(
+        observe(&serial),
+        observe(&sharded),
+        "panic containment diverged across modes"
+    );
+}

@@ -7,8 +7,9 @@
 default:
     @just --list
 
-# Full CI gate: format check, clippy on the newer crates, tier-1 tests.
-ci: fmt-check clippy test
+# Full CI gate: format check, clippy on the newer crates, rustdoc
+# warnings-as-errors + doc-tests, tier-1 tests.
+ci: fmt-check clippy doc doc-test test
 
 # Formatting check (whole workspace).
 fmt-check:
@@ -24,6 +25,14 @@ fmt:
 clippy:
     cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain --all-targets --no-deps -- -D warnings
 
+# Rustdoc gate: the whole workspace documents cleanly.
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+# Runnable documentation examples across the workspace.
+doc-test:
+    cargo test --doc --workspace -q
+
 # Tier-1 verification (must stay green).
 test:
     cargo build --release
@@ -38,12 +47,15 @@ bench-crosschain:
     cargo bench -p zendoo-bench --bench crosschain_routing
 
 # Quick bench smoke: routing hot path, multi-certificate block
-# verification (serial vs parallel), and windowed batch settlement
-# (emits BENCH_settlement.json with per-window tx counts).
+# verification (serial vs parallel), windowed batch settlement
+# (emits BENCH_settlement.json with per-window tx counts), and the
+# sharded simulation world (emits BENCH_sharded_sim.json with
+# serial-vs-sharded wall clock + work/span multi-core speedups).
 bench-smoke:
     cargo bench -p zendoo-bench --bench crosschain_routing
     cargo bench -p zendoo-bench --bench cert_pipeline
     cargo bench -p zendoo-bench --bench settlement
+    cargo bench -p zendoo-bench --bench sharded_sim
 
 # Run the cross-sidechain swap example end to end.
 demo:
