@@ -1,9 +1,9 @@
 # Zendoo reproduction — make mirror of the justfile (the container may
 # not have `just` installed).
 
-.PHONY: ci fmt-check clippy doc doc-test test bench bench-smoke demo
+.PHONY: ci fmt-check clippy doc doc-test test test-adversarial bench bench-smoke demo
 
-ci: fmt-check clippy doc doc-test test
+ci: fmt-check clippy doc doc-test test test-adversarial
 
 fmt-check:
 	cargo fmt --check
@@ -20,6 +20,9 @@ doc-test:
 test:
 	cargo build --release
 	cargo test -q
+
+test-adversarial:
+	@total=0; for spec in "zendoo-mainchain escrow_consensus" "zendoo-crosschain adversarial" "zendoo-latus adversarial" "zendoo-core settlement_codec"; do set -- $$spec; out=$$(cargo test -q -p "$$1" --test "$$2" 2>&1) || { echo "$$out"; exit 1; }; echo "$$out"; n=$$(echo "$$out" | awk '/^test result: ok/ {s+=$$4} END {print s+0}'); total=$$((total + n)); done; echo "adversarial tests: $$total total"
 
 bench:
 	cargo bench -p zendoo-bench

@@ -184,26 +184,46 @@ pub fn parse_cross_metadata(bytes: &[u8]) -> Option<CrossChainMetadata> {
     })
 }
 
-/// The escrow authority's keypair.
+/// Seed of the historic "escrow authority" keypair. Only the derived
+/// *address* matters now — it marks escrow backward transfers inside a
+/// certificate's `BTList` — and the escrow UTXOs created for it carry
+/// the consensus-enforced escrow output kind, so no key (this one
+/// included) can authorize spending them.
+const ESCROW_AUTHORITY_SEED: &[u8] = b"zendoo/xct-escrow-authority-v1";
+
+/// The historic escrow authority's keypair — test-only.
 ///
-/// Escrowed cross-chain value sits in mainchain UTXOs controlled by
-/// this key between source-certificate maturity and delivery. In a
-/// production deployment the escrow would be a consensus-enforced
-/// script (the coins spendable only into a matching forward transfer or
-/// refund); this reproduction models it as a well-known key operated by
-/// the `CrossChainRouter`, which applies exactly those rules.
+/// Early revisions modeled the escrow as mainchain UTXOs controlled by
+/// this well-known key, operated by the `CrossChainRouter` (a trusted
+/// operator). Escrow is now a consensus-enforced output kind (see
+/// [`crate::escrow`]): escrow UTXOs are spendable only through
+/// validated settlement batches or consensus-checked refunds, and
+/// signatures on escrow inputs are ignored entirely. This function
+/// survives solely so adversarial tests can demonstrate that key-signed
+/// escrow spends are rejected; production code cannot reach it
+/// (`cargo build` without the `test-authority` feature does not compile
+/// it in).
+#[cfg(any(test, feature = "test-authority"))]
+#[deprecated(note = "escrow is a consensus-enforced output kind; this key authorizes nothing")]
 pub fn escrow_keypair() -> Keypair {
-    Keypair::from_seed(b"zendoo/xct-escrow-authority-v1")
+    Keypair::from_seed(ESCROW_AUTHORITY_SEED)
 }
 
 /// The mainchain address escrow backward transfers must pay.
 ///
-/// Cached: deriving the escrow public key costs a scalar
-/// multiplication, and this sits on the per-certificate validation hot
-/// path.
+/// Purely a marker: it pairs a certificate's escrow backward transfers
+/// with its declared cross-chain transfers. The UTXOs the mainchain
+/// creates for matured escrow BTs carry the escrow *output kind*
+/// ([`crate::escrow::EscrowTag`]), which is what actually governs
+/// spending — a signature from the address's historic keypair grants
+/// nothing.
+///
+/// Cached: deriving the public key costs a scalar multiplication, and
+/// this sits on the per-certificate validation hot path.
 pub fn escrow_address() -> Address {
     static ADDRESS: std::sync::OnceLock<Address> = std::sync::OnceLock::new();
-    *ADDRESS.get_or_init(|| Address::from_public_key(&escrow_keypair().public))
+    *ADDRESS
+        .get_or_init(|| Address::from_public_key(&Keypair::from_seed(ESCROW_AUTHORITY_SEED).public))
 }
 
 /// Why a certificate's cross-chain declaration is invalid.

@@ -14,6 +14,9 @@
 //!   absence proofs (§4.1.3, Figs 4/12);
 //! * [`epoch`] — withdrawal-epoch schedules and submission windows
 //!   (§4.1.2, Fig 3);
+//! * [`escrow`] — the consensus-enforced escrow output kind for
+//!   cross-chain value in flight ([`escrow::EscrowTag`] +
+//!   [`escrow::validate_escrow_spend`]);
 //! * [`config`] — sidechain creation parameters (§4.2);
 //! * [`verifier`] — the unified SNARK verification interface the
 //!   mainchain applies to every posting.
@@ -30,6 +33,7 @@ pub mod commitment;
 pub mod config;
 pub mod crosschain;
 pub mod epoch;
+pub mod escrow;
 pub mod ids;
 pub mod proofdata;
 pub mod settlement;
@@ -42,6 +46,7 @@ pub use commitment::{ScTxsCommitment, ScTxsCommitmentBuilder};
 pub use config::{SidechainConfig, SidechainConfigBuilder};
 pub use crosschain::{CrossChainReceipt, CrossChainTransfer};
 pub use epoch::EpochSchedule;
+pub use escrow::{EscrowError, EscrowTag};
 pub use ids::{Address, Amount, EpochId, Nullifier, Quality, SidechainId};
 pub use settlement::{SettlementBatch, SettlementError};
 pub use transfer::{BackwardTransfer, ForwardTransfer};

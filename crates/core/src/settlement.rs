@@ -11,10 +11,11 @@
 //! The batch is self-authenticating: its metadata embeds a
 //! [`SettlementBatch::commitment`] over `(source, epoch, dest,
 //! transfers)`. The mainchain recomputes the commitment when it applies
-//! the settlement transaction and checks the batch against the escrow
-//! UTXOs the transaction consumes ([`validate_settlement`]) — a forged
-//! or tampered batch invalidates the whole block. The destination
-//! sidechain decodes the same metadata to mint one UTXO per entry.
+//! the settlement transaction and matches every entry against the
+//! escrow-kind UTXOs the transaction consumes
+//! ([`crate::escrow::validate_escrow_spend`]) — a forged or tampered
+//! batch invalidates the whole block. The destination sidechain decodes
+//! the same metadata to mint one UTXO per entry.
 
 use zendoo_primitives::digest::Digest32;
 use zendoo_primitives::encode::Encode;
@@ -91,18 +92,6 @@ pub enum SettlementError {
         /// Destination the batch declares.
         batch: SidechainId,
     },
-    /// A settlement transaction spent a non-escrow input.
-    NonEscrowInput {
-        /// Index of the offending input.
-        input: usize,
-    },
-    /// The consumed escrow value differs from the settled value.
-    EscrowImbalance {
-        /// Total escrow value consumed.
-        consumed: Amount,
-        /// Total value settled by the outputs.
-        settled: Amount,
-    },
     /// Amount arithmetic overflowed (adversarial input).
     AmountOverflow,
 }
@@ -132,13 +121,6 @@ impl std::fmt::Display for SettlementError {
             SettlementError::CarrierMismatch { carried, batch } => write!(
                 f,
                 "forward transfer targets {carried} but the batch declares {batch}"
-            ),
-            SettlementError::NonEscrowInput { input } => {
-                write!(f, "settlement spends non-escrow input {input}")
-            }
-            SettlementError::EscrowImbalance { consumed, settled } => write!(
-                f,
-                "settlement consumes {consumed} of escrow but settles {settled}"
             ),
             SettlementError::AmountOverflow => write!(f, "amount arithmetic overflow"),
         }
@@ -325,49 +307,9 @@ pub fn check_settlement_output(
     }
 }
 
-/// Consensus check the mainchain applies to a settlement transaction:
-/// every consumed input must be an escrow UTXO, and the total escrow
-/// value consumed must equal the total value settled by the batches it
-/// carries (plus any same-window refund outputs in `refunded`). Each
-/// batch must additionally match its own forward transfer's amount —
-/// the caller checks that per output via
-/// [`SettlementBatch::total_amount`].
-///
-/// `consumed` lists the `(address, amount)` of every input the
-/// transaction spends.
-///
-/// # Errors
-///
-/// [`SettlementError`] naming the violated rule.
-pub fn validate_settlement(
-    consumed: &[(crate::ids::Address, Amount)],
-    settled: Amount,
-    refunded: Amount,
-) -> Result<(), SettlementError> {
-    let escrow = crate::crosschain::escrow_address();
-    for (input, (address, _)) in consumed.iter().enumerate() {
-        if *address != escrow {
-            return Err(SettlementError::NonEscrowInput { input });
-        }
-    }
-    let consumed_total = Amount::checked_sum(consumed.iter().map(|(_, amount)| *amount))
-        .ok_or(SettlementError::AmountOverflow)?;
-    let settled_total = settled
-        .checked_add(refunded)
-        .ok_or(SettlementError::AmountOverflow)?;
-    if consumed_total != settled_total {
-        return Err(SettlementError::EscrowImbalance {
-            consumed: consumed_total,
-            settled: settled_total,
-        });
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::crosschain::escrow_address;
     use crate::ids::Address;
 
     fn xct(nonce: u64, amount: u64) -> CrossChainTransfer {
@@ -468,33 +410,6 @@ mod tests {
         let mut other_entries = a.clone();
         other_entries.transfers[0].amount = Amount::from_units(1);
         assert_ne!(a.commitment(), other_entries.commitment());
-    }
-
-    #[test]
-    fn settlement_inputs_must_be_escrow_and_balance() {
-        let escrow = escrow_address();
-        let consumed = vec![
-            (escrow, Amount::from_units(30)),
-            (escrow, Amount::from_units(70)),
-        ];
-        assert_eq!(
-            validate_settlement(&consumed, Amount::from_units(100), Amount::ZERO),
-            Ok(())
-        );
-        assert_eq!(
-            validate_settlement(&consumed, Amount::from_units(60), Amount::from_units(40)),
-            Ok(())
-        );
-        assert!(matches!(
-            validate_settlement(&consumed, Amount::from_units(99), Amount::ZERO),
-            Err(SettlementError::EscrowImbalance { .. })
-        ));
-        let mut with_stranger = consumed.clone();
-        with_stranger.push((Address::from_label("mallory"), Amount::from_units(1)));
-        assert!(matches!(
-            validate_settlement(&with_stranger, Amount::from_units(101), Amount::ZERO),
-            Err(SettlementError::NonEscrowInput { input: 2 })
-        ));
     }
 
     #[test]

@@ -14,17 +14,24 @@
 //!    leaves the source sidechain's safeguard balance.
 //! 2. **Mature** — the mainchain registry validates the declaration at
 //!    certificate acceptance (escrow pairing, nullifier freshness) and,
-//!    when the submission window closes, pays the escrow backward
-//!    transfers of the winning certificate like any other payout.
+//!    when the submission window closes, matures the winning
+//!    certificate's escrow backward transfers into **escrow-kind**
+//!    UTXOs: each carries an [`zendoo_core::escrow::EscrowTag`]
+//!    (window, destination, payback, nullifier) and can only be spent
+//!    through the consensus settlement/refund rules — no key, trusted
+//!    or otherwise, authorizes an escrow spend.
 //! 3. **Settle** — the [`CrossChainRouter`] observes accepted
 //!    certificates, tracks quality replacement within the window,
 //!    dedupes by nullifier, and at maturity settles each window in
 //!    batches: all matured escrow UTXOs bound for one destination are
-//!    spent by a single transaction into one aggregated
+//!    claimed by a single transaction into one aggregated
 //!    [`SettlementBatch`] forward transfer (per-receiver breakdown
 //!    committed in its metadata), while unknown/ceased destinations
 //!    share one refund transaction paying the senders' payback
-//!    addresses.
+//!    addresses. The router holds no spending authority: consensus
+//!    validates every claim against the escrow tags and would equally
+//!    accept the same transactions from anyone — and reject anything
+//!    else.
 //!
 //! The full lifecycle, left to right:
 //!

@@ -2,8 +2,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 use zendoo_core::crosschain::{
-    escrow_keypair, validate_declarations, CrossChainReceipt, CrossChainTransfer, DeliveryStatus,
-    RefundReason,
+    validate_declarations, CrossChainReceipt, CrossChainTransfer, DeliveryStatus, RefundReason,
 };
 use zendoo_core::ids::{EpochId, Nullifier, Quality, SidechainId};
 use zendoo_core::settlement::SettlementBatch;
@@ -11,7 +10,6 @@ use zendoo_mainchain::registry::SidechainStatus;
 use zendoo_mainchain::transaction::{McTransaction, OutPoint, Output, TransferTx, TxOut};
 use zendoo_mainchain::{Block, Blockchain};
 use zendoo_primitives::digest::Digest32;
-use zendoo_primitives::schnorr::Keypair;
 
 /// One transfer waiting for its source certificate to mature, plus the
 /// index of its escrow backward transfer inside that certificate's
@@ -87,9 +85,15 @@ pub struct RouterSnapshot {
 /// mainchain transactions (plus at most one refund transaction),
 /// instead of `n`.
 ///
-/// Escrowed value is held by the escrow authority key between maturity
-/// and delivery; see [`zendoo_core::crosschain::escrow_keypair`] for
-/// why this reproduction models the escrow as a well-known key.
+/// Escrowed value sits in **escrow-kind** mainchain UTXOs between
+/// maturity and delivery ([`zendoo_core::escrow::EscrowTag`]): no key —
+/// the router's included — can spend them. The router merely
+/// *assembles* the settlement and refund transactions
+/// ([`TransferTx::escrow_claiming`]); the mainchain's consensus rules
+/// decide whether they are valid, and would reject any transaction
+/// (the router's or an attacker's) that routed escrowed value anywhere
+/// but its declared destination or its payback address. There is no
+/// trusted operator left in the escrow path.
 ///
 /// # Examples
 ///
@@ -115,7 +119,6 @@ pub struct RouterSnapshot {
 /// router.restore(snapshot); // a fork rewinds the router in lock-step
 /// ```
 pub struct CrossChainRouter {
-    escrow: Keypair,
     /// Nullifiers of transfers already delivered or refunded.
     consumed: HashSet<Nullifier>,
     /// Nullifiers queued in `pending` (released on quality replacement).
@@ -140,7 +143,6 @@ impl CrossChainRouter {
     /// A fresh router with an unbounded receipt log.
     pub fn new() -> Self {
         CrossChainRouter {
-            escrow: escrow_keypair(),
             consumed: HashSet::new(),
             reserved: HashSet::new(),
             pending: BTreeMap::new(),
@@ -381,8 +383,8 @@ impl CrossChainRouter {
                 // Replay across epochs (the registry rejects these for
                 // matured nullifiers; `reserved` covers the in-flight
                 // window). The escrow coins for a replayed item stay
-                // with the escrow authority — they were never honestly
-                // owed anywhere.
+                // locked in their escrow-kind UTXO — they were never
+                // honestly owed anywhere.
                 self.push_receipt(CrossChainReceipt {
                     transfer,
                     status: DeliveryStatus::ReplayRejected,
@@ -431,7 +433,6 @@ impl CrossChainRouter {
             .filter(|(_, e)| e.mature_at <= height)
             .map(|(k, _)| *k)
             .collect();
-        let escrow_secret = self.escrow.secret;
         let mut transactions = Vec::new();
         for key in matured {
             let window = self.pending.remove(&key).expect("listed above");
@@ -501,12 +502,10 @@ impl CrossChainRouter {
                         .forward_transfer()
                         .expect("escrowed amounts were accepted on-chain"),
                 );
-                let spends: Vec<_> = items
-                    .iter()
-                    .map(|(outpoint, _)| (*outpoint, &escrow_secret))
-                    .collect();
-                transactions.push(McTransaction::Transfer(TransferTx::signed(
-                    &spends,
+                let outpoints: Vec<OutPoint> =
+                    items.iter().map(|(outpoint, _)| *outpoint).collect();
+                transactions.push(McTransaction::Transfer(TransferTx::escrow_claiming(
+                    &outpoints,
                     vec![output],
                 )));
                 delivery_txs += 1;
@@ -524,21 +523,14 @@ impl CrossChainRouter {
             let refund_txs = if refunds.is_empty() {
                 0
             } else {
-                let spends: Vec<_> = refunds
-                    .iter()
-                    .map(|(outpoint, _, _)| (*outpoint, &escrow_secret))
-                    .collect();
+                let outpoints: Vec<OutPoint> =
+                    refunds.iter().map(|(outpoint, _, _)| *outpoint).collect();
                 let outputs: Vec<Output> = refunds
                     .iter()
-                    .map(|(_, xct, _)| {
-                        Output::Regular(TxOut {
-                            address: xct.payback,
-                            amount: xct.amount,
-                        })
-                    })
+                    .map(|(_, xct, _)| Output::Regular(TxOut::regular(xct.payback, xct.amount)))
                     .collect();
-                transactions.push(McTransaction::Transfer(TransferTx::signed(
-                    &spends, outputs,
+                transactions.push(McTransaction::Transfer(TransferTx::escrow_claiming(
+                    &outpoints, outputs,
                 )));
                 for (_, xct, reason) in refunds {
                     self.consumed.insert(xct.nullifier);

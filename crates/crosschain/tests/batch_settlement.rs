@@ -10,7 +10,10 @@ use zendoo_mainchain::transaction::{McTransaction, Output};
 use zendoo_sim::{SimConfig, World};
 
 /// Counts the settlement transactions (batch-tagged forward transfers)
-/// and refund transactions (escrow-signed regular payouts) in a block.
+/// and refund transactions (escrow-claiming regular payouts) in a
+/// block. Refunds are recognized by the public escrow-claim filler key
+/// their inputs carry — consensus ignores those signatures, but they
+/// make claim transactions observable without the UTXO set.
 fn settlement_shape(block: &zendoo_mainchain::Block) -> (usize, usize) {
     let mut deliveries = 0;
     let mut refunds = 0;
@@ -31,7 +34,7 @@ fn settlement_shape(block: &zendoo_mainchain::Block) -> (usize, usize) {
                 deliveries += 1;
             } else if t.inputs.iter().all(|i| {
                 zendoo_core::ids::Address::from_public_key(&i.pubkey)
-                    == zendoo_core::crosschain::escrow_address()
+                    == zendoo_mainchain::transaction::escrow_claim_address()
             }) && !t.inputs.is_empty()
             {
                 refunds += 1;

@@ -353,7 +353,11 @@ impl Circuit for WcertCircuit {
         // escrow-paired (equal amount, in order) inside the epoch's BT
         // list, names this sidechain as source, and carries a
         // field-consistent nullifier — so the certificate proof itself
-        // guarantees declared value left the sidechain.
+        // guarantees declared value left the sidechain. The mainchain
+        // re-validates the same pairing and, at maturity, mints each
+        // escrow BT as an escrow-KIND UTXO tagged from the declaration
+        // (zendoo_core::escrow) — the circuit and the consensus rule
+        // check the same structure from opposite ends.
         for xct in &w.declared {
             if xct.source != self.params.sidechain_id {
                 return Err(fail(

@@ -296,7 +296,9 @@ impl LatusNode {
     ///
     /// [`NodeError::Tx`] when invalid, or [`NodeError::Unavailable`]
     /// for direct withdrawals to the cross-chain escrow address (which
-    /// would break the certificate's escrow-pairing rule; use
+    /// would break the certificate's escrow-pairing rule — the
+    /// mainchain mints escrow BTs as consensus-tagged escrow-kind
+    /// UTXOs, so an unpaired one would strand the coins; use
     /// [`LatusNode::submit_cross_transfer`] instead).
     pub fn submit_transaction(&mut self, tx: ScTransaction) -> Result<(), NodeError> {
         if let ScTransaction::BackwardTransfer(bt) = &tx {

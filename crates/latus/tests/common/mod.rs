@@ -41,10 +41,10 @@ impl TwoChains {
         let keys = Arc::new(LatusKeys::generate(params, schedule, b"harness-seed"));
 
         let mut chain_params = ChainParams::default();
-        chain_params.genesis_outputs = vec![TxOut {
-            address: mc_wallet.address(),
-            amount: Amount::from_units(1_000_000),
-        }];
+        chain_params.genesis_outputs = vec![TxOut::regular(
+            mc_wallet.address(),
+            Amount::from_units(1_000_000),
+        )];
         let mut chain = Blockchain::new(chain_params);
         let config = keys.sidechain_config(&params, schedule);
         chain

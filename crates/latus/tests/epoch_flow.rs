@@ -45,10 +45,10 @@ impl TwoChains {
         let keys = Arc::new(LatusKeys::generate(params, schedule, b"e2e-seed"));
 
         let mut chain_params = ChainParams::default();
-        chain_params.genesis_outputs = vec![TxOut {
-            address: mc_wallet.address(),
-            amount: Amount::from_units(1_000_000),
-        }];
+        chain_params.genesis_outputs = vec![TxOut::regular(
+            mc_wallet.address(),
+            Amount::from_units(1_000_000),
+        )];
         let mut chain = Blockchain::new(chain_params);
 
         // Declare the sidechain at height 1 (activation at height 2).

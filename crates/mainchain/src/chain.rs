@@ -13,6 +13,7 @@
 
 use std::collections::{HashMap, HashSet};
 use zendoo_core::commitment::{ScTxsCommitment, ScTxsCommitmentBuilder};
+use zendoo_core::escrow::EscrowError;
 use zendoo_core::ids::{Address, Amount};
 use zendoo_core::settlement::SettlementError;
 use zendoo_primitives::digest::Digest32;
@@ -107,9 +108,12 @@ pub enum BlockError {
     AmountOverflow,
     /// A sidechain operation was rejected by the registry.
     Registry(RegistryError),
-    /// A batched cross-chain settlement violated its invariant (forged
-    /// commitment, escrow imbalance, non-escrow inputs).
+    /// A batched cross-chain settlement's metadata was forged or
+    /// malformed (bad commitment, amount/carrier mismatch).
     Settlement(SettlementError),
+    /// An escrow-kind output was spent (or created) outside the
+    /// consensus settlement/refund rules — theft attempts land here.
+    Escrow(EscrowError),
     /// Reorg deeper than the retained undo data.
     ReorgTooDeep,
     /// Mining exhausted the attempt bound.
@@ -142,6 +146,7 @@ impl std::fmt::Display for BlockError {
             BlockError::AmountOverflow => write!(f, "amount overflow"),
             BlockError::Registry(e) => write!(f, "sidechain registry: {e}"),
             BlockError::Settlement(e) => write!(f, "batched settlement: {e}"),
+            BlockError::Escrow(e) => write!(f, "escrow consensus rule: {e}"),
             BlockError::ReorgTooDeep => write!(f, "reorg exceeds retained undo depth"),
             BlockError::MiningFailed => write!(f, "mining attempt bound exhausted"),
             BlockError::Duplicate(h) => write!(f, "duplicate block {h}"),
@@ -160,6 +165,12 @@ impl From<RegistryError> for BlockError {
 impl From<SettlementError> for BlockError {
     fn from(e: SettlementError) -> Self {
         BlockError::Settlement(e)
+    }
+}
+
+impl From<EscrowError> for BlockError {
+    fn from(e: EscrowError) -> Self {
+        BlockError::Escrow(e)
     }
 }
 
@@ -617,10 +628,7 @@ impl Blockchain {
                         txid: payout.certificate_digest,
                         index: i as u32,
                     },
-                    TxOut {
-                        address: bt.receiver,
-                        amount: bt.amount,
-                    },
+                    bt.tx_out(),
                 );
             }
         }
@@ -675,10 +683,7 @@ impl Blockchain {
             .ok_or(BlockError::AmountOverflow)?;
         let coinbase = McTransaction::Coinbase(CoinbaseTx {
             height,
-            outputs: vec![TxOut {
-                address: miner,
-                amount: subsidy,
-            }],
+            outputs: vec![TxOut::regular(miner, subsidy)],
         });
         let mut all = Vec::with_capacity(accepted.len() + 1);
         all.push(coinbase);

@@ -24,10 +24,7 @@
 //!
 //! let miner = Wallet::from_seed(b"miner");
 //! let mut params = ChainParams::default();
-//! params.genesis_outputs = vec![TxOut {
-//!     address: miner.address(),
-//!     amount: Amount::from_units(1_000),
-//! }];
+//! params.genesis_outputs = vec![TxOut::regular(miner.address(), Amount::from_units(1_000))];
 //! let mut chain = Blockchain::new(params);
 //! assert_eq!(miner.balance(&chain), Amount::from_units(1_000));
 //! chain.mine_next_block(miner.address(), vec![], 1).unwrap();

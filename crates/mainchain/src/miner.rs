@@ -112,10 +112,7 @@ mod tests {
     fn setup() -> (Blockchain, Miner, Wallet) {
         let alice = Wallet::from_seed(b"alice");
         let params = ChainParams {
-            genesis_outputs: vec![TxOut {
-                address: alice.address(),
-                amount: Amount::from_units(100_000),
-            }],
+            genesis_outputs: vec![TxOut::regular(alice.address(), Amount::from_units(100_000))],
             ..ChainParams::default()
         };
         let chain = Blockchain::new(params);

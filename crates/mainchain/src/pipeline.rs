@@ -42,8 +42,9 @@ use crate::transaction::{McTransaction, OutPoint, Output, TxOut};
 /// Stage-1 checks for one transaction, applied at mempool admission so
 /// garbage never occupies pool space: coinbases cannot be submitted,
 /// transfers must spend something, certificate cross-chain declarations
-/// must decode and pair, and settlement-tagged forward transfers must
-/// carry a well-formed, unforged batch.
+/// must decode and pair, settlement-tagged forward transfers must
+/// carry a well-formed, unforged batch, and no transfer may forge an
+/// escrow-kind output (only certificate maturation creates those).
 ///
 /// # Errors
 ///
@@ -55,9 +56,20 @@ pub fn precheck_transaction(tx: &McTransaction) -> Result<(), BlockError> {
             if t.inputs.is_empty() {
                 return Err(BlockError::NoInputs);
             }
-            for output in &t.outputs {
-                if let Output::Forward(ft) = output {
-                    settlement::check_settlement_output(ft).map_err(BlockError::Settlement)?;
+            for (i, output) in t.outputs.iter().enumerate() {
+                match output {
+                    Output::Forward(ft) => {
+                        settlement::check_settlement_output(ft).map_err(BlockError::Settlement)?;
+                    }
+                    // Escrow-kind outputs only come into existence when
+                    // a certificate's validated declaration matures —
+                    // a submitted transaction forging one is garbage.
+                    Output::Regular(out) if out.is_escrow() => {
+                        return Err(BlockError::Escrow(
+                            zendoo_core::escrow::EscrowError::ForgedOutput { output: i },
+                        ));
+                    }
+                    Output::Regular(_) => {}
                 }
             }
             Ok(())
@@ -502,10 +514,7 @@ fn apply_block_inner(
                     txid: payout.certificate_digest,
                     index: i as u32,
                 },
-                TxOut {
-                    address: bt.receiver,
-                    amount: bt.amount,
-                },
+                bt.tx_out(),
             );
         }
     }
@@ -524,6 +533,11 @@ fn apply_block_inner(
             "first transaction must be coinbase",
         ));
     };
+    if cb.outputs.iter().any(|o| o.is_escrow()) {
+        return Err(BlockError::BadCoinbase(
+            "coinbase cannot mint escrow outputs",
+        ));
+    }
     let cb_total = Amount::checked_sum(cb.outputs.iter().map(|o| o.amount))
         .ok_or(BlockError::AmountOverflow)?;
     let allowed = block_subsidy
@@ -583,58 +597,98 @@ pub fn apply_transaction(
                     return Err(BlockError::DoubleSpendInBlock(input.outpoint));
                 }
             }
-            // Authorization + input total.
-            let mut consumed = Vec::with_capacity(t.inputs.len());
+            // Authorization + input total. Regular inputs need a valid
+            // signature from the output's key; escrow-kind inputs have
+            // NO key — consensus authorizes (or rejects) the spend as a
+            // whole below, and any signature present is ignored.
+            let mut escrow_inputs: Vec<(Amount, zendoo_core::escrow::EscrowTag)> = Vec::new();
+            let mut first_regular: Option<usize> = None;
             let mut total_in = Amount::ZERO;
             for (i, input) in t.inputs.iter().enumerate() {
                 let spent = *state
                     .utxos
                     .get(&input.outpoint)
                     .ok_or(BlockError::MissingInput(input.outpoint))?;
-                if !t.verify_input(i, &spent) {
-                    return Err(BlockError::BadInputAuthorization { input: i });
+                match spent.kind {
+                    crate::transaction::OutputKind::Regular => {
+                        if !t.verify_input(i, &spent) {
+                            return Err(BlockError::BadInputAuthorization { input: i });
+                        }
+                        first_regular.get_or_insert(i);
+                    }
+                    crate::transaction::OutputKind::Escrow(tag) => {
+                        escrow_inputs.push((spent.amount, tag));
+                    }
                 }
-                consumed.push((spent.address, spent.amount));
                 total_in = total_in
                     .checked_add(spent.amount)
                     .ok_or(BlockError::AmountOverflow)?;
+            }
+            let spends_escrow = !escrow_inputs.is_empty();
+            // Escrow spends may not launder through regular inputs (or
+            // vice versa): the exact-matching rule below needs the
+            // whole transaction to be an escrow settlement/refund.
+            if spends_escrow {
+                if let Some(input) = first_regular {
+                    return Err(BlockError::Escrow(
+                        zendoo_core::escrow::EscrowError::MixedInputs { input },
+                    ));
+                }
             }
             let total_out = t.total_output().ok_or(BlockError::AmountOverflow)?;
             if total_out > total_in {
                 return Err(BlockError::ValueImbalance);
             }
-            // Batched cross-chain settlement: a transaction carrying a
-            // settlement-tagged forward transfer must spend exactly the
-            // escrow UTXOs whose value it settles (the SettlementBatch
-            // invariant — the commitment was checked against the entry
-            // list at stage 1 / decode time; re-checked here for
-            // hand-built blocks).
-            let mut settled = Amount::ZERO;
-            let mut refunded = Amount::ZERO;
-            let mut carries_settlement = false;
-            for output in &t.outputs {
+            // Output walk: decode settlement batches, forbid forged
+            // escrow-kind outputs (only certificate maturation creates
+            // them), and forbid escrowed value leaving through plain
+            // forward transfers.
+            let mut batches = Vec::new();
+            let mut regular_outs = Vec::new();
+            for (i, output) in t.outputs.iter().enumerate() {
                 match output {
                     Output::Forward(ft) => {
-                        if settlement::check_settlement_output(ft)
+                        match settlement::check_settlement_output(ft)
                             .map_err(BlockError::Settlement)?
-                            .is_some()
                         {
-                            carries_settlement = true;
+                            Some(batch) => batches.push(batch),
+                            None if spends_escrow => {
+                                return Err(BlockError::Escrow(
+                                    zendoo_core::escrow::EscrowError::PlainForward { output: i },
+                                ));
+                            }
+                            None => {}
                         }
-                        settled = settled
-                            .checked_add(ft.amount)
-                            .ok_or(BlockError::AmountOverflow)?;
                     }
                     Output::Regular(out) => {
-                        refunded = refunded
-                            .checked_add(out.amount)
-                            .ok_or(BlockError::AmountOverflow)?;
+                        if out.is_escrow() {
+                            return Err(BlockError::Escrow(
+                                zendoo_core::escrow::EscrowError::ForgedOutput { output: i },
+                            ));
+                        }
+                        regular_outs.push((out.address, out.amount));
                     }
                 }
             }
-            if carries_settlement {
-                settlement::validate_settlement(&consumed, settled, refunded)
-                    .map_err(BlockError::Settlement)?;
+            // The escrow consensus rule: every consumed escrow input is
+            // claimed by exactly one settlement entry (window, dest,
+            // payback, nullifier and amount all bind) or refunded
+            // exactly while its destination cannot take delivery; no
+            // output escapes the matching. This is what replaced the
+            // well-known escrow key — theft paths die here.
+            if spends_escrow || !batches.is_empty() {
+                zendoo_core::escrow::validate_escrow_spend(
+                    &escrow_inputs,
+                    &batches,
+                    &regular_outs,
+                    |dest| {
+                        state
+                            .registry
+                            .get(dest)
+                            .is_some_and(|e| e.status == crate::registry::SidechainStatus::Active)
+                    },
+                )
+                .map_err(BlockError::Escrow)?;
             }
             // Apply: spend inputs, create outputs, credit FTs.
             for input in &t.inputs {
@@ -703,10 +757,7 @@ pub fn apply_transaction(
                     txid: tx.txid(),
                     index: 0,
                 },
-                TxOut {
-                    address: bt.receiver,
-                    amount: bt.amount,
-                },
+                TxOut::regular(bt.receiver, bt.amount),
             );
             Ok(Amount::ZERO)
         }

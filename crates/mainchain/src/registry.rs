@@ -17,7 +17,8 @@ use std::collections::{BTreeMap, HashSet};
 use zendoo_core::certificate::WithdrawalCertificate;
 use zendoo_core::config::SidechainConfig;
 use zendoo_core::crosschain::{self, XctError};
-use zendoo_core::ids::{Amount, EpochId, Nullifier, SidechainId};
+use zendoo_core::escrow::EscrowTag;
+use zendoo_core::ids::{Address, Amount, EpochId, Nullifier, SidechainId};
 use zendoo_core::transfer::BackwardTransfer;
 use zendoo_core::verifier::{self, ProofCheck, VerifyError};
 use zendoo_core::withdrawal::{BackwardTransferRequest, CeasedSidechainWithdrawal};
@@ -73,6 +74,32 @@ impl SidechainEntry {
     }
 }
 
+/// One output of a matured certificate payout: a backward transfer,
+/// tagged when it escrows declared cross-chain value — the chain layer
+/// turns a tagged output into an escrow-*kind* UTXO that only the
+/// consensus settlement/refund rules can spend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PayoutOutput {
+    /// The receiving address.
+    pub receiver: Address,
+    /// The amount paid.
+    pub amount: Amount,
+    /// The escrow tag, for the escrow backward transfers paired with
+    /// the certificate's declared cross-chain transfers; `None` for
+    /// ordinary withdrawals.
+    pub escrow: Option<EscrowTag>,
+}
+
+impl PayoutOutput {
+    /// The UTXO this payout materializes as: escrow-kind when tagged.
+    pub fn tx_out(&self) -> crate::transaction::TxOut {
+        match self.escrow {
+            Some(tag) => crate::transaction::TxOut::escrow(self.receiver, self.amount, tag),
+            None => crate::transaction::TxOut::regular(self.receiver, self.amount),
+        }
+    }
+}
+
 /// A payout released when a certificate matures (or a CSW is accepted):
 /// the chain layer turns these into spendable UTXOs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -81,8 +108,8 @@ pub struct MaturedPayout {
     pub sidechain_id: SidechainId,
     /// Digest of the certificate whose BTs pay out (UTXO txid base).
     pub certificate_digest: Digest32,
-    /// The backward transfers to credit.
-    pub transfers: Vec<BackwardTransfer>,
+    /// The outputs to credit, in `BTList` order.
+    pub transfers: Vec<PayoutOutput>,
 }
 
 /// Why the registry rejected an operation.
@@ -471,19 +498,56 @@ impl SidechainRegistry {
                     // moves escrowed coins, so consuming earlier would
                     // break intra-window quality replacement (a better
                     // certificate redeclares the same transfers).
-                    if let Ok(declared) = crosschain::declared_transfers(&accepted.certificate) {
-                        for xct in declared {
-                            if self.nullifiers.insert((*id, xct.nullifier)) {
-                                undo.ops
-                                    .push(RegistryOp::NullifierInserted(*id, xct.nullifier));
-                            }
+                    //
+                    // Acceptance validated the declaration (decode +
+                    // escrow pairing), so a failure here would mean the
+                    // two stages diverged — and a silent fallback would
+                    // mint the escrow BTs below as key-addressable
+                    // *regular* UTXOs. Fail loudly instead.
+                    let declared = crosschain::declared_transfers(&accepted.certificate)
+                        .expect("declaration validated at certificate acceptance");
+                    for xct in &declared {
+                        if self.nullifiers.insert((*id, xct.nullifier)) {
+                            undo.ops
+                                .push(RegistryOp::NullifierInserted(*id, xct.nullifier));
                         }
                     }
                     if !accepted.certificate.bt_list.is_empty() {
+                        // Escrow BTs pair with the declared transfers in
+                        // order (enforced at certificate acceptance);
+                        // each pairing yields the consensus tag the
+                        // escrow-kind UTXO will carry. An escrow-
+                        // addressed BT with no declaration left cannot
+                        // exist for an accepted certificate — and must
+                        // not silently mature untagged (it would be
+                        // key-spendable at a public address).
+                        let escrow = crosschain::escrow_address();
+                        let mut next = 0usize;
+                        let transfers = accepted
+                            .certificate
+                            .bt_list
+                            .iter()
+                            .map(|bt| {
+                                let tag = if bt.receiver == escrow {
+                                    let xct = declared.get(next).expect(
+                                        "escrow pairing validated at certificate acceptance",
+                                    );
+                                    next += 1;
+                                    Some(EscrowTag::for_transfer(xct, closing_epoch))
+                                } else {
+                                    None
+                                };
+                                PayoutOutput {
+                                    receiver: bt.receiver,
+                                    amount: bt.amount,
+                                    escrow: tag,
+                                }
+                            })
+                            .collect();
                         payouts.push(MaturedPayout {
                             sidechain_id: *id,
                             certificate_digest: accepted.certificate.digest(),
-                            transfers: accepted.certificate.bt_list.clone(),
+                            transfers,
                         });
                     }
                 }

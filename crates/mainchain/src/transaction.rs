@@ -9,13 +9,14 @@
 
 use serde::{Deserialize, Serialize};
 use zendoo_core::config::SidechainConfig;
+use zendoo_core::escrow::EscrowTag;
 use zendoo_core::ids::{Address, Amount};
 use zendoo_core::transfer::ForwardTransfer;
 use zendoo_core::withdrawal::{BackwardTransferRequest, CeasedSidechainWithdrawal};
 use zendoo_core::WithdrawalCertificate;
 use zendoo_primitives::digest::Digest32;
 use zendoo_primitives::encode::{digest, Encode};
-use zendoo_primitives::schnorr::{PublicKey, SecretKey, Signature};
+use zendoo_primitives::schnorr::{Keypair, PublicKey, SecretKey, Signature};
 
 /// Signature context for transaction inputs.
 const SIGHASH_CONTEXT: &str = "zendoo/mc-sighash-v1";
@@ -36,19 +37,88 @@ impl Encode for OutPoint {
     }
 }
 
-/// A spendable pay-to-address output.
+/// How an output may be spent: by its address's key, or — for escrowed
+/// cross-chain value — only through the consensus settlement/refund
+/// rules ([`zendoo_core::escrow`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize, Default)]
+pub enum OutputKind {
+    /// A regular pay-to-address output: spending requires a signature
+    /// from the address's key.
+    #[default]
+    Regular,
+    /// Consensus-escrowed cross-chain value. Signatures on inputs
+    /// spending this output are ignored; the spend is valid only as a
+    /// settlement matching the tag, or a refund to the tag's payback
+    /// address while the tagged destination is not active. Only
+    /// certificate maturation creates outputs of this kind — a transfer
+    /// (or coinbase) declaring one is rejected outright.
+    Escrow(EscrowTag),
+}
+
+impl Encode for OutputKind {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            OutputKind::Regular => 0u8.encode_into(out),
+            OutputKind::Escrow(tag) => {
+                1u8.encode_into(out);
+                tag.encode_into(out);
+            }
+        }
+    }
+}
+
+/// A spendable output: an address, an amount and the consensus
+/// [`OutputKind`] governing how it may be spent.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct TxOut {
-    /// The controlled address (hash of a Schnorr public key).
+    /// The controlled address (hash of a Schnorr public key). For
+    /// escrow-kind outputs this is a pure marker — no key authorizes
+    /// the spend.
     pub address: Address,
     /// The amount held.
     pub amount: Amount,
+    /// The spending discipline.
+    pub kind: OutputKind,
+}
+
+impl TxOut {
+    /// A regular pay-to-address output.
+    pub fn regular(address: Address, amount: Amount) -> Self {
+        TxOut {
+            address,
+            amount,
+            kind: OutputKind::Regular,
+        }
+    }
+
+    /// A consensus-escrowed output tagged with `tag`.
+    pub fn escrow(address: Address, amount: Amount, tag: EscrowTag) -> Self {
+        TxOut {
+            address,
+            amount,
+            kind: OutputKind::Escrow(tag),
+        }
+    }
+
+    /// Returns `true` for escrow-kind outputs.
+    pub fn is_escrow(&self) -> bool {
+        matches!(self.kind, OutputKind::Escrow(_))
+    }
+
+    /// The escrow tag, when this is an escrow-kind output.
+    pub fn escrow_tag(&self) -> Option<&EscrowTag> {
+        match &self.kind {
+            OutputKind::Escrow(tag) => Some(tag),
+            OutputKind::Regular => None,
+        }
+    }
 }
 
 impl Encode for TxOut {
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.address.encode_into(out);
         self.amount.encode_into(out);
+        self.kind.encode_into(out);
     }
 }
 
@@ -153,6 +223,25 @@ impl TransferTx {
         tx
     }
 
+    /// Builds a transaction claiming escrow-kind outputs.
+    ///
+    /// Escrow spends are authorized by consensus structure — the
+    /// settlement/refund rules of [`zendoo_core::escrow`] — not by any
+    /// key, so *anyone* may assemble one (typically the
+    /// `CrossChainRouter`, but a block builder could too). The inputs
+    /// are filled with signatures from the public, derivable
+    /// [`escrow_claim_keypair`] purely so the transaction is
+    /// well-formed and its id deterministic; consensus never consults
+    /// them for escrow-kind inputs.
+    pub fn escrow_claiming(outpoints: &[OutPoint], outputs: Vec<Output>) -> Self {
+        let claim = escrow_claim_keypair();
+        let spends: Vec<(OutPoint, &SecretKey)> = outpoints
+            .iter()
+            .map(|outpoint| (*outpoint, &claim.secret))
+            .collect();
+        Self::signed(&spends, outputs)
+    }
+
     /// Verifies one input's authorization against the output it spends.
     pub fn verify_input(&self, index: usize, spent: &TxOut) -> bool {
         let Some(input) = self.inputs.get(index) else {
@@ -239,6 +328,26 @@ impl McTransaction {
     }
 }
 
+/// The keypair escrow-claiming transactions fill their inputs with.
+///
+/// **Not an authority.** The seed is public and anyone can derive it;
+/// consensus ignores signatures on escrow-kind inputs entirely (the
+/// spend is authorized by the settlement/refund rules, nothing else).
+/// A shared deterministic filler just keeps escrow-claim transaction
+/// ids identical across nodes.
+pub fn escrow_claim_keypair() -> &'static Keypair {
+    static CLAIM: std::sync::OnceLock<Keypair> = std::sync::OnceLock::new();
+    CLAIM.get_or_init(|| Keypair::from_seed(b"zendoo/escrow-claim-v1"))
+}
+
+/// The address derived from [`escrow_claim_keypair`] — lets observers
+/// recognize escrow-claiming transactions (e.g. refund transactions,
+/// which carry no settlement batch) without consulting the UTXO set.
+pub fn escrow_claim_address() -> Address {
+    static ADDRESS: std::sync::OnceLock<Address> = std::sync::OnceLock::new();
+    *ADDRESS.get_or_init(|| Address::from_public_key(&escrow_claim_keypair().public))
+}
+
 /// Canonical encoding of a sidechain declaration for id purposes.
 struct DeclarationEncoding<'a>(&'a SidechainConfig);
 
@@ -285,16 +394,13 @@ mod tests {
     #[test]
     fn signed_transfer_inputs_verify() {
         let kp = keypair(b"alice");
-        let spent = TxOut {
-            address: Address::from_public_key(&kp.public),
-            amount: Amount::from_units(10),
-        };
+        let spent = TxOut::regular(Address::from_public_key(&kp.public), Amount::from_units(10));
         let tx = TransferTx::signed(
             &[(outpoint(1), &kp.secret)],
-            vec![Output::Regular(TxOut {
-                address: Address::from_label("bob"),
-                amount: Amount::from_units(9),
-            })],
+            vec![Output::Regular(TxOut::regular(
+                Address::from_label("bob"),
+                Amount::from_units(9),
+            ))],
         );
         assert!(tx.verify_input(0, &spent));
     }
@@ -303,10 +409,10 @@ mod tests {
     fn wrong_key_fails_address_binding() {
         let alice = keypair(b"alice");
         let mallory = keypair(b"mallory");
-        let spent = TxOut {
-            address: Address::from_public_key(&alice.public),
-            amount: Amount::from_units(10),
-        };
+        let spent = TxOut::regular(
+            Address::from_public_key(&alice.public),
+            Amount::from_units(10),
+        );
         // Mallory signs with her own key — address check must fail.
         let tx = TransferTx::signed(&[(outpoint(1), &mallory.secret)], vec![]);
         assert!(!tx.verify_input(0, &spent));
@@ -315,21 +421,18 @@ mod tests {
     #[test]
     fn tampering_with_outputs_invalidates_signature() {
         let kp = keypair(b"alice");
-        let spent = TxOut {
-            address: Address::from_public_key(&kp.public),
-            amount: Amount::from_units(10),
-        };
+        let spent = TxOut::regular(Address::from_public_key(&kp.public), Amount::from_units(10));
         let mut tx = TransferTx::signed(
             &[(outpoint(1), &kp.secret)],
-            vec![Output::Regular(TxOut {
-                address: Address::from_label("bob"),
-                amount: Amount::from_units(9),
-            })],
+            vec![Output::Regular(TxOut::regular(
+                Address::from_label("bob"),
+                Amount::from_units(9),
+            ))],
         );
-        tx.outputs[0] = Output::Regular(TxOut {
-            address: Address::from_label("mallory"),
-            amount: Amount::from_units(9),
-        });
+        tx.outputs[0] = Output::Regular(TxOut::regular(
+            Address::from_label("mallory"),
+            Amount::from_units(9),
+        ));
         assert!(!tx.verify_input(0, &spent));
     }
 
@@ -345,10 +448,10 @@ mod tests {
             &[(outpoint(1), &kp.secret)],
             vec![
                 Output::Forward(ft.clone()),
-                Output::Regular(TxOut {
-                    address: Address::from_label("change"),
-                    amount: Amount::from_units(4),
-                }),
+                Output::Regular(TxOut::regular(
+                    Address::from_label("change"),
+                    Amount::from_units(4),
+                )),
             ],
         ));
         assert_eq!(tx.forward_transfers(), vec![&ft]);
@@ -378,14 +481,14 @@ mod tests {
         let tx = TransferTx {
             inputs: vec![],
             outputs: vec![
-                Output::Regular(TxOut {
-                    address: Address::from_label("a"),
-                    amount: Amount::from_units(u64::MAX),
-                }),
-                Output::Regular(TxOut {
-                    address: Address::from_label("b"),
-                    amount: Amount::from_units(1),
-                }),
+                Output::Regular(TxOut::regular(
+                    Address::from_label("a"),
+                    Amount::from_units(u64::MAX),
+                )),
+                Output::Regular(TxOut::regular(
+                    Address::from_label("b"),
+                    Amount::from_units(1),
+                )),
             ],
         };
         assert_eq!(tx.total_output(), None);

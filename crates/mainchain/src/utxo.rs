@@ -18,7 +18,7 @@ use crate::transaction::{OutPoint, TxOut};
 ///
 /// let mut set = UtxoSet::new();
 /// let op = OutPoint { txid: Digest32::hash_bytes(b"tx"), index: 0 };
-/// set.insert(op, TxOut { address: Address::from_label("a"), amount: Amount::from_units(5) });
+/// set.insert(op, TxOut::regular(Address::from_label("a"), Amount::from_units(5)));
 /// assert!(set.get(&op).is_some());
 /// assert_eq!(set.remove(&op).unwrap().amount, Amount::from_units(5));
 /// assert!(set.get(&op).is_none());
@@ -113,10 +113,7 @@ mod tests {
     }
 
     fn out(addr: &str, amount: u64) -> TxOut {
-        TxOut {
-            address: Address::from_label(addr),
-            amount: Amount::from_units(amount),
-        }
+        TxOut::regular(Address::from_label(addr), Amount::from_units(amount))
     }
 
     #[test]

@@ -127,10 +127,7 @@ impl Wallet {
     ) -> Result<McTransaction, WalletError> {
         self.build(
             chain,
-            vec![Output::Regular(TxOut {
-                address: recipient,
-                amount,
-            })],
+            vec![Output::Regular(TxOut::regular(recipient, amount))],
             fee,
         )
     }
@@ -182,10 +179,7 @@ impl Wallet {
             .expect("selection covers target");
         let mut outputs = outputs;
         if !change.is_zero() {
-            outputs.push(Output::Regular(TxOut {
-                address: self.address,
-                amount: change,
-            }));
+            outputs.push(Output::Regular(TxOut::regular(self.address, change)));
         }
         let spends: Vec<(OutPoint, &zendoo_primitives::schnorr::SecretKey)> = selected
             .iter()

@@ -55,10 +55,10 @@ impl Harness {
         let miner = Wallet::from_seed(b"miner");
         let alice = Wallet::from_seed(b"alice");
         let params = ChainParams {
-            genesis_outputs: vec![TxOut {
-                address: alice.address(),
-                amount: Amount::from_units(1_000_000),
-            }],
+            genesis_outputs: vec![TxOut::regular(
+                alice.address(),
+                Amount::from_units(1_000_000),
+            )],
             ..ChainParams::default()
         };
         let mut chain = Blockchain::new(params);

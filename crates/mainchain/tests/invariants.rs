@@ -15,10 +15,7 @@ fn chain_with_users(n_users: usize, funds: u64) -> (Blockchain, Vec<Wallet>) {
     let params = ChainParams {
         genesis_outputs: wallets
             .iter()
-            .map(|w| TxOut {
-                address: w.address(),
-                amount: Amount::from_units(funds),
-            })
+            .map(|w| TxOut::regular(w.address(), Amount::from_units(funds)))
             .collect(),
         ..ChainParams::default()
     };

@@ -3,8 +3,9 @@
 //! per-block undo journal is an exact rollback, and the batched
 //! settlement consensus rules hold on the mainchain apply path.
 
-use zendoo_core::crosschain::{escrow_address, escrow_keypair, CrossChainTransfer};
-use zendoo_core::ids::{Address, Amount, SidechainId};
+use zendoo_core::crosschain::{escrow_address, CrossChainTransfer};
+use zendoo_core::escrow::{EscrowError, EscrowTag};
+use zendoo_core::ids::{Address, Amount, EpochId, SidechainId};
 use zendoo_core::proofdata::ProofData;
 use zendoo_core::settlement::{SettlementBatch, SettlementError};
 use zendoo_core::{
@@ -45,20 +46,19 @@ fn sc_id(i: usize) -> SidechainId {
 /// empty blocks mined for epoch 0 to be certifiable. Returns the chain
 /// and each sidechain's wcert proving key.
 fn chain_with_sidechains(n: usize) -> (Blockchain, Vec<ProvingKey>, Wallet) {
+    chain_with_sidechains_premined(n, Vec::new())
+}
+
+/// [`chain_with_sidechains`] with extra genesis outputs (settlement
+/// tests premine consensus-tagged escrow UTXOs this way — genesis
+/// state is trusted configuration, exactly like a real chain's).
+fn chain_with_sidechains_premined(
+    n: usize,
+    premine: Vec<TxOut>,
+) -> (Blockchain, Vec<ProvingKey>, Wallet) {
     let miner = Wallet::from_seed(b"pipe-miner");
-    let escrow = escrow_address();
-    // Premine the escrow authority so settlement tests can spend it.
     let params = ChainParams {
-        genesis_outputs: vec![
-            TxOut {
-                address: escrow,
-                amount: Amount::from_units(100),
-            },
-            TxOut {
-                address: escrow,
-                amount: Amount::from_units(50),
-            },
-        ],
+        genesis_outputs: premine,
         ..ChainParams::default()
     };
     let mut chain = Blockchain::new(params);
@@ -223,12 +223,18 @@ fn block_undo_is_an_exact_rollback() {
 }
 
 // ---- Batched settlement consensus rules ----------------------------------
+//
+// (The full theft-path matrix for the escrow output kind lives in
+// `tests/escrow_consensus.rs`; this section keeps the settlement
+// plumbing honest on the pipeline's happy/forged paths.)
+
+const SETTLE_EPOCH: EpochId = 0;
 
 fn batch_for(dest: SidechainId, amounts: &[u64]) -> SettlementBatch {
     let source = SidechainId::from_label("settle-source");
     SettlementBatch::new(
         source,
-        0,
+        SETTLE_EPOCH,
         dest,
         amounts
             .iter()
@@ -247,6 +253,20 @@ fn batch_for(dest: SidechainId, amounts: &[u64]) -> SettlementBatch {
     )
 }
 
+/// Consensus-tagged escrow genesis outputs backing `transfers`.
+fn escrow_premine(transfers: &[CrossChainTransfer]) -> Vec<TxOut> {
+    transfers
+        .iter()
+        .map(|t| {
+            TxOut::escrow(
+                escrow_address(),
+                t.amount,
+                EscrowTag::for_transfer(t, SETTLE_EPOCH),
+            )
+        })
+        .collect()
+}
+
 /// The escrow premine outpoints of [`chain_with_sidechains`].
 fn escrow_outpoints(chain: &Blockchain) -> Vec<zendoo_mainchain::OutPoint> {
     let escrow = escrow_address();
@@ -261,17 +281,11 @@ fn escrow_outpoints(chain: &Blockchain) -> Vec<zendoo_mainchain::OutPoint> {
 
 #[test]
 fn valid_settlement_spends_escrow_into_aggregated_ft() {
-    let (mut chain, _, miner) = chain_with_sidechains(1);
     let dest = sc_id(0);
     let batch = batch_for(dest, &[100, 50]);
-    let escrow_key = escrow_keypair();
-    let outpoints = escrow_outpoints(&chain);
-    let spends: Vec<_> = outpoints
-        .iter()
-        .map(|op| (*op, &escrow_key.secret))
-        .collect();
-    let tx = McTransaction::Transfer(TransferTx::signed(
-        &spends,
+    let (mut chain, _, miner) = chain_with_sidechains_premined(1, escrow_premine(&batch.transfers));
+    let tx = McTransaction::Transfer(TransferTx::escrow_claiming(
+        &escrow_outpoints(&chain),
         vec![Output::Forward(batch.forward_transfer().unwrap())],
     ));
     let balance_before = chain.state().registry.get(&dest).unwrap().balance;
@@ -286,20 +300,18 @@ fn valid_settlement_spends_escrow_into_aggregated_ft() {
 
 #[test]
 fn forged_settlement_commitment_rejects_transaction() {
-    let (mut chain, _, miner) = chain_with_sidechains(1);
     let dest = sc_id(0);
     let batch = batch_for(dest, &[100, 50]);
+    let (mut chain, _, miner) = chain_with_sidechains_premined(1, escrow_premine(&batch.transfers));
     let mut ft = batch.forward_transfer().unwrap();
     // Tamper with an entry inside the metadata: the embedded commitment
     // no longer matches.
     let offset = zendoo_core::settlement::XSB_HEADER_LEN + 96;
     ft.receiver_metadata[offset] ^= 0x01;
-    let escrow_key = escrow_keypair();
-    let spends: Vec<_> = escrow_outpoints(&chain)
-        .iter()
-        .map(|op| (*op, &escrow_key.secret))
-        .collect();
-    let tx = McTransaction::Transfer(TransferTx::signed(&spends, vec![Output::Forward(ft)]));
+    let tx = McTransaction::Transfer(TransferTx::escrow_claiming(
+        &escrow_outpoints(&chain),
+        vec![Output::Forward(ft)],
+    ));
     let err = chain
         .mine_next_block(miner.address(), vec![tx], 8)
         .unwrap_err();
@@ -314,19 +326,17 @@ fn forged_settlement_commitment_rejects_transaction() {
 
 #[test]
 fn settlement_must_consume_exactly_its_escrow_value() {
-    let (mut chain, _, miner) = chain_with_sidechains(1);
     let dest = sc_id(0);
-    // The escrow premine holds 150; settle only 120 with no refund:
-    // value would leak to fees — rejected.
-    let batch = batch_for(dest, &[120]);
-    let escrow_key = escrow_keypair();
-    let spends: Vec<_> = escrow_outpoints(&chain)
-        .iter()
-        .map(|op| (*op, &escrow_key.secret))
-        .collect();
-    let tx = McTransaction::Transfer(TransferTx::signed(
-        &spends,
-        vec![Output::Forward(batch.forward_transfer().unwrap())],
+    let batch = batch_for(dest, &[100, 50]);
+    let (mut chain, _, miner) = chain_with_sidechains_premined(1, escrow_premine(&batch.transfers));
+    // The escrow premine holds 150; settle only the first 100 while
+    // consuming both UTXOs: the 50 would leak to fees — rejected. (The
+    // unmatched input falls through to the refund rule, which refuses
+    // it because its destination is alive and well.)
+    let partial = SettlementBatch::new(batch.source, batch.epoch, dest, vec![batch.transfers[0]]);
+    let tx = McTransaction::Transfer(TransferTx::escrow_claiming(
+        &escrow_outpoints(&chain),
+        vec![Output::Forward(partial.forward_transfer().unwrap())],
     ));
     let err = chain
         .mine_next_block(miner.address(), vec![tx], 8)
@@ -334,7 +344,7 @@ fn settlement_must_consume_exactly_its_escrow_value() {
     assert!(
         matches!(
             err,
-            BlockError::Settlement(SettlementError::EscrowImbalance { .. })
+            BlockError::Escrow(EscrowError::RefundDestinationActive { input: 1 })
         ),
         "escrow value leak must be rejected, got {err:?}"
     );
@@ -361,10 +371,7 @@ fn settlement_cannot_spend_non_escrow_inputs() {
         .mine_next_block(miner_wallet.address(), vec![tx], 9)
         .unwrap_err();
     assert!(
-        matches!(
-            err,
-            BlockError::Settlement(SettlementError::NonEscrowInput { .. })
-        ),
-        "non-escrow settlement input must be rejected, got {err:?}"
+        matches!(err, BlockError::Escrow(EscrowError::EntryUnbacked { .. })),
+        "settlement without escrow-kind backing must be rejected, got {err:?}"
     );
 }

@@ -307,9 +307,8 @@ impl World {
             genesis_outputs: config
                 .genesis_users
                 .iter()
-                .map(|(name, amount)| TxOut {
-                    address: users[name].mc_address(),
-                    amount: Amount::from_units(*amount),
+                .map(|(name, amount)| {
+                    TxOut::regular(users[name].mc_address(), Amount::from_units(*amount))
                 })
                 .collect(),
             ..ChainParams::default()

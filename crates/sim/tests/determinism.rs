@@ -151,3 +151,85 @@ fn panic_containment_is_mode_independent() {
         "panic containment diverged across modes"
     );
 }
+
+/// An escrow settlement landing in the very tick a shard is
+/// quarantined, plus a second escrowed transfer whose destination *is*
+/// the quarantined chain: the quarantine path cannot strand escrowed
+/// value in either step mode — the first transfer delivers, the second
+/// refunds once the crashed chain ceases, and both modes agree
+/// bit-for-bit.
+fn escrow_vs_quarantine_world(mode: StepMode) -> World {
+    let config = SimConfig {
+        step_mode: mode,
+        ..SimConfig::with_sidechains(3)
+    };
+    let mut world = World::new(config);
+    let schedule = Schedule::new()
+        .at(0, Action::ForwardTransferTo(0, "alice".into(), 20_000))
+        // Escrows in epoch 0; its window matures at MC height 10, so
+        // the settlement transaction (escrow-kind spend) is mined in
+        // the block of tick 9 — the same tick the panic fires.
+        .at(2, Action::CrossTransfer(0, 1, "alice".into(), 4_000))
+        // Escrows in epoch 1, maturing after the crashed chain ceased:
+        // exercises the consensus-checked refund of escrow to a dead
+        // destination.
+        .at(7, Action::CrossTransfer(0, 2, "alice".into(), 3_000))
+        .at(9, Action::InjectShardPanic(2));
+    schedule.run(&mut world, 18).unwrap();
+    world
+}
+
+#[test]
+fn escrow_spend_in_quarantine_tick_strands_no_value() {
+    for mode in [StepMode::Serial, StepMode::Sharded { workers: Some(3) }] {
+        let world = escrow_vs_quarantine_world(mode);
+        let ids = world.sidechain_ids().to_vec();
+
+        // The crash was contained in the settlement tick and the chain
+        // ceased as a liveness fault.
+        assert_eq!(world.metrics.shard_panics, 1, "{mode:?}");
+        assert_eq!(world.quarantined_sidechains(), vec![ids[2]], "{mode:?}");
+        assert_eq!(
+            world.sidechain_status_of(&ids[2]),
+            Some(zendoo_mainchain::SidechainStatus::Ceased),
+            "{mode:?}"
+        );
+
+        // No escrowed value stranded: one transfer delivered (same
+        // tick as the panic), the other refunded after the ceasing.
+        assert_eq!(world.metrics.cross_transfers_initiated, 2, "{mode:?}");
+        assert_eq!(world.metrics.cross_transfers_delivered, 1, "{mode:?}");
+        assert_eq!(world.metrics.cross_transfers_refunded, 1, "{mode:?}");
+        let records = world.router.settlements();
+        assert_eq!(records.len(), 2, "{mode:?}");
+        assert_eq!(
+            records[0].mc_height, 11,
+            "epoch-0 settlement landed in the quarantine tick's block ({mode:?})"
+        );
+        assert_eq!(records[1].refund_txs, 1, "{mode:?}");
+
+        // The refund paid alice's payback address on the mainchain.
+        let alice = world.user("alice").unwrap().clone();
+        assert_eq!(
+            world
+                .chain
+                .state()
+                .utxos
+                .balance_of(&alice.mc_address())
+                .units(),
+            1_000_000 - 20_000 + 3_000,
+            "{mode:?}"
+        );
+        assert!(world.conservation_holds(), "{mode:?}");
+        assert!(world.safeguards_hold(), "{mode:?}");
+    }
+
+    // And the whole story is bit-identical across step modes.
+    let serial = escrow_vs_quarantine_world(StepMode::Serial);
+    let sharded = escrow_vs_quarantine_world(StepMode::Sharded { workers: Some(3) });
+    assert_eq!(
+        observe(&serial),
+        observe(&sharded),
+        "escrow-vs-quarantine run diverged across modes"
+    );
+}

@@ -25,10 +25,10 @@ fn main() {
     // ---- Mainchain bootstrap with a funded user.
     let alice_mc = Wallet::from_seed(b"alice");
     let mut params = ChainParams::default();
-    params.genesis_outputs = vec![TxOut {
-        address: alice_mc.address(),
-        amount: Amount::from_units(1_000_000),
-    }];
+    params.genesis_outputs = vec![TxOut::regular(
+        alice_mc.address(),
+        Amount::from_units(1_000_000),
+    )];
     let mut chain = Blockchain::new(params);
 
     // ---- Latus setup: trusted setup + sidechain registration (§4.2).

@@ -8,8 +8,8 @@ default:
     @just --list
 
 # Full CI gate: format check, clippy on the newer crates, rustdoc
-# warnings-as-errors + doc-tests, tier-1 tests.
-ci: fmt-check clippy doc doc-test test
+# warnings-as-errors + doc-tests, tier-1 tests, adversarial suites.
+ci: fmt-check clippy doc doc-test test test-adversarial
 
 # Formatting check (whole workspace).
 fmt-check:
@@ -37,6 +37,14 @@ doc-test:
 test:
     cargo build --release
     cargo test -q
+
+# The adversarial/soundness suites, by name: every escrow theft path
+# (escrow_consensus), cross-chain forgery/replay (the two adversarial
+# files) and the hostile-input codec corpus (settlement_codec). The
+# passed total is summed from the run output (no extra cargo
+# invocations) and printed so a shrinking suite is visible in CI.
+test-adversarial:
+    @total=0; for spec in "zendoo-mainchain escrow_consensus" "zendoo-crosschain adversarial" "zendoo-latus adversarial" "zendoo-core settlement_codec"; do set -- $spec; out=$(cargo test -q -p "$1" --test "$2" 2>&1) || { echo "$out"; exit 1; }; echo "$out"; n=$(echo "$out" | awk '/^test result: ok/ {s+=$4} END {print s+0}'); total=$((total + n)); done; echo "adversarial tests: $total total"
 
 # Benchmarks (criterion stand-in prints ns/iter).
 bench:

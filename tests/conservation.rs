@@ -51,7 +51,9 @@ proptest! {
 }
 
 /// One randomly generated action over `N_SIDECHAINS` concurrent
-/// sidechains, including cross-chain hops between random pairs.
+/// sidechains, including cross-chain hops between random pairs and
+/// random liveness faults (a withheld chain ceases, so in-flight
+/// transfers to it exercise the consensus-checked *refund* path).
 fn multi_action_strategy() -> impl Strategy<Value = Action> {
     let user = prop_oneof![
         (0u8..1).prop_map(|_| "alice".to_string()),
@@ -78,6 +80,11 @@ fn multi_action_strategy() -> impl Strategy<Value = Action> {
             .prop_map(|(from, to, amount)| Action::CrossTransfer(from, to, "alice".into(), amount)),
         (0usize..N_SIDECHAINS, 0usize..N_SIDECHAINS, 1u64..2_500)
             .prop_map(|(from, to, amount)| Action::CrossTransfer(from, to, "bob".into(), amount)),
+        // Liveness faults: a chain that stops certifying ceases, and
+        // every matured transfer bound for it must refund — with exact
+        // value conservation and no operator key anywhere.
+        (0usize..N_SIDECHAINS).prop_map(Action::WithholdCertificatesOn),
+        (0usize..N_SIDECHAINS).prop_map(Action::ResumeCertificatesOn),
     ]
 }
 
@@ -187,6 +194,39 @@ proptest! {
             inbound_value,
             "delivered escrow value must equal destination-side minted value"
         );
+
+        // (6) The refund path conserves exactly and needs no operator:
+        // every refunded transfer's value landed back on its payback
+        // address as plain MC UTXO value (conservation (1) covers the
+        // totals), and NO transaction in the whole trace was ever
+        // authorized by the historic escrow-authority key — escrow
+        // spends (settlements and refunds alike) are consensus-
+        // validated claims, not key-signed withdrawals.
+        let escrow_authority = zendoo::core::crosschain::escrow_address();
+        for h in 0..=world.chain.height() {
+            let block = world.chain.block_at_height(h).unwrap();
+            for tx in &block.transactions {
+                if let zendoo::mainchain::transaction::McTransaction::Transfer(t) = tx {
+                    for input in &t.inputs {
+                        prop_assert!(
+                            zendoo::core::ids::Address::from_public_key(&input.pubkey)
+                                != escrow_authority,
+                            "escrow-authority signature found at height {h}"
+                        );
+                    }
+                }
+            }
+        }
+        let refunded_value: u64 = world
+            .router
+            .receipts()
+            .iter()
+            .filter(|r| matches!(r.status, DeliveryStatus::Refunded { .. }))
+            .map(|r| r.transfer.amount.units())
+            .sum();
+        if world.metrics.cross_transfers_refunded > 0 {
+            prop_assert!(refunded_value > 0, "refund receipts carry the value");
+        }
     }
 }
 

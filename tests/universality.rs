@@ -96,10 +96,10 @@ fn sysdata_for(
 fn three_trust_models_one_verifier() {
     let miner = Wallet::from_seed(b"miner");
     let mut params = ChainParams::default();
-    params.genesis_outputs = vec![TxOut {
-        address: miner.address(),
-        amount: Amount::from_units(1_000_000),
-    }];
+    params.genesis_outputs = vec![TxOut::regular(
+        miner.address(),
+        Amount::from_units(1_000_000),
+    )];
     let mut h = Harness {
         chain: Blockchain::new(params),
         miner,
