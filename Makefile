@@ -1,7 +1,7 @@
 # Zendoo reproduction — make mirror of the justfile (the container may
 # not have `just` installed).
 
-.PHONY: ci fmt-check clippy doc doc-test test test-adversarial bench bench-smoke demo
+.PHONY: ci fmt-check clippy doc doc-test test test-adversarial bench bench-smoke obs-report demo
 
 ci: fmt-check clippy doc doc-test test test-adversarial
 
@@ -9,7 +9,7 @@ fmt-check:
 	cargo fmt --check
 
 clippy:
-	cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain --all-targets --no-deps -- -D warnings
+	cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain -p zendoo-telemetry --all-targets --no-deps -- -D warnings
 
 doc:
 	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
@@ -32,6 +32,10 @@ bench-smoke:
 	cargo bench -p zendoo-bench --bench cert_pipeline
 	cargo bench -p zendoo-bench --bench settlement
 	cargo bench -p zendoo-bench --bench sharded_sim
+	cargo bench -p zendoo-bench --bench pipeline_obs
+
+obs-report:
+	cargo run --release --example obs_report
 
 demo:
 	cargo run --release --example cross_sidechain_swap

@@ -1,0 +1,120 @@
+//! End-to-end pipeline observability: runs an instrumented 16-chain
+//! ring scenario and emits `BENCH_pipeline_obs.json` — the telemetry
+//! snapshot of the whole run in the repo's `BENCH_*.json` shape.
+//!
+//! What the report contains (and the smoke assertions check):
+//!
+//! * per-stage mainchain pipeline latencies (`mc.stage1.precheck`,
+//!   `mc.stage2.verify`, `mc.stage3.apply`) with p50/p90/p99/max,
+//! * the verdict-cache hit rate (`mc.verdict_cache.hit` / `.miss`),
+//! * the settlement batch-size histogram
+//!   (`router.settlement.batch_size`) and delivery latencies,
+//! * coordinator/shard tick spans (`tick`, `tick.coordinator`,
+//!   `tick.shard.sync`) — the telemetry successor of the deprecated
+//!   `World::take_step_timings` accounting.
+//!
+//! The scenario runs in [`StepMode::Serial`] deliberately: the serial
+//! path exercises all three pipeline stage spans at submission (the
+//! sharded path reuses recorded verdicts, so its stage 2 shows up as
+//! `mc.stage2.verdicts_reused` instead of a verify span).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zendoo_sim::{scenarios, SimConfig, StepMode, World};
+use zendoo_telemetry::render_report;
+
+/// Chains in the instrumented ring (the acceptance scenario size).
+const CHAINS: usize = 16;
+/// Full withdrawal epochs to run (2 = fund + transfer, certify +
+/// settle — every ring transfer delivers).
+const EPOCHS: u64 = 2;
+
+/// Builds and runs the instrumented ring world to completion.
+fn run_instrumented_ring() -> World {
+    let config = SimConfig {
+        step_mode: StepMode::Serial,
+        epoch_len: scenarios::ring_epoch_len(CHAINS),
+        telemetry: true,
+        ..SimConfig::with_sidechains(CHAINS)
+    };
+    let ticks = (config.epoch_len as u64 + 1) * (EPOCHS + 1);
+    let mut world = World::new(config);
+    scenarios::ring_schedule(CHAINS)
+        .run(&mut world, ticks)
+        .unwrap();
+    world
+}
+
+/// Runs the scenario, checks the snapshot covers the pipeline end to
+/// end, and writes `BENCH_pipeline_obs.json`.
+fn emit_obs_report(c: &mut Criterion) {
+    let world = run_instrumented_ring();
+    assert_eq!(
+        world.metrics.cross_transfers_delivered, CHAINS as u64,
+        "ring workload did not settle"
+    );
+    let snapshot = world.telemetry_snapshot();
+
+    // The snapshot must cover every instrumented layer.
+    for span in [
+        "tick",
+        "tick.coordinator",
+        "tick.shard.sync",
+        "mc.stage1.precheck",
+        "mc.stage2.verify",
+        "mc.stage3.apply",
+        "snark.batch.verify",
+        "router.observe",
+    ] {
+        assert!(snapshot.spans.contains_key(span), "span {span} missing");
+    }
+    let hits = snapshot
+        .counters
+        .get("mc.verdict_cache.hit")
+        .copied()
+        .unwrap_or(0);
+    let misses = snapshot
+        .counters
+        .get("mc.verdict_cache.miss")
+        .copied()
+        .unwrap_or(0);
+    assert!(hits + misses > 0, "verdict cache never consulted");
+    let batch_sizes = snapshot
+        .histograms
+        .get("router.settlement.batch_size")
+        .expect("settlement batch-size histogram missing");
+    assert!(batch_sizes.count() > 0, "no settlement batches recorded");
+
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    let scenario = format!(
+        "  \"scenario\": {{\"sidechains\": {CHAINS}, \"epochs\": {EPOCHS}, \"step_mode\": \"serial\", \"mc_blocks\": {}}},\n",
+        world.metrics.mc_blocks,
+    );
+    let derived = format!(
+        "  \"derived\": {{\"verdict_cache_hit_rate\": {hit_rate:.4}, \"verdict_cache_hits\": {hits}, \"verdict_cache_misses\": {misses}, \"settlement_batches\": {}, \"settlement_batch_size_max\": {}}},\n",
+        batch_sizes.count(),
+        batch_sizes.max(),
+    );
+    let json = snapshot.to_json("pipeline_obs").replacen(
+        "  \"spans\": [",
+        &format!("{scenario}{derived}  \"spans\": ["),
+        1,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline_obs.json");
+    std::fs::write(path, &json).expect("write BENCH_pipeline_obs.json");
+
+    // Pretty-print the span tree + counters for the bench-smoke log.
+    println!("{}", render_report(&snapshot));
+    println!(
+        "pipeline_obs/report: verdict-cache hit rate {:.1}% over {} checks (BENCH_pipeline_obs.json)",
+        hit_rate * 100.0,
+        hits + misses,
+    );
+
+    // Keep criterion's harness shape: time the report rendering.
+    c.bench_function("pipeline_obs/render_report", |b| {
+        b.iter(|| render_report(&snapshot).len())
+    });
+}
+
+criterion_group!(benches, emit_obs_report);
+criterion_main!(benches);

@@ -43,6 +43,11 @@ fn ticks_for(chains: usize) -> u64 {
 /// Builds the ring world and runs it to completion in `mode`,
 /// returning the world, its per-tick accounting and the measured wall
 /// nanoseconds of the stepped phase.
+///
+/// `take_step_timings` is deprecated in favour of telemetry spans (see
+/// the `pipeline_obs` bench); this harness keeps exercising the shim
+/// until the work/span JSON report migrates.
+#[allow(deprecated)]
 fn run_ring(chains: usize, mode: StepMode) -> (World, Vec<StepTiming>, u64) {
     let config = SimConfig {
         step_mode: mode,

@@ -10,6 +10,7 @@ use zendoo_mainchain::registry::SidechainStatus;
 use zendoo_mainchain::transaction::{McTransaction, OutPoint, Output, TransferTx, TxOut};
 use zendoo_mainchain::{Block, Blockchain};
 use zendoo_primitives::digest::Digest32;
+use zendoo_telemetry::Telemetry;
 
 /// One transfer waiting for its source certificate to mature, plus the
 /// index of its escrow backward transfer inside that certificate's
@@ -27,6 +28,9 @@ struct PendingEpoch {
     cert_digest: Digest32,
     quality: Quality,
     mature_at: u64,
+    /// Mainchain height at which the winning certificate was observed
+    /// (settlement latency in blocks = settle height − this).
+    observed_at: u64,
     items: Vec<PendingItem>,
 }
 
@@ -131,6 +135,7 @@ pub struct CrossChainRouter {
     /// Retention cap on the in-memory receipt log (`None` = unbounded).
     receipt_capacity: Option<usize>,
     settlements: Vec<SettlementRecord>,
+    telemetry: Telemetry,
 }
 
 impl Default for CrossChainRouter {
@@ -150,7 +155,15 @@ impl CrossChainRouter {
             receipts_dropped: 0,
             receipt_capacity: None,
             settlements: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; queue depths, settlement batch
+    /// sizes and delivery/refund latencies record through it. The
+    /// default is [`Telemetry::disabled`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Caps the in-memory receipt log at `capacity` entries: when a new
@@ -306,10 +319,23 @@ impl CrossChainRouter {
     /// certificates for cross-chain declarations and updates the
     /// pending queue (with quality replacement inside a window).
     pub fn observe_block(&mut self, chain: &Blockchain, block: &Block) {
+        // Clone the handle (one Arc bump) so the span guard does not
+        // hold `&self` across the mutating loop.
+        let telemetry = self.telemetry.clone();
+        let _span = telemetry.span("router.observe");
         for tx in &block.transactions {
             if let McTransaction::Certificate(cert) = tx {
+                self.telemetry.counter("router.certs_observed", 1);
                 self.observe_certificate(chain, cert);
             }
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .gauge("router.pending_windows", self.pending.len() as u64);
+            self.telemetry
+                .gauge("router.pending_transfers", self.pending_count() as u64);
+            self.telemetry
+                .observe("router.pending_depth", self.pending_count() as u64);
         }
     }
 
@@ -408,6 +434,7 @@ impl CrossChainRouter {
                     cert_digest: cert.digest(),
                     quality: cert.quality,
                     mature_at,
+                    observed_at: chain.height(),
                     items,
                 },
             );
@@ -426,6 +453,8 @@ impl CrossChainRouter {
     /// ceased share **one** multi-output refund transaction paying each
     /// sender's payback address.
     pub fn collect_deliveries(&mut self, chain: &Blockchain) -> Vec<McTransaction> {
+        let telemetry = self.telemetry.clone();
+        let _span = telemetry.span("router.collect");
         let height = chain.height();
         let matured: Vec<(SidechainId, EpochId)> = self
             .pending
@@ -509,6 +538,16 @@ impl CrossChainRouter {
                     vec![output],
                 )));
                 delivery_txs += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .observe("router.settlement.batch_size", items.len() as u64);
+                    self.telemetry
+                        .counter("router.delivered", items.len() as u64);
+                    self.telemetry.observe(
+                        "router.delivery_latency_blocks",
+                        (height + 1).saturating_sub(window.observed_at),
+                    );
+                }
                 for (_, xct) in items {
                     self.consumed.insert(xct.nullifier);
                     self.push_receipt(CrossChainReceipt {
@@ -532,6 +571,16 @@ impl CrossChainRouter {
                 transactions.push(McTransaction::Transfer(TransferTx::escrow_claiming(
                     &outpoints, outputs,
                 )));
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .observe("router.settlement.refund_size", refunds.len() as u64);
+                    self.telemetry
+                        .counter("router.refunded", refunds.len() as u64);
+                    self.telemetry.observe(
+                        "router.refund_latency_blocks",
+                        (height + 1).saturating_sub(window.observed_at),
+                    );
+                }
                 for (_, xct, reason) in refunds {
                     self.consumed.insert(xct.nullifier);
                     self.push_receipt(CrossChainReceipt {

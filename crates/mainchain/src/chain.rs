@@ -17,6 +17,7 @@ use zendoo_core::escrow::EscrowError;
 use zendoo_core::ids::{Address, Amount};
 use zendoo_core::settlement::SettlementError;
 use zendoo_primitives::digest::Digest32;
+use zendoo_telemetry::Telemetry;
 
 use crate::block::{Block, BlockHeader};
 use crate::pipeline::{self, BlockUndo, ProofVerdicts};
@@ -154,6 +155,36 @@ impl std::fmt::Display for BlockError {
     }
 }
 
+impl BlockError {
+    /// The variant's stable name, used as the suffix of the
+    /// per-variant `mc.reject.<variant>` telemetry counters.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            BlockError::UnknownParent(_) => "unknown_parent",
+            BlockError::KnownInvalid(_) => "known_invalid",
+            BlockError::BadHeight { .. } => "bad_height",
+            BlockError::BadProofOfWork => "bad_proof_of_work",
+            BlockError::WrongTarget => "wrong_target",
+            BlockError::TxRootMismatch => "tx_root_mismatch",
+            BlockError::CommitmentMismatch => "commitment_mismatch",
+            BlockError::BadCoinbase(_) => "bad_coinbase",
+            BlockError::DuplicateTxid(_) => "duplicate_txid",
+            BlockError::MissingInput(_) => "missing_input",
+            BlockError::DoubleSpendInBlock(_) => "double_spend_in_block",
+            BlockError::BadInputAuthorization { .. } => "bad_input_authorization",
+            BlockError::ValueImbalance => "value_imbalance",
+            BlockError::NoInputs => "no_inputs",
+            BlockError::AmountOverflow => "amount_overflow",
+            BlockError::Registry(_) => "registry",
+            BlockError::Settlement(_) => "settlement",
+            BlockError::Escrow(_) => "escrow",
+            BlockError::ReorgTooDeep => "reorg_too_deep",
+            BlockError::MiningFailed => "mining_failed",
+            BlockError::Duplicate(_) => "duplicate",
+        }
+    }
+}
+
 impl std::error::Error for BlockError {}
 
 impl From<RegistryError> for BlockError {
@@ -228,6 +259,8 @@ pub struct Blockchain {
     /// [`Blockchain::submit_prepared`]; consumed by `connect_block`.
     pending_verdicts: Option<(Digest32, ProofVerdicts)>,
     genesis_hash: Digest32,
+    /// Observability sink ([`Telemetry::disabled`] by default).
+    telemetry: Telemetry,
 }
 
 impl Blockchain {
@@ -296,6 +329,33 @@ impl Blockchain {
             undo: HashMap::new(),
             pending_verdicts: None,
             genesis_hash,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle; the three pipeline stages, block
+    /// sizes, verdict-cache hits and per-variant rejection counters
+    /// record through it. The default is [`Telemetry::disabled`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The chain's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Counts one rejection: the `mc.rejects` total plus the
+    /// per-variant `mc.reject.<variant>` counter. The chain counts its
+    /// own rejections; callers that filter transactions *before*
+    /// submission (mempool admission, block builders) route theirs
+    /// through here too, so every rejection lands on one set of
+    /// counters.
+    pub fn count_rejection(&self, error: &BlockError) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter("mc.rejects", 1);
+            self.telemetry
+                .counter(&format!("mc.reject.{}", error.variant_name()), 1);
         }
     }
 
@@ -397,6 +457,14 @@ impl Blockchain {
     /// [`BlockError`] for structural violations immediately; stateful
     /// violations surface when the block's branch attempts activation.
     pub fn submit_block(&mut self, block: Block) -> Result<SubmitOutcome, BlockError> {
+        let result = self.submit_block_inner(block);
+        if let Err(error) = &result {
+            self.count_rejection(error);
+        }
+        result
+    }
+
+    fn submit_block_inner(&mut self, block: Block) -> Result<SubmitOutcome, BlockError> {
         let hash = block.hash();
         if self.blocks.contains_key(&hash) {
             return Err(BlockError::Duplicate(hash));
@@ -405,7 +473,10 @@ impl Blockchain {
             return Err(BlockError::KnownInvalid(hash));
         }
         // Stage 1: stateless precheck.
-        pipeline::precheck_block(self.params.target, &block)?;
+        {
+            let _span = self.telemetry.span("mc.stage1.precheck");
+            pipeline::precheck_block(self.params.target, &block)?;
+        }
         let parent = self
             .blocks
             .get(&block.header.parent)
@@ -521,21 +592,46 @@ impl Blockchain {
         // builder already recorded; statements the builder could not
         // anticipate fall back to inline verification in stage 3.
         let verdicts = match self.pending_verdicts.take() {
-            Some((prepared_hash, verdicts)) if prepared_hash == hash => verdicts,
+            Some((prepared_hash, verdicts)) if prepared_hash == hash => {
+                self.telemetry.counter("mc.stage2.verdicts_reused", 1);
+                verdicts
+            }
             other => {
                 self.pending_verdicts = other;
-                pipeline::verify_block_proofs(&self.state, &block, hash, &self.active, None)
+                let _span = self.telemetry.span("mc.stage2.verify");
+                pipeline::verify_block_proofs_with(
+                    &self.state,
+                    &block,
+                    hash,
+                    &self.active,
+                    None,
+                    &self.telemetry,
+                )
             }
         };
         // Stage 3: atomic application (reverts itself on failure).
-        let undo = pipeline::apply_block(
-            &mut self.state,
-            &block,
-            hash,
-            &self.active,
-            self.params.block_subsidy,
-            &verdicts,
-        )?;
+        let (hits_before, misses_before) = verdicts.cache_stats();
+        let undo = {
+            let _span = self.telemetry.span("mc.stage3.apply");
+            pipeline::apply_block(
+                &mut self.state,
+                &block,
+                hash,
+                &self.active,
+                self.params.block_subsidy,
+                &verdicts,
+            )?
+        };
+        if self.telemetry.is_enabled() {
+            let (hits, misses) = verdicts.cache_stats();
+            self.telemetry
+                .counter("mc.verdict_cache.hit", hits - hits_before);
+            self.telemetry
+                .counter("mc.verdict_cache.miss", misses - misses_before);
+            self.telemetry.counter("mc.blocks_connected", 1);
+            self.telemetry
+                .observe("mc.block_txs", block.transactions.len() as u64);
+        }
         self.undo.insert(hash, undo);
         self.active.push(hash);
         self.prune_undo();
@@ -663,6 +759,9 @@ impl Blockchain {
             }
         }
         verdicts.freeze();
+        for (_, error) in &rejected {
+            self.count_rejection(error);
+        }
         (accepted, rejected, fees, verdicts)
     }
 

@@ -4,6 +4,7 @@
 
 use zendoo_core::ids::Address;
 use zendoo_primitives::digest::Digest32;
+use zendoo_telemetry::Telemetry;
 
 use crate::block::Block;
 use crate::chain::{BlockError, Blockchain, SubmitOutcome};
@@ -31,6 +32,7 @@ pub struct Miner {
     mempool: Mempool,
     /// Maximum transactions per block (excluding the coinbase).
     pub max_txs_per_block: usize,
+    telemetry: Telemetry,
 }
 
 impl Miner {
@@ -40,7 +42,15 @@ impl Miner {
             address,
             mempool: Mempool::new(),
             max_txs_per_block: 1_000,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle (share the chain's so admission
+    /// rejections land on the same `mc.reject.*` counters as pipeline
+    /// rejections). The default is [`Telemetry::disabled`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The reward address.
@@ -58,7 +68,15 @@ impl Miner {
     /// empty transfers, malformed declarations, forged settlement
     /// batches) never occupy pool space.
     pub fn submit_transaction(&mut self, tx: McTransaction) -> bool {
-        if crate::pipeline::precheck_transaction(&tx).is_err() {
+        if let Err(error) = crate::pipeline::precheck_transaction(&tx) {
+            // Admission rejections count on the same per-variant
+            // counters as pipeline rejections — historically they were
+            // silently dropped here and undercounted.
+            if self.telemetry.is_enabled() {
+                self.telemetry.counter("mc.mempool.rejected", 1);
+                self.telemetry
+                    .counter(&format!("mc.reject.{}", error.variant_name()), 1);
+            }
             return false;
         }
         self.mempool.insert(tx)

@@ -31,6 +31,7 @@ use zendoo_core::settlement;
 use zendoo_core::verifier::{self, ProofCheck};
 use zendoo_primitives::digest::Digest32;
 use zendoo_snark::batch::{self, BatchItem};
+use zendoo_telemetry::Telemetry;
 
 use crate::block::Block;
 use crate::chain::{BlockError, ChainState};
@@ -154,6 +155,10 @@ pub struct ProofVerdicts {
     /// stage 3 can record through the shared `&ProofVerdicts` it is
     /// handed). `None` disables recording.
     memo: Option<std::cell::RefCell<HashMap<Digest32, bool>>>,
+    /// Checks answered from the cache (prefetched or memoized).
+    hits: std::cell::Cell<u64>,
+    /// Checks that fell back to inline verification.
+    misses: std::cell::Cell<u64>,
 }
 
 impl ProofVerdicts {
@@ -166,8 +171,8 @@ impl ProofVerdicts {
     /// so later checks of the same statement are free.
     pub fn recording() -> Self {
         ProofVerdicts {
-            verdicts: HashMap::new(),
             memo: Some(std::cell::RefCell::new(HashMap::new())),
+            ..Self::default()
         }
     }
 
@@ -186,17 +191,27 @@ impl ProofVerdicts {
     pub fn check(&self, job: &ProofCheck) -> bool {
         let key = job.key();
         if let Some(verdict) = self.verdicts.get(&key) {
+            self.hits.set(self.hits.get().saturating_add(1));
             return *verdict;
         }
         if let Some(memo) = &self.memo {
             if let Some(verdict) = memo.borrow().get(&key) {
+                self.hits.set(self.hits.get().saturating_add(1));
                 return *verdict;
             }
+            self.misses.set(self.misses.get().saturating_add(1));
             let verdict = job.run();
             memo.borrow_mut().insert(key, verdict);
             return verdict;
         }
+        self.misses.set(self.misses.get().saturating_add(1));
         job.run()
+    }
+
+    /// `(hits, misses)` of every [`ProofVerdicts::check`] so far: a hit
+    /// was answered from the cache, a miss ran inline verification.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
     }
 
     /// Stops recording, promoting every memoized verdict into the
@@ -311,6 +326,27 @@ pub fn verify_block_proofs(
     active: &[Digest32],
     workers: Option<usize>,
 ) -> ProofVerdicts {
+    verify_block_proofs_with(
+        state,
+        block,
+        block_hash,
+        active,
+        workers,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`verify_block_proofs`] with telemetry: batch sizes and per-worker
+/// verify time record through `telemetry` (see
+/// [`batch::verify_batch_with`]).
+pub fn verify_block_proofs_with(
+    state: &ChainState,
+    block: &Block,
+    block_hash: Digest32,
+    active: &[Digest32],
+    workers: Option<usize>,
+    telemetry: &Telemetry,
+) -> ProofVerdicts {
     let checks = collect_proof_checks(state, block, block_hash, active);
     if checks.is_empty() {
         return ProofVerdicts::inline();
@@ -324,7 +360,7 @@ pub fn verify_block_proofs(
         })
         .collect();
     let workers = workers.unwrap_or_else(|| batch::default_workers(items.len()));
-    let outcomes = batch::verify_batch(&items, workers);
+    let outcomes = batch::verify_batch_with(&items, workers, telemetry);
     let mut verdicts = HashMap::with_capacity(checks.len());
     for (check, verdict) in checks.iter().zip(outcomes) {
         // Duplicate statements (same key) necessarily share a verdict.
@@ -332,7 +368,7 @@ pub fn verify_block_proofs(
     }
     ProofVerdicts {
         verdicts,
-        memo: None,
+        ..ProofVerdicts::default()
     }
 }
 

@@ -30,12 +30,11 @@
 //! the sharded path completes the remaining shards before reporting
 //! the same first error).
 
-use std::time::Instant;
-
 use crossbeam::thread;
 use zendoo_core::crosschain::CrossChainTransfer;
 use zendoo_core::ids::SidechainId;
 use zendoo_mainchain::transaction::McTransaction;
+use zendoo_telemetry::Telemetry;
 
 use crate::shard::{ShardEffects, SidechainShard, StepMode};
 use crate::world::{SimError, World};
@@ -95,7 +94,14 @@ fn prologue(world: &mut World) -> std::collections::BTreeMap<SidechainId, Vec<Cr
 
 /// Folds one shard's effect log into the coordinator state. Returns
 /// the shard's error, if any.
+///
+/// Callers invoke this in sidechain declaration order in both step
+/// modes, so absorbing the shard-local telemetry snapshot here keeps
+/// the aggregate independent of worker-thread scheduling.
 fn apply_effects(world: &mut World, effects: ShardEffects) -> Option<SimError> {
+    if let Some(snapshot) = &effects.telemetry {
+        world.absorb_shard_telemetry(snapshot);
+    }
     if effects.forged {
         world.metrics.sc_blocks += 1;
     }
@@ -114,13 +120,46 @@ fn apply_effects(world: &mut World, effects: ShardEffects) -> Option<SimError> {
 
 /// The reference serial tick (legacy behavior, kept as the determinism
 /// oracle and benchmark baseline).
+///
+/// All wall-clock accounting flows through [`Telemetry::time`] (which
+/// measures unconditionally and records a span only when the world is
+/// recording), so the deprecated [`StepTiming`] shim and the telemetry
+/// spans share one clock and can never disagree.
 fn step_serial(world: &mut World) -> Result<(), SimError> {
-    let step_start = Instant::now();
-    let mut partition = prologue(world);
+    let telemetry = world.telemetry.clone();
+    let (walk, total_nanos) = telemetry.time("tick", || step_serial_walk(world, &telemetry));
+    // Legacy semantics: a failing tick (chain error, first failing
+    // shard) records no StepTiming.
+    let shard_nanos = walk?;
+    // In a serial tick, everything that is not shard work is
+    // coordinator work by definition (prologue, block build/submit,
+    // router observation, effect fold) — measure it exactly as the
+    // difference, so the work/span model never undercounts the
+    // serial-only critical path.
+    let shard_sum: u64 = shard_nanos.iter().map(|(_, nanos)| nanos).sum();
+    telemetry.span_nanos("tick.coordinator", total_nanos.saturating_sub(shard_sum));
+    world.timings.push(StepTiming {
+        total_nanos,
+        coordinator_nanos: total_nanos.saturating_sub(shard_sum),
+        shard_nanos,
+    });
+    Ok(())
+}
+
+/// The serial tick body: returns per-shard nanoseconds in declaration
+/// order on success.
+fn step_serial_walk(
+    world: &mut World,
+    telemetry: &Telemetry,
+) -> Result<Vec<(SidechainId, u64)>, SimError> {
+    let (mut partition, _) = telemetry.time("tick.prologue", || prologue(world));
 
     // Greedy candidate filter, one full dry-run block build per
     // candidate; rejected transactions are counted, not fatal (fault
-    // scenarios schedule actions that are *supposed* to fail).
+    // scenarios schedule actions that are *supposed* to fail). The
+    // telemetry-side rejection counters are bumped by `fill_block`
+    // inside each dry-run build — exactly once per rejected candidate,
+    // because a rejected transaction is never retried.
     let queued = std::mem::take(&mut world.mc_mempool);
     let mut accepted = Vec::new();
     for tx in queued {
@@ -131,12 +170,7 @@ fn step_serial(world: &mut World) -> Result<(), SimError> {
             .build_next_block(world.miner.address(), candidate, world.time)
         {
             Ok(_) => accepted.push(tx),
-            Err(_) => {
-                world.metrics.rejections += 1;
-                if matches!(tx, McTransaction::Certificate(_)) {
-                    world.metrics.certificates_rejected += 1;
-                }
-            }
+            Err(_) => world.note_rejection(&tx),
         }
     }
     world.metrics.certificates_accepted += accepted
@@ -151,6 +185,7 @@ fn step_serial(world: &mut World) -> Result<(), SimError> {
     world.router.observe_block(&world.chain, &block);
 
     let withhold_all = world.withhold_certificates;
+    let record = telemetry.is_enabled();
     let mut shard_nanos = Vec::with_capacity(world.order.len());
     for id in world.order.clone() {
         let shard = world.shards.get_mut(&id).expect("declared");
@@ -158,7 +193,7 @@ fn step_serial(world: &mut World) -> Result<(), SimError> {
             continue;
         }
         let inbound = partition.remove(&id).unwrap_or_default();
-        let effects = shard.sync_and_certify(&block, withhold_all, inbound);
+        let effects = shard.sync_and_certify(&block, withhold_all, inbound, record);
         shard_nanos.push((id, effects.nanos));
         if let Some(error) = apply_effects(world, effects) {
             // Legacy semantics: the serial walk stops at the first
@@ -167,41 +202,67 @@ fn step_serial(world: &mut World) -> Result<(), SimError> {
         }
     }
     world.sync_cross_metrics();
-    // In a serial tick, everything that is not shard work is
-    // coordinator work by definition (prologue, block build/submit,
-    // router observation, effect fold) — measure it exactly as the
-    // difference, so the work/span model never undercounts the
-    // serial-only critical path.
-    let total_nanos = step_start.elapsed().as_nanos() as u64;
-    let shard_sum: u64 = shard_nanos.iter().map(|(_, nanos)| nanos).sum();
-    world.timings.push(StepTiming {
-        total_nanos,
-        coordinator_nanos: total_nanos.saturating_sub(shard_sum),
-        shard_nanos,
-    });
-    Ok(())
+    Ok(shard_nanos)
 }
 
 /// The sharded tick: one-pass block preparation with verdict reuse,
 /// then the shard phase on scoped worker threads overlapped with the
-/// block's submission.
+/// block's submission. Timing flows through [`Telemetry::time`] like
+/// the serial path; see [`step_sharded_body`] for the phase spans.
 fn step_sharded(world: &mut World, workers: Option<usize>) -> Result<(), SimError> {
-    let step_start = Instant::now();
-    let mut partition = prologue(world);
+    let telemetry = world.telemetry.clone();
+    let (body, total_nanos) =
+        telemetry.time("tick", || step_sharded_body(world, workers, &telemetry));
+    // Legacy semantics: a preparation failure records no StepTiming; a
+    // submission failure or shard error still does (the effect fold ran).
+    let (coordinator_nanos, shard_nanos, submit_result, first_error) = body?;
+    telemetry.span_nanos("tick.coordinator", coordinator_nanos);
+    world.timings.push(StepTiming {
+        total_nanos,
+        coordinator_nanos,
+        shard_nanos,
+    });
+    submit_result?;
+    match first_error {
+        Some(error) => Err(error),
+        None => Ok(()),
+    }
+}
+
+/// The phase outcome of one sharded tick: coordinator-critical-path
+/// nanoseconds, per-shard nanoseconds in declaration order, the block
+/// submission result and the first shard error (if any).
+type ShardedTick = (
+    u64,
+    Vec<(SidechainId, u64)>,
+    Result<(), zendoo_mainchain::BlockError>,
+    Option<SimError>,
+);
+
+/// The sharded tick body. Errors returned here are *preparation*
+/// failures (no timing recorded); submission and shard failures are
+/// reported inside the tuple so the caller can record timing first.
+fn step_sharded_body(
+    world: &mut World,
+    workers: Option<usize>,
+    telemetry: &Telemetry,
+) -> Result<ShardedTick, SimError> {
     // Everything before the worker scope is coordinator critical path
     // (prologue's router snapshot + settlement + partition included).
-    let prologue_nanos = step_start.elapsed().as_nanos() as u64;
+    let (mut partition, prologue_nanos) = telemetry.time("tick.prologue", || prologue(world));
 
-    let mc_start = Instant::now();
     let queued = std::mem::take(&mut world.mc_mempool);
-    let prepared = world
-        .chain
-        .prepare_next_block(world.miner.address(), queued, world.time)?;
+    let (prepared, prepare_nanos) = telemetry.time("tick.mc.prepare", || {
+        world
+            .chain
+            .prepare_next_block(world.miner.address(), queued, world.time)
+    });
+    let prepared = prepared?;
+    // Telemetry-side rejection counters were already bumped once per
+    // rejected candidate by `fill_block` inside the preparation; only
+    // the sim-level metrics are folded here.
     for (tx, _) in &prepared.rejected {
-        world.metrics.rejections += 1;
-        if matches!(tx, McTransaction::Certificate(_)) {
-            world.metrics.certificates_rejected += 1;
-        }
+        world.note_rejection(tx);
     }
     world.metrics.certificates_accepted += prepared
         .block
@@ -210,8 +271,8 @@ fn step_sharded(world: &mut World, workers: Option<usize>) -> Result<(), SimErro
         .filter(|tx| matches!(tx, McTransaction::Certificate(_)))
         .count() as u64;
     let block = prepared.block.clone();
-    let prepare_nanos = mc_start.elapsed().as_nanos() as u64;
     let withhold_all = world.withhold_certificates;
+    let record = telemetry.is_enabled();
 
     // Split borrows: the scope below hands each worker lane disjoint
     // `&mut SidechainShard`s while the coordinator thread drives the
@@ -251,16 +312,20 @@ fn step_sharded(world: &mut World, workers: Option<usize>) -> Result<(), SimErro
     let (submit_result, mut indexed_effects, mc_tail_nanos) = if workers <= 1 {
         // No parallelism available: submit first, then walk the shards
         // in order on this thread (identical outcomes, no spawn cost).
-        let tail_start = Instant::now();
-        let submit = chain.submit_prepared(prepared).map(|_| ());
-        if submit.is_ok() {
-            router.observe_block(chain, &block);
-        }
-        let tail = tail_start.elapsed().as_nanos() as u64;
+        let (submit, tail) = telemetry.time("tick.mc.submit", || {
+            let submit = chain.submit_prepared(prepared).map(|_| ());
+            if submit.is_ok() {
+                router.observe_block(chain, &block);
+            }
+            submit
+        });
         let effects = work
             .into_iter()
             .map(|(index, shard, inbound)| {
-                (index, shard.sync_and_certify(&block, withhold_all, inbound))
+                (
+                    index,
+                    shard.sync_and_certify(&block, withhold_all, inbound, record),
+                )
             })
             .collect::<Vec<_>>();
         (submit, effects, tail)
@@ -284,7 +349,12 @@ fn step_sharded(world: &mut World, workers: Option<usize>) -> Result<(), SimErro
                             .map(|(index, shard, inbound)| {
                                 (
                                     index,
-                                    shard.sync_and_certify(block_ref, withhold_all, inbound),
+                                    shard.sync_and_certify(
+                                        block_ref,
+                                        withhold_all,
+                                        inbound,
+                                        record,
+                                    ),
                                 )
                             })
                             .collect::<Vec<_>>()
@@ -292,12 +362,13 @@ fn step_sharded(world: &mut World, workers: Option<usize>) -> Result<(), SimErro
                 })
                 .collect();
             // Coordinator critical path, overlapped with the lanes.
-            let tail_start = Instant::now();
-            let submit = chain.submit_prepared(prepared).map(|_| ());
-            if submit.is_ok() {
-                router.observe_block(chain, block_ref);
-            }
-            let tail = tail_start.elapsed().as_nanos() as u64;
+            let (submit, tail) = telemetry.time("tick.mc.submit", || {
+                let submit = chain.submit_prepared(prepared).map(|_| ());
+                if submit.is_ok() {
+                    router.observe_block(chain, block_ref);
+                }
+                submit
+            });
             let mut effects = Vec::with_capacity(live);
             for handle in handles {
                 // Shard panics are contained inside `sync_and_certify`;
@@ -317,27 +388,24 @@ fn step_sharded(world: &mut World, workers: Option<usize>) -> Result<(), SimErro
     // failed, so contained panics and produced certificates are never
     // silently dropped). The fold is coordinator work too: it counts
     // toward the critical path the work/span model reports.
-    let fold_start = Instant::now();
-    indexed_effects.sort_by_key(|(index, _)| *index);
-    let mut shard_nanos = Vec::with_capacity(indexed_effects.len());
-    let mut first_error = None;
-    for (_, effects) in indexed_effects {
-        shard_nanos.push((effects.id, effects.nanos));
-        let error = apply_effects(world, effects);
-        if first_error.is_none() {
-            first_error = error;
+    let ((shard_nanos, first_error), fold_nanos) = telemetry.time("tick.fold", || {
+        indexed_effects.sort_by_key(|(index, _)| *index);
+        let mut shard_nanos = Vec::with_capacity(indexed_effects.len());
+        let mut first_error = None;
+        for (_, effects) in indexed_effects {
+            shard_nanos.push((effects.id, effects.nanos));
+            let error = apply_effects(world, effects);
+            if first_error.is_none() {
+                first_error = error;
+            }
         }
-    }
-    world.sync_cross_metrics();
-    let fold_nanos = fold_start.elapsed().as_nanos() as u64;
-    world.timings.push(StepTiming {
-        total_nanos: step_start.elapsed().as_nanos() as u64,
-        coordinator_nanos: prologue_nanos + prepare_nanos + mc_tail_nanos + fold_nanos,
-        shard_nanos,
+        world.sync_cross_metrics();
+        (shard_nanos, first_error)
     });
-    submit_result?;
-    match first_error {
-        Some(error) => Err(error),
-        None => Ok(()),
-    }
+    Ok((
+        prologue_nanos + prepare_nanos + mc_tail_nanos + fold_nanos,
+        shard_nanos,
+        submit_result,
+        first_error,
+    ))
 }

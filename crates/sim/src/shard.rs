@@ -31,6 +31,7 @@ use zendoo_core::crosschain::CrossChainTransfer;
 use zendoo_core::ids::SidechainId;
 use zendoo_latus::node::NodeError;
 use zendoo_mainchain::Block;
+use zendoo_telemetry::Snapshot;
 
 use crate::world::ScInstance;
 
@@ -103,6 +104,12 @@ pub struct ShardEffects {
     /// Wall-clock nanoseconds this shard's tick took (feeds the
     /// work/span accounting in `BENCH_sharded_sim.json`).
     pub nanos: u64,
+    /// The shard-local telemetry recorded during this tick (present
+    /// only when the world is recording). Shards never touch the
+    /// world's recorder directly: the coordinator absorbs these
+    /// snapshots in declaration order, so the aggregate is identical
+    /// whichever worker thread ran which shard when.
+    pub telemetry: Option<Snapshot>,
 }
 
 /// One sidechain's slice of the world: the deployed instance plus the
@@ -172,6 +179,7 @@ impl SidechainShard {
         block: &Block,
         withhold_all: bool,
         inbound: Vec<CrossChainTransfer>,
+        record: bool,
     ) -> ShardEffects {
         let start = Instant::now();
         let id = self.instance.id;
@@ -184,6 +192,7 @@ impl SidechainShard {
             panicked: None,
             error: None,
             nanos: 0,
+            telemetry: None,
         };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.tick(block, withhold_all)
@@ -213,6 +222,26 @@ impl SidechainShard {
             }
         }
         effects.nanos = start.elapsed().as_nanos() as u64;
+        if record {
+            let mut snapshot = Snapshot::default();
+            snapshot.add_span("tick.shard.sync", effects.nanos);
+            if effects.forged {
+                snapshot.add_counter("shard.sc_blocks_forged", 1);
+            }
+            if effects.certificate.is_some() {
+                snapshot.add_counter("shard.certificates_produced", 1);
+            }
+            if effects.withheld {
+                snapshot.add_counter("shard.certificates_withheld", 1);
+            }
+            if effects.panicked.is_some() {
+                snapshot.add_counter("shard.panics", 1);
+            }
+            if effects.error.is_some() {
+                snapshot.add_counter("shard.node_errors", 1);
+            }
+            effects.telemetry = Some(snapshot);
+        }
         effects
     }
 

@@ -53,6 +53,7 @@ use zendoo_mainchain::chain::{Blockchain, ChainParams, SubmitOutcome};
 use zendoo_mainchain::transaction::{McTransaction, TxOut};
 use zendoo_mainchain::wallet::Wallet;
 use zendoo_primitives::schnorr::Keypair;
+use zendoo_telemetry::{InMemoryRecorder, Snapshot, Telemetry};
 
 use crate::coordinator::{self, StepTiming};
 use crate::metrics::Metrics;
@@ -78,6 +79,14 @@ pub struct SimConfig {
     /// How [`World::step`] executes (see [`StepMode`]); switchable
     /// later via [`World::set_step_mode`].
     pub step_mode: StepMode,
+    /// When `true` the world records telemetry into an
+    /// [`InMemoryRecorder`] from construction on (spans, counters and
+    /// histograms across the mainchain pipeline, the router and the
+    /// shards); snapshot it via [`World::telemetry_snapshot`]. The
+    /// default is `false`: every instrument site then hits the no-op
+    /// recorder, whose cost is a single branch. Recording can also be
+    /// switched on later via [`World::enable_telemetry`].
+    pub telemetry: bool,
 }
 
 impl Default for SimConfig {
@@ -90,6 +99,7 @@ impl Default for SimConfig {
             genesis_users: vec![("alice".into(), 1_000_000), ("bob".into(), 500_000)],
             seed: b"zendoo-sim".to_vec(),
             step_mode: StepMode::default(),
+            telemetry: false,
         }
     }
 }
@@ -236,6 +246,12 @@ pub struct World {
     /// Per-tick wall-clock accounting since the last
     /// [`World::take_step_timings`].
     pub(crate) timings: Vec<StepTiming>,
+    /// The telemetry handle shared by the chain, the router, the miner
+    /// admission path and the coordinator (disabled unless
+    /// [`SimConfig::telemetry`] or [`World::enable_telemetry`]).
+    pub(crate) telemetry: Telemetry,
+    /// The sink behind `telemetry` when recording is on.
+    pub(crate) recorder: Option<Arc<InMemoryRecorder>>,
 }
 
 /// Everything a mainchain fork must rewind besides the chain itself:
@@ -314,6 +330,13 @@ impl World {
             ..ChainParams::default()
         };
         let mut chain = Blockchain::new(chain_params);
+        let (telemetry, recorder) = if config.telemetry {
+            let (telemetry, recorder) = Telemetry::in_memory();
+            (telemetry, Some(recorder))
+        } else {
+            (Telemetry::disabled(), None)
+        };
+        chain.set_telemetry(telemetry.clone());
 
         let schedule = EpochSchedule::new(2, config.epoch_len, config.submit_len)
             .expect("simulation schedule valid");
@@ -364,7 +387,11 @@ impl World {
             users,
             metrics: Metrics::default(),
             sidechain_id: sidechain_ids[0],
-            router: CrossChainRouter::new(),
+            router: {
+                let mut router = CrossChainRouter::new();
+                router.set_telemetry(telemetry.clone());
+                router
+            },
             mc_mempool: Vec::new(),
             withhold_certificates: false,
             receipts_cursor: 0,
@@ -374,6 +401,8 @@ impl World {
             time: 1,
             mode: config.step_mode,
             timings: Vec::new(),
+            telemetry,
+            recorder,
         };
         // Anchor snapshot: the router state at the bootstrap tip, so
         // forks reaching back to the first stepped block can rewind it.
@@ -515,8 +544,31 @@ impl World {
     // ---- Actions ------------------------------------------------------
 
     /// Queues a mainchain transaction for the next mined block.
+    /// Stage-1 stateless prechecks run at admission, mirroring
+    /// [`zendoo_mainchain::miner::Miner::submit_transaction`]:
+    /// structurally invalid submissions are rejected (and counted) here
+    /// instead of occupying mempool space until the next mined block.
     pub fn queue_mc_tx(&mut self, tx: McTransaction) {
+        if let Err(error) = zendoo_mainchain::pipeline::precheck_transaction(&tx) {
+            // The chain never sees an admission reject, so the
+            // telemetry side is counted here; the sim-level metrics go
+            // through the same path as build-time rejections.
+            self.chain.count_rejection(&error);
+            self.note_rejection(&tx);
+            return;
+        }
         self.mc_mempool.push(tx);
+    }
+
+    /// Folds one rejected mainchain candidate into the sim metrics —
+    /// the single bookkeeping path shared by admission rejections
+    /// ([`World::queue_mc_tx`]) and build-time rejections in both step
+    /// modes, so neither source is under- or double-counted.
+    pub(crate) fn note_rejection(&mut self, tx: &McTransaction) {
+        self.metrics.rejections += 1;
+        if matches!(tx, McTransaction::Certificate(_)) {
+            self.metrics.certificates_rejected += 1;
+        }
     }
 
     /// Queues a forward transfer from a user to their own address on the
@@ -735,8 +787,61 @@ impl World {
 
     /// Drains the per-tick wall-clock accounting collected since the
     /// last call (one [`StepTiming`] per completed step).
+    #[deprecated(
+        since = "0.1.0",
+        note = "per-tick wall-clock accounting now flows through the telemetry \
+                subsystem; enable recording (`SimConfig::telemetry` or \
+                `World::enable_telemetry`) and read `telemetry_snapshot()` \
+                spans (`tick`, `tick.coordinator`, `tick.shard.sync`) instead"
+    )]
     pub fn take_step_timings(&mut self) -> Vec<StepTiming> {
         std::mem::take(&mut self.timings)
+    }
+
+    /// The world's telemetry handle (shared by the chain, the router
+    /// and the coordinator). Disabled unless [`SimConfig::telemetry`]
+    /// was set or [`World::enable_telemetry`] was called.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Switches telemetry recording on (idempotent). All subsequent
+    /// steps record into an in-memory recorder; anything recorded
+    /// before the switch is lost (the disabled recorder drops
+    /// everything).
+    pub fn enable_telemetry(&mut self) {
+        if self.recorder.is_some() {
+            return;
+        }
+        let (telemetry, recorder) = Telemetry::in_memory();
+        self.chain.set_telemetry(telemetry.clone());
+        self.router.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self.recorder = Some(recorder);
+    }
+
+    /// A deterministic snapshot of everything recorded so far: spans
+    /// (`tick`, `mc.stage1.precheck` … `mc.stage3.apply`,
+    /// `snark.batch.verify`, `router.observe`, `tick.shard.sync`),
+    /// counters (`mc.reject.*`, `mc.verdict_cache.*`, `router.*`,
+    /// `shard.*`) and histograms (`router.settlement.batch_size`,
+    /// `mc.block_txs`, …). Empty when recording is off. Render it with
+    /// [`zendoo_telemetry::render_report`] or serialise it via
+    /// [`Snapshot::to_json`].
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.recorder
+            .as_ref()
+            .map(|recorder| recorder.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Merges a shard-local snapshot into the world recorder (used by
+    /// the coordinator, which absorbs shard effects in declaration
+    /// order so Serial and Sharded aggregation are identical).
+    pub(crate) fn absorb_shard_telemetry(&mut self, snapshot: &Snapshot) {
+        if let Some(recorder) = &self.recorder {
+            recorder.absorb(snapshot);
+        }
     }
 
     /// Advances the world by one mainchain block: drains matured

@@ -1,8 +1,10 @@
 //! The sharded-world determinism contract: a parallel step is
 //! bit-identical to a serial step, and a panicking shard is contained
-//! without perturbing the rest of the world.
+//! without perturbing the rest of the world — with or without
+//! telemetry recording enabled.
 
 use zendoo_sim::{scenarios, Action, Schedule, SimConfig, StepMode, World};
+use zendoo_telemetry::{Histogram, Snapshot};
 
 /// Every externally observable outcome of a run, for cross-mode
 /// comparison.
@@ -232,4 +234,121 @@ fn escrow_spend_in_quarantine_tick_strands_no_value() {
         observe(&sharded),
         "escrow-vs-quarantine run diverged across modes"
     );
+}
+
+// ---- Telemetry recording must not perturb determinism ---------------
+
+/// Runs the ring workload with telemetry recording **on** from
+/// construction.
+fn instrumented_ring(chains: usize, epochs: u32, mode: StepMode) -> World {
+    let config = SimConfig {
+        step_mode: mode,
+        epoch_len: scenarios::ring_epoch_len(chains),
+        telemetry: true,
+        ..SimConfig::with_sidechains(chains)
+    };
+    let ticks = (config.epoch_len as u64 + 1) * (epochs as u64 + 1);
+    let mut world = World::new(config);
+    scenarios::ring_schedule(chains)
+        .run(&mut world, ticks)
+        .unwrap();
+    world
+}
+
+/// The deterministic projection of a snapshot: everything except
+/// measured wall-clock nanoseconds (span durations vary run to run;
+/// span *occurrence counts*, counters, gauges and value histograms
+/// must not).
+#[allow(clippy::type_complexity)]
+fn deterministic_view(
+    snapshot: &Snapshot,
+) -> (
+    Vec<(String, u64)>,
+    Vec<(String, u64)>,
+    Vec<(String, u64)>,
+    Vec<(String, Histogram)>,
+) {
+    (
+        snapshot
+            .spans
+            .iter()
+            .map(|(path, stats)| (path.clone(), stats.count))
+            .collect(),
+        snapshot
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), *value))
+            .collect(),
+        snapshot
+            .gauges
+            .iter()
+            .map(|(name, value)| (name.clone(), *value))
+            .collect(),
+        snapshot
+            .histograms
+            .iter()
+            .map(|(name, hist)| (name.clone(), hist.clone()))
+            .collect(),
+    )
+}
+
+/// The tentpole determinism claim under instrumentation: a recording
+/// 16-chain world is still bit-identical Serial vs Sharded (telemetry
+/// is strictly write-only — no instrument site feeds back into
+/// consensus or scheduling).
+#[test]
+fn instrumented_16_chain_world_is_bit_identical_across_modes() {
+    let serial = instrumented_ring(16, 1, StepMode::Serial);
+    let sharded = instrumented_ring(16, 1, StepMode::Sharded { workers: Some(4) });
+    assert!(serial.metrics.certificates_accepted >= 16);
+    assert!(serial.conservation_holds() && serial.safeguards_hold());
+    assert_eq!(
+        observe(&serial),
+        observe(&sharded),
+        "recording telemetry perturbed the sharded/serial contract"
+    );
+
+    // Both modes recorded real data…
+    let serial_snap = serial.telemetry_snapshot();
+    let sharded_snap = sharded.telemetry_snapshot();
+    assert!(!serial_snap.is_empty() && !sharded_snap.is_empty());
+    // …and the counters that describe *outcomes* (rather than how the
+    // mode schedules verification work) agree across modes exactly.
+    for name in [
+        "mc.blocks_connected",
+        "mc.rejects",
+        "router.certs_observed",
+        "router.delivered",
+        "shard.sc_blocks_forged",
+        "shard.certificates_produced",
+    ] {
+        assert_eq!(
+            serial_snap.counters.get(name),
+            sharded_snap.counters.get(name),
+            "outcome counter {name} diverged across modes"
+        );
+    }
+    assert_eq!(
+        serial_snap.histograms.get("router.settlement.batch_size"),
+        sharded_snap.histograms.get("router.settlement.batch_size"),
+        "settlement batch-size histogram diverged across modes"
+    );
+}
+
+/// Two identical instrumented runs of the *same* mode produce the same
+/// snapshot modulo wall-clock nanoseconds: fixed key order, identical
+/// span counts, counters, gauges and value histograms — the
+/// "aggregates deterministically" half of the recorder contract, under
+/// real worker threads.
+#[test]
+fn instrumented_runs_are_reproducible_within_a_mode() {
+    for mode in [StepMode::Serial, StepMode::Sharded { workers: Some(3) }] {
+        let first = instrumented_ring(4, 1, mode).telemetry_snapshot();
+        let second = instrumented_ring(4, 1, mode).telemetry_snapshot();
+        assert_eq!(
+            deterministic_view(&first),
+            deterministic_view(&second),
+            "snapshot not reproducible in {mode:?}"
+        );
+    }
 }

@@ -9,6 +9,7 @@
 //! and returns one verdict per item, in order.
 
 use crossbeam::thread;
+use zendoo_telemetry::Telemetry;
 
 use crate::backend::{verify, Proof, VerifyingKey};
 use crate::inputs::PublicInputs;
@@ -44,8 +45,19 @@ pub fn default_workers(items: usize) -> usize {
 /// order. `workers == 1` (or a single item) short-circuits to the
 /// serial path with no thread overhead.
 pub fn verify_batch(items: &[BatchItem], workers: usize) -> Vec<bool> {
+    verify_batch_with(items, workers, &Telemetry::disabled())
+}
+
+/// [`verify_batch`] with telemetry: records the batch size
+/// (`snark.batch.proofs` histogram), per-worker wall time
+/// (`snark.batch.worker` span), and total batch wall time
+/// (`snark.batch.verify` span).
+pub fn verify_batch_with(items: &[BatchItem], workers: usize, telemetry: &Telemetry) -> Vec<bool> {
+    telemetry.observe("snark.batch.proofs", items.len() as u64);
+    let _batch_span = telemetry.span("snark.batch.verify");
     let workers = workers.clamp(1, items.len().max(1));
     if workers == 1 || items.len() <= 1 {
+        let _span = telemetry.span("snark.batch.verify.worker");
         return items.iter().map(BatchItem::verify).collect();
     }
     let mut verdicts = vec![false; items.len()];
@@ -53,6 +65,7 @@ pub fn verify_batch(items: &[BatchItem], workers: usize) -> Vec<bool> {
         let handles: Vec<_> = (0..workers)
             .map(|worker| {
                 scope.spawn(move |_| {
+                    let _span = telemetry.span("snark.batch.verify.worker");
                     items
                         .iter()
                         .enumerate()

@@ -1,0 +1,96 @@
+//! Property tests for the telemetry histogram: record/merge identity,
+//! percentile bounds within bucket error, and saturating counts.
+
+use proptest::prelude::*;
+use zendoo_telemetry::Histogram;
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting a stream across two histograms and merging equals
+    /// recording the whole stream into one.
+    #[test]
+    fn record_then_merge_identity(vs in values(), mask in any::<u64>()) {
+        let mut all = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, v) in vs.iter().enumerate() {
+            all.record(*v);
+            if mask >> (i % 64) & 1 == 0 {
+                left.record(*v);
+            } else {
+                right.record(*v);
+            }
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        prop_assert_eq!(&merged, &all);
+        // Merge is commutative.
+        let mut swapped = right;
+        swapped.merge(&left);
+        prop_assert_eq!(&swapped, &all);
+    }
+
+    /// Every quantile estimate stays within [min, max], quantiles are
+    /// monotone in q, and the estimate is within a factor of two of
+    /// the true order statistic (log2 bucket error).
+    #[test]
+    fn quantile_bounds(vs in values()) {
+        let mut h = Histogram::new();
+        for v in &vs {
+            h.record(*v);
+        }
+        let mut sorted = vs.clone();
+        sorted.sort_unstable();
+
+        let mut prev = 0u64;
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let est = h.quantile(q);
+            prop_assert!(est >= h.min() && est <= h.max());
+            prop_assert!(est >= prev, "quantiles must be monotone");
+            prev = est;
+
+            let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+            let truth = sorted[rank];
+            // Log2 buckets: estimate and truth share a bucket, so each
+            // is within 2x of the other (plus the zero bucket).
+            if truth > 0 {
+                prop_assert!(est <= truth.saturating_mul(2), "est {est} truth {truth}");
+                prop_assert!(est >= truth / 2, "est {est} truth {truth}");
+            }
+        }
+    }
+
+    /// count/sum/min/max bookkeeping matches a direct fold, with
+    /// saturating sums.
+    #[test]
+    fn exact_stats(vs in values()) {
+        let mut h = Histogram::new();
+        for v in &vs {
+            h.record(*v);
+        }
+        prop_assert_eq!(h.count(), vs.len() as u64);
+        prop_assert_eq!(h.min(), *vs.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *vs.iter().max().unwrap());
+        let expected_sum = vs
+            .iter()
+            .fold(0u64, |acc, v| acc.saturating_add(*v));
+        prop_assert_eq!(h.sum(), expected_sum);
+    }
+}
+
+/// Saturation at the extremes is deterministic, not a panic.
+#[test]
+fn saturating_counts_at_extremes() {
+    let mut h = Histogram::new();
+    for _ in 0..4 {
+        h.record(u64::MAX);
+    }
+    assert_eq!(h.count(), 4);
+    assert_eq!(h.sum(), u64::MAX);
+    assert_eq!(h.quantile(0.5), u64::MAX);
+}

@@ -23,7 +23,7 @@ fmt:
 # the seed (the seed crates carry pre-existing style noise; --no-deps
 # keeps the gate scoped to these).
 clippy:
-    cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain --all-targets --no-deps -- -D warnings
+    cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain -p zendoo-telemetry --all-targets --no-deps -- -D warnings
 
 # Rustdoc gate: the whole workspace documents cleanly.
 doc:
@@ -56,14 +56,23 @@ bench-crosschain:
 
 # Quick bench smoke: routing hot path, multi-certificate block
 # verification (serial vs parallel), windowed batch settlement
-# (emits BENCH_settlement.json with per-window tx counts), and the
+# (emits BENCH_settlement.json with per-window tx counts), the
 # sharded simulation world (emits BENCH_sharded_sim.json with
-# serial-vs-sharded wall clock + work/span multi-core speedups).
+# serial-vs-sharded wall clock + work/span multi-core speedups), and
+# the instrumented pipeline (emits + pretty-prints
+# BENCH_pipeline_obs.json: per-stage p50/p99, verdict-cache hit rate,
+# settlement batch histograms).
 bench-smoke:
     cargo bench -p zendoo-bench --bench crosschain_routing
     cargo bench -p zendoo-bench --bench cert_pipeline
     cargo bench -p zendoo-bench --bench settlement
     cargo bench -p zendoo-bench --bench sharded_sim
+    cargo bench -p zendoo-bench --bench pipeline_obs
+
+# Run a 16-chain instrumented scenario and print the telemetry
+# span-tree report (docs/OBSERVABILITY.md explains how to read it).
+obs-report:
+    cargo run --release --example obs_report
 
 # Run the cross-sidechain swap example end to end.
 demo:

@@ -19,7 +19,10 @@
 //!   certificate/BTR/CSW circuits;
 //! * [`crosschain`] — sidechain→sidechain transfers routed through the
 //!   mainchain (escrowed certificate declarations + delivery router);
-//! * [`sim`] — the deterministic multi-sidechain scenario simulator.
+//! * [`sim`] — the deterministic multi-sidechain scenario simulator;
+//! * [`telemetry`] — the zero-dependency observability layer (spans,
+//!   counters, histograms) instrumenting the pipeline, the router and
+//!   the simulator (see `docs/OBSERVABILITY.md`).
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 //! cargo run --example ceased_sidechain
 //! cargo run --example data_availability_attack
 //! cargo run --example latus_consensus
+//! cargo run --example obs_report
 //! ```
 //!
 //! Quick taste (a one-epoch world):
@@ -55,3 +59,4 @@ pub use zendoo_mainchain as mainchain;
 pub use zendoo_primitives as primitives;
 pub use zendoo_sim as sim;
 pub use zendoo_snark as snark;
+pub use zendoo_telemetry as telemetry;
