@@ -15,12 +15,13 @@
 //! * measured wall clock per mode **on this host** (on a single-core
 //!   container the thread fan-out cannot shorten wall clock; the gain
 //!   there comes from the one-pass/verdict-reuse coordinator), and
-//! * the work/span decomposition from the world's own per-tick
-//!   accounting: `work = Σ(coordinator + Σ shards)` is the serial
-//!   cost, `span = Σ(coordinator + max shard)` is the critical path a
-//!   machine with ≥ one core per shard pays — their ratio is the
-//!   multi-core speedup of the sharded step, independent of the
-//!   benchmarking host's core count.
+//! * the work/span decomposition read off the world's telemetry
+//!   snapshot (`tick.coordinator`, `tick.shard.sync` and
+//!   `tick.shard.critical` span totals): `work = Σ(coordinator +
+//!   Σ shards)` is the serial cost, `span = Σ(coordinator + max
+//!   shard)` is the critical path a machine with ≥ one core per shard
+//!   pays — their ratio is the multi-core speedup of the sharded step,
+//!   independent of the benchmarking host's core count.
 //!
 //! The run also re-checks the determinism contract: both modes must
 //! finish on the same tip with the same metrics.
@@ -28,7 +29,8 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use zendoo_sim::{scenarios, SimConfig, StepMode, StepTiming, World};
+use zendoo_sim::{scenarios, SimConfig, StepMode, World};
+use zendoo_telemetry::Snapshot;
 
 /// Worlds per measurement: enough to smooth scheduler noise without
 /// blowing up bench wall-clock (a 32-chain epoch is ~1 s of work).
@@ -40,18 +42,14 @@ fn ticks_for(chains: usize) -> u64 {
     (scenarios::ring_epoch_len(chains) as u64 + 1) * 2
 }
 
-/// Builds the ring world and runs it to completion in `mode`,
-/// returning the world, its per-tick accounting and the measured wall
-/// nanoseconds of the stepped phase.
-///
-/// `take_step_timings` is deprecated in favour of telemetry spans (see
-/// the `pipeline_obs` bench); this harness keeps exercising the shim
-/// until the work/span JSON report migrates.
-#[allow(deprecated)]
-fn run_ring(chains: usize, mode: StepMode) -> (World, Vec<StepTiming>, u64) {
+/// Builds the ring world and runs it to completion in `mode` with
+/// telemetry recording on, returning the world, its telemetry snapshot
+/// and the measured wall nanoseconds of the stepped phase.
+fn run_ring(chains: usize, mode: StepMode) -> (World, Snapshot, u64) {
     let config = SimConfig {
         step_mode: mode,
         epoch_len: scenarios::ring_epoch_len(chains),
+        telemetry: true,
         ..SimConfig::with_sidechains(chains)
     };
     let mut world = World::new(config);
@@ -59,27 +57,28 @@ fn run_ring(chains: usize, mode: StepMode) -> (World, Vec<StepTiming>, u64) {
     let start = Instant::now();
     schedule.run(&mut world, ticks_for(chains)).unwrap();
     let wall = start.elapsed().as_nanos() as u64;
-    let timings = world.take_step_timings();
-    (world, timings, wall)
+    let snapshot = world.telemetry_snapshot();
+    (world, snapshot, wall)
 }
 
-/// `(work, span)` in nanoseconds over a run's ticks: the serial cost
-/// and the ≥-one-core-per-shard critical path.
-fn work_and_span(timings: &[StepTiming]) -> (u64, u64) {
-    let mut work = 0u64;
-    let mut span = 0u64;
-    for tick in timings {
-        let shard_sum: u64 = tick.shard_nanos.iter().map(|(_, nanos)| nanos).sum();
-        let shard_max: u64 = tick
-            .shard_nanos
-            .iter()
-            .map(|(_, nanos)| *nanos)
-            .max()
-            .unwrap_or(0);
-        work += tick.coordinator_nanos + shard_sum;
-        span += tick.coordinator_nanos + shard_max;
-    }
-    (work, span)
+/// `(work, span)` in nanoseconds over a run's ticks, read straight off
+/// the telemetry spans: the serial cost
+/// (`tick.coordinator + tick.shard.sync` totals) and the
+/// ≥-one-core-per-shard critical path
+/// (`tick.coordinator + tick.shard.critical` totals, the latter being
+/// the slowest shard of each tick).
+fn work_and_span(snapshot: &Snapshot) -> (u64, u64) {
+    let total = |name: &str| {
+        snapshot
+            .spans
+            .get(name)
+            .map_or(0, |stats| stats.total_nanos)
+    };
+    let coordinator = total("tick.coordinator");
+    (
+        coordinator + total("tick.shard.sync"),
+        coordinator + total("tick.shard.critical"),
+    )
 }
 
 fn median(mut samples: Vec<u64>) -> u64 {
@@ -124,8 +123,8 @@ fn emit_sharded_report(c: &mut Criterion) {
         let mut serial_works = Vec::new();
         let mut checked = false;
         for _ in 0..SAMPLES {
-            let (serial_world, serial_timings, serial_wall) = run_ring(chains, StepMode::Serial);
-            let (sharded_world, sharded_timings, sharded_wall) =
+            let (serial_world, serial_snapshot, serial_wall) = run_ring(chains, StepMode::Serial);
+            let (sharded_world, sharded_snapshot, sharded_wall) =
                 run_ring(chains, StepMode::Sharded { workers: None });
             // Determinism contract: the modes may differ only in time.
             assert_eq!(
@@ -144,8 +143,8 @@ fn emit_sharded_report(c: &mut Criterion) {
                 );
                 checked = true;
             }
-            let (serial_work, _) = work_and_span(&serial_timings);
-            let (_, sharded_span) = work_and_span(&sharded_timings);
+            let (serial_work, _) = work_and_span(&serial_snapshot);
+            let (_, sharded_span) = work_and_span(&sharded_snapshot);
             serial_walls.push(serial_wall);
             sharded_walls.push(sharded_wall);
             serial_works.push(serial_work);
@@ -179,9 +178,9 @@ fn emit_sharded_report(c: &mut Criterion) {
     println!("sharded_sim/report written to BENCH_sharded_sim.json");
 
     // Keep criterion's harness shape: time the accounting fold.
-    let (_, timings, _) = run_ring(1, StepMode::Sharded { workers: None });
+    let (_, snapshot, _) = run_ring(1, StepMode::Sharded { workers: None });
     c.bench_function("sharded_sim/work_span_fold", |b| {
-        b.iter(|| work_and_span(&timings))
+        b.iter(|| work_and_span(&snapshot))
     });
 }
 

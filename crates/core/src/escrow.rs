@@ -350,7 +350,7 @@ mod tests {
         // Settle only the first, skim the second to fees: unrefunded.
         let partial = batch(vec![transfers[0]], 0);
         assert_eq!(
-            validate_escrow_spend(&inputs, &[partial.clone()], &[], |_| false),
+            validate_escrow_spend(&inputs, std::slice::from_ref(&partial), &[], |_| false),
             Err(EscrowError::UnrefundedInput { input: 1 })
         );
         // ...or to an attacker output: unmatched refund.

@@ -8,7 +8,6 @@
 //! boundary blocks and certificate history.
 
 use zendoo_primitives::digest::Digest32;
-use zendoo_primitives::encode::Encode;
 use zendoo_snark::backend::{verify, Proof, VerifyingKey};
 use zendoo_snark::inputs::PublicInputs;
 
@@ -38,15 +37,13 @@ pub struct ProofCheck {
 impl ProofCheck {
     /// A stable identity of the statement+proof, usable as a verdict
     /// cache key: two checks with equal keys verify identically.
+    ///
+    /// Delegates to [`zendoo_snark::aggregate::statement_key`] — the
+    /// same identity the block-level proof aggregator commits to per
+    /// leaf, so cache identity and aggregation identity can never
+    /// diverge.
     pub fn key(&self) -> Digest32 {
-        Digest32::hash_tagged(
-            "zendoo/proof-check",
-            &[
-                self.vk.digest().as_bytes(),
-                &self.inputs.encoded(),
-                &self.proof.to_bytes(),
-            ],
-        )
+        zendoo_snark::aggregate::statement_key(&self.vk, &self.inputs, &self.proof)
     }
 
     /// Runs the verification inline.

@@ -93,7 +93,7 @@ proptest! {
     #[test]
     fn trailing_garbage_rejected(batch in batch_strategy(), extra in 1usize..64) {
         let mut encoded = batch.receiver_metadata();
-        encoded.extend(std::iter::repeat(0xAB).take(extra));
+        encoded.extend(std::iter::repeat_n(0xAB, extra));
         prop_assert_eq!(
             decode_settlement_metadata(&encoded),
             Some(Err(SettlementError::Malformed))

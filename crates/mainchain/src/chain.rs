@@ -19,8 +19,10 @@ use zendoo_core::settlement::SettlementError;
 use zendoo_primitives::digest::Digest32;
 use zendoo_telemetry::Telemetry;
 
+use zendoo_snark::aggregate::BlockProof;
+
 use crate::block::{Block, BlockHeader};
-use crate::pipeline::{self, BlockUndo, ProofVerdicts};
+use crate::pipeline::{self, BlockUndo, ProofVerdicts, VerifyMode};
 use crate::pow::{mine, Target};
 use crate::registry::{RegistryError, SidechainRegistry};
 use crate::transaction::{CoinbaseTx, McTransaction, OutPoint, TxOut};
@@ -242,6 +244,10 @@ pub struct PreparedBlock {
     /// Proof verdicts recorded by the dry run, keyed by statement
     /// identity.
     pub verdicts: ProofVerdicts,
+    /// The block-level recursive proof, built when the chain runs in
+    /// [`VerifyMode::Aggregated`] so receiving nodes can verify one
+    /// proof instead of N ([`Blockchain::submit_block_with_proof`]).
+    pub proof: Option<BlockProof>,
 }
 
 /// The mainchain: block tree + active-chain state.
@@ -258,6 +264,16 @@ pub struct Blockchain {
     /// Builder-supplied verdicts for the block hash being submitted via
     /// [`Blockchain::submit_prepared`]; consumed by `connect_block`.
     pending_verdicts: Option<(Digest32, ProofVerdicts)>,
+    /// How stage 2 establishes proof verdicts for arriving blocks.
+    verify_mode: VerifyMode,
+    /// Caller-supplied [`BlockProof`] for the block hash being
+    /// submitted ([`Blockchain::submit_block_with_proof`] /
+    /// [`Blockchain::submit_prepared`]); consumed by `connect_block`.
+    pending_block_proof: Option<(Digest32, BlockProof)>,
+    /// Recursive block proofs of connected blocks (self-built by the
+    /// miner or verified on arrival), by block hash — the inputs to
+    /// [`Blockchain::epoch_proof`] and the proofs relayed to peers.
+    block_proofs: HashMap<Digest32, BlockProof>,
     genesis_hash: Digest32,
     /// Observability sink ([`Telemetry::disabled`] by default).
     telemetry: Telemetry,
@@ -328,6 +344,9 @@ impl Blockchain {
             state,
             undo: HashMap::new(),
             pending_verdicts: None,
+            verify_mode: VerifyMode::default(),
+            pending_block_proof: None,
+            block_proofs: HashMap::new(),
             genesis_hash,
             telemetry: Telemetry::disabled(),
         }
@@ -357,6 +376,45 @@ impl Blockchain {
             self.telemetry
                 .counter(&format!("mc.reject.{}", error.variant_name()), 1);
         }
+    }
+
+    /// Selects how stage 2 establishes proof verdicts (the default is
+    /// [`VerifyMode::Individual`]). Under [`VerifyMode::Aggregated`]
+    /// the block builder additionally folds every proof check into one
+    /// recursive [`BlockProof`] carried in [`PreparedBlock::proof`].
+    /// The consensus outcome is identical in both modes.
+    pub fn set_verify_mode(&mut self, mode: VerifyMode) {
+        self.verify_mode = mode;
+    }
+
+    /// The active stage-2 verify mode.
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.verify_mode
+    }
+
+    /// The recursive proof recorded for a connected block (self-built
+    /// at preparation or verified on arrival), if any.
+    pub fn block_proof(&self, hash: &Digest32) -> Option<&BlockProof> {
+        self.block_proofs.get(hash)
+    }
+
+    /// Folds the recorded block proofs of the active heights
+    /// `from..=to` into one epoch proof — O(1) verification for a whole
+    /// block window. `None` if any block in the window has no recorded
+    /// proof (e.g. it arrived without one and fell back to individual
+    /// verification).
+    pub fn epoch_proof(&self, from: u64, to: u64) -> Option<BlockProof> {
+        if from > to {
+            return None;
+        }
+        let mut proofs = Vec::with_capacity((to - from + 1) as usize);
+        for height in from..=to {
+            proofs.push(*self.block_proofs.get(&self.hash_at_height(height)?)?);
+        }
+        let workers = zendoo_snark::batch::default_workers(proofs.len());
+        zendoo_snark::aggregate::AggregationSystem::shared()
+            .aggregate_epoch(&proofs, workers, &self.telemetry)
+            .ok()
     }
 
     /// The chain parameters.
@@ -586,27 +644,87 @@ impl Blockchain {
         let stored = self.blocks.get(&hash).expect("stored during submit");
         let block = stored.block.clone();
         debug_assert_eq!(block.header.parent, self.tip_hash());
-        // Stage 2: parallel proof verification against the pre-block
-        // state (read-only; no mutation can have happened yet). A block
-        // arriving through `submit_prepared` brings the verdicts its
-        // builder already recorded; statements the builder could not
-        // anticipate fall back to inline verification in stage 3.
+        // A recursive proof accompanying this block: supplied alongside
+        // the submission, or recorded when the block first connected
+        // (reorg reconnects reuse it).
+        let supplied_proof = match self.pending_block_proof.take() {
+            Some((proof_hash, proof)) if proof_hash == hash => Some(proof),
+            other => {
+                self.pending_block_proof = other;
+                self.block_proofs.get(&hash).copied()
+            }
+        };
+        let mut proof_to_record = None;
+        // Stage 2: establish the block's proof verdicts against the
+        // pre-block state (read-only; no mutation can have happened
+        // yet). Three sources, in order of preference:
+        //
+        // 1. A block arriving through `submit_prepared` brings the
+        //    verdicts its builder already recorded — nothing verifies
+        //    twice on the same node.
+        // 2. Under `VerifyMode::Aggregated`, an accompanying
+        //    `BlockProof` is checked against this node's own collected
+        //    work list: one SNARK verification for the whole block. On
+        //    success every statement gets a cached `true` verdict; a
+        //    failing or absent aggregate falls back to (3), preserving
+        //    precise error attribution.
+        // 3. Individual parallel batch verification.
+        //
+        // Statements none of these anticipated fall back to inline
+        // verification in stage 3 — the sources are optimizations,
+        // never a semantic change.
         let verdicts = match self.pending_verdicts.take() {
             Some((prepared_hash, verdicts)) if prepared_hash == hash => {
                 self.telemetry.counter("mc.stage2.verdicts_reused", 1);
+                // The builder's own proof is carriage for peers, not
+                // re-verified here.
+                proof_to_record = supplied_proof;
                 verdicts
             }
             other => {
                 self.pending_verdicts = other;
-                let _span = self.telemetry.span("mc.stage2.verify");
-                pipeline::verify_block_proofs_with(
-                    &self.state,
-                    &block,
-                    hash,
-                    &self.active,
-                    None,
-                    &self.telemetry,
-                )
+                let aggregated = match (self.verify_mode, supplied_proof) {
+                    (VerifyMode::Aggregated, Some(proof)) => {
+                        let verdicts = pipeline::verify_block_aggregate(
+                            &self.state,
+                            &block,
+                            hash,
+                            &self.active,
+                            &proof,
+                            &self.telemetry,
+                        );
+                        match verdicts {
+                            Some(verdicts) => {
+                                self.telemetry.counter("mc.stage2.agg_verified", 1);
+                                proof_to_record = Some(proof);
+                                Some(verdicts)
+                            }
+                            None => {
+                                self.telemetry.counter("mc.stage2.agg_fallback", 1);
+                                None
+                            }
+                        }
+                    }
+                    (VerifyMode::Aggregated, None) => {
+                        self.telemetry.counter("mc.stage2.agg_missing", 1);
+                        None
+                    }
+                    (VerifyMode::Individual, _) => None,
+                };
+                match aggregated {
+                    Some(verdicts) => verdicts,
+                    None => {
+                        let _span = self.telemetry.span("mc.stage2.verify");
+                        pipeline::verify_block_proofs_with(
+                            &self.state,
+                            &block,
+                            hash,
+                            &self.active,
+                            None,
+                            &self.telemetry,
+                        )
+                    }
+                }
             }
         };
         // Stage 3: atomic application (reverts itself on failure).
@@ -631,6 +749,9 @@ impl Blockchain {
             self.telemetry.counter("mc.blocks_connected", 1);
             self.telemetry
                 .observe("mc.block_txs", block.transactions.len() as u64);
+        }
+        if let Some(proof) = proof_to_record {
+            self.block_proofs.insert(hash, proof);
         }
         self.undo.insert(hash, undo);
         self.active.push(hash);
@@ -692,11 +813,42 @@ impl Blockchain {
     ) -> Result<PreparedBlock, BlockError> {
         let (accepted, rejected, fees, verdicts) = self.fill_block(candidates);
         let block = self.assemble_and_mine(miner, accepted, fees, time)?;
+        let proof = self.build_block_proof(&block);
         Ok(PreparedBlock {
             block,
             rejected,
             verdicts,
+            proof,
         })
+    }
+
+    /// Under [`VerifyMode::Aggregated`] the builder folds the block's
+    /// SNARK work list into one recursive [`BlockProof`], so receiving
+    /// nodes verify O(1) proofs instead of N. Returns `None` under
+    /// [`VerifyMode::Individual`], and on a fold failure (a statement
+    /// the dry run could not anticipate): receivers then fall back to
+    /// individual verification.
+    fn build_block_proof(&self, block: &Block) -> Option<BlockProof> {
+        match self.verify_mode {
+            VerifyMode::Individual => None,
+            VerifyMode::Aggregated => {
+                let _span = self.telemetry.span("mc.agg.build");
+                match pipeline::aggregate_block_proof(
+                    &self.state,
+                    block,
+                    block.hash(),
+                    &self.active,
+                    None,
+                    &self.telemetry,
+                ) {
+                    Ok(proof) => Some(proof),
+                    Err(_) => {
+                        self.telemetry.counter("mc.agg.build_failed", 1);
+                        None
+                    }
+                }
+            }
+        }
     }
 
     /// The one-pass greedy fill: applies every candidate to a single
@@ -827,12 +979,41 @@ impl Blockchain {
     ) -> Result<SubmitOutcome, BlockError> {
         let hash = prepared.block.hash();
         self.pending_verdicts = Some((hash, prepared.verdicts));
+        self.pending_block_proof = prepared.proof.map(|proof| (hash, proof));
         let result = self.submit_block(prepared.block);
         self.pending_verdicts = None;
+        self.pending_block_proof = None;
+        result
+    }
+
+    /// Submits a block together with its recursive [`BlockProof`] (the
+    /// shape a relaying peer sends under [`VerifyMode::Aggregated`]):
+    /// stage 2 verifies the single aggregate against this node's own
+    /// collected work list instead of verifying every proof in the
+    /// block. An aggregate that fails falls back to individual
+    /// verification, so the consensus outcome — including the precise
+    /// [`BlockError`] on rejection — is identical to
+    /// [`Blockchain::submit_block`]. Under [`VerifyMode::Individual`]
+    /// the proof is ignored.
+    ///
+    /// # Errors
+    ///
+    /// See [`Blockchain::submit_block`].
+    pub fn submit_block_with_proof(
+        &mut self,
+        block: Block,
+        proof: BlockProof,
+    ) -> Result<SubmitOutcome, BlockError> {
+        self.pending_block_proof = Some((block.hash(), proof));
+        let result = self.submit_block(block);
+        self.pending_block_proof = None;
         result
     }
 
     /// Convenience: build, mine and submit the next block in one call.
+    /// Under [`VerifyMode::Aggregated`] the block's recursive proof is
+    /// built and submitted along with it, so stage 2 verifies the one
+    /// aggregate instead of every statement individually.
     ///
     /// # Errors
     ///
@@ -845,7 +1026,10 @@ impl Blockchain {
         time: u64,
     ) -> Result<Block, BlockError> {
         let block = self.build_next_block(miner, transactions, time)?;
-        self.submit_block(block.clone())?;
+        match self.build_block_proof(&block) {
+            Some(proof) => self.submit_block_with_proof(block.clone(), proof)?,
+            None => self.submit_block(block.clone())?,
+        };
         Ok(block)
     }
 }

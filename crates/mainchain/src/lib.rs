@@ -48,7 +48,7 @@ pub mod wallet;
 pub use block::{Block, BlockHeader};
 pub use chain::{BlockError, Blockchain, ChainParams, ChainState, SubmitOutcome};
 pub use miner::Miner;
-pub use pipeline::{BlockUndo, ProofVerdicts};
+pub use pipeline::{BlockUndo, ProofVerdicts, VerifyMode};
 pub use registry::{SidechainRegistry, SidechainStatus};
 pub use transaction::{McTransaction, OutPoint, Output, TransferTx, TxOut};
 pub use wallet::Wallet;

@@ -30,6 +30,8 @@ use zendoo_core::ids::{Amount, EpochId, SidechainId};
 use zendoo_core::settlement;
 use zendoo_core::verifier::{self, ProofCheck};
 use zendoo_primitives::digest::Digest32;
+use zendoo_snark::aggregate::{expected_statement, AggregationSystem, BlockProof};
+use zendoo_snark::backend::ProveError;
 use zendoo_snark::batch::{self, BatchItem};
 use zendoo_telemetry::Telemetry;
 
@@ -351,14 +353,7 @@ pub fn verify_block_proofs_with(
     if checks.is_empty() {
         return ProofVerdicts::inline();
     }
-    let items: Vec<BatchItem> = checks
-        .iter()
-        .map(|c| BatchItem {
-            vk: c.vk,
-            inputs: c.inputs.clone(),
-            proof: c.proof,
-        })
-        .collect();
+    let items = proof_batch_items(&checks);
     let workers = workers.unwrap_or_else(|| batch::default_workers(items.len()));
     let outcomes = batch::verify_batch_with(&items, workers, telemetry);
     let mut verdicts = HashMap::with_capacity(checks.len());
@@ -370,6 +365,99 @@ pub fn verify_block_proofs_with(
         verdicts,
         ..ProofVerdicts::default()
     }
+}
+
+// ---- Stage 2, aggregated: one recursive proof per block ------------------
+
+/// How stage 2 establishes a block's proof verdicts.
+///
+/// The consensus outcome is identical in both modes: an aggregate that
+/// fails to verify (or is absent) falls back to individual
+/// verification, which attributes the precise [`BlockError`] in stage 3
+/// exactly as [`VerifyMode::Individual`] would.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum VerifyMode {
+    /// Verify every certificate/BTR/CSW proof individually (in
+    /// parallel) — cost linear in the number of postings.
+    #[default]
+    Individual,
+    /// Verify one recursive [`BlockProof`] covering the whole work
+    /// list — O(1) SNARK checks per block regardless of sidechain
+    /// count. Blocks arriving without a proof fall back to
+    /// [`VerifyMode::Individual`].
+    Aggregated,
+}
+
+/// The leaf work list of a block as [`BatchItem`]s (the shape both the
+/// batch verifier and the aggregator consume).
+fn proof_batch_items(checks: &[ProofCheck]) -> Vec<BatchItem> {
+    checks
+        .iter()
+        .map(|c| BatchItem {
+            vk: c.vk,
+            inputs: c.inputs.clone(),
+            proof: c.proof,
+        })
+        .collect()
+}
+
+/// Prover side of [`VerifyMode::Aggregated`]: collects the block's work
+/// list and folds it into one [`BlockProof`] on `workers` lanes under
+/// the shared protocol [`AggregationSystem`]. A block owing no checks
+/// yields [`BlockProof::empty`].
+///
+/// # Errors
+///
+/// [`ProveError::Unsatisfied`] if any collected statement does not
+/// verify — a block containing a false statement has no aggregate (the
+/// caller falls back to carrying no proof; receivers then verify
+/// individually and attribute the precise error).
+pub fn aggregate_block_proof(
+    state: &ChainState,
+    block: &Block,
+    block_hash: Digest32,
+    active: &[Digest32],
+    workers: Option<usize>,
+    telemetry: &Telemetry,
+) -> Result<BlockProof, ProveError> {
+    let checks = collect_proof_checks(state, block, block_hash, active);
+    let items = proof_batch_items(&checks);
+    let workers = workers.unwrap_or_else(|| batch::default_workers(items.len()));
+    AggregationSystem::shared().aggregate_with(&items, workers, telemetry)
+}
+
+/// Verifier side of [`VerifyMode::Aggregated`]: recomputes the expected
+/// aggregate statement from this node's own collected work list (cheap
+/// hashing) and checks the single recursive proof. On success, returns
+/// a [`ProofVerdicts`] cache holding a `true` verdict for **every**
+/// collected statement — stage 3 and miner-side verdict reuse consume
+/// it exactly as they would a batch-verified cache, so the verdict
+/// cache never silently regresses under aggregation. On mismatch or
+/// proof failure, returns `None` and the caller falls back to
+/// individual verification.
+pub fn verify_block_aggregate(
+    state: &ChainState,
+    block: &Block,
+    block_hash: Digest32,
+    active: &[Digest32],
+    proof: &BlockProof,
+    telemetry: &Telemetry,
+) -> Option<ProofVerdicts> {
+    let _span = telemetry.span("mc.stage2.verify_aggregate");
+    let checks = collect_proof_checks(state, block, block_hash, active);
+    let items = proof_batch_items(&checks);
+    let (expected_digest, expected_count) = expected_statement(&items);
+    if !AggregationSystem::shared().verify_block_proof(proof, &expected_digest, expected_count) {
+        return None;
+    }
+    let mut verdicts = HashMap::with_capacity(checks.len());
+    for check in &checks {
+        verdicts.insert(check.key(), true);
+    }
+    Some(ProofVerdicts {
+        verdicts,
+        ..ProofVerdicts::default()
+    })
 }
 
 // ---- Stage 3: atomic application with a single undo record ---------------

@@ -138,12 +138,28 @@ fn step_serial(world: &mut World) -> Result<(), SimError> {
     // serial-only critical path.
     let shard_sum: u64 = shard_nanos.iter().map(|(_, nanos)| nanos).sum();
     telemetry.span_nanos("tick.coordinator", total_nanos.saturating_sub(shard_sum));
+    record_shard_critical(&telemetry, &shard_nanos);
     world.timings.push(StepTiming {
         total_nanos,
         coordinator_nanos: total_nanos.saturating_sub(shard_sum),
         shard_nanos,
     });
     Ok(())
+}
+
+/// Records the tick's shard critical path — the slowest shard's wall
+/// time, i.e. what the shard phase costs a machine with at least one
+/// core per sidechain. Together with `tick.coordinator` this lets the
+/// work/span model be read straight off a telemetry snapshot:
+/// `work = Σ tick.coordinator + Σ tick.shard.sync`,
+/// `span = Σ tick.coordinator + Σ tick.shard.critical`.
+fn record_shard_critical(telemetry: &Telemetry, shard_nanos: &[(SidechainId, u64)]) {
+    let max = shard_nanos
+        .iter()
+        .map(|(_, nanos)| *nanos)
+        .max()
+        .unwrap_or(0);
+    telemetry.span_nanos("tick.shard.critical", max);
 }
 
 /// The serial tick body: returns per-shard nanoseconds in declaration
@@ -217,6 +233,7 @@ fn step_sharded(world: &mut World, workers: Option<usize>) -> Result<(), SimErro
     // submission failure or shard error still does (the effect fold ran).
     let (coordinator_nanos, shard_nanos, submit_result, first_error) = body?;
     telemetry.span_nanos("tick.coordinator", coordinator_nanos);
+    record_shard_critical(&telemetry, &shard_nanos);
     world.timings.push(StepTiming {
         total_nanos,
         coordinator_nanos,

@@ -65,3 +65,4 @@ pub use events::{Action, Schedule};
 pub use metrics::Metrics;
 pub use shard::{ShardEffects, ShardMetrics, SidechainShard, StepMode};
 pub use world::{ScInstance, SimConfig, SimError, User, World};
+pub use zendoo_mainchain::pipeline::VerifyMode;

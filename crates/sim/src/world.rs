@@ -50,6 +50,7 @@ use zendoo_latus::node::{LatusKeys, LatusNode, NodeError};
 use zendoo_latus::params::LatusParams;
 use zendoo_latus::tx::{BackwardTransferTx, PaymentTx, ReceiverMetadata, ScTransaction};
 use zendoo_mainchain::chain::{Blockchain, ChainParams, SubmitOutcome};
+use zendoo_mainchain::pipeline::VerifyMode;
 use zendoo_mainchain::transaction::{McTransaction, TxOut};
 use zendoo_mainchain::wallet::Wallet;
 use zendoo_primitives::schnorr::Keypair;
@@ -87,6 +88,12 @@ pub struct SimConfig {
     /// recorder, whose cost is a single branch. Recording can also be
     /// switched on later via [`World::enable_telemetry`].
     pub telemetry: bool,
+    /// How the mainchain checks the SNARK statements of a connecting
+    /// block (see [`VerifyMode`]). Consensus outcomes are identical in
+    /// both modes; `Aggregated` verifies one recursive block proof
+    /// instead of one proof per statement. Switchable later via
+    /// [`World::set_verify_mode`].
+    pub verify_mode: VerifyMode,
 }
 
 impl Default for SimConfig {
@@ -100,6 +107,7 @@ impl Default for SimConfig {
             seed: b"zendoo-sim".to_vec(),
             step_mode: StepMode::default(),
             telemetry: false,
+            verify_mode: VerifyMode::default(),
         }
     }
 }
@@ -337,6 +345,7 @@ impl World {
             (Telemetry::disabled(), None)
         };
         chain.set_telemetry(telemetry.clone());
+        chain.set_verify_mode(config.verify_mode);
 
         let schedule = EpochSchedule::new(2, config.epoch_len, config.submit_len)
             .expect("simulation schedule valid");
@@ -783,6 +792,19 @@ impl World {
     /// changes.
     pub fn set_step_mode(&mut self, mode: StepMode) {
         self.mode = mode;
+    }
+
+    /// The mainchain's current proof-verification mode.
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.chain.verify_mode()
+    }
+
+    /// Switches how the mainchain checks the SNARK statements of a
+    /// connecting block (see [`VerifyMode`]). Consensus outcomes are
+    /// identical in both modes; only the verification cost profile
+    /// changes.
+    pub fn set_verify_mode(&mut self, mode: VerifyMode) {
+        self.chain.set_verify_mode(mode);
     }
 
     /// Drains the per-tick wall-clock accounting collected since the

@@ -3,7 +3,7 @@
 //! without perturbing the rest of the world — with or without
 //! telemetry recording enabled.
 
-use zendoo_sim::{scenarios, Action, Schedule, SimConfig, StepMode, World};
+use zendoo_sim::{scenarios, Action, Schedule, SimConfig, StepMode, VerifyMode, World};
 use zendoo_telemetry::{Histogram, Snapshot};
 
 /// Every externally observable outcome of a run, for cross-mode
@@ -333,6 +333,73 @@ fn instrumented_16_chain_world_is_bit_identical_across_modes() {
         sharded_snap.histograms.get("router.settlement.batch_size"),
         "settlement batch-size histogram diverged across modes"
     );
+}
+
+// ---- Aggregated verification must not perturb consensus --------------
+
+/// Runs the ring workload under an explicit (step mode, verify mode)
+/// pair, recording telemetry.
+fn verify_mode_ring(chains: usize, step_mode: StepMode, verify_mode: VerifyMode) -> World {
+    let config = SimConfig {
+        step_mode,
+        verify_mode,
+        epoch_len: scenarios::ring_epoch_len(chains),
+        telemetry: true,
+        ..SimConfig::with_sidechains(chains)
+    };
+    let ticks = (config.epoch_len as u64 + 1) * 2;
+    let mut world = World::new(config);
+    scenarios::ring_schedule(chains)
+        .run(&mut world, ticks)
+        .unwrap();
+    world
+}
+
+/// The aggregation acceptance claim: [`VerifyMode::Aggregated`] is a
+/// pure verification-cost optimisation — every externally observable
+/// outcome is bit-identical to [`VerifyMode::Individual`], in both
+/// step modes, and the cross pairs agree too (Serial×Individual ==
+/// Sharded×Aggregated and so on).
+#[test]
+fn aggregated_mode_is_bit_identical_to_individual_across_step_modes() {
+    let reference = verify_mode_ring(8, StepMode::Serial, VerifyMode::Individual);
+    assert!(reference.metrics.certificates_accepted >= 8);
+    assert!(reference.conservation_holds() && reference.safeguards_hold());
+    let expected = observe(&reference);
+
+    for (step_mode, verify_mode) in [
+        (StepMode::Serial, VerifyMode::Aggregated),
+        (
+            StepMode::Sharded { workers: Some(4) },
+            VerifyMode::Individual,
+        ),
+        (
+            StepMode::Sharded { workers: Some(4) },
+            VerifyMode::Aggregated,
+        ),
+    ] {
+        let world = verify_mode_ring(8, step_mode, verify_mode);
+        assert_eq!(world.verify_mode(), verify_mode);
+        assert_eq!(
+            expected,
+            observe(&world),
+            "({step_mode:?}, {verify_mode:?}) diverged from (Serial, Individual)"
+        );
+        let snapshot = world.telemetry_snapshot();
+        if verify_mode == VerifyMode::Aggregated {
+            // The aggregated runs really built block proofs — the
+            // bit-identical outcome is not because the mode was inert.
+            let builds = snapshot.spans.get("mc.agg.build").map_or(0, |s| s.count);
+            assert!(builds > 0, "no block proofs built under {step_mode:?}");
+            assert_eq!(
+                snapshot.counters.get("mc.agg.build_failed"),
+                None,
+                "block-proof aggregation failed under {step_mode:?}"
+            );
+        } else {
+            assert!(!snapshot.spans.contains_key("mc.agg.build"));
+        }
+    }
 }
 
 /// Two identical instrumented runs of the *same* mode produce the same

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod aggregate;
 pub mod backend;
 pub mod batch;
 pub mod circuit;
@@ -53,6 +54,7 @@ pub mod inputs;
 pub mod parallel;
 pub mod recursive;
 
+pub use aggregate::{AggDigest, AggKind, AggregateProof, AggregationSystem, BlockProof};
 pub use backend::{prove, setup, setup_deterministic, verify, Proof, ProvingKey, VerifyingKey};
 pub use batch::{verify_batch, BatchItem};
 pub use circuit::{Circuit, Unsatisfied};

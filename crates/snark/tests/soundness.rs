@@ -153,3 +153,95 @@ proptest! {
         prop_assert!(system.merge(&p1, &p2).is_err(), "non-adjacent merge must fail");
     }
 }
+
+// ---- Block-level aggregation: fold order and shape ------------------------
+//
+// The aggregate statement is a multiset digest, so *any* fold tree over
+// *any* permutation of a block's statements must produce a proof of the
+// same statement — the property that lets the aggregator parallelise
+// freely and lets an epoch proof fold per-block aggregates in block
+// order.
+
+use zendoo_snark::aggregate::{expected_statement, AggregateProof, AggregationSystem};
+use zendoo_snark::batch::BatchItem;
+
+/// Wrapped leaves for `n` distinct satisfied SumProduct statements.
+fn wrapped_leaves(system: &AggregationSystem, n: usize) -> (Vec<BatchItem>, Vec<AggregateProof>) {
+    let (pk, vk) = setup_deterministic(&SumProduct, b"agg-prop");
+    let items: Vec<BatchItem> = (0..n as u64)
+        .map(|i| {
+            let public = inputs_for(i + 1, i + 7);
+            let proof = prove(
+                &pk,
+                &SumProduct,
+                &public,
+                &(Fp::from_u64(i + 1), Fp::from_u64(i + 7)),
+            )
+            .unwrap();
+            BatchItem {
+                vk,
+                inputs: public,
+                proof,
+            }
+        })
+        .collect();
+    let leaves = items
+        .iter()
+        .map(|item| system.wrap(item).unwrap())
+        .collect();
+    (items, leaves)
+}
+
+/// A deterministic splittable generator for shuffles and tree shapes.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, bound: usize) -> usize {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as usize) % bound.max(1)
+    }
+}
+
+/// Folds `leaves` under a random binary tree shape drawn from `rng`.
+fn fold_random_shape(
+    system: &AggregationSystem,
+    rng: &mut Lcg,
+    leaves: &[AggregateProof],
+) -> AggregateProof {
+    if leaves.len() == 1 {
+        return leaves[0];
+    }
+    let split = 1 + rng.next(leaves.len() - 1);
+    let left = fold_random_shape(system, rng, &leaves[..split]);
+    let right = fold_random_shape(system, rng, &leaves[split..]);
+    system.fold(&left, &right).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn prop_any_fold_shape_and_order_proves_the_same_statement(
+        n in 1usize..7,
+        perm_seed in any::<u64>(),
+        shape_seed in any::<u64>(),
+    ) {
+        let system = AggregationSystem::shared();
+        let (items, mut leaves) = wrapped_leaves(system, n);
+        let (digest, count) = expected_statement(&items);
+
+        // Fisher–Yates under the drawn seed: fold order is arbitrary.
+        let mut rng = Lcg(perm_seed);
+        for i in (1..leaves.len()).rev() {
+            leaves.swap(i, rng.next(i + 1));
+        }
+        let mut shape_rng = Lcg(shape_seed);
+        let aggregate = fold_random_shape(system, &mut shape_rng, &leaves);
+
+        prop_assert_eq!(aggregate.count(), count);
+        prop_assert_eq!(aggregate.digest(), digest);
+        prop_assert!(system.verify_aggregate(&aggregate));
+    }
+}

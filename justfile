@@ -23,7 +23,7 @@ fmt:
 # the seed (the seed crates carry pre-existing style noise; --no-deps
 # keeps the gate scoped to these).
 clippy:
-    cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain -p zendoo-telemetry --all-targets --no-deps -- -D warnings
+    cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain -p zendoo-telemetry -p zendoo-snark -p zendoo-core --all-targets --no-deps -- -D warnings
 
 # Rustdoc gate: the whole workspace documents cleanly.
 doc:
@@ -39,12 +39,13 @@ test:
     cargo test -q
 
 # The adversarial/soundness suites, by name: every escrow theft path
-# (escrow_consensus), cross-chain forgery/replay (the two adversarial
+# (escrow_consensus), tampered/forged block-proof aggregates
+# (aggregation), cross-chain forgery/replay (the two adversarial
 # files) and the hostile-input codec corpus (settlement_codec). The
 # passed total is summed from the run output (no extra cargo
 # invocations) and printed so a shrinking suite is visible in CI.
 test-adversarial:
-    @total=0; for spec in "zendoo-mainchain escrow_consensus" "zendoo-crosschain adversarial" "zendoo-latus adversarial" "zendoo-core settlement_codec"; do set -- $spec; out=$(cargo test -q -p "$1" --test "$2" 2>&1) || { echo "$out"; exit 1; }; echo "$out"; n=$(echo "$out" | awk '/^test result: ok/ {s+=$4} END {print s+0}'); total=$((total + n)); done; echo "adversarial tests: $total total"
+    @total=0; for spec in "zendoo-mainchain escrow_consensus" "zendoo-mainchain aggregation" "zendoo-crosschain adversarial" "zendoo-latus adversarial" "zendoo-core settlement_codec"; do set -- $spec; out=$(cargo test -q -p "$1" --test "$2" 2>&1) || { echo "$out"; exit 1; }; echo "$out"; n=$(echo "$out" | awk '/^test result: ok/ {s+=$4} END {print s+0}'); total=$((total + n)); done; echo "adversarial tests: $total total"
 
 # Benchmarks (criterion stand-in prints ns/iter).
 bench:
@@ -58,8 +59,10 @@ bench-crosschain:
 # verification (serial vs parallel), windowed batch settlement
 # (emits BENCH_settlement.json with per-window tx counts), the
 # sharded simulation world (emits BENCH_sharded_sim.json with
-# serial-vs-sharded wall clock + work/span multi-core speedups), and
-# the instrumented pipeline (emits + pretty-prints
+# serial-vs-sharded wall clock + work/span multi-core speedups),
+# recursive block-proof aggregation (emits BENCH_proof_agg.json:
+# flat aggregated verification vs linear individual at 1/16/256
+# certs), and the instrumented pipeline (emits + pretty-prints
 # BENCH_pipeline_obs.json: per-stage p50/p99, verdict-cache hit rate,
 # settlement batch histograms).
 bench-smoke:
@@ -67,6 +70,7 @@ bench-smoke:
     cargo bench -p zendoo-bench --bench cert_pipeline
     cargo bench -p zendoo-bench --bench settlement
     cargo bench -p zendoo-bench --bench sharded_sim
+    cargo bench -p zendoo-bench --bench proof_aggregation
     cargo bench -p zendoo-bench --bench pipeline_obs
 
 # Run a 16-chain instrumented scenario and print the telemetry
