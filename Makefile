@@ -9,7 +9,7 @@ fmt-check:
 	cargo fmt --check
 
 clippy:
-	cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain -p zendoo-telemetry -p zendoo-snark -p zendoo-core --all-targets --no-deps -- -D warnings
+	cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain -p zendoo-telemetry -p zendoo-snark -p zendoo-core -p zendoo-loadgen --all-targets --no-deps -- -D warnings
 
 doc:
 	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
@@ -22,7 +22,7 @@ test:
 	cargo test -q
 
 test-adversarial:
-	@total=0; for spec in "zendoo-mainchain escrow_consensus" "zendoo-mainchain aggregation" "zendoo-crosschain adversarial" "zendoo-latus adversarial" "zendoo-core settlement_codec"; do set -- $$spec; out=$$(cargo test -q -p "$$1" --test "$$2" 2>&1) || { echo "$$out"; exit 1; }; echo "$$out"; n=$$(echo "$$out" | awk '/^test result: ok/ {s+=$$4} END {print s+0}'); total=$$((total + n)); done; echo "adversarial tests: $$total total"
+	@total=0; for spec in "zendoo-mainchain escrow_consensus" "zendoo-mainchain aggregation" "zendoo-mainchain sig_admission" "zendoo-crosschain adversarial" "zendoo-latus adversarial" "zendoo-core settlement_codec"; do set -- $$spec; out=$$(cargo test -q -p "$$1" --test "$$2" 2>&1) || { echo "$$out"; exit 1; }; echo "$$out"; n=$$(echo "$$out" | awk '/^test result: ok/ {s+=$$4} END {print s+0}'); total=$$((total + n)); done; echo "adversarial tests: $$total total"
 
 bench:
 	cargo bench -p zendoo-bench
@@ -34,6 +34,7 @@ bench-smoke:
 	cargo bench -p zendoo-bench --bench sharded_sim
 	cargo bench -p zendoo-bench --bench proof_aggregation
 	cargo bench -p zendoo-bench --bench pipeline_obs
+	cargo bench -p zendoo-bench --bench load_admission
 
 obs-report:
 	cargo run --release --example obs_report

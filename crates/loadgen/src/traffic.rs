@@ -1,0 +1,262 @@
+//! Traffic shapes and the batch generator.
+//!
+//! A [`LoadGen`] turns a [`Population`] into batches of signed
+//! mainchain transactions under a [`Shape`]:
+//!
+//! * [`Shape::Uniform`] — every user equally active, fees uniform in
+//!   the configured range;
+//! * [`Shape::Zipf`] — user activity follows a zipf law (rank-`r`
+//!   user picked with weight `1/(r+1)^s`), the classic skew of real
+//!   payment networks: a hot minority generates most traffic;
+//! * [`Shape::FlashCrowd`] — a panic burst: everyone pays the base
+//!   fee, except a configurable fraction that bids a surge multiple
+//!   to jump the queue — the shape that exercises fee-prioritized
+//!   eviction at capacity;
+//! * [`Shape::DrainTheBridge`] — a rush across the bridge: users
+//!   forward-transfer half their coin into one of the configured
+//!   sidechains (valid [`ReceiverMetadata`], change kept), the shape
+//!   that floods the registry/escrow path rather than plain payments.
+//!
+//! Batches are deterministic: the emitted sequence is a pure function
+//! of the population seed, the shape and the settle/release history.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use zendoo_core::ids::{Amount, SidechainId};
+use zendoo_core::transfer::ForwardTransfer;
+use zendoo_latus::tx::ReceiverMetadata;
+use zendoo_mainchain::transaction::{McTransaction, OutPoint, Output, TransferTx, TxOut};
+
+use crate::population::{LoadConfig, PendingSpend, Population};
+
+/// A traffic shape (see the module docs).
+#[derive(Clone, Debug)]
+pub enum Shape {
+    /// Uniform user activity, uniform fees.
+    Uniform,
+    /// Zipf-distributed user activity with the given exponent
+    /// (`1.0` is the classic harmonic skew; larger is hotter).
+    Zipf {
+        /// The zipf exponent `s` in `weight(rank) = 1/(rank+1)^s`.
+        exponent: f64,
+    },
+    /// A panic burst: most transactions pay `fee_min`, but
+    /// `surge_bp`/10000 of them bid `surge_multiplier ×` that to jump
+    /// the queue.
+    FlashCrowd {
+        /// Fraction of surging transactions, in basis points.
+        surge_bp: u32,
+        /// Fee multiplier a surging transaction bids.
+        surge_multiplier: u64,
+    },
+    /// A rush across the bridge: forward transfers of half each coin
+    /// into a randomly chosen sidechain, with valid receiver
+    /// metadata.
+    DrainTheBridge {
+        /// Declared sidechains to spread the rush across.
+        sidechains: Vec<SidechainId>,
+    },
+}
+
+/// A deterministic batch generator over a [`Population`].
+///
+/// # Examples
+///
+/// ```
+/// use zendoo_loadgen::{LoadConfig, LoadGen, Population, Shape};
+/// use zendoo_mainchain::chain::{Blockchain, ChainParams};
+///
+/// let config = LoadConfig { users: 50, ..LoadConfig::default() };
+/// let mut population = Population::generate(&config);
+/// let chain = Blockchain::new(ChainParams {
+///     genesis_outputs: population.genesis_outputs(),
+///     ..ChainParams::default()
+/// });
+/// population.bind_genesis(&chain, 0);
+/// let mut gen = LoadGen::new(population, Shape::Uniform, &config);
+/// let batch = gen.next_batch(20);
+/// assert_eq!(batch.len(), 20);
+/// ```
+pub struct LoadGen {
+    population: Population,
+    shape: Shape,
+    rng: StdRng,
+    /// Cumulative zipf weights (empty unless [`Shape::Zipf`]): pick
+    /// by binary search over a unit draw.
+    zipf_cdf: Vec<f64>,
+    fee_min: u64,
+    fee_max: u64,
+}
+
+impl LoadGen {
+    /// Binds a generator to a (genesis-bound) population. The zipf
+    /// cumulative table, if any, is built once here.
+    pub fn new(population: Population, shape: Shape, config: &LoadConfig) -> Self {
+        let zipf_cdf = match &shape {
+            Shape::Zipf { exponent } => {
+                let mut acc = 0.0f64;
+                let mut cdf = Vec::with_capacity(population.len());
+                for rank in 0..population.len() {
+                    acc += 1.0 / ((rank + 1) as f64).powf(*exponent);
+                    cdf.push(acc);
+                }
+                cdf
+            }
+            _ => Vec::new(),
+        };
+        LoadGen {
+            population,
+            shape,
+            rng: StdRng::seed_from_u64(config.seed ^ 0x6c6f_6164_6765_6e21),
+            zipf_cdf,
+            fee_min: config.fee_min.max(1),
+            fee_max: config.fee_max.max(config.fee_min.max(1)),
+        }
+    }
+
+    /// The backing population.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// Mutable access to the backing population (settle / release).
+    pub fn population_mut(&mut self) -> &mut Population {
+        &mut self.population
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Picks the next active user under the shape's activity
+    /// distribution, then probes forward past users that are already
+    /// in flight (or exhausted). Returns `None` when nobody can
+    /// spend.
+    fn pick_user(&mut self) -> Option<usize> {
+        let n = self.population.len();
+        if n == 0 {
+            return None;
+        }
+        let start = match &self.shape {
+            Shape::Zipf { .. } => {
+                let total = *self.zipf_cdf.last().expect("non-empty population");
+                let draw = self.unit() * total;
+                self.zipf_cdf.partition_point(|&acc| acc <= draw).min(n - 1)
+            }
+            _ => self.rng.gen_range(0, n as u64) as usize,
+        };
+        (0..n)
+            .map(|probe| (start + probe) % n)
+            .find(|&index| self.population.available(index))
+    }
+
+    /// Draws the fee a transaction bids under the shape.
+    fn draw_fee(&mut self) -> u64 {
+        match &self.shape {
+            Shape::FlashCrowd {
+                surge_bp,
+                surge_multiplier,
+            } => {
+                let (surge_bp, mult) = (*surge_bp, *surge_multiplier);
+                let base = self.fee_min;
+                if self.rng.gen_range(0, 10_000) < surge_bp as u64 {
+                    base.saturating_mul(mult.max(1))
+                } else {
+                    base
+                }
+            }
+            _ => {
+                if self.fee_min == self.fee_max {
+                    self.fee_min
+                } else {
+                    self.rng.gen_range(self.fee_min, self.fee_max + 1)
+                }
+            }
+        }
+    }
+
+    /// Generates up to `n` signed transactions (fewer only when the
+    /// whole population is in flight or exhausted). Each spends its
+    /// user's confirmed coin; the user is then in flight until
+    /// [`Population::settle`] sees the txid (or
+    /// [`Population::release_unconfirmed`] resets it).
+    pub fn next_batch(&mut self, n: usize) -> Vec<McTransaction> {
+        let mut batch = Vec::with_capacity(n);
+        for _ in 0..n {
+            let Some(index) = self.pick_user() else { break };
+            let fee = self.draw_fee();
+            let sidechain = match &self.shape {
+                Shape::DrainTheBridge { sidechains } if !sidechains.is_empty() => {
+                    Some(sidechains[self.rng.gen_range(0, sidechains.len() as u64) as usize])
+                }
+                _ => None,
+            };
+            batch.push(self.build_spend(index, fee, sidechain));
+        }
+        batch
+    }
+
+    /// Builds and records user `index`'s next chain link: a self-pay
+    /// (or, toward `sidechain`, a forward transfer of half the coin)
+    /// bidding `fee`.
+    fn build_spend(
+        &mut self,
+        index: usize,
+        fee: u64,
+        sidechain: Option<SidechainId>,
+    ) -> McTransaction {
+        let user = &self.population.users[index];
+        let (outpoint, value) = user.coin.expect("picked user is funded");
+        let address = user.wallet.address();
+        // Never bid the whole coin: keep at least one unit so the
+        // self-pay chain can continue.
+        let fee = Amount::from_units(fee.min(value.units().saturating_sub(1)));
+        let keep = value.checked_sub(fee).expect("fee below value");
+
+        let (outputs, change) = match sidechain {
+            Some(sidechain_id) => {
+                let export = Amount::from_units(keep.units() / 2);
+                let change = keep.checked_sub(export).expect("half of keep");
+                let meta = ReceiverMetadata {
+                    receiver: address,
+                    payback: address,
+                };
+                (
+                    vec![
+                        Output::Forward(ForwardTransfer {
+                            sidechain_id,
+                            receiver_metadata: meta.to_bytes(),
+                            amount: export,
+                        }),
+                        Output::Regular(TxOut::regular(address, change)),
+                    ],
+                    // The change UTXO sits after the forward output.
+                    Some((1u32, change)),
+                )
+            }
+            None => (
+                vec![Output::Regular(TxOut::regular(address, keep))],
+                Some((0u32, keep)),
+            ),
+        };
+
+        let secret = &user.wallet.keypair().secret;
+        let tx = McTransaction::Transfer(TransferTx::signed(&[(outpoint, secret)], outputs));
+        let txid = tx.txid();
+        let next = change
+            .filter(|(_, amount)| !amount.is_zero())
+            .map(|(output_index, amount)| {
+                (
+                    OutPoint {
+                        txid,
+                        index: output_index,
+                    },
+                    amount,
+                )
+            });
+        self.population
+            .mark_pending(index, PendingSpend { txid, next });
+        tx
+    }
+}

@@ -229,6 +229,55 @@ struct StoredBlock {
     cumulative_work: u128,
 }
 
+/// Candidate transactions handed to the one-pass block builder,
+/// carrying what admission already established about them.
+///
+/// Pool-sourced candidates ([`BlockCandidates::admitted`]) passed the
+/// stage-1 stateless precheck when they were admitted and bring the
+/// signature verdicts batch admission recorded — the builder skips
+/// the redundant precheck (counted on `mc.precheck.skipped`) and
+/// answers signature checks from the verdict cache. Raw candidates
+/// ([`BlockCandidates::unchecked`], or any plain `Vec` via `From`)
+/// get the explicit stage-1 pass at build time instead (counted on
+/// `mc.precheck.run`).
+#[derive(Debug, Default)]
+pub struct BlockCandidates {
+    /// Candidate transactions, in template order.
+    pub txs: Vec<McTransaction>,
+    /// `true` when every candidate already passed stage-1 at
+    /// admission.
+    pub admitted: bool,
+    /// Transfer-signature verdicts established at admission, keyed by
+    /// [`crate::sigbatch::sig_cache_key`].
+    pub sig_verdicts: HashMap<Digest32, bool>,
+}
+
+impl BlockCandidates {
+    /// Candidates of unknown provenance: stage-1 runs at build time.
+    pub fn unchecked(txs: Vec<McTransaction>) -> Self {
+        BlockCandidates {
+            txs,
+            ..Self::default()
+        }
+    }
+
+    /// Pool-sourced candidates: stage-1 already ran at admission, and
+    /// `sig_verdicts` carries the signatures verified there.
+    pub fn admitted(txs: Vec<McTransaction>, sig_verdicts: HashMap<Digest32, bool>) -> Self {
+        BlockCandidates {
+            txs,
+            admitted: true,
+            sig_verdicts,
+        }
+    }
+}
+
+impl From<Vec<McTransaction>> for BlockCandidates {
+    fn from(txs: Vec<McTransaction>) -> Self {
+        Self::unchecked(txs)
+    }
+}
+
 /// A block assembled by [`Blockchain::prepare_next_block`]: the mined
 /// block, the candidates it had to reject, and the proof verdicts
 /// recorded during the dry run — [`Blockchain::submit_prepared`]
@@ -729,6 +778,7 @@ impl Blockchain {
         };
         // Stage 3: atomic application (reverts itself on failure).
         let (hits_before, misses_before) = verdicts.cache_stats();
+        let (sig_hits_before, sig_misses_before) = verdicts.sig_cache_stats();
         let undo = {
             let _span = self.telemetry.span("mc.stage3.apply");
             pipeline::apply_block(
@@ -746,6 +796,13 @@ impl Blockchain {
                 .counter("mc.verdict_cache.hit", hits - hits_before);
             self.telemetry
                 .counter("mc.verdict_cache.miss", misses - misses_before);
+            let (sig_hits, sig_misses) = verdicts.sig_cache_stats();
+            if sig_hits + sig_misses > sig_hits_before + sig_misses_before {
+                self.telemetry
+                    .counter("mc.sig_cache.hit", sig_hits - sig_hits_before);
+                self.telemetry
+                    .counter("mc.sig_cache.miss", sig_misses - sig_misses_before);
+            }
             self.telemetry.counter("mc.blocks_connected", 1);
             self.telemetry
                 .observe("mc.block_txs", block.transactions.len() as u64);
@@ -783,7 +840,7 @@ impl Blockchain {
     ) -> Result<Block, BlockError> {
         // Validate first: a rejected candidate must surface before any
         // proof-of-work is spent on a block that would be discarded.
-        let (accepted, mut rejected, fees, verdicts) = self.fill_block(transactions);
+        let (accepted, mut rejected, fees, verdicts) = self.fill_block(transactions.into());
         if let Some((_, error)) = rejected.drain(..).next() {
             return Err(error);
         }
@@ -809,6 +866,23 @@ impl Blockchain {
         &self,
         miner: Address,
         candidates: Vec<McTransaction>,
+        time: u64,
+    ) -> Result<PreparedBlock, BlockError> {
+        self.prepare_block_candidates(miner, candidates.into(), time)
+    }
+
+    /// [`Blockchain::prepare_next_block`] for candidates carrying
+    /// admission context ([`BlockCandidates`]): pool-sourced
+    /// candidates skip the redundant stage-1 precheck and answer
+    /// signature checks from the admission verdict cache.
+    ///
+    /// # Errors
+    ///
+    /// As [`Blockchain::prepare_next_block`].
+    pub fn prepare_block_candidates(
+        &self,
+        miner: Address,
+        candidates: BlockCandidates,
         time: u64,
     ) -> Result<PreparedBlock, BlockError> {
         let (accepted, rejected, fees, verdicts) = self.fill_block(candidates);
@@ -858,17 +932,22 @@ impl Blockchain {
     #[allow(clippy::type_complexity)]
     fn fill_block(
         &self,
-        candidates: Vec<McTransaction>,
+        candidates: BlockCandidates,
     ) -> (
         Vec<McTransaction>,
         Vec<(McTransaction, BlockError)>,
         Amount,
         ProofVerdicts,
     ) {
+        let BlockCandidates {
+            txs: candidates,
+            admitted,
+            sig_verdicts,
+        } = candidates;
         let height = self.height() + 1;
         let mut scratch = self.state.clone();
         let mut undo = BlockUndo::scratch(&scratch);
-        let mut verdicts = ProofVerdicts::recording();
+        let mut verdicts = ProofVerdicts::recording().with_signatures(sig_verdicts);
         for payout in scratch.registry.begin_block(height) {
             for (i, bt) in payout.transfers.iter().enumerate() {
                 scratch.utxos.insert(
@@ -884,6 +963,18 @@ impl Blockchain {
         let mut accepted = Vec::with_capacity(candidates.len());
         let mut rejected = Vec::new();
         for tx in candidates {
+            // Stage-1 stateless precheck: pool-sourced candidates
+            // already passed it at admission, so the builder skips the
+            // redundant pass (the counters prove the skip rate).
+            if admitted {
+                self.telemetry.counter("mc.precheck.skipped", 1);
+            } else {
+                self.telemetry.counter("mc.precheck.run", 1);
+                if let Err(e) = pipeline::precheck_transaction(&tx) {
+                    rejected.push((tx, e));
+                    continue;
+                }
+            }
             let mark = undo.mark();
             match pipeline::apply_transaction(
                 &mut scratch,
@@ -911,6 +1002,13 @@ impl Blockchain {
             }
         }
         verdicts.freeze();
+        if self.telemetry.is_enabled() {
+            let (sig_hits, sig_misses) = verdicts.sig_cache_stats();
+            if sig_hits + sig_misses > 0 {
+                self.telemetry.counter("mc.sig_cache.hit", sig_hits);
+                self.telemetry.counter("mc.sig_cache.miss", sig_misses);
+            }
+        }
         for (_, error) in &rejected {
             self.count_rejection(error);
         }

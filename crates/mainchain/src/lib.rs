@@ -41,12 +41,14 @@ pub mod miner;
 pub mod pipeline;
 pub mod pow;
 pub mod registry;
+pub mod sigbatch;
 pub mod transaction;
 pub mod utxo;
 pub mod wallet;
 
 pub use block::{Block, BlockHeader};
-pub use chain::{BlockError, Blockchain, ChainParams, ChainState, SubmitOutcome};
+pub use chain::{BlockCandidates, BlockError, Blockchain, ChainParams, ChainState, SubmitOutcome};
+pub use mempool::{Mempool, MempoolConfig};
 pub use miner::Miner;
 pub use pipeline::{BlockUndo, ProofVerdicts, VerifyMode};
 pub use registry::{SidechainRegistry, SidechainStatus};

@@ -7,8 +7,9 @@ use zendoo_primitives::digest::Digest32;
 use zendoo_telemetry::Telemetry;
 
 use crate::block::Block;
-use crate::chain::{BlockError, Blockchain, SubmitOutcome};
+use crate::chain::{BlockCandidates, BlockError, Blockchain, SubmitOutcome};
 use crate::mempool::Mempool;
+use crate::sigbatch::{self, AdmissionReport};
 use crate::transaction::McTransaction;
 
 /// A miner bound to an address, driving a [`Blockchain`] from a
@@ -82,6 +83,44 @@ impl Miner {
         self.mempool.insert(tx)
     }
 
+    /// Admits a whole batch through the fee-aware, batch-verified
+    /// admission path ([`crate::sigbatch::admit_batch_with`]): stage-1
+    /// precheck, input resolution against `chain`'s UTXO set (which
+    /// establishes each transaction's fee for the pool's priority
+    /// index), all signatures verified on scoped worker threads, and
+    /// the verdicts cached so [`Miner::mine`]'s dry run re-verifies
+    /// nothing. One lane per core by default
+    /// ([`crate::sigbatch::default_workers`]).
+    pub fn submit_batch(&mut self, chain: &Blockchain, txs: Vec<McTransaction>) -> AdmissionReport {
+        let workers = sigbatch::default_workers(txs.len());
+        self.submit_batch_with_workers(chain, txs, workers)
+    }
+
+    /// [`Miner::submit_batch`] with an explicit worker count
+    /// (`1` = fully serial inline verification; the admitted set is
+    /// identical for every value).
+    pub fn submit_batch_with_workers(
+        &mut self,
+        chain: &Blockchain,
+        txs: Vec<McTransaction>,
+        workers: usize,
+    ) -> AdmissionReport {
+        let telemetry = self.telemetry.clone();
+        sigbatch::admit_batch_with(
+            &mut self.mempool,
+            chain.state(),
+            txs,
+            workers,
+            &telemetry,
+            |_, error| {
+                if telemetry.is_enabled() {
+                    telemetry.counter("mc.mempool.rejected", 1);
+                    telemetry.counter(&format!("mc.reject.{}", error.variant_name()), 1);
+                }
+            },
+        )
+    }
+
     /// Assembles, mines and submits the next block in one pass
     /// ([`Blockchain::prepare_next_block`]): candidates the chain
     /// rejects are dropped from the pool, and every proof verified
@@ -93,8 +132,9 @@ impl Miner {
     ///
     /// Propagates chain errors other than per-transaction rejections.
     pub fn mine(&mut self, chain: &mut Blockchain, time: u64) -> Result<Block, BlockError> {
-        let candidates = self.mempool.take(self.max_txs_per_block);
-        let prepared = chain.prepare_next_block(self.address, candidates, time)?;
+        let batch = self.mempool.take_ordered(self.max_txs_per_block);
+        let candidates = BlockCandidates::admitted(batch.txs, batch.sig_verdicts);
+        let prepared = chain.prepare_block_candidates(self.address, candidates, time)?;
         let block = prepared.block.clone();
         let confirmed: Vec<Digest32> = block.transactions.iter().map(|t| t.txid()).collect();
         match chain.submit_prepared(prepared)? {

@@ -161,6 +161,16 @@ pub struct ProofVerdicts {
     hits: std::cell::Cell<u64>,
     /// Checks that fell back to inline verification.
     misses: std::cell::Cell<u64>,
+    /// Transfer-signature verdicts established at mempool admission,
+    /// keyed by [`crate::sigbatch::sig_cache_key`] (txid + key +
+    /// message + signature — a verdict can only answer the exact check
+    /// that produced it). Same contract as the proof verdicts: a miss
+    /// verifies inline, so the cache never changes an outcome.
+    sigs: HashMap<Digest32, bool>,
+    /// Signature checks answered from `sigs`.
+    sig_hits: std::cell::Cell<u64>,
+    /// Signature checks that verified inline.
+    sig_misses: std::cell::Cell<u64>,
 }
 
 impl ProofVerdicts {
@@ -222,6 +232,36 @@ impl ProofVerdicts {
         if let Some(memo) = self.memo.take() {
             self.verdicts.extend(memo.into_inner());
         }
+    }
+
+    /// Attaches transfer-signature verdicts established at admission
+    /// (keyed by [`crate::sigbatch::sig_cache_key`]).
+    pub fn with_signatures(mut self, sigs: HashMap<Digest32, bool>) -> Self {
+        self.sigs = sigs;
+        self
+    }
+
+    /// Returns `true` when any signature verdicts are attached (lets
+    /// stage 3 skip computing cache keys entirely when there are none).
+    pub fn has_sig_verdicts(&self) -> bool {
+        !self.sigs.is_empty()
+    }
+
+    /// The verdict for one input signature: cached if admission
+    /// already verified it, `inline()` otherwise.
+    pub fn check_signature(&self, key: Digest32, inline: impl FnOnce() -> bool) -> bool {
+        if let Some(verdict) = self.sigs.get(&key) {
+            self.sig_hits.set(self.sig_hits.get().saturating_add(1));
+            return *verdict;
+        }
+        self.sig_misses.set(self.sig_misses.get().saturating_add(1));
+        inline()
+    }
+
+    /// `(hits, misses)` of every [`ProofVerdicts::check_signature`] so
+    /// far.
+    pub fn sig_cache_stats(&self) -> (u64, u64) {
+        (self.sig_hits.get(), self.sig_misses.get())
     }
 }
 
@@ -728,6 +768,11 @@ pub fn apply_transaction(
             let mut escrow_inputs: Vec<(Amount, zendoo_core::escrow::EscrowTag)> = Vec::new();
             let mut first_regular: Option<usize> = None;
             let mut total_in = Amount::ZERO;
+            // The sighash (and, when a signature-verdict cache is
+            // attached, the txid) is shared by every input — compute
+            // each at most once per transaction, not per input.
+            let mut sighash_memo: Option<Digest32> = None;
+            let txid_for_sigs = verdicts.has_sig_verdicts().then(|| tx.txid());
             for (i, input) in t.inputs.iter().enumerate() {
                 let spent = *state
                     .utxos
@@ -735,7 +780,20 @@ pub fn apply_transaction(
                     .ok_or(BlockError::MissingInput(input.outpoint))?;
                 match spent.kind {
                     crate::transaction::OutputKind::Regular => {
-                        if !t.verify_input(i, &spent) {
+                        if zendoo_core::ids::Address::from_public_key(&input.pubkey)
+                            != spent.address
+                        {
+                            return Err(BlockError::BadInputAuthorization { input: i });
+                        }
+                        let sighash = *sighash_memo.get_or_insert_with(|| t.sighash());
+                        let ok = match txid_for_sigs {
+                            Some(txid) => verdicts.check_signature(
+                                crate::sigbatch::sig_cache_key(&txid, input, &sighash),
+                                || input.verify_signature(&sighash),
+                            ),
+                            None => input.verify_signature(&sighash),
+                        };
+                        if !ok {
                             return Err(BlockError::BadInputAuthorization { input: i });
                         }
                         first_regular.get_or_insert(i);

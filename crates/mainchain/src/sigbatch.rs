@@ -1,0 +1,336 @@
+//! Batched transfer-signature verification at mempool admission.
+//!
+//! A transfer's input signatures share no state with any other
+//! transfer's, so a whole admission batch can verify concurrently —
+//! the same strided scoped-thread layout as
+//! [`zendoo_snark::batch::verify_batch`] uses for SNARK proofs. Every
+//! verdict is cached under [`sig_cache_key`] (txid + key + message +
+//! signature, so a verdict can never authorize anything but the exact
+//! signature it was computed for) and travels with the pooled entry
+//! into the block template: the miner's stage-3 dry run consults the
+//! cache through [`crate::pipeline::ProofVerdicts::check_signature`]
+//! and re-verifies nothing. A cache miss falls back to inline
+//! verification — parallelism and caching are optimizations, never a
+//! semantic change.
+//!
+//! [`admit_batch_with`] is the full admission path: stage-1 precheck,
+//! input resolution against the confirmed UTXO set (establishing each
+//! transaction's fee for the mempool's priority index), batched
+//! signature verification, and fee-prioritized pooling.
+
+use crossbeam::thread;
+use zendoo_core::ids::{Address, Amount};
+use zendoo_primitives::digest::Digest32;
+use zendoo_telemetry::Telemetry;
+
+use crate::chain::{BlockError, ChainState};
+use crate::mempool::{fee_of, AdmitOutcome, Mempool};
+use crate::transaction::{McTransaction, OutputKind, TxIn};
+
+/// The cache key of one signature verdict: binds the transaction, the
+/// key, the signed message *and* the signature bytes, so a cached
+/// `true` can only ever answer the exact check that produced it.
+pub fn sig_cache_key(txid: &Digest32, input: &TxIn, sighash: &Digest32) -> Digest32 {
+    Digest32::hash_tagged(
+        "zendoo/sig-verdict-v1",
+        &[
+            txid.as_bytes(),
+            &input.pubkey.to_bytes(),
+            sighash.as_bytes(),
+            &input.signature.to_bytes(),
+        ],
+    )
+}
+
+/// One pending signature verification.
+#[derive(Clone, Debug)]
+pub struct SigCheck {
+    /// The transaction the input belongs to.
+    pub txid: Digest32,
+    /// Index of the input within its transaction.
+    pub input: usize,
+    /// The input carrying key and signature.
+    pub tx_in: TxIn,
+    /// The transaction's sighash (computed once per transaction).
+    pub sighash: Digest32,
+}
+
+impl SigCheck {
+    /// Verifies this signature alone.
+    pub fn verify(&self) -> bool {
+        self.tx_in.verify_signature(&self.sighash)
+    }
+
+    /// The verdict-cache key for this check.
+    pub fn cache_key(&self) -> Digest32 {
+        sig_cache_key(&self.txid, &self.tx_in, &self.sighash)
+    }
+}
+
+/// A sensible worker count for batch verification on this host: one
+/// lane per available core, never more lanes than checks.
+pub fn default_workers(checks: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(checks).max(1)
+}
+
+/// Verifies every check, `workers` at a time, returning verdicts in
+/// check order. `workers == 1` (or a single check) short-circuits to
+/// the serial path with no thread overhead.
+pub fn verify_sig_batch(checks: &[SigCheck], workers: usize) -> Vec<bool> {
+    verify_sig_batch_with(checks, workers, &Telemetry::disabled())
+}
+
+/// [`verify_sig_batch`] with telemetry: records the batch size
+/// (`sig.batch.sigs` histogram), per-worker wall time
+/// (`sig.batch.verify.worker` span), and total batch wall time
+/// (`sig.batch.verify` span).
+pub fn verify_sig_batch_with(
+    checks: &[SigCheck],
+    workers: usize,
+    telemetry: &Telemetry,
+) -> Vec<bool> {
+    telemetry.observe("sig.batch.sigs", checks.len() as u64);
+    let _batch_span = telemetry.span("sig.batch.verify");
+    let workers = workers.clamp(1, checks.len().max(1));
+    if workers == 1 || checks.len() <= 1 {
+        let _span = telemetry.span("sig.batch.verify.worker");
+        return checks.iter().map(SigCheck::verify).collect();
+    }
+    let mut verdicts = vec![false; checks.len()];
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                scope.spawn(move |_| {
+                    let _span = telemetry.span("sig.batch.verify.worker");
+                    checks
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % workers == worker)
+                        .map(|(i, check)| (i, check.verify()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, verdict) in handle.join().expect("verifier thread panicked") {
+                verdicts[i] = verdict;
+            }
+        }
+    })
+    .expect("thread scope");
+    verdicts
+}
+
+/// What became of one admission batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionReport {
+    /// Transactions pooled.
+    pub admitted: usize,
+    /// Transactions rejected (failed precheck, authorization, or
+    /// ranked below a full pool's floor).
+    pub rejected: usize,
+    /// Transactions whose txid was already pooled.
+    pub duplicate: usize,
+    /// Signatures verified (batched).
+    pub sig_checks: usize,
+}
+
+/// Admits a batch of transactions through the full stage-1 +
+/// batched-signature path:
+///
+/// 1. stage-1 stateless precheck per transaction;
+/// 2. inputs resolve against the confirmed UTXO set — resolvable
+///    regular inputs queue a [`SigCheck`] (after the cheap
+///    address-binding check), escrow-kind inputs are consensus-
+///    authorized and skip signatures entirely, and unresolvable
+///    inputs are deferred to block building (which rejects precisely);
+///    the resolved input total establishes the fee for the pool's
+///    priority index;
+/// 3. every queued signature verifies on `workers` scoped threads
+///    ([`verify_sig_batch_with`]); a transaction with any failing
+///    signature is rejected;
+/// 4. survivors enter the pool with their verdicts attached.
+///
+/// `on_reject` fires once per rejected transaction with the precise
+/// error (callers route this to their rejection counters). The
+/// outcome is identical for every `workers` value — parallelism never
+/// changes what is admitted.
+pub fn admit_batch_with<F>(
+    pool: &mut Mempool,
+    state: &ChainState,
+    txs: Vec<McTransaction>,
+    workers: usize,
+    telemetry: &Telemetry,
+    mut on_reject: F,
+) -> AdmissionReport
+where
+    F: FnMut(&McTransaction, &BlockError),
+{
+    struct Pending {
+        tx: McTransaction,
+        fee: Amount,
+        /// Range into the flat check list.
+        checks: std::ops::Range<usize>,
+    }
+
+    let mut report = AdmissionReport::default();
+    let mut checks: Vec<SigCheck> = Vec::new();
+    let mut pending: Vec<Pending> = Vec::new();
+
+    'txs: for tx in txs {
+        let txid = tx.txid();
+        if pool.contains(&txid) {
+            report.duplicate += 1;
+            continue;
+        }
+        if let Err(error) = crate::pipeline::precheck_transaction(&tx) {
+            on_reject(&tx, &error);
+            report.rejected += 1;
+            continue;
+        }
+        let start = checks.len();
+        if let McTransaction::Transfer(t) = &tx {
+            let sighash = t.sighash();
+            for (i, input) in t.inputs.iter().enumerate() {
+                match state.utxos.get(&input.outpoint) {
+                    Some(spent) if spent.kind == OutputKind::Regular => {
+                        if Address::from_public_key(&input.pubkey) != spent.address {
+                            let error = BlockError::BadInputAuthorization { input: i };
+                            on_reject(&tx, &error);
+                            report.rejected += 1;
+                            checks.truncate(start);
+                            continue 'txs;
+                        }
+                        checks.push(SigCheck {
+                            txid,
+                            input: i,
+                            tx_in: input.clone(),
+                            sighash,
+                        });
+                    }
+                    // Escrow spends are consensus-authorized;
+                    // unresolvable inputs are the block builder's to
+                    // reject (the outpoint may mature or arrive later).
+                    Some(_) | None => {}
+                }
+            }
+        }
+        let fee = fee_of(&tx, |op| state.utxos.get(op).map(|o| o.amount));
+        pending.push(Pending {
+            tx,
+            fee,
+            checks: start..checks.len(),
+        });
+    }
+
+    report.sig_checks = checks.len();
+    let verdicts = verify_sig_batch_with(&checks, workers, telemetry);
+
+    for p in pending {
+        let range = p.checks.clone();
+        if let Some(bad) = range.clone().find(|&i| !verdicts[i]) {
+            let error = BlockError::BadInputAuthorization {
+                input: checks[bad].input,
+            };
+            on_reject(&p.tx, &error);
+            report.rejected += 1;
+            continue;
+        }
+        let tx_verdicts: Vec<(Digest32, bool)> = range
+            .map(|i| (checks[i].cache_key(), verdicts[i]))
+            .collect();
+        match pool.admit(p.tx, p.fee, tx_verdicts) {
+            AdmitOutcome::Admitted => report.admitted += 1,
+            AdmitOutcome::Duplicate => report.duplicate += 1,
+            AdmitOutcome::RejectedFull => report.rejected += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{OutPoint, Output, TransferTx, TxOut};
+    use zendoo_primitives::schnorr::Keypair;
+
+    fn checks(n: u64) -> Vec<SigCheck> {
+        (0..n)
+            .map(|i| {
+                let kp = Keypair::from_seed(&i.to_le_bytes());
+                let tx = TransferTx::signed(
+                    &[(
+                        OutPoint {
+                            txid: Digest32::hash_bytes(&i.to_le_bytes()),
+                            index: 0,
+                        },
+                        &kp.secret,
+                    )],
+                    vec![Output::Regular(TxOut::regular(
+                        Address::from_label("dst"),
+                        Amount::from_units(i + 1),
+                    ))],
+                );
+                SigCheck {
+                    txid: McTransaction::Transfer(tx.clone()).txid(),
+                    input: 0,
+                    tx_in: tx.inputs[0].clone(),
+                    sighash: tx.sighash(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_for_any_worker_count() {
+        let batch = checks(9);
+        let serial: Vec<bool> = batch.iter().map(SigCheck::verify).collect();
+        assert!(serial.iter().all(|v| *v));
+        for workers in [1usize, 2, 3, 8, 64] {
+            assert_eq!(
+                verify_sig_batch(&batch, workers),
+                serial,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_signature_flagged_at_its_index() {
+        let mut batch = checks(5);
+        // Cross-wire: check 2 now carries check 3's signature.
+        batch[2].tx_in.signature = batch[3].tx_in.signature;
+        let verdicts = verify_sig_batch(&batch, 4);
+        assert_eq!(verdicts, vec![true, true, false, true, true]);
+    }
+
+    #[test]
+    fn empty_batch_is_vacuous() {
+        assert!(verify_sig_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn default_workers_bounded_by_checks() {
+        assert_eq!(default_workers(0), 1);
+        assert_eq!(default_workers(1), 1);
+        assert!(default_workers(64) >= 1);
+    }
+
+    #[test]
+    fn cache_key_binds_everything() {
+        let batch = checks(2);
+        let base = batch[0].cache_key();
+        let mut other = batch[0].clone();
+        other.txid = batch[1].txid;
+        assert_ne!(base, other.cache_key(), "txid bound");
+        let mut other = batch[0].clone();
+        other.sighash = batch[1].sighash;
+        assert_ne!(base, other.cache_key(), "message bound");
+        let mut other = batch[0].clone();
+        other.tx_in.signature = batch[1].tx_in.signature;
+        assert_ne!(base, other.cache_key(), "signature bound");
+    }
+}

@@ -170,6 +170,18 @@ pub struct TxIn {
     pub signature: Signature,
 }
 
+impl TxIn {
+    /// Verifies this input's signature over a precomputed sighash.
+    /// Callers must separately check that the key hashes to the spent
+    /// output's address ([`TransferTx::verify_input`] does both);
+    /// splitting the two lets batch admission verify many signatures
+    /// without recomputing the sighash per input.
+    pub fn verify_signature(&self, sighash: &Digest32) -> bool {
+        self.pubkey
+            .verify(SIGHASH_CONTEXT, sighash.as_bytes(), &self.signature)
+    }
+}
+
 impl Encode for TxIn {
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.outpoint.encode_into(out);
@@ -309,6 +321,22 @@ impl McTransaction {
             McTransaction::Certificate(cert) => digest("zendoo/mc-tx-cert", cert.as_ref()),
             McTransaction::Btr(btr) => digest("zendoo/mc-tx-btr", btr.as_ref()),
             McTransaction::Csw(csw) => digest("zendoo/mc-tx-csw", csw.as_ref()),
+        }
+    }
+
+    /// Canonical encoded size in bytes: the [`Encode`] form of the
+    /// inner payload plus one byte for the transaction-kind tag. The
+    /// mempool uses this for byte budgeting and fee-rate ordering.
+    pub fn encoded_size(&self) -> usize {
+        1 + match self {
+            McTransaction::Coinbase(tx) => tx.encoded().len(),
+            McTransaction::Transfer(tx) => tx.encoded().len(),
+            McTransaction::SidechainDeclaration(config) => {
+                DeclarationEncoding(config).encoded().len()
+            }
+            McTransaction::Certificate(cert) => cert.as_ref().encoded().len(),
+            McTransaction::Btr(btr) => btr.as_ref().encoded().len(),
+            McTransaction::Csw(csw) => csw.as_ref().encoded().len(),
         }
     }
 

@@ -88,7 +88,12 @@ fn prologue(world: &mut World) -> std::collections::BTreeMap<SidechainId, Vec<Cr
         world.router_undo.drain(..drop);
     }
     let deliveries = world.router.collect_deliveries(&world.chain);
-    world.mc_mempool.extend(deliveries);
+    for tx in deliveries {
+        // Consensus-assembled escrow claims: zero-fee, but classed as
+        // settlements by the pool, so no fee-paying flood can evict or
+        // outrank them.
+        world.pool_mc_tx(tx);
+    }
     world.router.pending_by_destination()
 }
 
@@ -107,7 +112,7 @@ fn apply_effects(world: &mut World, effects: ShardEffects) -> Option<SimError> {
     }
     if let Some(cert) = effects.certificate {
         world.metrics.certificates_produced += 1;
-        world.mc_mempool.push(McTransaction::Certificate(cert));
+        world.pool_mc_tx(McTransaction::Certificate(cert));
     }
     if effects.withheld {
         world.metrics.certificates_withheld += 1;
@@ -175,8 +180,14 @@ fn step_serial_walk(
     // scenarios schedule actions that are *supposed* to fail). The
     // telemetry-side rejection counters are bumped by `fill_block`
     // inside each dry-run build — exactly once per rejected candidate,
-    // because a rejected transaction is never retried.
-    let queued = std::mem::take(&mut world.mc_mempool);
+    // because a rejected transaction is never retried. The pool drains
+    // in template order (consensus, settlements, transfers by fee
+    // rate) — the same order the sharded path sees, which is what
+    // keeps the two modes bit-identical. The serial oracle drops the
+    // pooled signature verdicts on purpose: every signature re-checks
+    // inline here, so any caching bug in the sharded path shows up as
+    // a determinism divergence.
+    let queued = world.mc_mempool.take_ordered(usize::MAX).txs;
     let mut accepted = Vec::new();
     for tx in queued {
         let mut candidate = accepted.clone();
@@ -268,11 +279,18 @@ fn step_sharded_body(
     // (prologue's router snapshot + settlement + partition included).
     let (mut partition, prologue_nanos) = telemetry.time("tick.prologue", || prologue(world));
 
-    let queued = std::mem::take(&mut world.mc_mempool);
+    // The drained template arrives as *admitted* candidates: every
+    // entry passed stage-1 precheck on its way into the pool
+    // (`World::pool_mc_tx` / `World::admit_mc_batch`), so the builder
+    // skips the redundant re-run (`mc.precheck.skipped`), and any
+    // admission-time signature verdicts ride along so stage 3's dry
+    // run re-verifies nothing.
+    let batch = world.mc_mempool.take_ordered(usize::MAX);
+    let candidates = zendoo_mainchain::BlockCandidates::admitted(batch.txs, batch.sig_verdicts);
     let (prepared, prepare_nanos) = telemetry.time("tick.mc.prepare", || {
         world
             .chain
-            .prepare_next_block(world.miner.address(), queued, world.time)
+            .prepare_block_candidates(world.miner.address(), candidates, world.time)
     });
     let prepared = prepared?;
     // Telemetry-side rejection counters were already bumped once per

@@ -50,7 +50,9 @@ use zendoo_latus::node::{LatusKeys, LatusNode, NodeError};
 use zendoo_latus::params::LatusParams;
 use zendoo_latus::tx::{BackwardTransferTx, PaymentTx, ReceiverMetadata, ScTransaction};
 use zendoo_mainchain::chain::{Blockchain, ChainParams, SubmitOutcome};
+use zendoo_mainchain::mempool::{self, AdmitOutcome, Mempool, MempoolConfig};
 use zendoo_mainchain::pipeline::VerifyMode;
+use zendoo_mainchain::sigbatch::{self, AdmissionReport};
 use zendoo_mainchain::transaction::{McTransaction, TxOut};
 use zendoo_mainchain::wallet::Wallet;
 use zendoo_primitives::schnorr::Keypair;
@@ -94,6 +96,15 @@ pub struct SimConfig {
     /// instead of one proof per statement. Switchable later via
     /// [`World::set_verify_mode`].
     pub verify_mode: VerifyMode,
+    /// Capacity and sharding of the coordinator's MC mempool. The
+    /// default budget is far above scenario-scale traffic (nothing is
+    /// ever evicted); load tests shrink it to exercise fee-prioritized
+    /// eviction under pressure.
+    pub mempool: MempoolConfig,
+    /// Extra mainchain genesis outputs appended after the
+    /// [`SimConfig::genesis_users`] outputs. Load generation funds
+    /// populations too large for named users through this hook.
+    pub extra_genesis_outputs: Vec<TxOut>,
 }
 
 impl Default for SimConfig {
@@ -108,6 +119,8 @@ impl Default for SimConfig {
             step_mode: StepMode::default(),
             telemetry: false,
             verify_mode: VerifyMode::default(),
+            mempool: MempoolConfig::default(),
+            extra_genesis_outputs: Vec::new(),
         }
     }
 }
@@ -233,8 +246,12 @@ pub struct World {
     pub sidechain_id: SidechainId,
     /// The cross-chain transfer router.
     pub router: CrossChainRouter,
-    /// Queued MC transactions for the next block.
-    pub(crate) mc_mempool: Vec<McTransaction>,
+    /// The fee-prioritized pool of MC transactions awaiting the next
+    /// block (capacity from [`SimConfig::mempool`]). Both step modes
+    /// drain it through [`Mempool::take_ordered`], so the template
+    /// order — consensus, settlements, transfers by fee rate — is
+    /// identical in every mode.
+    pub(crate) mc_mempool: Mempool,
     /// When `true`, certificates of *all* sidechains are produced but
     /// not submitted (the withheld-certificate fault).
     pub withhold_certificates: bool,
@@ -334,6 +351,7 @@ impl World {
                 .map(|(name, amount)| {
                     TxOut::regular(users[name].mc_address(), Amount::from_units(*amount))
                 })
+                .chain(config.extra_genesis_outputs.iter().cloned())
                 .collect(),
             ..ChainParams::default()
         };
@@ -401,7 +419,11 @@ impl World {
                 router.set_telemetry(telemetry.clone());
                 router
             },
-            mc_mempool: Vec::new(),
+            mc_mempool: {
+                let mut pool = Mempool::with_config(config.mempool);
+                pool.set_telemetry(telemetry.clone());
+                pool
+            },
             withhold_certificates: false,
             receipts_cursor: 0,
             settlements_seen: 0,
@@ -558,6 +580,18 @@ impl World {
     /// structurally invalid submissions are rejected (and counted) here
     /// instead of occupying mempool space until the next mined block.
     pub fn queue_mc_tx(&mut self, tx: McTransaction) {
+        self.pool_mc_tx(tx);
+    }
+
+    /// The single admission path into the coordinator's mempool:
+    /// stage-1 stateless precheck, fee resolution against the
+    /// confirmed UTXO set (establishing the entry's priority), then
+    /// [`Mempool::admit`]. Every transaction pooled here has passed
+    /// precheck, which is what lets both step modes hand the drained
+    /// template to the block builder as *admitted* candidates (the
+    /// redundant stage-1 re-run is skipped and counted as
+    /// `mc.precheck.skipped`).
+    pub(crate) fn pool_mc_tx(&mut self, tx: McTransaction) {
         if let Err(error) = zendoo_mainchain::pipeline::precheck_transaction(&tx) {
             // The chain never sees an admission reject, so the
             // telemetry side is counted here; the sim-level metrics go
@@ -566,7 +600,49 @@ impl World {
             self.note_rejection(&tx);
             return;
         }
-        self.mc_mempool.push(tx);
+        let fee = mempool::fee_of(&tx, |op| self.chain.state().utxos.get(op).map(|o| o.amount));
+        let is_certificate = matches!(tx, McTransaction::Certificate(_));
+        // A pool-full rejection counts like any other rejection (the
+        // pool's own `mc.mempool.rejected_full` counter carries the
+        // telemetry side); duplicates are dropped silently.
+        if self.mc_mempool.admit(tx, fee, Vec::new()) == AdmitOutcome::RejectedFull {
+            self.metrics.rejections += 1;
+            if is_certificate {
+                self.metrics.certificates_rejected += 1;
+            }
+        }
+    }
+
+    /// Admits a whole batch through the fee-aware, batch-verified
+    /// admission path ([`zendoo_mainchain::sigbatch::admit_batch_with`]):
+    /// stage-1 precheck, input resolution against the confirmed UTXO
+    /// set, all transfer signatures verified on `workers` scoped
+    /// threads, and the verdicts pooled alongside each entry so the
+    /// next block build re-verifies nothing. The admitted set is
+    /// identical for every `workers` value; rejections land on the
+    /// same counters as [`World::queue_mc_tx`] rejections.
+    pub fn admit_mc_batch(&mut self, txs: Vec<McTransaction>, workers: usize) -> AdmissionReport {
+        let telemetry = self.telemetry.clone();
+        let World {
+            chain,
+            mc_mempool,
+            metrics,
+            ..
+        } = self;
+        sigbatch::admit_batch_with(
+            mc_mempool,
+            chain.state(),
+            txs,
+            workers,
+            &telemetry,
+            |tx, error| {
+                chain.count_rejection(error);
+                metrics.rejections += 1;
+                if matches!(tx, McTransaction::Certificate(_)) {
+                    metrics.certificates_rejected += 1;
+                }
+            },
+        )
     }
 
     /// Folds one rejected mainchain candidate into the sim metrics —
@@ -615,7 +691,7 @@ impl World {
             Amount::from_units(amount),
             Amount::ZERO,
         )?;
-        self.mc_mempool.push(tx);
+        self.pool_mc_tx(tx);
         self.metrics.forward_transfers += 1;
         Ok(())
     }
@@ -838,6 +914,7 @@ impl World {
         let (telemetry, recorder) = Telemetry::in_memory();
         self.chain.set_telemetry(telemetry.clone());
         self.router.set_telemetry(telemetry.clone());
+        self.mc_mempool.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
         self.recorder = Some(recorder);
     }
@@ -989,7 +1066,12 @@ impl World {
         if reorged {
             self.metrics.reorgs += 1;
         }
-        self.mc_mempool.extend(dropped);
+        // Re-admission recomputes each fee against the post-reorg UTXO
+        // set (inputs confirmed only on the abandoned branch resolve to
+        // nothing and pool at zero fee until the builder rejects them).
+        for tx in dropped {
+            self.pool_mc_tx(tx);
+        }
         // Rewind the router (and the receipt-derived metrics) to the
         // fork base, then let it observe the replacement branch —
         // recording one undo entry per branch block so a later fork

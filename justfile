@@ -23,7 +23,7 @@ fmt:
 # the seed (the seed crates carry pre-existing style noise; --no-deps
 # keeps the gate scoped to these).
 clippy:
-    cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain -p zendoo-telemetry -p zendoo-snark -p zendoo-core --all-targets --no-deps -- -D warnings
+    cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain -p zendoo-telemetry -p zendoo-snark -p zendoo-core -p zendoo-loadgen --all-targets --no-deps -- -D warnings
 
 # Rustdoc gate: the whole workspace documents cleanly.
 doc:
@@ -40,12 +40,13 @@ test:
 
 # The adversarial/soundness suites, by name: every escrow theft path
 # (escrow_consensus), tampered/forged block-proof aggregates
-# (aggregation), cross-chain forgery/replay (the two adversarial
+# (aggregation), forged-signature/poisoned-verdict batched admission
+# (sig_admission), cross-chain forgery/replay (the two adversarial
 # files) and the hostile-input codec corpus (settlement_codec). The
 # passed total is summed from the run output (no extra cargo
 # invocations) and printed so a shrinking suite is visible in CI.
 test-adversarial:
-    @total=0; for spec in "zendoo-mainchain escrow_consensus" "zendoo-mainchain aggregation" "zendoo-crosschain adversarial" "zendoo-latus adversarial" "zendoo-core settlement_codec"; do set -- $spec; out=$(cargo test -q -p "$1" --test "$2" 2>&1) || { echo "$out"; exit 1; }; echo "$out"; n=$(echo "$out" | awk '/^test result: ok/ {s+=$4} END {print s+0}'); total=$((total + n)); done; echo "adversarial tests: $total total"
+    @total=0; for spec in "zendoo-mainchain escrow_consensus" "zendoo-mainchain aggregation" "zendoo-mainchain sig_admission" "zendoo-crosschain adversarial" "zendoo-latus adversarial" "zendoo-core settlement_codec"; do set -- $spec; out=$(cargo test -q -p "$1" --test "$2" 2>&1) || { echo "$out"; exit 1; }; echo "$out"; n=$(echo "$out" | awk '/^test result: ok/ {s+=$4} END {print s+0}'); total=$((total + n)); done; echo "adversarial tests: $total total"
 
 # Benchmarks (criterion stand-in prints ns/iter).
 bench:
@@ -62,9 +63,12 @@ bench-crosschain:
 # serial-vs-sharded wall clock + work/span multi-core speedups),
 # recursive block-proof aggregation (emits BENCH_proof_agg.json:
 # flat aggregated verification vs linear individual at 1/16/256
-# certs), and the instrumented pipeline (emits + pretty-prints
+# certs), the instrumented pipeline (emits + pretty-prints
 # BENCH_pipeline_obs.json: per-stage p50/p99, verdict-cache hit rate,
-# settlement batch histograms).
+# settlement batch histograms), and generated-load admission (emits
+# BENCH_load.json: batched-vs-per-tx pipeline, template verdict
+# reuse, flash-crowd eviction fee gain, per-scenario throughput +
+# admission latency percentiles at 10^4-10^5 users).
 bench-smoke:
     cargo bench -p zendoo-bench --bench crosschain_routing
     cargo bench -p zendoo-bench --bench cert_pipeline
@@ -72,6 +76,7 @@ bench-smoke:
     cargo bench -p zendoo-bench --bench sharded_sim
     cargo bench -p zendoo-bench --bench proof_aggregation
     cargo bench -p zendoo-bench --bench pipeline_obs
+    cargo bench -p zendoo-bench --bench load_admission
 
 # Run a 16-chain instrumented scenario and print the telemetry
 # span-tree report (docs/OBSERVABILITY.md explains how to read it).
