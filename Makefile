@@ -1,9 +1,9 @@
 # Zendoo reproduction — make mirror of the justfile (the container may
 # not have `just` installed).
 
-.PHONY: ci fmt-check clippy doc doc-test test test-adversarial bench bench-smoke obs-report demo
+.PHONY: ci fmt-check clippy doc doc-test test test-adversarial test-byzantine bench bench-smoke obs-report demo
 
-ci: fmt-check clippy doc doc-test test test-adversarial
+ci: fmt-check clippy doc doc-test test test-adversarial test-byzantine
 
 fmt-check:
 	cargo fmt --check
@@ -23,6 +23,9 @@ test:
 
 test-adversarial:
 	@total=0; for spec in "zendoo-mainchain escrow_consensus" "zendoo-mainchain aggregation" "zendoo-mainchain sig_admission" "zendoo-crosschain adversarial" "zendoo-latus adversarial" "zendoo-core settlement_codec"; do set -- $$spec; out=$$(cargo test -q -p "$$1" --test "$$2" 2>&1) || { echo "$$out"; exit 1; }; echo "$$out"; n=$$(echo "$$out" | awk '/^test result: ok/ {s+=$$4} END {print s+0}'); total=$$((total + n)); done; echo "adversarial tests: $$total total"
+
+test-byzantine:
+	@total=0; for spec in "zendoo-sim byzantine" "zendoo-sim fault_props" "zendoo-sim determinism"; do set -- $$spec; out=$$(cargo test -q -p "$$1" --test "$$2" 2>&1) || { echo "$$out"; exit 1; }; echo "$$out"; n=$$(echo "$$out" | awk '/^test result: ok/ {s+=$$4} END {print s+0}'); total=$$((total + n)); done; echo "byzantine tests: $$total total"
 
 bench:
 	cargo bench -p zendoo-bench

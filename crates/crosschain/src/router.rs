@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, HashSet};
 use zendoo_core::crosschain::{
     validate_declarations, CrossChainReceipt, CrossChainTransfer, DeliveryStatus, RefundReason,
 };
-use zendoo_core::ids::{EpochId, Nullifier, Quality, SidechainId};
+use zendoo_core::ids::{Amount, EpochId, Nullifier, Quality, SidechainId};
 use zendoo_core::settlement::SettlementBatch;
 use zendoo_mainchain::registry::SidechainStatus;
 use zendoo_mainchain::transaction::{McTransaction, OutPoint, Output, TransferTx, TxOut};
@@ -238,6 +238,20 @@ impl CrossChainRouter {
     /// Number of transfers awaiting maturity.
     pub fn pending_count(&self) -> usize {
         self.pending.values().map(|e| e.items.len()).sum()
+    }
+
+    /// Total value of the transfers awaiting maturity — the router's
+    /// contribution to an end-to-end value audit (this value sits in
+    /// escrow-kind mainchain UTXOs between maturity and settlement, so
+    /// it must never be counted as spendable supply twice).
+    pub fn pending_value(&self) -> Amount {
+        self.pending
+            .values()
+            .flat_map(|window| window.items.iter())
+            .fold(Amount::ZERO, |sum, item| {
+                sum.checked_add(item.transfer.amount)
+                    .expect("pending value fits in u64")
+            })
     }
 
     /// The in-flight transfers currently queued for one destination

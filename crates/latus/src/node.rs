@@ -183,6 +183,12 @@ struct NodeSnapshot {
     epoch_sc_headers: Vec<ScBlockHeader>,
     chain_len: usize,
     slot: u64,
+    current_epoch: EpochId,
+    /// Certificate inclusions observed so far. An MC reorg can
+    /// disconnect the very block that carried a certificate; a
+    /// rollback that kept the stale inclusion would later prove a
+    /// certificate against a window that no longer carries it.
+    cert_inclusions: BTreeMap<EpochId, CertInclusion>,
 }
 
 /// A Latus full node / forger.
@@ -436,6 +442,10 @@ impl LatusNode {
         }
         let reference = McBlockReference::derive(mc_block, &self.params.sidechain_id)?;
 
+        // The rollback snapshot must describe the node *before* this
+        // block, including which certificate inclusions it had seen.
+        let pre_sync_inclusions = self.cert_inclusions.clone();
+
         // Record any certificate inclusion observed on the MC.
         if let Some((cert, proof)) = &reference.wcert {
             self.cert_inclusions.insert(
@@ -467,6 +477,8 @@ impl LatusNode {
             epoch_sc_headers: self.epoch_sc_headers.clone(),
             chain_len: self.chain.len(),
             slot: self.next_slot,
+            current_epoch: self.current_epoch,
+            cert_inclusions: pre_sync_inclusions,
         };
 
         let transactions = std::mem::take(&mut self.pending);
@@ -657,6 +669,8 @@ impl LatusNode {
             epoch_sc_headers: self.epoch_sc_headers.clone(),
             chain_len: self.chain.len(),
             slot: self.next_slot,
+            current_epoch: self.current_epoch,
+            cert_inclusions: self.cert_inclusions.clone(),
         };
         // Re-apply on the live state to obtain per-step digests (the
         // scratch run already guaranteed success).
@@ -728,6 +742,25 @@ impl LatusNode {
             let (sc_block, root, _) = crate::cert::parse_wcert_proofdata(&prev_cert.proofdata)
                 .ok_or(NodeError::Unavailable("previous proofdata unparseable"))?;
             (root, sc_block)
+        };
+
+        // The previous certificate's MC inclusion anchors this epoch's
+        // recursion. Resolve it *before* any destructive step: a node
+        // that never observed it (the certificate was reorged away or
+        // never mined) must fail with its transients intact, so that a
+        // late-arriving inclusion still lets the next attempt prove
+        // against a consistent pre-state.
+        let prev_cert_inclusion = if epoch == 0 {
+            None
+        } else {
+            Some(
+                self.cert_inclusions
+                    .get(&(epoch - 1))
+                    .ok_or(NodeError::Unavailable(
+                        "previous certificate inclusion not observed on MC",
+                    ))?
+                    .clone(),
+            )
         };
 
         // The recursive proof over the epoch (Fig 11).
@@ -804,18 +837,7 @@ impl LatusNode {
             bt_list,
             delta: delta.clone(),
             touch_sequence,
-            prev_cert: if epoch == 0 {
-                None
-            } else {
-                Some(
-                    self.cert_inclusions
-                        .get(&(epoch - 1))
-                        .ok_or(NodeError::Unavailable(
-                            "previous certificate inclusion not observed on MC",
-                        ))?
-                        .clone(),
-                )
-            },
+            prev_cert: prev_cert_inclusion,
             declared,
         };
         cert.proof = prove(
@@ -1033,6 +1055,19 @@ impl LatusNode {
         self.epoch_sc_headers = snapshot.epoch_sc_headers;
         self.chain.truncate(snapshot.chain_len);
         self.next_slot = snapshot.slot;
+        // Un-observe everything the disconnected blocks taught us: a
+        // certificate inclusion carried only by a reverted block must
+        // not anchor a later proof, and if the rollback crosses an
+        // epoch boundary, the closed epoch reopens — its archived
+        // certificate, MST and delta describe a history that no longer
+        // happened.
+        self.cert_inclusions = snapshot.cert_inclusions;
+        if snapshot.current_epoch < self.current_epoch {
+            self.current_epoch = snapshot.current_epoch;
+            self.produced_certs.split_off(&snapshot.current_epoch);
+            self.epoch_msts.split_off(&snapshot.current_epoch);
+            self.epoch_deltas.split_off(&snapshot.current_epoch);
+        }
         self.snapshots.truncate(target);
         Ok(reverted)
     }

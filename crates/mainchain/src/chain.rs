@@ -1063,6 +1063,72 @@ impl Blockchain {
         })
     }
 
+    /// Fork-injection hook: mines `count` empty blocks (coinbase only,
+    /// no fees) as a competing branch rooted at the stored block
+    /// `base`, without mutating this chain or replaying its history —
+    /// an empty branch block depends only on its parent hash, its
+    /// height and the chain parameters, so reorg storms can synthesize
+    /// branches in O(depth) instead of O(height). Block `i` of the
+    /// branch is stamped `time_base + i`; callers pick distinct bases
+    /// per injection so repeated forks at the same branch point yield
+    /// distinct blocks. The branch is returned unsubmitted.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::UnknownParent`] when `base` is not a stored block,
+    /// [`BlockError::MiningFailed`] when the attempt bound is
+    /// exhausted.
+    pub fn mine_branch(
+        &self,
+        base: &Digest32,
+        count: u64,
+        miner: Address,
+        time_base: u64,
+    ) -> Result<Vec<Block>, BlockError> {
+        let start = self
+            .blocks
+            .get(base)
+            .map(|stored| stored.block.header.height)
+            .ok_or(BlockError::UnknownParent(*base))?;
+        let mut parent = *base;
+        let mut branch = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let height = start + 1 + i;
+            let coinbase = McTransaction::Coinbase(CoinbaseTx {
+                height,
+                outputs: vec![TxOut::regular(miner, self.params.block_subsidy)],
+            });
+            let all = vec![coinbase];
+            let commitment = Self::build_commitment(&all);
+            let mut header = BlockHeader {
+                parent,
+                height,
+                time: time_base + i,
+                tx_root: Block::compute_tx_root(&all),
+                sc_txs_commitment: commitment.root(),
+                target: self.params.target,
+                nonce: 0,
+            };
+            header.nonce = mine(
+                &self.params.target,
+                |nonce| {
+                    let mut h = header;
+                    h.nonce = nonce;
+                    h.hash()
+                },
+                self.params.max_mine_attempts,
+            )
+            .ok_or(BlockError::MiningFailed)?;
+            let block = Block {
+                header,
+                transactions: all,
+            };
+            parent = block.hash();
+            branch.push(block);
+        }
+        Ok(branch)
+    }
+
     /// Submits a block assembled by [`Blockchain::prepare_next_block`],
     /// threading the builder's recorded proof verdicts into stage 2 —
     /// each proof is verified once per node (at build time) instead of

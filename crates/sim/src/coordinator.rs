@@ -107,16 +107,33 @@ fn apply_effects(world: &mut World, effects: ShardEffects) -> Option<SimError> {
     if let Some(snapshot) = &effects.telemetry {
         world.absorb_shard_telemetry(snapshot);
     }
-    if effects.forged {
-        world.metrics.sc_blocks += 1;
+    world.metrics.sc_blocks += effects.forged;
+    if effects.stalled {
+        world.metrics.blocks_buffered += 1;
     }
-    if let Some(cert) = effects.certificate {
+    world.metrics.blocks_replayed += effects.replayed;
+    let quality_war = world
+        .shards
+        .get(&effects.id)
+        .is_some_and(|shard| shard.quality_war);
+    for cert in effects.certificates {
         world.metrics.certificates_produced += 1;
-        world.pool_mc_tx(McTransaction::Certificate(cert));
+        if quality_war {
+            // The adversarial certifier races the honest certificate:
+            // a forged higher-quality competitor front-runs it in the
+            // pool (and a stale replay trails it). Both are rejected
+            // by consensus — the front-runner's proof no longer
+            // matches its inflated statement, the replay loses the
+            // strictly-increasing-quality rule — which is exactly the
+            // quality-war safety argument the scenario audits.
+            world.pool_forged_competitor(&cert, 1);
+            world.pool_mc_tx(McTransaction::Certificate(Box::new(cert.clone())));
+            world.pool_forged_competitor(&cert, -1);
+        } else {
+            world.pool_mc_tx(McTransaction::Certificate(Box::new(cert)));
+        }
     }
-    if effects.withheld {
-        world.metrics.certificates_withheld += 1;
-    }
+    world.metrics.certificates_withheld += effects.withheld;
     if effects.panicked.is_some() {
         world.metrics.shard_panics += 1;
     }

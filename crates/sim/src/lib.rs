@@ -53,15 +53,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod coordinator;
 pub mod events;
+pub mod faults;
 pub mod metrics;
 pub mod scenarios;
 pub mod shard;
 pub mod world;
 
+pub use audit::{AuditSnapshot, AuditViolation, ConservationAuditor};
 pub use coordinator::StepTiming;
 pub use events::{Action, Schedule};
+pub use faults::{Fault, FaultPlan, RunError};
 pub use metrics::Metrics;
 pub use shard::{ShardEffects, ShardMetrics, SidechainShard, StepMode};
 pub use world::{ScInstance, SimConfig, SimError, User, World};

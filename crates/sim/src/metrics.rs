@@ -52,13 +52,23 @@ pub struct Metrics {
     /// Shard panics contained by the coordinator (each quarantines its
     /// sidechain, which then ceases like any liveness fault).
     pub shard_panics: u64,
+    /// Network partitions injected (shard cut off from the mainchain).
+    pub partitions: u64,
+    /// Equivocating sibling blocks delivered by a faulty relay.
+    pub relay_equivocations: u64,
+    /// Canonical blocks buffered for partitioned/diverged shards.
+    pub blocks_buffered: u64,
+    /// Buffered blocks replayed into healed shards.
+    pub blocks_replayed: u64,
+    /// Forged competing certificates injected by quality wars.
+    pub certificates_forged: u64,
 }
 
 impl Metrics {
     /// Renders a compact human-readable report.
     pub fn report(&self) -> String {
         format!(
-            "mc_blocks={} sc_blocks={} fts={} payments={} bts={} certs(produced/accepted/rejected/withheld)={}/{}/{}/{} reorgs={} sc_reverted={} btrs={} csws={} xct(init/delivered/refunded/rejected)={}/{}/{}/{} settle(windows/txs/saved)={}/{}/{} rejections={} shard_panics={}",
+            "mc_blocks={} sc_blocks={} fts={} payments={} bts={} certs(produced/accepted/rejected/withheld)={}/{}/{}/{} reorgs={} sc_reverted={} btrs={} csws={} xct(init/delivered/refunded/rejected)={}/{}/{}/{} settle(windows/txs/saved)={}/{}/{} rejections={} shard_panics={} faults(partitions/equivocations/buffered/replayed/forged_certs)={}/{}/{}/{}/{}",
             self.mc_blocks,
             self.sc_blocks,
             self.forward_transfers,
@@ -81,6 +91,11 @@ impl Metrics {
             self.settlement_txs_saved,
             self.rejections,
             self.shard_panics,
+            self.partitions,
+            self.relay_equivocations,
+            self.blocks_buffered,
+            self.blocks_replayed,
+            self.certificates_forged,
         )
     }
 }

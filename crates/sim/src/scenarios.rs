@@ -1,11 +1,16 @@
 //! Canned scenarios used by tests, examples and benchmarks.
 //!
 //! `docs/SCENARIOS.md` maps each scenario (and each `examples/*.rs`
-//! program) to the paper section it reproduces.
+//! program) to the paper section it reproduces. The `*_storm`/
+//! `*_cascade`/`*_soak` family composes several Byzantine faults in
+//! one run and audits conservation every tick (see [`crate::audit`]).
 
+use crate::audit::ConservationAuditor;
 use crate::events::{Action, Schedule};
+use crate::faults::{Fault, FaultPlan, RunError};
 use crate::shard::StepMode;
 use crate::world::{SimConfig, SimError, World};
+use zendoo_mainchain::pipeline::VerifyMode;
 
 /// Happy path: forward coins, pay on the SC, withdraw back, run the
 /// requested number of certified epochs.
@@ -186,6 +191,289 @@ pub fn sustained_load(epochs: u32, payments_per_block: u32) -> Result<World, Sim
     }
     schedule.run(&mut world, ticks)?;
     Ok(world)
+}
+
+// ---- Composed Byzantine scenarios -------------------------------------
+//
+// Each takes the step and verify modes explicitly so the Byzantine
+// suite can assert bit-identical outcomes across
+// `StepMode::{Serial,Sharded}` × `VerifyMode::{Individual,Aggregated}`,
+// and returns the world together with the auditor that watched every
+// tick.
+
+/// Composed fault 1 — *partition healing into a reorg storm with escrow
+/// value in flight*: three chains; a cross-chain transfer escrows on
+/// the mainchain while its destination `sc-1` is partitioned; the
+/// partition heals (backlog replay certifies inside the submission
+/// window), and then three consecutive shallow forks replay the blocks
+/// carrying the matured escrow and its delivery. The transfer must
+/// settle exactly once and every chain must stay live.
+///
+/// # Errors
+///
+/// [`RunError`] on step failures or any audited-invariant violation.
+pub fn partition_reorg_storm(
+    mode: StepMode,
+    verify: VerifyMode,
+) -> Result<(World, ConservationAuditor), RunError> {
+    let config = SimConfig {
+        step_mode: mode,
+        verify_mode: verify,
+        ..SimConfig::with_sidechains(3)
+    };
+    let mut world = World::new(config);
+    let schedule = Schedule::new()
+        .at(0, Action::ForwardTransferTo(0, "alice".into(), 50_000))
+        // Declared in sc-0's epoch-0 certificate while sc-1 is cut off.
+        .at(2, Action::CrossTransfer(0, 1, "alice".into(), 20_000));
+    // The partition spans the escrow declaration and heals one tick
+    // before the epoch boundary, so the backlog replay still certifies
+    // inside the submission window. The forks then land on the empty
+    // mid-epoch blocks around the escrow's maturity and delivery:
+    // deep enough to rewind the settlement repeatedly, shallow enough
+    // to keep every certificate-carrying block on the active chain (a
+    // fork that disconnects one forces its re-pooled certificate
+    // outside the submission window — faithful Def 4.2 ceasing, which
+    // is the *withholding* scenario's job, not this one's). Each fork
+    // lengthens the chain by one block, which shifts later epoch
+    // boundaries one tick earlier — the tick arithmetic below accounts
+    // for the two forks already injected when placing the third.
+    let plan = FaultPlan::new(0)
+        .at(3, Fault::Partition(1))
+        .at(5, Fault::HealPartition(1))
+        .at(9, Fault::Reorg(2))
+        .at(10, Fault::Reorg(2))
+        .at(13, Fault::Reorg(2));
+    let mut auditor = ConservationAuditor::new();
+    plan.run(&mut world, &schedule, 21, &mut auditor)?;
+    Ok((world, auditor))
+}
+
+/// Composed fault 2 — *certifier quality wars at every epoch*: both
+/// chains run under a standing quality war, so every honest certificate
+/// is pooled surrounded by forged competitors claiming adjacent quality
+/// (a higher-quality front-runner and a lower-quality trailer). The
+/// SNARK binding of quality into the certificate statement must reject
+/// every forgery — the honest certificate wins every epoch on both
+/// chains, a cross-chain transfer still settles, and the auditor proves
+/// no forged digest ever enters the registry.
+///
+/// # Errors
+///
+/// [`RunError`] on step failures or any audited-invariant violation.
+pub fn certifier_quality_wars(
+    mode: StepMode,
+    verify: VerifyMode,
+) -> Result<(World, ConservationAuditor), RunError> {
+    let config = SimConfig {
+        step_mode: mode,
+        verify_mode: verify,
+        ..SimConfig::with_sidechains(2)
+    };
+    let mut world = World::new(config);
+    let schedule = Schedule::new()
+        .at(0, Action::ForwardTransferTo(0, "alice".into(), 50_000))
+        .at(2, Action::CrossTransfer(0, 1, "alice".into(), 20_000));
+    let plan = FaultPlan::new(0)
+        .at(0, Fault::QualityWar(0))
+        .at(0, Fault::QualityWar(1));
+    let mut auditor = ConservationAuditor::new();
+    plan.run(&mut world, &schedule, 28, &mut auditor)?;
+    Ok((world, auditor))
+}
+
+/// The sender-side users of [`withholding_cascade`] (one per doomed
+/// destination chain, so the six cross-chain transfers spend
+/// independent UTXOs in a single tick).
+pub const CASCADE_SENDERS: usize = 6;
+
+/// Composed fault 3 — *withholding cascade with a mass-refund
+/// settlement window under generated load*: eight chains; six withhold
+/// their certificates from the start and all cease in the same
+/// settlement window, while six escrowed transfers from `sc-0` are in
+/// flight towards them — every one must refund (exactly once) to its
+/// sender's mainchain payback address, inside a mainchain kept busy by
+/// `users` generated load accounts (the Byzantine suite runs ≥10⁴)
+/// batch-admitted every tick.
+///
+/// # Errors
+///
+/// [`RunError`] on step failures or any audited-invariant violation.
+pub fn withholding_cascade(
+    mode: StepMode,
+    verify: VerifyMode,
+    users: usize,
+) -> Result<(World, ConservationAuditor), RunError> {
+    use zendoo_loadgen::{LoadConfig, LoadGen, Population, Shape};
+
+    let load = LoadConfig {
+        users,
+        seed: 11,
+        ..LoadConfig::default()
+    };
+    let mut population = Population::generate(&load);
+    let mut genesis_users = vec![("alice".to_string(), 1_000_000u64)];
+    for i in 0..CASCADE_SENDERS {
+        genesis_users.push((format!("sender-{i}"), 100_000));
+    }
+    let config = SimConfig {
+        step_mode: mode,
+        verify_mode: verify,
+        genesis_users,
+        extra_genesis_outputs: population.genesis_outputs(),
+        ..SimConfig::with_sidechains(2 + CASCADE_SENDERS)
+    };
+    let mut world = World::new(config);
+    population.bind_genesis(&world.chain, 1 + CASCADE_SENDERS as u32);
+    let mut gen = LoadGen::new(population, Shape::Zipf { exponent: 1.0 }, &load);
+
+    let mut schedule = Schedule::new();
+    let mut plan = FaultPlan::new(0);
+    for i in 0..CASCADE_SENDERS {
+        let name = format!("sender-{i}");
+        let doomed = 2 + i;
+        // Fund each sender on sc-0, cut the destination's certifier
+        // from the start, and fire the transfer early enough to ride
+        // sc-0's epoch-0 certificate.
+        schedule = schedule
+            .at(0, Action::ForwardTransferTo(0, name.clone(), 10_000))
+            .at(2, Action::CrossTransfer(0, doomed, name, 4_000));
+        plan = plan.at(0, Fault::Withhold(doomed));
+    }
+
+    let mut auditor = ConservationAuditor::new();
+    for tick in 0..16u64 {
+        schedule.fire(&mut world, tick);
+        plan.inject(&mut world, tick);
+        let batch = gen.next_batch(200);
+        world.admit_mc_batch(batch, 2);
+        world.step().map_err(RunError::Sim)?;
+        auditor.observe(&world)?;
+        let tip = world.chain.tip_hash();
+        gen.population_mut()
+            .settle_block(world.chain.block(&tip).expect("tip exists"));
+    }
+    Ok((world, auditor))
+}
+
+/// Composed fault 4 — *relay equivocation*: a faulty relay feeds `sc-1`
+/// a phantom mainchain block while a cross-chain transfer towards it is
+/// in flight; the diverged shard buffers the canonical chain until the
+/// relay is healed (rollback + backlog replay), after which the
+/// transfer settles exactly once and both chains keep certifying —
+/// equivocation degrades liveness, never safety.
+///
+/// # Errors
+///
+/// [`RunError`] on step failures or any audited-invariant violation.
+pub fn relay_equivocation(
+    mode: StepMode,
+    verify: VerifyMode,
+) -> Result<(World, ConservationAuditor), RunError> {
+    let config = SimConfig {
+        step_mode: mode,
+        verify_mode: verify,
+        ..SimConfig::with_sidechains(2)
+    };
+    let mut world = World::new(config);
+    let schedule = Schedule::new()
+        .at(0, Action::ForwardTransferTo(0, "alice".into(), 50_000))
+        .at(2, Action::CrossTransfer(0, 1, "alice".into(), 20_000));
+    let plan = FaultPlan::new(0)
+        .at(4, Fault::RelayEquivocate(1))
+        .at(5, Fault::HealRelay(1));
+    let mut auditor = ConservationAuditor::new();
+    plan.run(&mut world, &schedule, 14, &mut auditor)?;
+    Ok((world, auditor))
+}
+
+/// Composed fault 5 — *long-horizon mixed-fault soak*: three chains run
+/// `epochs` (≥64 in the Byzantine suite) withdrawal epochs under a
+/// standing quality war on `sc-1` while every epoch cycles through one
+/// more fault — a partition of `sc-0` healed inside the epoch, a relay
+/// equivocation against `sc-2` healed one block later, or a shallow
+/// fork — and `sc-2` starts withholding halfway through, ceasing with a
+/// refund owed to an in-flight transfer. Conservation, the safeguard,
+/// exactly-once settlement and quality-war integrity are audited after
+/// every one of the `epochs × epoch_len + 2` ticks.
+///
+/// Every mainchain fork lengthens the chain by one block, so epoch
+/// boundaries drift one tick *earlier* per prior fork. A tick-indexed
+/// [`FaultPlan`] would slowly slide its injections into the submission
+/// windows and disconnect certificate inclusions; instead the soak
+/// keys each injection off the **height the tick is about to mine** —
+/// its position inside the current epoch — which is immune to drift.
+///
+/// # Errors
+///
+/// [`RunError`] on step failures or any audited-invariant violation.
+pub fn long_horizon_soak(
+    mode: StepMode,
+    verify: VerifyMode,
+    epochs: u64,
+) -> Result<(World, ConservationAuditor), RunError> {
+    let config = SimConfig {
+        step_mode: mode,
+        verify_mode: verify,
+        ..SimConfig::with_sidechains(3)
+    };
+    let epoch = config.epoch_len as u64;
+    let mut world = World::new(config);
+    let cease_epoch = epochs / 2;
+    let schedule = Schedule::new()
+        .at(0, Action::ForwardTransferTo(0, "alice".into(), 200_000))
+        // Early cross traffic, delivered under the standing quality war.
+        .at(2, Action::CrossTransfer(0, 1, "alice".into(), 20_000));
+    let plan = FaultPlan::new(0).at(0, Fault::QualityWar(1));
+    // Fires one fault through the tolerant fault-plan dispatch path.
+    fn fault(world: &mut World, f: Fault) {
+        FaultPlan::new(0).at(0, f).inject(world, 0);
+    }
+    let mut auditor = ConservationAuditor::new();
+    for tick in 0..epochs * epoch + 2 {
+        schedule.fire(&mut world, tick);
+        plan.inject(&mut world, tick);
+        // Drift-immune cadence: `next` is the height this tick mines;
+        // `(e, p)` its epoch and in-epoch position. Positions 0..=1 are
+        // the previous epoch's submission window (certificates land at
+        // p == 0), so all faults target the quiet middle of the epoch.
+        let next = world.chain.height() + 1;
+        if next >= 2 {
+            let (e, p) = ((next - 2) / epoch, (next - 2) % epoch);
+            // A quiet epoch every fourth (e % 4 == 0) keeps a
+            // fault-free baseline in the soak.
+            match (e % 4, p) {
+                (1, 2) => fault(&mut world, Fault::Partition(0)),
+                (1, 4) => fault(&mut world, Fault::HealPartition(0)),
+                (2, 2) if e < cease_epoch => fault(&mut world, Fault::RelayEquivocate(2)),
+                (2, 3) if e < cease_epoch => fault(&mut world, Fault::HealRelay(2)),
+                (3, 4) => fault(&mut world, Fault::Reorg(1)),
+                _ => {}
+            }
+            if e == cease_epoch {
+                if p == 1 {
+                    // Queued just before sc-2 stops certifying: its
+                    // escrow matures against a ceased destination and
+                    // must refund exactly once.
+                    let from = world.sidechain_id_at(0);
+                    let to = world.sidechain_id_at(2);
+                    if let (Ok(from), Ok(to)) = (from, to) {
+                        if world
+                            .queue_cross_transfer(&from, &to, "alice", 5_000)
+                            .is_err()
+                        {
+                            world.metrics.rejections += 1;
+                        }
+                    }
+                } else if p == 2 {
+                    fault(&mut world, Fault::Withhold(2));
+                }
+            }
+        }
+        world.step().map_err(RunError::Sim)?;
+        auditor.observe(&world)?;
+    }
+    Ok((world, auditor))
 }
 
 #[cfg(test)]

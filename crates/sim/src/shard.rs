@@ -78,6 +78,13 @@ pub struct ShardMetrics {
     pub sc_blocks_reverted: u64,
     /// Contained panics (each one quarantines the shard).
     pub panics: u64,
+    /// Canonical mainchain blocks buffered while the shard was
+    /// partitioned or following an equivocating relay.
+    pub blocks_buffered: u64,
+    /// Buffered blocks replayed into the node after a heal.
+    pub blocks_replayed: u64,
+    /// Equivocating sibling blocks accepted from a faulty relay.
+    pub equivocations: u64,
 }
 
 /// The ordered effect log one shard produces for one tick. The
@@ -88,14 +95,23 @@ pub struct ShardMetrics {
 pub struct ShardEffects {
     /// The shard's sidechain.
     pub id: SidechainId,
-    /// Whether a sidechain block was forged this tick.
-    pub forged: bool,
-    /// A certificate produced at an epoch boundary, for the
-    /// coordinator to queue on the mainchain.
-    pub certificate: Option<Box<WithdrawalCertificate>>,
-    /// An epoch boundary was reached but certification was withheld
-    /// (the scripted liveness fault).
-    pub withheld: bool,
+    /// Sidechain blocks forged this tick (catch-up after a heal can
+    /// forge several: the whole backlog plus the current block).
+    pub forged: u64,
+    /// Certificates produced at the epoch boundaries crossed this
+    /// tick, in epoch order, for the coordinator to queue on the
+    /// mainchain.
+    pub certificates: Vec<WithdrawalCertificate>,
+    /// Epoch boundaries crossed with certification withheld (the
+    /// scripted liveness fault).
+    pub withheld: u64,
+    /// The mainchain block was buffered instead of synced: the shard
+    /// is partitioned from the mainchain or stuck on an equivocated
+    /// sibling block.
+    pub stalled: bool,
+    /// Buffered canonical blocks replayed into the node this tick
+    /// (non-zero on the first sync after a heal).
+    pub replayed: u64,
     /// A contained panic payload; the shard quarantined itself.
     pub panicked: Option<String>,
     /// A node error (distinct from a panic: state was rolled back by
@@ -124,6 +140,27 @@ pub struct SidechainShard {
     /// Fault injection: panic on the next sync (before any node
     /// mutation, so the quarantined node state stays consistent).
     pub(crate) panic_next_sync: bool,
+    /// Network-partition fault: while `Some`, the shard receives no
+    /// mainchain blocks (the coordinator's deliveries accumulate in
+    /// `backlog`). The anchor is the last canonical block the node
+    /// synced before the partition, so a reorg below it knows the node
+    /// must roll back.
+    pub(crate) partitioned: Option<zendoo_primitives::digest::Digest32>,
+    /// Relay-equivocation fault: while `Some`, the node has adopted a
+    /// sibling block from an equivocating relay and cannot extend the
+    /// canonical chain (every canonical delivery would be
+    /// non-contiguous). The anchor is the sibling's parent — the last
+    /// canonical block both histories share — and the heal rolls the
+    /// node back to it before replaying the backlog.
+    pub(crate) diverged: Option<zendoo_primitives::digest::Digest32>,
+    /// Canonical blocks withheld from the node while partitioned or
+    /// diverged, replayed in order on the first sync after the heal.
+    pub(crate) backlog: Vec<Block>,
+    /// Adversarial-certifier fault: while set, every honest
+    /// certificate this shard produces is raced on the mainchain by
+    /// forged competitors the coordinator injects (see
+    /// `World::start_quality_war`).
+    pub(crate) quality_war: bool,
     pub(crate) metrics: ShardMetrics,
     /// This chain's partition of the router's in-flight inbound queue,
     /// refreshed each tick (no shard ever touches the router itself).
@@ -137,6 +174,10 @@ impl SidechainShard {
             withheld: false,
             quarantined: false,
             panic_next_sync: false,
+            partitioned: None,
+            diverged: None,
+            backlog: Vec::new(),
+            quality_war: false,
             metrics: ShardMetrics::default(),
             pending_inbound: Vec::new(),
         }
@@ -162,6 +203,29 @@ impl SidechainShard {
         self.quarantined
     }
 
+    /// Returns `true` while the shard is partitioned from the
+    /// mainchain (`World::inject_partition`).
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned.is_some()
+    }
+
+    /// Returns `true` while the node follows an equivocated sibling
+    /// block (`World::inject_relay_equivocation`).
+    pub fn is_diverged(&self) -> bool {
+        self.diverged.is_some()
+    }
+
+    /// Canonical blocks currently buffered, awaiting a heal.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Returns `true` while this shard's honest certificates are raced
+    /// by injected forged competitors.
+    pub fn in_quality_war(&self) -> bool {
+        self.quality_war
+    }
+
     /// The transfers currently routed toward this chain (escrowed on
     /// the mainchain, awaiting maturity) as of the last tick — the
     /// shard's private copy of the router partition.
@@ -174,6 +238,14 @@ impl SidechainShard {
     /// boundary — produce (or deliberately withhold) the withdrawal
     /// certificate. Panics are contained: the shard quarantines itself
     /// and reports the payload in [`ShardEffects::panicked`].
+    ///
+    /// A partitioned or diverged shard does no node work at all: the
+    /// block is buffered and the effects report `stalled`. The first
+    /// sync after a heal replays the whole backlog before the current
+    /// block — crossing every epoch boundary the shard missed, so
+    /// late certificates are produced (and rejected by the mainchain
+    /// if the submission window already closed: Def 4.2 ceasing is
+    /// decided by the mainchain, never by the faulty shard).
     pub(crate) fn sync_and_certify(
         &mut self,
         block: &Block,
@@ -186,31 +258,44 @@ impl SidechainShard {
         self.pending_inbound = inbound;
         let mut effects = ShardEffects {
             id,
-            forged: false,
-            certificate: None,
-            withheld: false,
+            forged: 0,
+            certificates: Vec::new(),
+            withheld: 0,
+            stalled: false,
+            replayed: 0,
             panicked: None,
             error: None,
             nanos: 0,
             telemetry: None,
         };
+        if self.partitioned.is_some() || self.diverged.is_some() {
+            self.backlog.push(block.clone());
+            self.metrics.blocks_buffered += 1;
+            effects.stalled = true;
+            effects.nanos = start.elapsed().as_nanos() as u64;
+            if record {
+                let mut snapshot = Snapshot::default();
+                snapshot.add_span("tick.shard.sync", effects.nanos);
+                snapshot.add_counter("shard.blocks_buffered", 1);
+                effects.telemetry = Some(snapshot);
+            }
+            return effects;
+        }
+        let backlog = std::mem::take(&mut self.backlog);
+        let replay = backlog.len() as u64;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.tick(block, withhold_all)
+            self.catch_up(&backlog, block, withhold_all)
         }));
         match outcome {
-            Ok(Ok((forged, certificate, withheld))) => {
+            Ok(Ok((forged, certificates, withheld))) => {
                 effects.forged = forged;
-                effects.certificate = certificate;
+                effects.certificates = certificates;
                 effects.withheld = withheld;
-                if forged {
-                    self.metrics.sc_blocks += 1;
-                }
-                if effects.certificate.is_some() {
-                    self.metrics.certificates_produced += 1;
-                }
-                if withheld {
-                    self.metrics.certificates_withheld += 1;
-                }
+                effects.replayed = replay;
+                self.metrics.sc_blocks += forged;
+                self.metrics.certificates_produced += effects.certificates.len() as u64;
+                self.metrics.certificates_withheld += withheld;
+                self.metrics.blocks_replayed += replay;
             }
             Ok(Err(error)) => {
                 effects.error = Some(error);
@@ -225,14 +310,20 @@ impl SidechainShard {
         if record {
             let mut snapshot = Snapshot::default();
             snapshot.add_span("tick.shard.sync", effects.nanos);
-            if effects.forged {
-                snapshot.add_counter("shard.sc_blocks_forged", 1);
+            if effects.forged > 0 {
+                snapshot.add_counter("shard.sc_blocks_forged", effects.forged);
             }
-            if effects.certificate.is_some() {
-                snapshot.add_counter("shard.certificates_produced", 1);
+            if !effects.certificates.is_empty() {
+                snapshot.add_counter(
+                    "shard.certificates_produced",
+                    effects.certificates.len() as u64,
+                );
             }
-            if effects.withheld {
-                snapshot.add_counter("shard.certificates_withheld", 1);
+            if effects.withheld > 0 {
+                snapshot.add_counter("shard.certificates_withheld", effects.withheld);
+            }
+            if effects.replayed > 0 {
+                snapshot.add_counter("shard.blocks_replayed", effects.replayed);
             }
             if effects.panicked.is_some() {
                 snapshot.add_counter("shard.panics", 1);
@@ -245,10 +336,45 @@ impl SidechainShard {
         effects
     }
 
-    /// The fallible tick body `sync_and_certify` wraps with panic
-    /// containment.
+    /// Replays the healed backlog, then the current block, through
+    /// [`SidechainShard::tick`], aggregating
+    /// `(forged, certificates, withheld)` across every block. On an
+    /// error the partial work stays in the node (the node rolled its
+    /// own state back for the failing block only) and the remaining
+    /// blocks are dropped — the shard then stalls like any other
+    /// liveness-faulty chain.
     #[allow(clippy::type_complexity)]
-    fn tick(
+    fn catch_up(
+        &mut self,
+        backlog: &[Block],
+        current: &Block,
+        withhold_all: bool,
+    ) -> Result<(u64, Vec<WithdrawalCertificate>, u64), NodeError> {
+        let mut forged = 0;
+        let mut certificates = Vec::new();
+        let mut withheld = 0;
+        for block in backlog.iter().chain(std::iter::once(current)) {
+            let (f, certificate, w) = self.tick(block, withhold_all)?;
+            if f {
+                forged += 1;
+            }
+            if let Some(certificate) = certificate {
+                certificates.push(*certificate);
+            }
+            if w {
+                withheld += 1;
+            }
+        }
+        Ok((forged, certificates, withheld))
+    }
+
+    /// The fallible per-block body `sync_and_certify` wraps with panic
+    /// containment. Also used by `World::inject_mc_fork` for the
+    /// replacement branch's tip — the one replayed block beyond the
+    /// pre-fork chain, whose epoch boundary (if any) must still
+    /// certify.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn tick(
         &mut self,
         block: &Block,
         withhold_all: bool,
@@ -268,7 +394,18 @@ impl SidechainShard {
             // liveness fault Def 4.2 punishes with ceasing.
             return Ok((true, None, true));
         }
-        let certificate = self.instance.node.produce_certificate()?;
+        let certificate = match self.instance.node.produce_certificate() {
+            Ok(certificate) => certificate,
+            // A certifier that cannot assemble this epoch's proof —
+            // e.g. the previous certificate's inclusion was
+            // disconnected by a reorg and never re-observed, so the
+            // recursive proof chain is broken — publishes nothing and
+            // the mainchain ceases the chain (Def 4.2). That is a
+            // liveness fault of the Byzantine environment, not a
+            // simulator error; only real proving failures propagate.
+            Err(NodeError::Unavailable(_)) => return Ok((true, None, true)),
+            Err(error) => return Err(error),
+        };
         Ok((true, Some(Box::new(certificate)), false))
     }
 }

@@ -39,8 +39,9 @@
 //! assert!(world.conservation_holds() && world.safeguards_hold());
 //! ```
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
+use zendoo_core::certificate::WithdrawalCertificate;
 use zendoo_core::crosschain::CrossChainTransfer;
 use zendoo_core::epoch::EpochSchedule;
 use zendoo_core::ids::{Address, Amount, SidechainId};
@@ -194,6 +195,20 @@ pub enum SimError {
     Wallet(zendoo_mainchain::wallet::WalletError),
     /// A sidechain node operation failed.
     Node(NodeError),
+    /// A fault-injection request conflicts with the world's current
+    /// state (e.g. partitioning a shard that is already stalled).
+    Config(&'static str),
+    /// A requested mainchain fork cannot be injected: the depth must
+    /// be at least 1, leave the sidechain-declaration block on the
+    /// active chain, and fit inside the chain's `max_reorg_depth` undo
+    /// window (beyond it neither the registry journal nor the router
+    /// snapshots can rewind).
+    ForkTooDeep {
+        /// The requested fork depth in blocks.
+        requested: u64,
+        /// The deepest fork this world can currently inject.
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -204,6 +219,11 @@ impl std::fmt::Display for SimError {
             SimError::Chain(e) => write!(f, "mainchain: {e}"),
             SimError::Wallet(e) => write!(f, "wallet: {e}"),
             SimError::Node(e) => write!(f, "node: {e}"),
+            SimError::Config(what) => write!(f, "fault injection: {what}"),
+            SimError::ForkTooDeep { requested, max } => write!(
+                f,
+                "fork depth {requested} out of range (deepest injectable fork: {max})"
+            ),
         }
     }
 }
@@ -264,6 +284,12 @@ pub struct World {
     /// receipt-derived metrics) alongside the registry undo records
     /// (pruned to the chain's reorg window).
     pub(crate) router_undo: Vec<RouterUndo>,
+    /// Digests of every forged competing certificate injected by a
+    /// quality war — the audit ground truth: none of these may ever
+    /// appear as an accepted certificate in the registry. Append-only
+    /// on purpose (a reorg never legitimizes a forgery, so the set is
+    /// not part of the router undo records).
+    pub(crate) forged_certs: BTreeSet<zendoo_primitives::digest::Digest32>,
     pub(crate) miner: Wallet,
     pub(crate) time: u64,
     /// How `step` executes (serial reference vs sharded workers).
@@ -428,6 +454,7 @@ impl World {
             receipts_cursor: 0,
             settlements_seen: 0,
             router_undo: Vec::new(),
+            forged_certs: BTreeSet::new(),
             miner,
             time: 1,
             mode: config.step_mode,
@@ -656,6 +683,36 @@ impl World {
         }
     }
 
+    /// Quality-war injection: pools a forged competitor of `honest`
+    /// whose claimed quality is shifted by `delta`. The forgery keeps
+    /// the honest proof, which therefore no longer matches its own
+    /// statement (quality is bound into the certificate's public
+    /// inputs), so consensus rejects it at the SNARK check — or, for a
+    /// stale lower-quality replay processed after the honest winner, at
+    /// the strictly-increasing-quality rule. The digest is recorded in
+    /// [`World::forged_certificate_digests`] so audits can prove no
+    /// forgery is ever accepted.
+    pub(crate) fn pool_forged_competitor(&mut self, honest: &WithdrawalCertificate, delta: i64) {
+        let mut forged = honest.clone();
+        forged.quality = if delta >= 0 {
+            honest.quality.saturating_add(delta as u64)
+        } else {
+            honest.quality.saturating_sub(delta.unsigned_abs())
+        };
+        if forged.quality == honest.quality {
+            return;
+        }
+        self.forged_certs.insert(forged.digest());
+        self.metrics.certificates_forged += 1;
+        self.pool_mc_tx(McTransaction::Certificate(Box::new(forged)));
+    }
+
+    /// Digests of every forged competing certificate injected so far
+    /// (quality wars). Audits assert the registry never accepts one.
+    pub fn forged_certificate_digests(&self) -> &BTreeSet<zendoo_primitives::digest::Digest32> {
+        &self.forged_certs
+    }
+
     /// Queues a forward transfer from a user to their own address on the
     /// primary sidechain.
     ///
@@ -856,6 +913,143 @@ impl World {
         }
     }
 
+    /// Injects a network partition: the shard stops receiving mainchain
+    /// blocks and buffers them instead, anchored at the current tip.
+    /// Heals via [`World::heal_partition`] (the backlog replays at the
+    /// shard's next sync). A no-op error if the chain is unknown or the
+    /// shard is already partitioned/diverged.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSidechain`] for undeclared chains;
+    /// [`SimError::Config`] when the shard is already stalled.
+    pub fn inject_partition(&mut self, sc: &SidechainId) -> Result<(), SimError> {
+        let anchor = self.chain.tip_hash();
+        let shard = self
+            .shards
+            .get_mut(sc)
+            .ok_or_else(|| SimError::UnknownSidechain(sc.to_string()))?;
+        if shard.partitioned.is_some() || shard.diverged.is_some() {
+            return Err(SimError::Config("shard already partitioned or diverged"));
+        }
+        shard.partitioned = Some(anchor);
+        self.metrics.partitions += 1;
+        Ok(())
+    }
+
+    /// Heals a partition injected by [`World::inject_partition`]. The
+    /// buffered canonical blocks replay into the node at the shard's
+    /// next sync (possibly producing several certificates at once if
+    /// epoch boundaries were crossed; late ones are rejected by the
+    /// submission window, so a partition outlasting the window still
+    /// ceases the chain, per the paper's Def 4.2). Idempotent.
+    pub fn heal_partition(&mut self, sc: &SidechainId) {
+        if let Some(shard) = self.shards.get_mut(sc) {
+            shard.partitioned = None;
+        }
+    }
+
+    /// Injects a relay equivocation: a faulty relay forges a phantom
+    /// successor of the current tip (valid proof-of-work, never adopted
+    /// by the mainchain) and delivers it to this shard only. The node
+    /// accepts it — it extends the tip the node knows — and diverges
+    /// from the canonical chain; subsequent canonical blocks no longer
+    /// connect and are buffered until [`World::heal_relay`] rolls the
+    /// node back to the last truly canonical block. Equivocation can
+    /// thus stall a shard (liveness) but never splits settled value
+    /// (safety) — audited by the conservation checks.
+    ///
+    /// Returns the phantom block's hash.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSidechain`] for undeclared chains;
+    /// [`SimError::Config`] when the shard is already stalled;
+    /// [`SimError::Node`] if the node refuses the phantom block.
+    pub fn inject_relay_equivocation(
+        &mut self,
+        sc: &SidechainId,
+    ) -> Result<zendoo_primitives::digest::Digest32, SimError> {
+        let tip = self.chain.tip_hash();
+        {
+            let shard = self
+                .shards
+                .get(sc)
+                .ok_or_else(|| SimError::UnknownSidechain(sc.to_string()))?;
+            if shard.partitioned.is_some() || shard.diverged.is_some() {
+                return Err(SimError::Config("shard already partitioned or diverged"));
+            }
+        }
+        let phantom = self
+            .chain
+            .mine_branch(&tip, 1, self.miner.address(), 800_000 + self.time)?
+            .pop()
+            .expect("mine_branch(count=1) yields one block");
+        let phantom_hash = phantom.hash();
+        let shard = self.shards.get_mut(sc).expect("checked above");
+        shard
+            .instance
+            .node
+            .sync_mainchain_block(&phantom)
+            .map_err(SimError::Node)?;
+        // The tip is the last block the node shares with the canonical
+        // chain — the heal target.
+        shard.diverged = Some(tip);
+        shard.metrics.sc_blocks += 1;
+        shard.metrics.equivocations += 1;
+        self.metrics.sc_blocks += 1;
+        self.metrics.relay_equivocations += 1;
+        self.time += 1;
+        Ok(phantom_hash)
+    }
+
+    /// Heals a relay equivocation: rolls the diverged node back to the
+    /// last canonical block it shares with the mainchain, after which
+    /// the buffered canonical backlog replays at its next sync. Returns
+    /// the number of SC blocks reverted (0 if the shard was not
+    /// diverged).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Node`] if the rollback target left the node's
+    /// history.
+    pub fn heal_relay(&mut self, sc: &SidechainId) -> Result<usize, SimError> {
+        let Some(shard) = self.shards.get_mut(sc) else {
+            return Ok(0);
+        };
+        let Some(base) = shard.diverged.take() else {
+            return Ok(0);
+        };
+        let reverted = shard
+            .instance
+            .node
+            .rollback_to_mc(&base)
+            .map_err(SimError::Node)?;
+        shard.metrics.sc_blocks_reverted += reverted as u64;
+        self.metrics.sc_blocks_reverted += reverted as u64;
+        Ok(reverted)
+    }
+
+    /// Starts a certificate quality war on one sidechain: every honest
+    /// certificate it produces is pooled surrounded by forged
+    /// competitors claiming adjacent quality (one front-running with
+    /// `quality + 1`, one trailing with `quality − 1`). The forgeries
+    /// carry the honest proof, which no longer matches their claimed
+    /// quality, so consensus rejects every one — audited via
+    /// [`World::forged_certificate_digests`].
+    pub fn start_quality_war(&mut self, sc: &SidechainId) {
+        if let Some(shard) = self.shards.get_mut(sc) {
+            shard.quality_war = true;
+        }
+    }
+
+    /// Ends a quality war started by [`World::start_quality_war`].
+    pub fn end_quality_war(&mut self, sc: &SidechainId) {
+        if let Some(shard) = self.shards.get_mut(sc) {
+            shard.quality_war = false;
+        }
+    }
+
     // ---- Progression --------------------------------------------------
 
     /// The current step mode.
@@ -1021,30 +1215,43 @@ impl World {
     /// then re-syncs every node onto the new branch and rewinds the
     /// cross-chain router to its snapshot at the fork base (so queued
     /// escrows, nullifier reservations and receipts roll back in
-    /// lock-step with the registry undo records).
+    /// lock-step with the registry undo records). Stalled shards
+    /// (partitioned or relay-diverged) are not re-synced; their backlog
+    /// is rewritten to the new branch and, if the fork dug below their
+    /// anchor, their node is rolled back with it.
     ///
     /// Returns the total number of SC blocks reverted across chains.
     ///
     /// # Errors
     ///
-    /// [`SimError`] if the reorg cannot be performed.
+    /// [`SimError::ForkTooDeep`] when `depth` is 0 or exceeds the
+    /// deepest currently injectable fork (the tip height minus the
+    /// genesis block, capped by the chain's `max_reorg_depth` undo
+    /// window); other [`SimError`]s if the reorg cannot be performed.
     pub fn inject_mc_fork(&mut self, depth: u64) -> Result<usize, SimError> {
-        let fork_height = self.chain.height().saturating_sub(depth);
+        let height = self.chain.height();
+        let max = height
+            .saturating_sub(1)
+            .min(self.chain.params().max_reorg_depth as u64);
+        if depth == 0 || depth > max {
+            return Err(SimError::ForkTooDeep {
+                requested: depth,
+                max,
+            });
+        }
+        let fork_height = height - depth;
         let fork_base = self
             .chain
             .hash_at_height(fork_height)
             .expect("fork base exists");
 
-        // Build the competing branch on a replay chain.
-        let mut alt = Blockchain::new(self.chain.params().clone());
-        for h in 1..=fork_height {
-            alt.submit_block(self.chain.block_at_height(h).unwrap().clone())?;
-        }
-        let mut branch = Vec::new();
-        for i in 0..=depth {
-            let block = alt.mine_next_block(self.miner.address(), vec![], 900_000 + i)?;
-            branch.push(block);
-        }
+        // Mine the competing branch directly off the stored fork base
+        // (monotone time base keeps repeated forks from colliding on
+        // identical headers).
+        let time_base = 900_000 + self.time;
+        let branch =
+            self.chain
+                .mine_branch(&fork_base, depth + 1, self.miner.address(), time_base)?;
         let mut reorged = false;
         let mut dropped: Vec<McTransaction> = Vec::new();
         for block in &branch {
@@ -1091,24 +1298,104 @@ impl World {
             }
         }
         // Roll every live shard back to the fork base and replay the
-        // branch (a rare path, kept serial in every step mode).
+        // branch (a rare path, kept serial in every step mode). Stalled
+        // shards only get their backlog rewritten — they catch up when
+        // they heal.
         let mut reverted = 0;
+        let withhold_all = self.withhold_certificates;
+        let mut pooled: Vec<(WithdrawalCertificate, bool)> = Vec::new();
         for id in self.order.clone() {
             let shard = self.shards.get_mut(&id).expect("declared");
             if shard.quarantined {
                 continue;
             }
+            if shard.partitioned.is_some() || shard.diverged.is_some() {
+                let anchor = shard.partitioned.or(shard.diverged).expect("stalled");
+                let anchor_height = self
+                    .chain
+                    .block(&anchor)
+                    .map(|block| block.header.height)
+                    .unwrap_or(0);
+                if anchor_height > fork_height {
+                    // The fork dug below the shard's anchor: the blocks
+                    // the node stands on were disconnected, so it
+                    // reorgs with the chain even while stalled.
+                    let shard_reverted = shard.instance.node.rollback_to_mc(&fork_base)?;
+                    shard.metrics.sc_blocks_reverted += shard_reverted as u64;
+                    reverted += shard_reverted;
+                    if shard.partitioned.is_some() {
+                        shard.partitioned = Some(fork_base);
+                    } else {
+                        // The reorg removed the phantom relay block
+                        // along with the anchor — the equivocation is
+                        // resolved and the shard resumes on its own.
+                        shard.diverged = None;
+                    }
+                }
+                // Blocks above the fork point were replaced; the new
+                // branch joins the backlog in canonical order.
+                shard
+                    .backlog
+                    .retain(|block| block.header.height <= fork_height);
+                shard.backlog.extend(branch.iter().cloned());
+                continue;
+            }
             let shard_reverted = shard.instance.node.rollback_to_mc(&fork_base)?;
             shard.metrics.sc_blocks_reverted += shard_reverted as u64;
             reverted += shard_reverted;
-            for block in &branch {
+            // All branch blocks except the tip replace heights the node
+            // had already crossed — any certificate it produced for
+            // them is recovered through the dropped-transaction re-pool
+            // above, so a plain re-sync suffices.
+            let (last, prefix) = branch.split_last().expect("depth >= 1");
+            for block in prefix {
                 shard.instance.node.sync_mainchain_block(block)?;
                 shard.metrics.sc_blocks += 1;
                 self.metrics.sc_blocks += 1;
             }
+            // The branch tip is one block beyond the pre-fork chain: new
+            // territory, so it gets full tick semantics — an epoch
+            // boundary landing here must still produce (or withhold)
+            // the certificate, with the same panic containment as a
+            // regular step.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                shard.tick(last, withhold_all)
+            }));
+            match outcome {
+                Ok(Ok((forged, certificate, withheld))) => {
+                    if forged {
+                        shard.metrics.sc_blocks += 1;
+                        self.metrics.sc_blocks += 1;
+                    }
+                    if withheld {
+                        shard.metrics.certificates_withheld += 1;
+                        self.metrics.certificates_withheld += 1;
+                    }
+                    if let Some(certificate) = certificate {
+                        shard.metrics.certificates_produced += 1;
+                        pooled.push((*certificate, shard.quality_war));
+                    }
+                }
+                Ok(Err(error)) => return Err(SimError::Node(error)),
+                Err(_payload) => {
+                    shard.quarantined = true;
+                    shard.metrics.panics += 1;
+                    self.metrics.shard_panics += 1;
+                }
+            }
+        }
+        for (certificate, war) in pooled {
+            self.metrics.certificates_produced += 1;
+            if war {
+                self.pool_forged_competitor(&certificate, 1);
+                self.pool_mc_tx(McTransaction::Certificate(Box::new(certificate.clone())));
+                self.pool_forged_competitor(&certificate, -1);
+            } else {
+                self.pool_mc_tx(McTransaction::Certificate(Box::new(certificate)));
+            }
         }
         self.metrics.sc_blocks_reverted += reverted as u64;
-        self.time = self.time.max(900_000 + depth + 1);
+        self.time = time_base + depth + 1;
         Ok(reverted)
     }
 

@@ -402,6 +402,41 @@ fn aggregated_mode_is_bit_identical_to_individual_across_step_modes() {
     }
 }
 
+// ---- Composed Byzantine faults live inside the contract too ----------
+
+/// The fault machinery itself — partition buffering, backlog replay,
+/// fork-branch replay, quality-war forgery pooling — must not leak
+/// scheduling nondeterminism: a composed-fault world (partition healed
+/// into a three-fork reorg storm with escrow in flight) is
+/// bit-identical across the whole step-mode × worker-count ×
+/// verify-mode matrix, down to the per-tick audit snapshot stream.
+#[test]
+fn composed_fault_world_is_bit_identical_across_the_mode_matrix() {
+    let (reference, reference_audit) =
+        scenarios::partition_reorg_storm(StepMode::Serial, VerifyMode::Individual).unwrap();
+    // The reference run really exercised the fault paths.
+    assert!(reference.metrics.partitions >= 1 && reference.metrics.reorgs >= 3);
+    assert!(reference.metrics.blocks_replayed >= 2);
+
+    for verify in [VerifyMode::Individual, VerifyMode::Aggregated] {
+        for workers in [Some(1), Some(4), None] {
+            let (world, audit) =
+                scenarios::partition_reorg_storm(StepMode::Sharded { workers }, verify)
+                    .unwrap_or_else(|e| panic!("workers={workers:?}/{verify:?}: {e}"));
+            assert_eq!(
+                observe(&reference),
+                observe(&world),
+                "composed-fault world diverged at workers={workers:?} {verify:?}"
+            );
+            assert_eq!(
+                reference_audit.snapshots(),
+                audit.snapshots(),
+                "audit history diverged at workers={workers:?} {verify:?}"
+            );
+        }
+    }
+}
+
 /// Two identical instrumented runs of the *same* mode produce the same
 /// snapshot modulo wall-clock nanoseconds: fixed key order, identical
 /// span counts, counters, gauges and value histograms — the

@@ -8,8 +8,9 @@ default:
     @just --list
 
 # Full CI gate: format check, clippy on the newer crates, rustdoc
-# warnings-as-errors + doc-tests, tier-1 tests, adversarial suites.
-ci: fmt-check clippy doc doc-test test test-adversarial
+# warnings-as-errors + doc-tests, tier-1 tests, adversarial and
+# Byzantine suites.
+ci: fmt-check clippy doc doc-test test test-adversarial test-byzantine
 
 # Formatting check (whole workspace).
 fmt-check:
@@ -47,6 +48,15 @@ test:
 # invocations) and printed so a shrinking suite is visible in CI.
 test-adversarial:
     @total=0; for spec in "zendoo-mainchain escrow_consensus" "zendoo-mainchain aggregation" "zendoo-mainchain sig_admission" "zendoo-crosschain adversarial" "zendoo-latus adversarial" "zendoo-core settlement_codec"; do set -- $spec; out=$(cargo test -q -p "$1" --test "$2" 2>&1) || { echo "$out"; exit 1; }; echo "$out"; n=$(echo "$out" | awk '/^test result: ok/ {s+=$4} END {print s+0}'); total=$((total + n)); done; echo "adversarial tests: $total total"
+
+# The composed Byzantine suites (docs/SCENARIOS.md, "Byzantine
+# fault-composition scenarios"): the five long-horizon fault-layered
+# scenarios with per-tick conservation auditing (byzantine), random
+# fault plans against the auditor (fault_props), and the determinism
+# matrix the fault machinery must stay inside (determinism). Same
+# summed-total reporting as test-adversarial.
+test-byzantine:
+    @total=0; for spec in "zendoo-sim byzantine" "zendoo-sim fault_props" "zendoo-sim determinism"; do set -- $spec; out=$(cargo test -q -p "$1" --test "$2" 2>&1) || { echo "$out"; exit 1; }; echo "$out"; n=$(echo "$out" | awk '/^test result: ok/ {s+=$4} END {print s+0}'); total=$((total + n)); done; echo "byzantine tests: $total total"
 
 # Benchmarks (criterion stand-in prints ns/iter).
 bench:
