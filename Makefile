@@ -1,15 +1,15 @@
 # Zendoo reproduction — make mirror of the justfile (the container may
 # not have `just` installed).
 
-.PHONY: ci fmt-check clippy doc doc-test test test-adversarial test-byzantine bench bench-smoke obs-report demo
+.PHONY: ci fmt-check clippy doc doc-test test test-adversarial test-byzantine test-store bench bench-smoke obs-report demo
 
-ci: fmt-check clippy doc doc-test test test-adversarial test-byzantine
+ci: fmt-check clippy doc doc-test test test-adversarial test-byzantine test-store
 
 fmt-check:
 	cargo fmt --check
 
 clippy:
-	cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain -p zendoo-telemetry -p zendoo-snark -p zendoo-core -p zendoo-loadgen --all-targets --no-deps -- -D warnings
+	cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain -p zendoo-telemetry -p zendoo-snark -p zendoo-core -p zendoo-loadgen -p zendoo-store --all-targets --no-deps -- -D warnings
 
 doc:
 	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
@@ -27,6 +27,9 @@ test-adversarial:
 test-byzantine:
 	@total=0; for spec in "zendoo-sim byzantine" "zendoo-sim fault_props" "zendoo-sim determinism"; do set -- $$spec; out=$$(cargo test -q -p "$$1" --test "$$2" 2>&1) || { echo "$$out"; exit 1; }; echo "$$out"; n=$$(echo "$$out" | awk '/^test result: ok/ {s+=$$4} END {print s+0}'); total=$$((total + n)); done; echo "byzantine tests: $$total total"
 
+test-store:
+	@total=0; for spec in "zendoo-store recovery" "zendoo-sim persistence"; do set -- $$spec; out=$$(cargo test -q -p "$$1" --test "$$2" 2>&1) || { echo "$$out"; exit 1; }; echo "$$out"; n=$$(echo "$$out" | awk '/^test result: ok/ {s+=$$4} END {print s+0}'); total=$$((total + n)); done; echo "store tests: $$total total"
+
 bench:
 	cargo bench -p zendoo-bench
 
@@ -38,6 +41,7 @@ bench-smoke:
 	cargo bench -p zendoo-bench --bench proof_aggregation
 	cargo bench -p zendoo-bench --bench pipeline_obs
 	cargo bench -p zendoo-bench --bench load_admission
+	cargo bench -p zendoo-bench --bench indexer
 
 obs-report:
 	cargo run --release --example obs_report

@@ -10,8 +10,8 @@
 //! * the settlement batch-size histogram
 //!   (`router.settlement.batch_size`) and delivery latencies,
 //! * coordinator/shard tick spans (`tick`, `tick.coordinator`,
-//!   `tick.shard.sync`) — the telemetry successor of the deprecated
-//!   `World::take_step_timings` accounting.
+//!   `tick.shard.sync`) — the single source of per-tick wall-clock
+//!   accounting.
 //!
 //! The scenario runs in [`StepMode::Serial`] deliberately: the serial
 //! path exercises all three pipeline stage spans at submission (the

@@ -23,7 +23,7 @@ use crate::state::{
 };
 use crate::tx::{
     btr_claimed_utxo, classify_ft_metadata, empty_leaf, ft_batch_output_utxo, ft_output_utxo,
-    BtrStep, FtEntryStep, FtKind, FtStep, LeafUpdate, ScTransaction, SignedInput,
+    salvage_payback, BtrStep, FtEntryStep, FtKind, FtStep, LeafUpdate, ScTransaction, SignedInput,
     TransitionWitness,
 };
 
@@ -245,7 +245,14 @@ impl TransitionVerifier for LatusTransitionVerifier {
                         FtKind::Settlement(_) | FtKind::Malformed => None,
                     };
                     match (&kind, single, step) {
-                        (FtKind::Malformed, _, FtStep::RejectedMalformed) => {}
+                        (FtKind::Malformed, _, FtStep::RejectedMalformed) => {
+                            // Mirrors `apply_forward_transfers`: a
+                            // malformed FT refunds its full amount to
+                            // the salvaged payback address. The circuit
+                            // re-derives both, so a prover can neither
+                            // redirect nor strand the refund.
+                            replay.append_bt(salvage_payback(&ft.receiver_metadata), ft.amount);
+                        }
                         (FtKind::Malformed, _, _) => {
                             return Err(Unsatisfied::new(
                                 "latus/ft-malformed",

@@ -397,8 +397,10 @@ pub enum FtStep {
     /// An aggregated settlement forward transfer (batched cross-chain
     /// delivery): one sub-step per batch entry, in entry order.
     Settled(Vec<FtEntryStep>),
-    /// Metadata unparseable; coins refunded if a payback address could
-    /// be salvaged, otherwise burned on the sidechain side.
+    /// Metadata unparseable; the full amount is refunded via backward
+    /// transfer to the payback address derived by the total
+    /// [`salvage_payback`] rule (never stranded in the registry
+    /// balance).
     RejectedMalformed,
 }
 
@@ -751,6 +753,28 @@ pub fn classify_ft_metadata(
     }
 }
 
+/// Salvages a mainchain refund address from unparseable FT metadata.
+///
+/// The rule is total and deterministic, so the transition circuit can
+/// re-derive (and therefore enforce) the exact refund the state
+/// transition performs: blobs long enough to carry the classic
+/// layout's payback slot (bytes 32..64 — the same offset the
+/// cross-transfer form uses) refund to that slot, so a truncated or
+/// overlong classic blob still pays back the address its sender put
+/// there; anything shorter refunds to its zero-padded leading bytes —
+/// a deterministic address, so the value is provably parked on the
+/// mainchain instead of silently stranded in the registry balance.
+pub fn salvage_payback(metadata: &[u8]) -> Address {
+    let mut bytes = [0u8; 32];
+    if metadata.len() >= 64 {
+        bytes.copy_from_slice(&metadata[32..64]);
+    } else {
+        let n = metadata.len().min(32);
+        bytes[..n].copy_from_slice(&metadata[..n]);
+    }
+    Address(Digest32(bytes))
+}
+
 fn apply_forward_transfers(
     params: &crate::params::LatusParams,
     state: &mut SidechainState,
@@ -809,8 +833,21 @@ fn apply_forward_transfers(
         // sidechain).
         match classify_ft_metadata(&params.sidechain_id, ft) {
             FtKind::Malformed => {
-                // Unparseable: refund impossible — coins remain locked in
-                // the MC-side balance (documented conservation caveat).
+                // Unparseable metadata. The mainchain already credited
+                // this sidechain's registry balance when it included the
+                // FT, so dropping the transfer here would strand the
+                // coins in that balance forever. Refund the full amount
+                // through the consensus-checked backward-transfer path
+                // instead, to the payback address the shared total
+                // salvage rule derives — the transition circuit
+                // re-derives the same address and amount, so a prover
+                // can neither redirect nor suppress the refund.
+                let refund = BackwardTransfer {
+                    receiver: salvage_payback(&ft.receiver_metadata),
+                    amount: ft.amount,
+                };
+                state.append_backward_transfer(refund);
+                appended.push(refund);
                 steps.push(FtStep::RejectedMalformed);
             }
             FtKind::Classic { receiver, payback } => {
@@ -1191,6 +1228,60 @@ mod tests {
             state.balance_of(&Address::from_label("sc-user")),
             Amount::from_units(9)
         );
+        // The malformed FT's full amount is refunded via backward
+        // transfer — never stranded in the MC-side registry balance.
+        assert_eq!(
+            witness.appended_bts,
+            vec![BackwardTransfer {
+                receiver: salvage_payback(&[1, 2, 3]),
+                amount: Amount::from_units(4),
+            }]
+        );
+        assert_eq!(state.backward_transfers(), witness.appended_bts);
+    }
+
+    #[test]
+    fn malformed_ft_with_classic_payback_slot_refunds_it() {
+        // A blob that is *almost* classic metadata (one trailing byte
+        // too many) still carries the payback address at bytes 32..64;
+        // the salvage rule recovers it, so the sender's refund address
+        // is honoured even for a corrupted envelope.
+        let mut state = SidechainState::new(16);
+        let payback = Address::from_label("mc-payback");
+        let mut blob = ReceiverMetadata {
+            receiver: Address::from_label("sc-user"),
+            payback,
+        }
+        .to_bytes();
+        blob.push(0xFF);
+        assert_eq!(
+            classify_ft_metadata(
+                &params().sidechain_id,
+                &ForwardTransfer {
+                    sidechain_id: params().sidechain_id,
+                    receiver_metadata: blob.clone(),
+                    amount: Amount::from_units(7),
+                }
+            ),
+            FtKind::Malformed
+        );
+        let ft = ForwardTransfer {
+            sidechain_id: params().sidechain_id,
+            receiver_metadata: blob,
+            amount: Amount::from_units(7),
+        };
+        let (_, tx) = ft_tx(vec![ft]);
+        let witness = apply_transaction(&params(), &mut state, &tx).unwrap();
+        assert!(matches!(witness.ft_steps[0], FtStep::RejectedMalformed));
+        assert_eq!(
+            witness.appended_bts,
+            vec![BackwardTransfer {
+                receiver: payback,
+                amount: Amount::from_units(7),
+            }]
+        );
+        // Nothing minted on the sidechain: the value went back out.
+        assert_eq!(state.total_value(), Amount::ZERO);
     }
 
     #[test]

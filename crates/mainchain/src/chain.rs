@@ -229,6 +229,65 @@ struct StoredBlock {
     cumulative_work: u128,
 }
 
+/// One active-chain state transition, exported for external
+/// persistence layers (the `zendoo-store` journal tails these).
+///
+/// Events are recorded only after [`Blockchain::enable_event_log`] and
+/// drained with [`Blockchain::drain_events`]. Deltas are *net* per
+/// block: an output created and spent inside the same block never
+/// appears (it was never part of the inter-block UTXO set). Reorgs
+/// emit the exact disconnect/reconnect sequence the chain itself
+/// performed, so replaying the stream always reproduces the active
+/// tip's UTXO set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainEvent {
+    /// A block joined the active chain.
+    Connected {
+        /// The block's hash.
+        hash: Digest32,
+        /// The block's height.
+        height: u64,
+        /// Outputs the block added to the UTXO set.
+        created: Vec<(OutPoint, TxOut)>,
+        /// Outputs the block consumed (previous values retained so the
+        /// event is invertible without external context).
+        spent: Vec<(OutPoint, TxOut)>,
+    },
+    /// The active tip was disconnected (a reorg rollback).
+    Disconnected {
+        /// The disconnected block's hash.
+        hash: Digest32,
+        /// The disconnected block's height.
+        height: u64,
+        /// The parent hash — the active tip after the rollback.
+        parent: Digest32,
+        /// Outpoints the rollback removes (they were created by the
+        /// block).
+        created: Vec<OutPoint>,
+        /// Outputs the rollback restores (they were spent by the
+        /// block).
+        spent: Vec<(OutPoint, TxOut)>,
+    },
+}
+
+impl ChainEvent {
+    /// The subject block's hash.
+    pub fn hash(&self) -> Digest32 {
+        match self {
+            ChainEvent::Connected { hash, .. } | ChainEvent::Disconnected { hash, .. } => *hash,
+        }
+    }
+
+    /// The subject block's height.
+    pub fn height(&self) -> u64 {
+        match self {
+            ChainEvent::Connected { height, .. } | ChainEvent::Disconnected { height, .. } => {
+                *height
+            }
+        }
+    }
+}
+
 /// Candidate transactions handed to the one-pass block builder,
 /// carrying what admission already established about them.
 ///
@@ -326,6 +385,9 @@ pub struct Blockchain {
     genesis_hash: Digest32,
     /// Observability sink ([`Telemetry::disabled`] by default).
     telemetry: Telemetry,
+    /// Connect/disconnect event log for external persistence layers;
+    /// `None` (zero overhead) until [`Blockchain::enable_event_log`].
+    event_log: Option<Vec<ChainEvent>>,
 }
 
 impl Blockchain {
@@ -398,7 +460,120 @@ impl Blockchain {
             block_proofs: HashMap::new(),
             genesis_hash,
             telemetry: Telemetry::disabled(),
+            event_log: None,
         }
+    }
+
+    /// Starts recording [`ChainEvent`]s for every subsequent active-
+    /// chain transition. Events accumulate until drained — a consumer
+    /// that enables the log must tail [`Blockchain::drain_events`].
+    /// Blocks connected *before* enabling (including genesis) are not
+    /// replayed; consumers bootstrap from the current state instead.
+    pub fn enable_event_log(&mut self) {
+        if self.event_log.is_none() {
+            self.event_log = Some(Vec::new());
+        }
+    }
+
+    /// Returns `true` when connect/disconnect events are being
+    /// recorded.
+    pub fn event_log_enabled(&self) -> bool {
+        self.event_log.is_some()
+    }
+
+    /// Takes every event recorded since the last drain, in the order
+    /// the chain performed the transitions. Empty when the log is
+    /// disabled.
+    pub fn drain_events(&mut self) -> Vec<ChainEvent> {
+        match &mut self.event_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Builds the net connect delta of a just-applied block from its
+    /// undo journal and the post-apply state. Outputs both created and
+    /// spent inside the block are elided: they never existed in the
+    /// inter-block UTXO set, so neither the store nor a reorg needs
+    /// them.
+    fn record_connect_event(&mut self, hash: Digest32, height: u64, undo: &BlockUndo) {
+        if self.event_log.is_none() {
+            return;
+        }
+        let mut created = Vec::new();
+        let mut spent = Vec::new();
+        let mut ephemeral = HashSet::new();
+        for op in undo.ops() {
+            match op {
+                pipeline::UtxoOp::Created(outpoint) => match self.state.utxos.get(outpoint) {
+                    Some(out) => created.push((*outpoint, *out)),
+                    // Absent post-apply: created and spent in-block.
+                    None => {
+                        ephemeral.insert(*outpoint);
+                    }
+                },
+                pipeline::UtxoOp::Spent(outpoint, out) => {
+                    if !ephemeral.remove(outpoint) {
+                        spent.push((*outpoint, *out));
+                    }
+                }
+            }
+        }
+        self.event_log
+            .as_mut()
+            .expect("checked above")
+            .push(ChainEvent::Connected {
+                hash,
+                height,
+                created,
+                spent,
+            });
+    }
+
+    /// Builds the net disconnect delta of the tip about to be reverted
+    /// (the exact inverse of its connect event). Must run *before*
+    /// `pipeline::revert_block`, while the post-block state is still
+    /// current.
+    fn record_disconnect_event(&mut self, hash: Digest32, height: u64, undo: &BlockUndo) {
+        if self.event_log.is_none() {
+            return;
+        }
+        let mut created = Vec::new();
+        let mut spent = Vec::new();
+        let mut ephemeral = HashSet::new();
+        for op in undo.ops() {
+            match op {
+                pipeline::UtxoOp::Created(outpoint) => {
+                    if self.state.utxos.contains(outpoint) {
+                        created.push(*outpoint);
+                    } else {
+                        ephemeral.insert(*outpoint);
+                    }
+                }
+                pipeline::UtxoOp::Spent(outpoint, out) => {
+                    if !ephemeral.remove(outpoint) {
+                        spent.push((*outpoint, *out));
+                    }
+                }
+            }
+        }
+        let parent = self
+            .blocks
+            .get(&hash)
+            .expect("disconnecting a stored block")
+            .block
+            .header
+            .parent;
+        self.event_log
+            .as_mut()
+            .expect("checked above")
+            .push(ChainEvent::Disconnected {
+                hash,
+                height,
+                parent,
+                created,
+                spent,
+            });
     }
 
     /// Attaches a telemetry handle; the three pipeline stages, block
@@ -681,6 +856,7 @@ impl Blockchain {
             return Err(BlockError::ReorgTooDeep);
         }
         let undo = self.undo.remove(&tip).ok_or(BlockError::ReorgTooDeep)?;
+        self.record_disconnect_event(tip, self.active.len() as u64 - 1, &undo);
         pipeline::revert_block(&mut self.state, undo);
         self.active.pop();
         Ok(())
@@ -810,6 +986,7 @@ impl Blockchain {
         if let Some(proof) = proof_to_record {
             self.block_proofs.insert(hash, proof);
         }
+        self.record_connect_event(hash, block.header.height, &undo);
         self.undo.insert(hash, undo);
         self.active.push(hash);
         self.prune_undo();

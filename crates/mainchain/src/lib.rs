@@ -47,7 +47,9 @@ pub mod utxo;
 pub mod wallet;
 
 pub use block::{Block, BlockHeader};
-pub use chain::{BlockCandidates, BlockError, Blockchain, ChainParams, ChainState, SubmitOutcome};
+pub use chain::{
+    BlockCandidates, BlockError, Blockchain, ChainEvent, ChainParams, ChainState, SubmitOutcome,
+};
 pub use mempool::{Mempool, MempoolConfig};
 pub use miner::Miner;
 pub use pipeline::{BlockUndo, ProofVerdicts, VerifyMode};

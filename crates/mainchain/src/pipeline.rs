@@ -504,7 +504,7 @@ pub fn verify_block_aggregate(
 
 /// One journaled UTXO-set mutation.
 #[derive(Clone, Debug)]
-enum UtxoOp {
+pub(crate) enum UtxoOp {
     /// An output was created at this outpoint.
     Created(OutPoint),
     /// This output was spent (previous value retained for undo).
@@ -551,6 +551,12 @@ impl BlockUndo {
     /// Number of journaled UTXO mutations.
     pub fn len(&self) -> usize {
         self.ops.len()
+    }
+
+    /// The journaled UTXO mutations, in application order (the chain
+    /// event log derives connect/disconnect deltas from them).
+    pub(crate) fn ops(&self) -> &[UtxoOp] {
+        &self.ops
     }
 
     /// Returns `true` when the block touched no UTXOs.

@@ -91,6 +91,17 @@ pub enum AuditViolation {
         /// `Refunded` receipts observed for it.
         refunded: u32,
     },
+    /// At quiescence, a sidechain's registry balance exceeds its
+    /// on-ledger value: mainchain-side value with no sidechain claimant
+    /// (the malformed-FT stranding bug).
+    Stranded {
+        /// The offending sidechain (display form).
+        chain: String,
+        /// Balance the mainchain holds for it.
+        locked: Amount,
+        /// Value on the sidechain's own ledger.
+        on_chain: Amount,
+    },
     /// A forged quality-war certificate was accepted into the registry.
     ForgedWinner {
         /// The sidechain whose epoch was won by a forgery.
@@ -133,6 +144,15 @@ impl std::fmt::Display for AuditViolation {
                 "nullifier {:?} settled more than once (delivered {delivered}, \
                  refunded {refunded})",
                 nullifier
+            ),
+            AuditViolation::Stranded {
+                chain,
+                locked,
+                on_chain,
+            } => write!(
+                f,
+                "stranded value on {chain}: locked balance {locked} exceeds on-chain \
+                 value {on_chain} at quiescence"
             ),
             AuditViolation::ForgedWinner {
                 chain,
@@ -215,6 +235,50 @@ impl ConservationAuditor {
     /// Total invariant checks performed across all observations.
     pub fn checks(&self) -> u64 {
         self.checks
+    }
+
+    /// Quiescence reconciliation: once the system has drained (run a
+    /// few fault-free epochs so settlement windows close, certificates
+    /// mature and healed shards replay their backlog), every healthy
+    /// *active* sidechain's registry balance must exactly equal its
+    /// on-ledger value. Any excess is value stranded on the mainchain
+    /// side with no sidechain claimant — exactly what the historic
+    /// malformed-FT bug produced, which the per-tick safeguard
+    /// (`on_chain <= locked`) can never see. Ceased chains are skipped
+    /// (their balance legitimately awaits ceased-sidechain
+    /// withdrawals), as are quarantined and still-stalled shards (no
+    /// guarantee the node state is caught up).
+    ///
+    /// # Errors
+    ///
+    /// [`AuditViolation::Stranded`] naming the first chain whose locked
+    /// balance and ledger disagree in either direction.
+    pub fn check_reconciled(&mut self, world: &World) -> Result<(), AuditViolation> {
+        let state = world.chain.state();
+        for id in world.sidechain_ids() {
+            let Some(shard) = world.shard(id) else {
+                continue;
+            };
+            if shard.quarantined || shard.partitioned.is_some() || shard.diverged.is_some() {
+                continue;
+            }
+            let Some(entry) = state.registry.get(id) else {
+                continue;
+            };
+            if entry.status != zendoo_mainchain::SidechainStatus::Active {
+                continue;
+            }
+            self.checks += 1;
+            let on_chain = shard.instance.node.state().total_value();
+            if entry.balance != on_chain {
+                return Err(AuditViolation::Stranded {
+                    chain: id.to_string(),
+                    locked: entry.balance,
+                    on_chain,
+                });
+            }
+        }
+        Ok(())
     }
 
     fn snapshot(&self, world: &World) -> AuditSnapshot {

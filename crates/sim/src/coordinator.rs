@@ -39,25 +39,6 @@ use zendoo_telemetry::Telemetry;
 use crate::shard::{ShardEffects, SidechainShard, StepMode};
 use crate::world::{SimError, World};
 
-/// Wall-clock accounting for one tick, split into the coordinator's
-/// critical path (block assembly + submission + router bookkeeping)
-/// and each shard's own work. `BENCH_sharded_sim.json` derives the
-/// work/span model from these: on a machine with at least as many
-/// cores as shards, a sharded tick costs `coordinator + max(shards)`
-/// while a serial tick costs `coordinator + sum(shards)`.
-#[derive(Clone, Debug)]
-pub struct StepTiming {
-    /// Total wall-clock nanoseconds of the tick.
-    pub total_nanos: u64,
-    /// Nanoseconds of coordinator work: prologue (router snapshot,
-    /// settlement, partition), block assembly + submission, router
-    /// observation and the effect fold — everything that cannot run on
-    /// a shard thread.
-    pub coordinator_nanos: u64,
-    /// Per-shard nanoseconds, in declaration order.
-    pub shard_nanos: Vec<(SidechainId, u64)>,
-}
-
 /// Dispatches one tick according to the world's step mode.
 pub(crate) fn step(world: &mut World) -> Result<(), SimError> {
     match world.mode {
@@ -145,13 +126,13 @@ fn apply_effects(world: &mut World, effects: ShardEffects) -> Option<SimError> {
 ///
 /// All wall-clock accounting flows through [`Telemetry::time`] (which
 /// measures unconditionally and records a span only when the world is
-/// recording), so the deprecated [`StepTiming`] shim and the telemetry
-/// spans share one clock and can never disagree.
+/// recording), so every consumer of per-tick timing reads one clock:
+/// the `tick` / `tick.coordinator` / `tick.shard.*` spans.
 fn step_serial(world: &mut World) -> Result<(), SimError> {
     let telemetry = world.telemetry.clone();
     let (walk, total_nanos) = telemetry.time("tick", || step_serial_walk(world, &telemetry));
-    // Legacy semantics: a failing tick (chain error, first failing
-    // shard) records no StepTiming.
+    // A failing tick (chain error, first failing shard) records no
+    // coordinator span.
     let shard_nanos = walk?;
     // In a serial tick, everything that is not shard work is
     // coordinator work by definition (prologue, block build/submit,
@@ -161,11 +142,6 @@ fn step_serial(world: &mut World) -> Result<(), SimError> {
     let shard_sum: u64 = shard_nanos.iter().map(|(_, nanos)| nanos).sum();
     telemetry.span_nanos("tick.coordinator", total_nanos.saturating_sub(shard_sum));
     record_shard_critical(&telemetry, &shard_nanos);
-    world.timings.push(StepTiming {
-        total_nanos,
-        coordinator_nanos: total_nanos.saturating_sub(shard_sum),
-        shard_nanos,
-    });
     Ok(())
 }
 
@@ -255,18 +231,13 @@ fn step_serial_walk(
 /// the serial path; see [`step_sharded_body`] for the phase spans.
 fn step_sharded(world: &mut World, workers: Option<usize>) -> Result<(), SimError> {
     let telemetry = world.telemetry.clone();
-    let (body, total_nanos) =
+    let (body, _total_nanos) =
         telemetry.time("tick", || step_sharded_body(world, workers, &telemetry));
-    // Legacy semantics: a preparation failure records no StepTiming; a
-    // submission failure or shard error still does (the effect fold ran).
+    // A preparation failure records no coordinator span; a submission
+    // failure or shard error still does (the effect fold ran).
     let (coordinator_nanos, shard_nanos, submit_result, first_error) = body?;
     telemetry.span_nanos("tick.coordinator", coordinator_nanos);
     record_shard_critical(&telemetry, &shard_nanos);
-    world.timings.push(StepTiming {
-        total_nanos,
-        coordinator_nanos,
-        shard_nanos,
-    });
     submit_result?;
     match first_error {
         Some(error) => Err(error),

@@ -22,6 +22,11 @@ pub enum Action {
     ScWithdraw(String, u64),
     /// `ForwardTransferTo(sc_index, user, amount)`.
     ForwardTransferTo(usize, String, u64),
+    /// `MalformedForwardTransferTo(sc_index, user, amount)` — a forward
+    /// transfer with deliberately corrupted receiver metadata; the
+    /// destination must refund it through the consensus-checked
+    /// backward-transfer path, never strand it.
+    MalformedForwardTransferTo(usize, String, u64),
     /// `ScPayOn(sc_index, from, to, amount)`.
     ScPayOn(usize, String, String, u64),
     /// `ScWithdrawOn(sc_index, user, amount)`.
@@ -111,6 +116,9 @@ impl Schedule {
                 Action::ForwardTransferTo(index, user, amount) => world
                     .sidechain_id_at(*index)
                     .and_then(|sc| world.queue_forward_transfer_on(&sc, user, *amount)),
+                Action::MalformedForwardTransferTo(index, user, amount) => world
+                    .sidechain_id_at(*index)
+                    .and_then(|sc| world.queue_malformed_forward_transfer_on(&sc, user, *amount)),
                 Action::ScPayOn(index, from, to, amount) => world
                     .sidechain_id_at(*index)
                     .and_then(|sc| world.sc_pay_on(&sc, from, to, *amount)),

@@ -50,6 +50,13 @@ pub enum Fault {
     /// Crash one sidechain's shard at its next sync (quarantined;
     /// the chain then ceases like any liveness fault).
     ShardPanic(usize),
+    /// Queue a forward transfer with corrupted (malformed) receiver
+    /// metadata into sidechain `sc_index`, funded by the default
+    /// genesis user `alice`. The destination must refund the amount via
+    /// the consensus-checked backward-transfer path — stranding it in
+    /// the registry balance is the conservation bug
+    /// [`crate::audit::ConservationAuditor::check_reconciled`] catches.
+    MalformedFt(usize),
 }
 
 /// A composed-fault run failure: either the world itself broke (a step
@@ -144,9 +151,11 @@ impl FaultPlan {
 
     /// Derives a random composed plan from `seed`: two to four fault
     /// episodes spread over `ticks`, each a paired inject/heal window
-    /// (partition, withhold, quality war, relay equivocation) or a
-    /// shallow fork (depth 1–3). Same seed, same plan — property-test
-    /// failures reproduce from the printed seed alone.
+    /// (partition, withhold, quality war, relay equivocation), a
+    /// shallow fork (depth 1–3), or a malformed-metadata forward
+    /// transfer (a one-shot deposit that must be refunded, never
+    /// stranded). Same seed, same plan — property-test failures
+    /// reproduce from the printed seed alone.
     pub fn random(seed: u64, chains: usize, ticks: u64) -> Self {
         assert!(chains > 0, "at least one chain");
         assert!(ticks >= 8, "need at least 8 ticks for an episode");
@@ -158,7 +167,7 @@ impl FaultPlan {
             let start = rng.gen_range(1, ticks - 4);
             let span = 1 + rng.gen_range(0, 3);
             let heal = (start + span).min(ticks - 1);
-            match rng.gen_range(0, 5) {
+            match rng.gen_range(0, 6) {
                 0 => {
                     plan = plan
                         .at(start, Fault::Partition(sc))
@@ -179,9 +188,12 @@ impl FaultPlan {
                         .at(start, Fault::RelayEquivocate(sc))
                         .at(heal, Fault::HealRelay(sc));
                 }
-                _ => {
+                4 => {
                     let depth = 1 + rng.gen_range(0, 3);
                     plan = plan.at(start, Fault::Reorg(depth));
+                }
+                _ => {
+                    plan = plan.at(start, Fault::MalformedFt(sc));
                 }
             }
         }
@@ -224,6 +236,9 @@ impl FaultPlan {
                 Fault::ShardPanic(index) => world.sidechain_id_at(*index).map(|sc| {
                     world.inject_shard_panic(&sc);
                 }),
+                Fault::MalformedFt(index) => world
+                    .sidechain_id_at(*index)
+                    .and_then(|sc| world.queue_malformed_forward_transfer_on(&sc, "alice", 1_000)),
             };
             if result.is_err() {
                 world.metrics.rejections += 1;

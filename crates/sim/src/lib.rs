@@ -63,7 +63,6 @@ pub mod shard;
 pub mod world;
 
 pub use audit::{AuditSnapshot, AuditViolation, ConservationAuditor};
-pub use coordinator::StepTiming;
 pub use events::{Action, Schedule};
 pub use faults::{Fault, FaultPlan, RunError};
 pub use metrics::Metrics;

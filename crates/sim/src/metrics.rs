@@ -11,6 +11,10 @@ pub struct Metrics {
     pub sc_blocks: u64,
     /// Forward transfers submitted.
     pub forward_transfers: u64,
+    /// Forward transfers submitted with deliberately malformed receiver
+    /// metadata (fault injection; each must be refunded, never
+    /// stranded).
+    pub forward_transfers_malformed: u64,
     /// Sidechain payments applied.
     pub sc_payments: u64,
     /// Backward transfers initiated on the sidechain.

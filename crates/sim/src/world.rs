@@ -57,9 +57,10 @@ use zendoo_mainchain::sigbatch::{self, AdmissionReport};
 use zendoo_mainchain::transaction::{McTransaction, TxOut};
 use zendoo_mainchain::wallet::Wallet;
 use zendoo_primitives::schnorr::Keypair;
+use zendoo_store::{chain_state_digest, Indexer, StoreError, UtxoStore};
 use zendoo_telemetry::{InMemoryRecorder, Snapshot, Telemetry};
 
-use crate::coordinator::{self, StepTiming};
+use crate::coordinator;
 use crate::metrics::Metrics;
 use crate::shard::{ShardMetrics, SidechainShard, StepMode};
 
@@ -106,6 +107,13 @@ pub struct SimConfig {
     /// [`SimConfig::genesis_users`] outputs. Load generation funds
     /// populations too large for named users through this hook.
     pub extra_genesis_outputs: Vec<TxOut>,
+    /// When set, the world persists the mainchain's UTXO set through a
+    /// journaled [`UtxoStore`] in this directory and serves
+    /// balance/receipt/pending-inbound queries from an [`Indexer`]
+    /// over it (both synced and fsynced at the end of every tick).
+    /// `None` (the default) runs fully in memory. Can also be attached
+    /// later via [`World::attach_persistence`].
+    pub persist_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SimConfig {
@@ -122,6 +130,7 @@ impl Default for SimConfig {
             verify_mode: VerifyMode::default(),
             mempool: MempoolConfig::default(),
             extra_genesis_outputs: Vec::new(),
+            persist_dir: None,
         }
     }
 }
@@ -209,6 +218,9 @@ pub enum SimError {
         /// The deepest fork this world can currently inject.
         max: u64,
     },
+    /// The persistent store failed (journal I/O, corrupt record, or
+    /// recovered state contradicting the live chain).
+    Store(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -224,6 +236,7 @@ impl std::fmt::Display for SimError {
                 f,
                 "fork depth {requested} out of range (deepest injectable fork: {max})"
             ),
+            SimError::Store(what) => write!(f, "store: {what}"),
         }
     }
 }
@@ -245,6 +258,12 @@ impl From<zendoo_mainchain::wallet::WalletError> for SimError {
 impl From<NodeError> for SimError {
     fn from(e: NodeError) -> Self {
         SimError::Node(e)
+    }
+}
+
+impl From<StoreError> for SimError {
+    fn from(e: StoreError) -> Self {
+        SimError::Store(e.to_string())
     }
 }
 
@@ -294,15 +313,25 @@ pub struct World {
     pub(crate) time: u64,
     /// How `step` executes (serial reference vs sharded workers).
     pub(crate) mode: StepMode,
-    /// Per-tick wall-clock accounting since the last
-    /// [`World::take_step_timings`].
-    pub(crate) timings: Vec<StepTiming>,
     /// The telemetry handle shared by the chain, the router, the miner
     /// admission path and the coordinator (disabled unless
     /// [`SimConfig::telemetry`] or [`World::enable_telemetry`]).
     pub(crate) telemetry: Telemetry,
     /// The sink behind `telemetry` when recording is on.
     pub(crate) recorder: Option<Arc<InMemoryRecorder>>,
+    /// Durable UTXO store + indexer, when persistence is attached
+    /// ([`SimConfig::persist_dir`] / [`World::attach_persistence`]).
+    pub(crate) persistence: Option<Persistence>,
+}
+
+/// The persistence stack one world drives: the journaled store, the
+/// indexer derived from its deltas, and the indexer's private cursor
+/// into the router's receipt stream.
+pub(crate) struct Persistence {
+    pub(crate) dir: std::path::PathBuf,
+    pub(crate) store: UtxoStore,
+    pub(crate) indexer: Indexer,
+    pub(crate) receipts_cursor: u64,
 }
 
 /// Everything a mainchain fork must rewind besides the chain itself:
@@ -458,15 +487,133 @@ impl World {
             miner,
             time: 1,
             mode: config.step_mode,
-            timings: Vec::new(),
             telemetry,
             recorder,
+            persistence: None,
         };
         // Anchor snapshot: the router state at the bootstrap tip, so
         // forks reaching back to the first stepped block can rewind it.
         let anchor = world.capture_router_undo(world.chain.tip_hash());
         world.router_undo.push(anchor);
+        if let Some(dir) = &config.persist_dir {
+            world
+                .attach_persistence(dir)
+                .expect("SimConfig::persist_dir must be usable");
+        }
         world
+    }
+
+    /// Attaches durable persistence: the chain starts logging
+    /// connect/disconnect events, and a journaled [`UtxoStore`] plus
+    /// [`Indexer`] in `dir` mirror it from this tick on (synced and
+    /// fsynced at the end of every [`World::step`]). A fresh directory
+    /// is bootstrapped with a snapshot of the current state; an
+    /// existing journal must already match the live chain exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Store`] when the journal cannot be opened/written or
+    /// holds state that contradicts the live chain.
+    pub fn attach_persistence(&mut self, dir: &std::path::Path) -> Result<(), SimError> {
+        let mut store = UtxoStore::open(dir, self.telemetry.clone())?;
+        if !store.is_seeded() {
+            store.bootstrap(&self.chain)?;
+        } else if store.state_digest() != chain_state_digest(&self.chain) {
+            return Err(SimError::Store(format!(
+                "journal in {} holds a different chain state (height {} vs {})",
+                dir.display(),
+                store.height(),
+                self.chain.height(),
+            )));
+        }
+        self.chain.enable_event_log();
+        let mut indexer = Indexer::from_store(&store, self.telemetry.clone());
+        indexer.ingest_receipts(self.router.receipts_since(0));
+        self.persistence = Some(Persistence {
+            dir: dir.to_path_buf(),
+            store,
+            indexer,
+            receipts_cursor: self.router.receipts_recorded(),
+        });
+        Ok(())
+    }
+
+    /// Kill-and-recover: drops the live store/indexer (as a crashed
+    /// process would) and rebuilds both purely from the journal on
+    /// disk, verifying the recovered state is bit-identical to the
+    /// in-memory chain. Returns the recovered state digest.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Store`] when no persistence is attached, the journal
+    /// cannot be reopened, or the recovered state diverges from the
+    /// live chain.
+    pub fn reopen_persistence(&mut self) -> Result<zendoo_primitives::digest::Digest32, SimError> {
+        let Some(persistence) = self.persistence.take() else {
+            return Err(SimError::Store("no persistence attached".into()));
+        };
+        let dir = persistence.dir;
+        drop((persistence.store, persistence.indexer));
+
+        let store = UtxoStore::open(&dir, self.telemetry.clone())?;
+        let digest = store.state_digest();
+        if digest != chain_state_digest(&self.chain) {
+            return Err(SimError::Store(format!(
+                "journal in {} recovered to height {} but the live chain is at {}",
+                dir.display(),
+                store.height(),
+                self.chain.height(),
+            )));
+        }
+        let mut indexer = Indexer::from_store(&store, self.telemetry.clone());
+        // Receipts live with the router, not the journal: re-ingest the
+        // full retained stream.
+        indexer.ingest_receipts(self.router.receipts_since(0));
+        self.persistence = Some(Persistence {
+            dir,
+            store,
+            indexer,
+            receipts_cursor: self.router.receipts_recorded(),
+        });
+        Ok(digest)
+    }
+
+    /// The durable UTXO store, when persistence is attached.
+    pub fn store(&self) -> Option<&UtxoStore> {
+        self.persistence.as_ref().map(|p| &p.store)
+    }
+
+    /// The indexer over the durable store, when persistence is
+    /// attached.
+    pub fn indexer(&self) -> Option<&Indexer> {
+        self.persistence.as_ref().map(|p| &p.indexer)
+    }
+
+    /// Drains this tick's chain events into the store (journal +
+    /// fsync), folds the deltas into the indexer, and ingests fresh
+    /// router receipts. No-op without attached persistence.
+    fn persist_sync(&mut self) -> Result<(), SimError> {
+        if self.persistence.is_none() {
+            return Ok(());
+        }
+        let events = self.chain.drain_events();
+        let persistence = self.persistence.as_mut().expect("checked above");
+        for event in &events {
+            let delta = persistence.store.apply_event(event)?;
+            persistence.indexer.apply(&delta);
+        }
+        persistence.store.commit()?;
+        // A fork rewind truncates the router's receipt log; clamp so
+        // the cursor never points past it.
+        let recorded = self.router.receipts_recorded();
+        if persistence.receipts_cursor > recorded {
+            persistence.receipts_cursor = recorded;
+        }
+        persistence
+            .indexer
+            .ingest_receipts(self.router.receipts_since(persistence.receipts_cursor));
+        persistence.receipts_cursor = recorded;
+        Ok(())
     }
 
     /// Captures the router state and receipt-derived metric counters,
@@ -694,6 +841,9 @@ impl World {
     /// forgery is ever accepted.
     pub(crate) fn pool_forged_competitor(&mut self, honest: &WithdrawalCertificate, delta: i64) {
         let mut forged = honest.clone();
+        // Saturation is intentional here: the forged quality is
+        // adversarial input, not an account — clamping at the domain
+        // bounds just yields a different (equally invalid) forgery.
         forged.quality = if delta >= 0 {
             honest.quality.saturating_add(delta as u64)
         } else {
@@ -750,6 +900,47 @@ impl World {
         )?;
         self.pool_mc_tx(tx);
         self.metrics.forward_transfers += 1;
+        Ok(())
+    }
+
+    /// Queues a forward transfer whose receiver metadata is
+    /// deliberately corrupted (one trailing byte beyond the classic
+    /// 64-byte layout): the destination sidechain classifies it as
+    /// malformed and must refund the full amount to the payback slot
+    /// the blob still carries — the user's MC address — through the
+    /// consensus-checked backward-transfer path. Fault scenarios use
+    /// this to prove malformed deposits are never stranded in the
+    /// registry balance.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] on unknown users/sidechains or insufficient funds.
+    pub fn queue_malformed_forward_transfer_on(
+        &mut self,
+        sc: &SidechainId,
+        name: &str,
+        amount: u64,
+    ) -> Result<(), SimError> {
+        self.instance(sc)?;
+        let user = self.user(name)?.clone();
+        let mut blob = ReceiverMetadata {
+            receiver: user.sc_address_on(sc),
+            payback: user.mc_address(),
+        }
+        .to_bytes();
+        // Corrupt the envelope (wrong length), keeping the payback slot
+        // at bytes 32..64 intact for the salvage rule.
+        blob.push(0xFF);
+        let tx = user.wallet.forward_transfer(
+            &self.chain,
+            *sc,
+            blob,
+            Amount::from_units(amount),
+            Amount::ZERO,
+        )?;
+        self.pool_mc_tx(tx);
+        self.metrics.forward_transfers += 1;
+        self.metrics.forward_transfers_malformed += 1;
         Ok(())
     }
 
@@ -1077,19 +1268,6 @@ impl World {
         self.chain.set_verify_mode(mode);
     }
 
-    /// Drains the per-tick wall-clock accounting collected since the
-    /// last call (one [`StepTiming`] per completed step).
-    #[deprecated(
-        since = "0.1.0",
-        note = "per-tick wall-clock accounting now flows through the telemetry \
-                subsystem; enable recording (`SimConfig::telemetry` or \
-                `World::enable_telemetry`) and read `telemetry_snapshot()` \
-                spans (`tick`, `tick.coordinator`, `tick.shard.sync`) instead"
-    )]
-    pub fn take_step_timings(&mut self) -> Vec<StepTiming> {
-        std::mem::take(&mut self.timings)
-    }
-
     /// The world's telemetry handle (shared by the chain, the router
     /// and the coordinator). Disabled unless [`SimConfig::telemetry`]
     /// was set or [`World::enable_telemetry`] was called.
@@ -1153,7 +1331,8 @@ impl World {
     /// *not* errors: the shard is quarantined and counted in
     /// [`Metrics::shard_panics`]).
     pub fn step(&mut self) -> Result<(), SimError> {
-        coordinator::step(self)
+        coordinator::step(self)?;
+        self.persist_sync()
     }
 
     /// Folds freshly produced router receipts and settlement records
@@ -1174,10 +1353,23 @@ impl World {
         for record in &self.router.settlements()[self.settlements_seen..] {
             self.metrics.settlement_windows += 1;
             self.metrics.settlement_txs += (record.delivery_txs + record.refund_txs) as u64;
-            self.metrics.settlement_txs_saved += record
+            // Batching can only shrink a window's transaction count: the
+            // router emits at most one delivery tx per destination plus
+            // one shared refund tx, never more txs than transfers. An
+            // underflow here is a router accounting bug, not a value to
+            // clamp away.
+            let saved = record
                 .transfers
-                .saturating_sub(record.delivery_txs + record.refund_txs)
-                as u64;
+                .checked_sub(record.delivery_txs + record.refund_txs)
+                .unwrap_or_else(|| {
+                    debug_assert!(
+                        false,
+                        "settlement window emitted more txs ({} + {}) than transfers ({})",
+                        record.delivery_txs, record.refund_txs, record.transfers
+                    );
+                    0
+                });
+            self.metrics.settlement_txs_saved += saved as u64;
         }
         self.settlements_seen = self.router.settlements().len();
     }
@@ -1230,6 +1422,9 @@ impl World {
     /// window); other [`SimError`]s if the reorg cannot be performed.
     pub fn inject_mc_fork(&mut self, depth: u64) -> Result<usize, SimError> {
         let height = self.chain.height();
+        // Saturation is intentional: at genesis (height 0) there is
+        // simply no injectable fork, which the `depth > max` check below
+        // reports as `ForkTooDeep` — not an accounting underflow.
         let max = height
             .saturating_sub(1)
             .min(self.chain.params().max_reorg_depth as u64);

@@ -63,6 +63,46 @@ proptest! {
         prop_assert!(auditor.checks() as usize > auditor.snapshots().len(), "seed {}", seed);
     }
 
+    /// Malformed-metadata deposits are refunded, never stranded. On top
+    /// of the seed's random plan (which may inject more of them), every
+    /// run deposits one forward transfer with corrupted receiver
+    /// metadata; after the faults heal and the system drains quietly
+    /// for four epochs, every still-active chain's locked registry
+    /// balance must reconcile *exactly* with its sidechain ledger.
+    /// Under the historic bug the malformed amount stayed locked
+    /// forever, which this check catches while the per-tick safeguard
+    /// (ledger ≤ locked) cannot.
+    #[test]
+    fn prop_malformed_fts_reconcile_after_drain(seed in any::<u64>()) {
+        let config = SimConfig {
+            step_mode: StepMode::Serial,
+            verify_mode: VerifyMode::Individual,
+            ..SimConfig::with_sidechains(CHAINS)
+        };
+        let epoch_len = config.epoch_len as u64;
+        let mut world = World::new(config);
+        let schedule = Schedule::new()
+            .at(0, Action::ForwardTransferTo(0, "alice".into(), 50_000))
+            .at(1, Action::MalformedForwardTransferTo(0, "alice".into(), 2_000))
+            .at(2, Action::CrossTransfer(0, 1, "alice".into(), 10_000));
+        let plan = FaultPlan::random(seed, CHAINS, TICKS);
+        let mut auditor = ConservationAuditor::new();
+        plan.run(&mut world, &schedule, TICKS, &mut auditor)
+            .unwrap_or_else(|e| panic!("replay with FaultPlan::random({seed}, {CHAINS}, {TICKS}): {e}"));
+        prop_assert!(world.metrics.forward_transfers_malformed >= 1, "seed {}", seed);
+
+        // Drain: no new transactions or faults for four epochs, so every
+        // in-flight refund certificate matures.
+        for _ in 0..4 * epoch_len {
+            world.step().unwrap_or_else(|e| panic!("seed {seed} drain step: {e}"));
+            auditor.observe(&world)
+                .unwrap_or_else(|v| panic!("seed {seed} drain audit: {v}"));
+        }
+        auditor.check_reconciled(&world)
+            .unwrap_or_else(|v| panic!("seed {seed} stranded value: {v}"));
+        prop_assert!(world.conservation_holds(), "seed {} broke conservation", seed);
+    }
+
     /// A plan is a pure function of its seed: the same seed replays to
     /// a bit-identical world and audit history, serially and sharded.
     #[test]

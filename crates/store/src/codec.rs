@@ -1,0 +1,191 @@
+//! Decoding for journal record payloads.
+//!
+//! The workspace's canonical [`zendoo_primitives::encode::Encode`]
+//! trait is write-only (it exists to hash things); the journal is the
+//! first component that must read those bytes back. This module is the
+//! exact inverse of the `Encode` impls it consumes: fixed-width
+//! big-endian integers, length-prefixed sequences, one-byte enum tags.
+
+use zendoo_core::escrow::EscrowTag;
+use zendoo_core::ids::{Address, Amount, Nullifier, SidechainId};
+use zendoo_mainchain::transaction::OutputKind;
+use zendoo_mainchain::{OutPoint, TxOut};
+use zendoo_primitives::digest::Digest32;
+
+/// A malformed journal payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the value was complete.
+    UnexpectedEof,
+    /// An enum tag byte had no corresponding variant.
+    BadTag(u8),
+    /// A length prefix exceeded the remaining payload.
+    BadLength(u64),
+    /// Bytes remained after the full record was decoded.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "payload truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown tag byte {t}"),
+            CodecError::BadLength(n) => write!(f, "length prefix {n} exceeds payload"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after record"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A cursor over one record payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless the payload was consumed exactly.
+    pub fn finish(self) -> Result<(), CodecError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(CodecError::TrailingBytes(n)),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// A big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_be_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// A big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_be_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// A sequence length prefix, validated against a per-element lower
+    /// bound so a corrupt prefix cannot provoke a huge allocation.
+    pub fn len_prefix(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let len = self.u64()?;
+        if len as usize > self.remaining() / min_elem_bytes.max(1) {
+            return Err(CodecError::BadLength(len));
+        }
+        Ok(len as usize)
+    }
+
+    /// A 32-byte digest.
+    pub fn digest32(&mut self) -> Result<Digest32, CodecError> {
+        let bytes = self.take(32)?;
+        Ok(Digest32(bytes.try_into().expect("32 bytes")))
+    }
+
+    /// An [`Amount`].
+    pub fn amount(&mut self) -> Result<Amount, CodecError> {
+        Ok(Amount::from_units(self.u64()?))
+    }
+
+    /// An [`OutPoint`]: txid then output index.
+    pub fn outpoint(&mut self) -> Result<OutPoint, CodecError> {
+        Ok(OutPoint {
+            txid: self.digest32()?,
+            index: self.u32()?,
+        })
+    }
+
+    /// A [`TxOut`]: address, amount, then the output-kind tag (`0` =
+    /// regular, `1` = escrow followed by the [`EscrowTag`] fields).
+    pub fn txout(&mut self) -> Result<TxOut, CodecError> {
+        let address = Address(self.digest32()?);
+        let amount = self.amount()?;
+        let kind = match self.u8()? {
+            0 => OutputKind::Regular,
+            1 => OutputKind::Escrow(EscrowTag {
+                source: SidechainId(self.digest32()?),
+                epoch: self.u32()?,
+                dest: SidechainId(self.digest32()?),
+                payback: Address(self.digest32()?),
+                nullifier: Nullifier(self.digest32()?),
+            }),
+            t => return Err(CodecError::BadTag(t)),
+        };
+        Ok(TxOut {
+            address,
+            amount,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zendoo_primitives::encode::Encode;
+
+    #[test]
+    fn txout_roundtrips_both_kinds() {
+        let regular = TxOut::regular(Address(Digest32::hash_bytes(b"a")), Amount::from_units(7));
+        let escrow = TxOut {
+            address: Address(Digest32::hash_bytes(b"marker")),
+            amount: Amount::from_units(11),
+            kind: OutputKind::Escrow(EscrowTag {
+                source: SidechainId(Digest32::hash_bytes(b"src")),
+                epoch: 3,
+                dest: SidechainId(Digest32::hash_bytes(b"dst")),
+                payback: Address(Digest32::hash_bytes(b"pay")),
+                nullifier: Nullifier(Digest32::hash_bytes(b"null")),
+            }),
+        };
+        for out in [regular, escrow] {
+            let bytes = out.encoded();
+            let mut reader = Reader::new(&bytes);
+            assert_eq!(reader.txout().unwrap(), out);
+            reader.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_a_panic() {
+        let out = TxOut::regular(Address(Digest32::hash_bytes(b"a")), Amount::from_units(7));
+        let bytes = out.encoded();
+        for cut in 0..bytes.len() {
+            let mut reader = Reader::new(&bytes[..cut]);
+            assert_eq!(reader.txout(), Err(CodecError::UnexpectedEof));
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        let huge = u64::MAX.encoded();
+        let mut reader = Reader::new(&huge);
+        assert!(matches!(
+            reader.len_prefix(44),
+            Err(CodecError::BadLength(_))
+        ));
+    }
+}

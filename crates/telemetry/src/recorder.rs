@@ -162,9 +162,9 @@ impl Telemetry {
     /// Runs `f`, **always** measuring its wall time, recording a span
     /// only when enabled, and returning `(result, nanos)`.
     ///
-    /// This is the bridge for pre-telemetry timing APIs (the sim's
-    /// deprecated `take_step_timings`) that need the measurement
-    /// regardless of whether a recorder is attached.
+    /// This is the bridge for callers that need the measurement
+    /// regardless of whether a recorder is attached (e.g. the sim
+    /// coordinator's span accounting).
     ///
     /// # Examples
     ///

@@ -10,7 +10,7 @@ default:
 # Full CI gate: format check, clippy on the newer crates, rustdoc
 # warnings-as-errors + doc-tests, tier-1 tests, adversarial and
 # Byzantine suites.
-ci: fmt-check clippy doc doc-test test test-adversarial test-byzantine
+ci: fmt-check clippy doc doc-test test test-adversarial test-byzantine test-store
 
 # Formatting check (whole workspace).
 fmt-check:
@@ -24,7 +24,7 @@ fmt:
 # the seed (the seed crates carry pre-existing style noise; --no-deps
 # keeps the gate scoped to these).
 clippy:
-    cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain -p zendoo-telemetry -p zendoo-snark -p zendoo-core -p zendoo-loadgen --all-targets --no-deps -- -D warnings
+    cargo clippy -p zendoo-crosschain -p zendoo-sim -p zendoo-mainchain -p zendoo-telemetry -p zendoo-snark -p zendoo-core -p zendoo-loadgen -p zendoo-store --all-targets --no-deps -- -D warnings
 
 # Rustdoc gate: the whole workspace documents cleanly.
 doc:
@@ -58,6 +58,14 @@ test-adversarial:
 test-byzantine:
     @total=0; for spec in "zendoo-sim byzantine" "zendoo-sim fault_props" "zendoo-sim determinism"; do set -- $spec; out=$(cargo test -q -p "$1" --test "$2" 2>&1) || { echo "$out"; exit 1; }; echo "$out"; n=$(echo "$out" | awk '/^test result: ok/ {s+=$4} END {print s+0}'); total=$((total + n)); done; echo "byzantine tests: $total total"
 
+# The persistence suites: journal kill-and-recover, torn-tail and
+# rollback replay at the store level (recovery), and the world-level
+# lockstep contract — per-tick digest equality through mid-run kills,
+# torn tails and reorgs (persistence). Same summed-total reporting as
+# test-adversarial.
+test-store:
+    @total=0; for spec in "zendoo-store recovery" "zendoo-sim persistence"; do set -- $spec; out=$(cargo test -q -p "$1" --test "$2" 2>&1) || { echo "$out"; exit 1; }; echo "$out"; n=$(echo "$out" | awk '/^test result: ok/ {s+=$4} END {print s+0}'); total=$((total + n)); done; echo "store tests: $total total"
+
 # Benchmarks (criterion stand-in prints ns/iter).
 bench:
     cargo bench -p zendoo-bench
@@ -78,7 +86,10 @@ bench-crosschain:
 # settlement batch histograms), and generated-load admission (emits
 # BENCH_load.json: batched-vs-per-tx pipeline, template verdict
 # reuse, flash-crowd eviction fee gain, per-scenario throughput +
-# admission latency percentiles at 10^4-10^5 users).
+# admission latency percentiles at 10^4-10^5 users), and the
+# persistent store + indexer (emits BENCH_indexer.json: cold-start
+# journal replay + index rebuild and per-query-class p50/p99 at 10^6
+# UTXOs / 10^5 pending inbound transfers).
 bench-smoke:
     cargo bench -p zendoo-bench --bench crosschain_routing
     cargo bench -p zendoo-bench --bench cert_pipeline
@@ -87,6 +98,7 @@ bench-smoke:
     cargo bench -p zendoo-bench --bench proof_aggregation
     cargo bench -p zendoo-bench --bench pipeline_obs
     cargo bench -p zendoo-bench --bench load_admission
+    cargo bench -p zendoo-bench --bench indexer
 
 # Run a 16-chain instrumented scenario and print the telemetry
 # span-tree report (docs/OBSERVABILITY.md explains how to read it).

@@ -59,4 +59,5 @@ pub use zendoo_mainchain as mainchain;
 pub use zendoo_primitives as primitives;
 pub use zendoo_sim as sim;
 pub use zendoo_snark as snark;
+pub use zendoo_store as store;
 pub use zendoo_telemetry as telemetry;
